@@ -1,0 +1,93 @@
+// Package repro_test holds the repository-level benchmark harness: one
+// testing.B benchmark per table and figure of the paper's evaluation
+// (Section 6 and Appendix F), each regenerating the experiment end to end
+// at a reduced scale. Use cmd/homeostasis-bench for full-scale runs.
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	fn, ok := experiments.ByName(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	var lines int
+	for i := 0; i < b.N; i++ {
+		r, err := fn(experiments.Bench)
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		lines = len(r.Lines)
+		if lines == 0 {
+			b.Fatalf("%s produced no output", name)
+		}
+	}
+	b.ReportMetric(float64(lines), "series")
+}
+
+func BenchmarkTable1RTTMatrix(b *testing.B)            { benchExperiment(b, "table1") }
+func BenchmarkFig10LatencyVsRTT(b *testing.B)          { benchExperiment(b, "fig10") }
+func BenchmarkFig11ThroughputVsRTT(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkFig12SyncRatioVsRTT(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkFig13LatencyVsReplicas(b *testing.B)     { benchExperiment(b, "fig13") }
+func BenchmarkFig14ThroughputVsReplicas(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15SyncRatioVsReplicas(b *testing.B)   { benchExperiment(b, "fig15") }
+func BenchmarkFig16LatencyVsClients(b *testing.B)      { benchExperiment(b, "fig16") }
+func BenchmarkFig17ThroughputVsClients(b *testing.B)   { benchExperiment(b, "fig17") }
+func BenchmarkFig18SyncRatioVsClients(b *testing.B)    { benchExperiment(b, "fig18") }
+func BenchmarkFig19TPCCLatencyVsSkew(b *testing.B)     { benchExperiment(b, "fig19") }
+func BenchmarkFig20TPCCThroughputVsSkew(b *testing.B)  { benchExperiment(b, "fig20") }
+func BenchmarkFig21TPCCLatencyVsReplicas(b *testing.B) { benchExperiment(b, "fig21") }
+func BenchmarkFig22TPCCThroughputVsReplicas(b *testing.B) {
+	benchExperiment(b, "fig22")
+}
+func BenchmarkFig24LatencyBreakdownVsLookahead(b *testing.B) {
+	benchExperiment(b, "fig24")
+}
+func BenchmarkFig25ThroughputVsLookahead(b *testing.B) { benchExperiment(b, "fig25") }
+func BenchmarkFig26SyncRatioVsLookahead(b *testing.B)  { benchExperiment(b, "fig26") }
+func BenchmarkFig27LatencyVsItemsPerTxn(b *testing.B)  { benchExperiment(b, "fig27") }
+func BenchmarkFig28DistTPCCThroughputVsSkew(b *testing.B) {
+	benchExperiment(b, "fig28")
+}
+func BenchmarkFig29DistTPCCSyncRatioVsSkew(b *testing.B) { benchExperiment(b, "fig29") }
+func BenchmarkAblationOptimizerVsDefault(b *testing.B)   { benchExperiment(b, "ablation") }
+
+// TestExperimentNamesResolve pins the experiment registry: every listed
+// name resolves and ids are unique.
+func TestExperimentNamesResolve(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range experiments.Names() {
+		if seen[name] {
+			t.Fatalf("duplicate experiment %q", name)
+		}
+		seen[name] = true
+		if _, ok := experiments.ByName(name); !ok {
+			t.Fatalf("experiment %q does not resolve", name)
+		}
+	}
+	if len(seen) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(seen))
+	}
+}
+
+// TestTable1MatchesPaper spot-checks the encoded RTT matrix.
+func TestTable1MatchesPaper(t *testing.T) {
+	fn, _ := experiments.ByName("table1")
+	r, err := fn(experiments.Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	for _, want := range []string{"64", "243", "372", "UE", "BR"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("Table 1 output missing %q:\n%s", want, joined)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command homeostasis-bench regenerates the tables and figures of the
+// paper's evaluation (Section 6 and Appendix F) on the simulated cluster.
+//
+// Usage:
+//
+//	homeostasis-bench -list
+//	homeostasis-bench -experiment fig11
+//	homeostasis-bench -experiment all -scale quick
+//
+// Scales: "full" approximates the paper's setup at simulation-friendly
+// size; "quick" is a reduced regression scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (fig10..fig29, table1, ablation) or 'all'")
+		scaleName  = flag.String("scale", "full", "experiment scale: full or quick")
+		list       = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, name := range experiments.Names() {
+			fmt.Println("  " + name)
+		}
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "usage: homeostasis-bench -experiment <id|all> [-scale full|quick]")
+		fmt.Fprintln(os.Stderr, "       homeostasis-bench -list")
+		os.Exit(2)
+	}
+
+	var sc experiments.Scale
+	switch strings.ToLower(*scaleName) {
+	case "full":
+		sc = experiments.Full
+	case "quick":
+		sc = experiments.Quick
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want full or quick)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	if *experiment == "all" {
+		start := time.Now()
+		for _, name := range experiments.Names() {
+			fn, _ := experiments.ByName(name)
+			t0 := time.Now()
+			r, err := fn(sc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", name, err)
+				os.Exit(1)
+			}
+			fmt.Println(r)
+			fmt.Printf("(%s regenerated in %.1fs)\n\n", name, time.Since(t0).Seconds())
+		}
+		fmt.Printf("(all experiments regenerated in %.1fs)\n", time.Since(start).Seconds())
+		return
+	}
+
+	fn, ok := experiments.ByName(*experiment)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *experiment)
+		os.Exit(2)
+	}
+	start := time.Now()
+	r, err := fn(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Println(r)
+	fmt.Printf("(regenerated in %.1fs)\n", time.Since(start).Seconds())
+}

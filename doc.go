@@ -1,0 +1,28 @@
+// Package repro is a from-scratch Go implementation of "The Homeostasis
+// Protocol: Avoiding Transaction Coordination Through Program Analysis"
+// (Roy, Kot, Bender, Ding, Hojjat, Koch, Foster, Gehrke; SIGMOD 2015).
+//
+// The implementation lives under internal/ (see README.md for the
+// architecture and DESIGN.md for the paper-to-module map):
+//
+//   - internal/lang: the transaction languages L and L++ (Section 2),
+//     the Appendix A lowering and the Appendix B replica rewrite;
+//   - internal/symtab: symbolic tables (Figure 6) with joins and
+//     independence-group factorization;
+//   - internal/treaty: treaty generation (Section 4) — preprocessing,
+//     per-site templates, the Theorem 4.3 default, the demarcation-style
+//     equal split, and the Algorithm 1 MaxSAT optimizer;
+//   - internal/sat, internal/maxsat, internal/lia: the solver stack
+//     (DPLL, Fu-Malik, Fourier-Motzkin) standing in for Z3;
+//   - internal/homeostasis: the protocol runtime (Section 3.3) plus the
+//     2PC / local / OPT baselines over per-site 2PL stores
+//     (internal/store) on a deterministic discrete-event simulation
+//     (internal/sim, internal/cluster);
+//   - internal/micro, internal/tpcc: the Section 6 workloads;
+//   - internal/experiments: one runner per evaluation table/figure.
+//
+// Entry points: cmd/homeostasis-bench regenerates the paper's evaluation,
+// cmd/homeostasis-analyze exposes the offline analyzer, examples/ holds
+// runnable walkthroughs, and bench_test.go in this directory hosts the
+// benchmark harness (one testing.B benchmark per table and figure).
+package repro

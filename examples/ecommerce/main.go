@@ -1,0 +1,65 @@
+// E-commerce: the Section 6.1 scenario as a user-facing application. A
+// stock table is replicated across two datacenters 100ms apart; clients
+// place orders that decrement quantities. The same workload runs under
+// the homeostasis protocol and under 2PC, printing the latency and
+// throughput comparison the paper's Figures 10-11 report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/homeostasis"
+	"repro/internal/micro"
+	"repro/internal/sim"
+)
+
+func runMode(mode homeostasis.Mode) *homeostasis.System {
+	w, err := micro.New(micro.Config{
+		Items:  500,
+		Refill: 100,
+		NSites: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := sim.NewEngine(1)
+	sys, err := homeostasis.New(e, w, homeostasis.Options{
+		Mode:           mode,
+		Topo:           cluster.Uniform(2, 100*sim.Millisecond),
+		ClientsPerSite: 16,
+		Warmup:         1 * sim.Second,
+		Measure:        10 * sim.Second,
+		Seed:           7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Run()
+	return sys
+}
+
+func main() {
+	fmt.Println("replicated stock across 2 datacenters, RTT 100ms, 16 clients each")
+	fmt.Println("placing orders for 10 simulated seconds per protocol...")
+	fmt.Println()
+	fmt.Printf("%-8s %10s %10s %10s %10s %10s\n",
+		"mode", "txn/s", "p50", "p97", "p100", "sync%")
+	for _, mode := range []homeostasis.Mode{
+		homeostasis.ModeHomeo, homeostasis.ModeOpt,
+		homeostasis.ModeTwoPC, homeostasis.ModeLocal,
+	} {
+		sys := runMode(mode)
+		col := sys.Col
+		fmt.Printf("%-8s %10.0f %10v %10v %10v %10.2f\n",
+			mode, col.Throughput(),
+			col.Latency.Percentile(50),
+			col.Latency.Percentile(97),
+			col.Latency.Percentile(100),
+			col.SyncRatio())
+	}
+	fmt.Println()
+	fmt.Println("homeostasis commits ~97% of orders at local latency and pays the")
+	fmt.Println("WAN round trip only on treaty violations; 2PC pays 2x RTT always.")
+}

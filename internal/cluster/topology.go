@@ -1,0 +1,123 @@
+// Package cluster models the multi-site deployment: network topology with
+// per-pair latencies (including the paper's Table 1 EC2 datacenter RTT
+// matrix), and per-site compute resources.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Topology holds symmetric one-way latencies between sites.
+type Topology struct {
+	n      int
+	oneWay [][]sim.Duration
+	names  []string
+}
+
+// NSites returns the number of sites.
+func (t *Topology) NSites() int { return t.n }
+
+// Name returns the site's datacenter label.
+func (t *Topology) Name(site int) string {
+	if t.names != nil {
+		return t.names[site]
+	}
+	return fmt.Sprintf("site%d", site)
+}
+
+// OneWay returns the one-way latency between two sites.
+func (t *Topology) OneWay(a, b int) sim.Duration { return t.oneWay[a][b] }
+
+// RTT returns the round-trip time between two sites.
+func (t *Topology) RTT(a, b int) sim.Duration { return 2 * t.oneWay[a][b] }
+
+// MaxOneWayFrom returns the worst one-way latency from the given site to
+// any other site.
+func (t *Topology) MaxOneWayFrom(site int) sim.Duration {
+	var max sim.Duration
+	for other := 0; other < t.n; other++ {
+		if other != site && t.oneWay[site][other] > max {
+			max = t.oneWay[site][other]
+		}
+	}
+	return max
+}
+
+// MaxRTTFrom returns the worst round trip from the given site.
+func (t *Topology) MaxRTTFrom(site int) sim.Duration {
+	return 2 * t.MaxOneWayFrom(site)
+}
+
+// Uniform builds a topology of n sites with identical pairwise RTT, as in
+// the microbenchmark experiments (Section 6.1, simulated RTTs).
+func Uniform(n int, rtt sim.Duration) *Topology {
+	t := &Topology{n: n, oneWay: make([][]sim.Duration, n)}
+	for i := range t.oneWay {
+		t.oneWay[i] = make([]sim.Duration, n)
+		for j := range t.oneWay[i] {
+			if i != j {
+				t.oneWay[i][j] = rtt / 2
+			}
+		}
+	}
+	return t
+}
+
+// EC2 datacenter indices for the Table 1 matrix, in the order replicas
+// are added in the TPC-C experiments (Section 6.2): UE, UW, IE, SG, BR.
+const (
+	UE = iota
+	UW
+	IE
+	SG
+	BR
+)
+
+// table1RTT is the average RTT matrix between Amazon datacenters in
+// milliseconds (Table 1 of the paper).
+var table1RTT = [5][5]int64{
+	{0, 64, 80, 243, 164},
+	{64, 0, 170, 210, 227},
+	{80, 170, 0, 285, 235},
+	{243, 210, 285, 0, 372},
+	{164, 227, 235, 372, 0},
+}
+
+var table1Names = []string{"UE", "UW", "IE", "SG", "BR"}
+
+// EC2 builds the Table 1 topology truncated to the first n datacenters
+// (2 <= n <= 5): UE, UW, IE, SG, BR.
+func EC2(n int) *Topology {
+	if n < 1 || n > 5 {
+		panic(fmt.Sprintf("cluster: EC2 topology supports 1..5 sites, got %d", n))
+	}
+	t := &Topology{n: n, oneWay: make([][]sim.Duration, n), names: table1Names[:n]}
+	for i := range t.oneWay {
+		t.oneWay[i] = make([]sim.Duration, n)
+		for j := range t.oneWay[i] {
+			t.oneWay[i][j] = sim.Duration(table1RTT[i][j]) * sim.Millisecond / 2
+		}
+	}
+	return t
+}
+
+// Table1String renders the RTT matrix like the paper's Table 1.
+func Table1String() string {
+	out := "      UE    UW    IE    SG    BR\n"
+	for i := 0; i < 5; i++ {
+		out += fmt.Sprintf("%-4s", table1Names[i])
+		for j := 0; j < 5; j++ {
+			if j < i {
+				out += "     -"
+			} else if i == j {
+				out += "    <1"
+			} else {
+				out += fmt.Sprintf("  %4d", table1RTT[i][j])
+			}
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/homeostasis"
+	"repro/internal/sim"
+)
+
+// Microbenchmark defaults (Section 6.1): RTT 100ms, 2 replicas, 16
+// clients per replica, REFILL = 100.
+const (
+	microDefaultRTT     = 100 * sim.Millisecond
+	microDefaultSites   = 2
+	microDefaultClients = 16
+	microDefaultRefill  = 100
+)
+
+var microModes = []homeostasis.Mode{
+	homeostasis.ModeHomeo, homeostasis.ModeOpt,
+	homeostasis.ModeTwoPC, homeostasis.ModeLocal,
+}
+
+// Fig10 reproduces "Latency with network RTT": latency percentiles for
+// each mode at RTT 50ms and 200ms.
+func Fig10(sc Scale) (*Report, error) {
+	r := &Report{ID: "Figure 10", Title: "Latency by percentile vs network RTT (Nr=2, Nc=16)"}
+	for _, mode := range microModes {
+		for _, rtt := range []sim.Duration{50 * sim.Millisecond, 200 * sim.Millisecond} {
+			res, err := run(runCfg{
+				mode: mode, nSites: microDefaultSites, rtt: rtt,
+				clients: microDefaultClients, scale: sc,
+			}, microFactory(sc, microDefaultRefill, 1))
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%s-t%d", mode, int64(rtt/sim.Millisecond))
+			r.Lines = append(r.Lines, latencyProfile(label, &res.col.Latency))
+		}
+	}
+	return r, nil
+}
+
+// Fig11 reproduces "Throughput with network RTT".
+func Fig11(sc Scale) (*Report, error) {
+	r := &Report{ID: "Figure 11", Title: "Throughput per replica (txn/s) vs network RTT (Nr=2, Nc=16)"}
+	r.addf("%-8s %8s %8s %8s %8s", "rtt(ms)", "homeo", "opt", "2pc", "local")
+	for _, rttMs := range []int64{50, 100, 150, 200} {
+		vals := make([]float64, 0, 4)
+		for _, mode := range microModes {
+			res, err := run(runCfg{
+				mode: mode, nSites: microDefaultSites,
+				rtt:     sim.Duration(rttMs) * sim.Millisecond,
+				clients: microDefaultClients, scale: sc,
+			}, microFactory(sc, microDefaultRefill, 1))
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, res.throughputPerReplica(microDefaultSites))
+		}
+		r.addf("%-8d %8.0f %8.0f %8.0f %8.0f", rttMs, vals[0], vals[1], vals[2], vals[3])
+	}
+	return r, nil
+}
+
+// Fig12 reproduces "Synchronization ratio with RTT" (homeo vs opt).
+func Fig12(sc Scale) (*Report, error) {
+	r := &Report{ID: "Figure 12", Title: "Synchronization ratio (%) vs network RTT (Nr=2, Nc=16)"}
+	r.addf("%-8s %8s %8s", "rtt(ms)", "homeo", "opt")
+	for _, rttMs := range []int64{50, 100, 150, 200} {
+		vals := make([]float64, 0, 2)
+		for _, mode := range []homeostasis.Mode{homeostasis.ModeHomeo, homeostasis.ModeOpt} {
+			res, err := run(runCfg{
+				mode: mode, nSites: microDefaultSites,
+				rtt:     sim.Duration(rttMs) * sim.Millisecond,
+				clients: microDefaultClients, scale: sc,
+			}, microFactory(sc, microDefaultRefill, 1))
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, res.col.SyncRatio())
+		}
+		r.addf("%-8d %8.2f %8.2f", rttMs, vals[0], vals[1])
+	}
+	return r, nil
+}
+
+// Fig13 reproduces "Latency with the number of replicas".
+func Fig13(sc Scale) (*Report, error) {
+	r := &Report{ID: "Figure 13", Title: "Latency by percentile vs replicas (RTT=100ms, Nc=16)"}
+	for _, mode := range microModes {
+		for _, nr := range []int{2, 5} {
+			res, err := run(runCfg{
+				mode: mode, nSites: nr, rtt: microDefaultRTT,
+				clients: microDefaultClients, scale: sc,
+			}, microFactory(sc, microDefaultRefill, 1))
+			if err != nil {
+				return nil, err
+			}
+			r.Lines = append(r.Lines, latencyProfile(fmt.Sprintf("%s-r%d", mode, nr), &res.col.Latency))
+		}
+	}
+	return r, nil
+}
+
+// Fig14 reproduces "Throughput with the number of replicas".
+func Fig14(sc Scale) (*Report, error) {
+	r := &Report{ID: "Figure 14", Title: "Throughput per replica (txn/s) vs replicas (RTT=100ms, Nc=16)"}
+	r.addf("%-8s %8s %8s %8s %8s", "replicas", "homeo", "opt", "2pc", "local")
+	for nr := 2; nr <= 5; nr++ {
+		vals := make([]float64, 0, 4)
+		for _, mode := range microModes {
+			res, err := run(runCfg{
+				mode: mode, nSites: nr, rtt: microDefaultRTT,
+				clients: microDefaultClients, scale: sc,
+			}, microFactory(sc, microDefaultRefill, 1))
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, res.throughputPerReplica(nr))
+		}
+		r.addf("%-8d %8.0f %8.0f %8.0f %8.0f", nr, vals[0], vals[1], vals[2], vals[3])
+	}
+	return r, nil
+}
+
+// Fig15 reproduces "Synchronization ratio with the number of replicas".
+func Fig15(sc Scale) (*Report, error) {
+	r := &Report{ID: "Figure 15", Title: "Synchronization ratio (%) vs replicas (RTT=100ms, Nc=16)"}
+	r.addf("%-8s %8s %8s", "replicas", "homeo", "opt")
+	for nr := 2; nr <= 5; nr++ {
+		vals := make([]float64, 0, 2)
+		for _, mode := range []homeostasis.Mode{homeostasis.ModeHomeo, homeostasis.ModeOpt} {
+			res, err := run(runCfg{
+				mode: mode, nSites: nr, rtt: microDefaultRTT,
+				clients: microDefaultClients, scale: sc,
+			}, microFactory(sc, microDefaultRefill, 1))
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, res.col.SyncRatio())
+		}
+		r.addf("%-8d %8.2f %8.2f", nr, vals[0], vals[1])
+	}
+	return r, nil
+}
+
+// Fig16 reproduces "Latency with the number of clients".
+func Fig16(sc Scale) (*Report, error) {
+	r := &Report{ID: "Figure 16", Title: "Latency by percentile vs clients per replica (Nr=2, RTT=100ms)"}
+	for _, mode := range microModes {
+		for _, nc := range []int{1, 32} {
+			res, err := run(runCfg{
+				mode: mode, nSites: microDefaultSites, rtt: microDefaultRTT,
+				clients: nc, scale: sc,
+			}, microFactory(sc, microDefaultRefill, 1))
+			if err != nil {
+				return nil, err
+			}
+			r.Lines = append(r.Lines, latencyProfile(fmt.Sprintf("%s-c%d", mode, nc), &res.col.Latency))
+		}
+	}
+	return r, nil
+}
+
+// Fig17 reproduces "Throughput with the number of clients".
+func Fig17(sc Scale) (*Report, error) {
+	r := &Report{ID: "Figure 17", Title: "Throughput per replica (txn/s) vs clients per replica (Nr=2, RTT=100ms)"}
+	r.addf("%-8s %8s %8s %8s %8s", "clients", "homeo", "opt", "2pc", "local")
+	for _, nc := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		vals := make([]float64, 0, 4)
+		for _, mode := range microModes {
+			res, err := run(runCfg{
+				mode: mode, nSites: microDefaultSites, rtt: microDefaultRTT,
+				clients: nc, scale: sc,
+			}, microFactory(sc, microDefaultRefill, 1))
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, res.throughputPerReplica(microDefaultSites))
+		}
+		r.addf("%-8d %8.0f %8.0f %8.0f %8.0f", nc, vals[0], vals[1], vals[2], vals[3])
+	}
+	return r, nil
+}
+
+// Fig18 reproduces "Synchronization ratio with the number of clients".
+func Fig18(sc Scale) (*Report, error) {
+	r := &Report{ID: "Figure 18", Title: "Synchronization ratio (%) vs clients per replica (Nr=2, RTT=100ms)"}
+	r.addf("%-8s %8s %8s", "clients", "homeo", "opt")
+	for _, nc := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		vals := make([]float64, 0, 2)
+		for _, mode := range []homeostasis.Mode{homeostasis.ModeHomeo, homeostasis.ModeOpt} {
+			res, err := run(runCfg{
+				mode: mode, nSites: microDefaultSites, rtt: microDefaultRTT,
+				clients: nc, scale: sc,
+			}, microFactory(sc, microDefaultRefill, 1))
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, res.col.SyncRatio())
+		}
+		r.addf("%-8d %8.2f %8.2f", nc, vals[0], vals[1])
+	}
+	return r, nil
+}
+
+// Fig24 reproduces the Appendix F latency breakdown of violating
+// transactions as the lookahead interval L grows: local execution, solver
+// time, and communication.
+func Fig24(sc Scale) (*Report, error) {
+	r := &Report{ID: "Figure 24", Title: "Violation latency breakdown vs lookahead L (RTT=100ms, Nc=16, REFILL=100)"}
+	r.addf("%-6s %10s %10s %10s", "L", "local", "solver", "comm")
+	for l := 10; l <= 100; l += 10 {
+		res, err := run(runCfg{
+			mode: homeostasis.ModeHomeo, nSites: microDefaultSites,
+			rtt: microDefaultRTT, clients: microDefaultClients,
+			lookahead: l, scale: sc,
+		}, microFactory(sc, microDefaultRefill, 1))
+		if err != nil {
+			return nil, err
+		}
+		local, solver, comm := res.col.ViolationBreakdown.Avg()
+		r.addf("%-6d %10v %10v %10v", l, local, solver, comm)
+	}
+	return r, nil
+}
+
+// Fig25 reproduces throughput vs lookahead L for REFILL 10/100/1000.
+func Fig25(sc Scale) (*Report, error) {
+	r := &Report{ID: "Figure 25", Title: "Throughput per replica (txn/s) vs lookahead L for REFILL values (RTT=100ms, Nc=16)"}
+	r.addf("%-6s %8s %8s %8s", "L", "rf10", "rf100", "rf1000")
+	for l := 10; l <= 100; l += 30 {
+		vals := make([]float64, 0, 3)
+		for _, rf := range []int64{10, 100, 1000} {
+			res, err := run(runCfg{
+				mode: homeostasis.ModeHomeo, nSites: microDefaultSites,
+				rtt: microDefaultRTT, clients: microDefaultClients,
+				lookahead: l, scale: sc,
+			}, microFactory(sc, rf, 1))
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, res.throughputPerReplica(microDefaultSites))
+		}
+		r.addf("%-6d %8.0f %8.0f %8.0f", l, vals[0], vals[1], vals[2])
+	}
+	return r, nil
+}
+
+// Fig26 reproduces synchronization ratio vs lookahead L for REFILL
+// 10/100/1000.
+func Fig26(sc Scale) (*Report, error) {
+	r := &Report{ID: "Figure 26", Title: "Synchronization ratio (%) vs lookahead L for REFILL values (Nr=2, RTT=100ms, Nc=16)"}
+	r.addf("%-6s %8s %8s %8s", "L", "rf10", "rf100", "rf1000")
+	for l := 10; l <= 100; l += 30 {
+		vals := make([]float64, 0, 3)
+		for _, rf := range []int64{10, 100, 1000} {
+			res, err := run(runCfg{
+				mode: homeostasis.ModeHomeo, nSites: microDefaultSites,
+				rtt: microDefaultRTT, clients: microDefaultClients,
+				lookahead: l, scale: sc,
+			}, microFactory(sc, rf, 1))
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, res.col.SyncRatio())
+		}
+		r.addf("%-6d %8.2f %8.2f %8.2f", l, vals[0], vals[1], vals[2])
+	}
+	return r, nil
+}
+
+// Fig27 reproduces the latency CDF as the number of items per transaction
+// grows (homeostasis 1..5 items, 2PC at 1 and 5).
+func Fig27(sc Scale) (*Report, error) {
+	r := &Report{ID: "Figure 27", Title: "Latency CDF vs items per transaction (RTT=100ms, REFILL=100, Nc=20, L=20)"}
+	quantiles := []float64{50, 90, 95, 98, 99, 100}
+	header := "series        "
+	for _, q := range quantiles {
+		header += fmt.Sprintf(" %9s", fmt.Sprintf("p%g", q))
+	}
+	r.Lines = append(r.Lines, header)
+	series := func(mode homeostasis.Mode, items int) error {
+		res, err := run(runCfg{
+			mode: mode, nSites: microDefaultSites, rtt: microDefaultRTT,
+			clients: 20, scale: sc,
+		}, microFactory(sc, microDefaultRefill, items))
+		if err != nil {
+			return err
+		}
+		line := fmt.Sprintf("%s-items%d    ", mode, items)
+		for _, q := range quantiles {
+			line += fmt.Sprintf(" %9v", res.col.Latency.Percentile(q))
+		}
+		r.Lines = append(r.Lines, line)
+		return nil
+	}
+	for items := 1; items <= 5; items++ {
+		if err := series(homeostasis.ModeHomeo, items); err != nil {
+			return nil, err
+		}
+	}
+	for _, items := range []int{1, 5} {
+		if err := series(homeostasis.ModeTwoPC, items); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// AblationOptimizer compares treaty-generation strategies: Algorithm 1
+// (homeo), equal-split (opt), and the Theorem 4.3 default that pins every
+// site (degenerating to synchronization on every write).
+func AblationOptimizer(sc Scale) (*Report, error) {
+	r := &Report{ID: "Ablation", Title: "Treaty generation strategies (micro, Nr=2, RTT=100ms, Nc=16)"}
+	r.addf("%-16s %10s %10s %10s", "strategy", "tput/rep", "sync(%)", "p50")
+	for _, mode := range []homeostasis.Mode{
+		homeostasis.ModeHomeo, homeostasis.ModeOpt, homeostasis.ModeHomeoDefault,
+	} {
+		res, err := run(runCfg{
+			mode: mode, nSites: microDefaultSites, rtt: microDefaultRTT,
+			clients: microDefaultClients, scale: sc,
+		}, microFactory(sc, microDefaultRefill, 1))
+		if err != nil {
+			return nil, err
+		}
+		r.addf("%-16s %10.0f %10.2f %10v", mode,
+			res.throughputPerReplica(microDefaultSites),
+			res.col.SyncRatio(), res.col.Latency.Percentile(50))
+	}
+	return r, nil
+}

@@ -1,0 +1,237 @@
+package homeostasis
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// execHomeo runs one request under the homeostasis protocol (also used by
+// OPT and the default-config ablation, which differ only in treaty
+// generation): disconnected local execution, pre-commit local treaty
+// check, and on violation the cleanup phase of Section 3.3.
+func (sys *System) execHomeo(p *sim.Proc, site int, req workload.Request) (synced bool, err error) {
+	units := make([]*unitState, len(req.Units))
+	for i, id := range req.Units {
+		units[i] = sys.Units[id]
+	}
+	for attempt := 0; ; attempt++ {
+		if attempt > 100 {
+			return synced, fmt.Errorf("homeostasis: request %s livelocked", req.Name)
+		}
+		// If any touched unit is renegotiating, wait for the new round:
+		// new transactions must see the new treaty.
+		for _, u := range units {
+			sys.waitForUnit(p, u)
+		}
+
+		// Local execution: occupy a CPU slot for the service time, then
+		// apply the stored procedure against the local store. The deferred
+		// Abort is a no-op after Commit and guards against the process
+		// being cancelled at the simulation deadline with tentative writes
+		// still installed.
+		cpu := sys.CPUs[site]
+		cpu.Acquire(p)
+		p.Sleep(sys.Opts.LocalExecTime)
+		committed, violated := func() (bool, bool) {
+			tx := sys.Stores[site].Begin(p)
+			defer tx.Abort()
+			view := &deltaView{tx: tx, site: site, nSites: sys.Opts.Topo.NSites()}
+			if execErr := req.Exec(view); execErr != nil {
+				return false, false
+			}
+			// Pre-commit check: would committing leave the site's state
+			// inside its local treaties? The store already reflects the
+			// tentative writes.
+			for _, u := range units {
+				if !sys.localTreatyHolds(u, site) {
+					return false, true
+				}
+			}
+			tx.Commit()
+			sys.logCommit(req, site, view.log)
+			return true, false
+		}()
+		cpu.Release()
+		if committed {
+			return synced, nil
+		}
+		if !violated {
+			// Lock failure during execution: retry.
+			sys.Col.RecordConflictAbort()
+			continue
+		}
+
+		// Treaty violation: the write was rolled back (it must not commit
+		// in this round); run the cleanup phase with this request as the
+		// winning transaction T' — unless another violator won the vote
+		// first, in which case wait and retry as a "loser".
+		busy := false
+		for _, u := range units {
+			if u.negotiating {
+				busy = true
+				break
+			}
+		}
+		if busy {
+			for _, u := range units {
+				sys.waitForUnit(p, u)
+			}
+			continue
+		}
+		if err := sys.negotiate(p, site, units, req); err != nil {
+			return true, err
+		}
+		// T' was executed at every site during cleanup; done.
+		return true, nil
+	}
+}
+
+// localTreatyHolds evaluates the site's local treaty for the unit against
+// the site store's current (tentative) state.
+func (sys *System) localTreatyHolds(u *unitState, site int) bool {
+	s := sys.Stores[site]
+	bind := func(v logic.Var) (int64, bool) {
+		return s.Get(lang.ObjID(v.Name)), true
+	}
+	for _, c := range u.locals[site].Constraints {
+		ok, err := c.Eval(bind)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// waitForUnit parks until the unit is not negotiating.
+func (sys *System) waitForUnit(p *sim.Proc, u *unitState) {
+	for u.negotiating {
+		u.waiters = append(u.waiters, p)
+		p.PrepPark()
+		p.Park()
+	}
+}
+
+// wakeUnitWaiters releases every process waiting on the unit.
+func (sys *System) wakeUnitWaiters(u *unitState) {
+	waiters := u.waiters
+	u.waiters = nil
+	for _, w := range waiters {
+		w := w
+		token := w.Token()
+		sys.E.At(sys.E.Now(), func() { w.WakeIf(token) })
+	}
+}
+
+// negotiate is the cleanup phase (Section 3.3) scoped to the treaty units
+// the winning transaction touches:
+//
+//  1. synchronize: every site broadcasts the unit objects it updated this
+//     round (one communication round);
+//  2. execute the winning transaction T' on the consolidated state at
+//     every site;
+//  3. generate new treaties for the next round (solver time) and
+//     distribute them (second communication round).
+func (sys *System) negotiate(p *sim.Proc, site int, units []*unitState, req workload.Request) error {
+	for _, u := range units {
+		u.negotiating = true
+	}
+	commStart := p.Now()
+
+	// Round 1: collect state from all sites (request out + replies back).
+	p.Sleep(sys.Opts.Topo.MaxRTTFrom(site))
+	// Fold T''s entire logical footprint: the violated units' objects plus
+	// any objects outside them that T' touches (the paper's cleanup
+	// synchronizes everything updated in the round before running T').
+	objSet := make(map[lang.ObjID]bool)
+	for _, u := range units {
+		for _, obj := range u.objects {
+			objSet[obj] = true
+		}
+	}
+	for _, obj := range req.Objects {
+		objSet[obj] = true
+	}
+	n := sys.Opts.Topo.NSites()
+	folded := lang.Database{}
+	for obj := range objSet {
+		v := sys.Stores[0].Get(obj)
+		for k := 0; k < n; k++ {
+			v += sys.Stores[k].Get(lang.DeltaObj(obj, k))
+		}
+		folded[obj] = v
+	}
+
+	// Execute T' on the consolidated state.
+	txnLog := req.Apply(folded)
+
+	// Install the consolidated post-T' state everywhere: base objects get
+	// the logical values, every delta object resets to zero. This step is
+	// atomic in virtual time (no park points), and homeostasis-mode local
+	// transactions never park mid-transaction, so no in-flight transaction
+	// can observe a half-installed state.
+	for obj := range objSet {
+		for s := 0; s < n; s++ {
+			sys.Stores[s].Apply(obj, folded[obj])
+			for k := 0; k < n; k++ {
+				sys.Stores[s].Apply(lang.DeltaObj(obj, k), 0)
+			}
+		}
+	}
+	comm1 := sim.Duration(p.Now() - commStart)
+	// T' is now committed at every site: log it before any further park
+	// point so a deadline cancellation cannot leave it applied-but-
+	// unlogged.
+	sys.logCommit(req, site, txnLog)
+
+	// Treaty computation (solver time charged in virtual time; the actual
+	// computation runs for real to produce the real treaties).
+	solveStart := p.Now()
+	p.Sleep(sys.solverTime())
+	var genErr error
+	for _, u := range units {
+		unitFolded := lang.Database{}
+		for _, obj := range u.objects {
+			unitFolded[obj] = folded[obj]
+		}
+		if err := sys.generateTreaties(u, unitFolded); err != nil {
+			genErr = err
+			break
+		}
+	}
+	solver := sim.Duration(p.Now() - solveStart)
+
+	// Round 2: distribute the new treaties.
+	comm2Start := p.Now()
+	p.Sleep(sys.Opts.Topo.MaxRTTFrom(site))
+	comm2 := sim.Duration(p.Now() - comm2Start)
+
+	for _, u := range units {
+		u.negotiating = false
+		sys.wakeUnitWaiters(u)
+	}
+	if genErr != nil {
+		return genErr
+	}
+	if sys.Col.Measuring {
+		sys.Col.ViolationBreakdown.Add(sys.Opts.LocalExecTime, solver, comm1+comm2)
+	}
+	return nil
+}
+
+func (sys *System) logCommit(req workload.Request, site int, log []int64) {
+	if !sys.Opts.EnableLog {
+		return
+	}
+	sys.CommitLog = append(sys.CommitLog, Committed{
+		Name:  req.Name,
+		Args:  req.Args,
+		Site:  site,
+		Units: req.Units,
+		Log:   log,
+		Apply: req.Apply,
+	})
+}

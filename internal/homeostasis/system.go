@@ -1,0 +1,391 @@
+// Package homeostasis implements the online half of the paper: the
+// homeostasis protocol itself (Section 3.3) running over a simulated
+// multi-site cluster, plus the three comparison systems of Section 6.1
+// (2PC, local, and the hand-crafted demarcation baseline OPT).
+//
+// Each site holds a local 2PL store (internal/store) containing the
+// replicated base objects and the site's Appendix B delta objects.
+// Transactions execute disconnected; before commit the site checks its
+// local treaties (internal/treaty). A violation triggers the cleanup
+// phase: synchronize state, run the violating transaction T' everywhere,
+// generate new treaties (optimizer / default / equal-split depending on
+// mode), and start a new round.
+package homeostasis
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/lang"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/treaty"
+	"repro/internal/workload"
+)
+
+// Mode selects the execution protocol.
+type Mode int
+
+// The four systems compared in Section 6.
+const (
+	// ModeHomeo is the homeostasis protocol with Algorithm 1 treaty
+	// optimization.
+	ModeHomeo Mode = iota
+	// ModeOpt is the hand-crafted demarcation baseline: equal-split
+	// treaties, no solver.
+	ModeOpt
+	// ModeTwoPC runs every transaction through two-phase commit across
+	// all replicas.
+	ModeTwoPC
+	// ModeLocal executes locally with no synchronization (no cross-site
+	// consistency).
+	ModeLocal
+	// ModeHomeoDefault is the ablation: homeostasis with the Theorem 4.3
+	// default (pin-everything) configuration instead of the optimizer.
+	ModeHomeoDefault
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeHomeo:
+		return "homeo"
+	case ModeOpt:
+		return "opt"
+	case ModeTwoPC:
+		return "2pc"
+	case ModeLocal:
+		return "local"
+	case ModeHomeoDefault:
+		return "homeo-default"
+	}
+	return "?"
+}
+
+// Options configures a run.
+type Options struct {
+	Mode Mode
+	Topo *cluster.Topology
+	// ClientsPerSite is Nc.
+	ClientsPerSite int
+	// CPUPerSite caps concurrent transaction execution per site (the
+	// paper ran all replicas of the microbenchmark on one 32-core host).
+	CPUPerSite int
+	// LocalExecTime is the service time of one transaction's local
+	// execution.
+	LocalExecTime sim.Duration
+	// LockTimeout mirrors MySQL's innodb_lock_wait_timeout (paper: 1s
+	// minimum).
+	LockTimeout sim.Duration
+	// Lookahead (L) and CostFactor (f) are Algorithm 1's knobs.
+	Lookahead  int
+	CostFactor int
+	// SolverBase and SolverPerSample model the virtual time charged for
+	// treaty computation during negotiation: base plus per-sampled-write
+	// cost. The paper reports <50ms overall for its settings.
+	SolverBase      sim.Duration
+	SolverPerSample sim.Duration
+	// Warmup and Measure are the warm-up and measurement windows.
+	Warmup  sim.Duration
+	Measure sim.Duration
+	// Seed drives all randomness.
+	Seed int64
+	// MaxTxnsPerClient optionally bounds work (0 = unbounded).
+	MaxTxnsPerClient int
+	// EnableLog records the commit log for correctness replay tests.
+	EnableLog bool
+	// MeasureName restricts metrics to one transaction type; the paper's
+	// TPC-C experiments report only New Order measurements.
+	MeasureName string
+}
+
+// Committed is one entry of the commit log (for replay-based
+// observational-equivalence checks).
+type Committed struct {
+	Name  string
+	Args  []int64
+	Site  int
+	Units []int
+	Log   []int64
+	// Apply re-applies the logical effect (carried from the request).
+	Apply func(db lang.Database) []int64
+}
+
+// unitState is the runtime state of one treaty unit.
+type unitState struct {
+	id          int
+	objects     []lang.ObjID
+	locals      []treaty.Local
+	negotiating bool
+	waiters     []*sim.Proc
+	version     int64
+}
+
+// System is a running multi-site deployment.
+type System struct {
+	E      *sim.Engine
+	Opts   Options
+	W      workload.Workload
+	Stores []*store.Store
+	CPUs   []*sim.Resource
+	Units  []*unitState
+	Col    *metrics.Collector
+
+	CommitLog []Committed
+
+	optRng *rand.Rand
+
+	// cfgCache memoizes treaty configurations by isomorphism class: many
+	// units share the same treaty shape and folded values (e.g. thousands
+	// of stock items at the same quantity), and the optimizer's output
+	// depends only on that class, so one optimization serves them all.
+	// This is the paper's parameterized compression (Section 5.1) applied
+	// to treaty configurations.
+	cfgCache map[string]treaty.Config
+
+	// SolverInvocations counts treaty computations performed online;
+	// CacheHits counts configurations served from the isomorphism cache.
+	SolverInvocations int64
+	CacheHits         int64
+}
+
+// New builds the system: per-site stores initialized with the replicated
+// database (base objects plus zeroed delta objects), CPU resources, and
+// per-unit treaties generated offline by the protocol initializer
+// (Section 5.1).
+func New(e *sim.Engine, w workload.Workload, opts Options) (*System, error) {
+	if opts.CPUPerSite <= 0 {
+		opts.CPUPerSite = 32
+	}
+	if opts.LocalExecTime == 0 {
+		opts.LocalExecTime = 2 * sim.Millisecond
+	}
+	if opts.LockTimeout == 0 {
+		opts.LockTimeout = sim.Second
+	}
+	if opts.Lookahead == 0 {
+		opts.Lookahead = 20
+	}
+	if opts.CostFactor == 0 {
+		opts.CostFactor = 3
+	}
+	if opts.SolverBase == 0 {
+		opts.SolverBase = 5 * sim.Millisecond
+	}
+	if opts.SolverPerSample == 0 {
+		opts.SolverPerSample = 500 * sim.Microsecond
+	}
+	n := opts.Topo.NSites()
+	sys := &System{
+		E:        e,
+		Opts:     opts,
+		W:        w,
+		Col:      &metrics.Collector{},
+		optRng:   rand.New(rand.NewSource(opts.Seed + 7919)),
+		cfgCache: make(map[string]treaty.Config),
+	}
+	initial := w.InitialDB()
+	for i := 0; i < n; i++ {
+		s := store.New(e, initial)
+		s.LockTimeout = opts.LockTimeout
+		sys.Stores = append(sys.Stores, s)
+		sys.CPUs = append(sys.CPUs, sim.NewResource(e, opts.CPUPerSite))
+	}
+	for u := 0; u < w.NumUnits(); u++ {
+		us := &unitState{id: u, objects: w.UnitObjects(u)}
+		sys.Units = append(sys.Units, us)
+		if opts.Mode == ModeTwoPC || opts.Mode == ModeLocal {
+			continue
+		}
+		// Offline treaty initialization on the initial (already folded)
+		// database. Uses the same generation path as online negotiation
+		// but charges no virtual time.
+		if err := sys.generateTreaties(us, sys.foldUnit(us)); err != nil {
+			return nil, fmt.Errorf("homeostasis: initializing unit %d: %w", u, err)
+		}
+	}
+	return sys, nil
+}
+
+// foldUnit consolidates the unit's logical values across all sites:
+// base value (identical everywhere between rounds) plus every site's own
+// delta.
+func (sys *System) foldUnit(u *unitState) lang.Database {
+	folded := lang.Database{}
+	for _, obj := range u.objects {
+		v := sys.Stores[0].Get(obj)
+		for k, s := range sys.Stores {
+			v += s.Get(lang.DeltaObj(obj, k))
+		}
+		folded[obj] = v
+	}
+	return folded
+}
+
+// placement locates objects for template splitting: delta objects belong
+// to their site; base (replicated) objects are assigned to site 0, which
+// is sound because base objects only change at synchronization points.
+func placement(obj lang.ObjID) int {
+	if _, site, ok := lang.IsDeltaObj(obj); ok {
+		return site
+	}
+	return 0
+}
+
+// isoKey canonicalizes a (global treaty, folded database) pair up to
+// object renaming: object names are replaced by first-occurrence indices,
+// keeping coefficients, relations, placements, and folded values. Units
+// with equal keys have isomorphic templates and receive identical
+// configurations (configuration variable names are positional). Caching
+// on this key assumes isomorphic units also have statistically identical
+// workload models, which holds for both built-in workloads (per-item
+// demand models are shared).
+func isoKey(g treaty.Global, folded lang.Database) string {
+	idx := make(map[string]int)
+	var sb strings.Builder
+	for _, c := range g.Constraints {
+		fmt.Fprintf(&sb, "%v,%d:", c.Op, c.Term.Const)
+		for _, v := range c.Term.Vars() {
+			i, ok := idx[v.Name]
+			if !ok {
+				i = len(idx)
+				idx[v.Name] = i
+			}
+			fmt.Fprintf(&sb, "%d*o%d@%d,", c.Term.Coeffs[v], i, placement(lang.ObjID(v.Name)))
+		}
+		sb.WriteByte('|')
+	}
+	vals := make([]int64, len(idx))
+	for name, i := range idx {
+		vals[i] = folded.Get(lang.ObjID(name))
+	}
+	fmt.Fprintf(&sb, "#%v", vals)
+	return sb.String()
+}
+
+// generateTreaties derives the unit's global treaty from the folded
+// database, splits it into templates, instantiates a configuration per
+// the run mode, and installs the per-site local treaties. Returns the
+// number of Algorithm 1 samples used (for solver-time accounting).
+func (sys *System) generateTreaties(u *unitState, folded lang.Database) error {
+	g, err := sys.W.BuildGlobal(u.id, folded)
+	if err != nil {
+		return err
+	}
+	tmpl, err := treaty.BuildTemplate(g, sys.Opts.Topo.NSites(), placement)
+	if err != nil {
+		return err
+	}
+	// The store-shaped database: base objects at folded values, all delta
+	// objects zero (absent entries read as zero).
+	//
+	// Configurations are memoized by isomorphism class: the optimizer's
+	// output depends only on the treaty's shape and the folded values
+	// (configuration variable names are positional, identical across
+	// isomorphic templates), not on which concrete objects it governs.
+	key := isoKey(g, folded)
+	var cfg treaty.Config
+	if cached, ok := sys.cfgCache[key]; ok {
+		cfg = cached
+		sys.CacheHits++
+	} else {
+		switch sys.Opts.Mode {
+		case ModeHomeo:
+			cfg, _ = treaty.Optimize(tmpl, folded, sys.W.Model(u.id), treaty.OptimizeOptions{
+				Lookahead:  sys.Opts.Lookahead,
+				CostFactor: sys.Opts.CostFactor,
+				Rng:        sys.optRng,
+			})
+		case ModeOpt:
+			cfg = tmpl.EqualSplitConfig(folded)
+		case ModeHomeoDefault:
+			cfg = tmpl.DefaultConfig(folded)
+		default:
+			return fmt.Errorf("homeostasis: mode %v does not use treaties", sys.Opts.Mode)
+		}
+		sys.SolverInvocations++
+		sys.cfgCache[key] = cfg
+	}
+	locals, err := tmpl.LocalTreaties(cfg)
+	if err != nil {
+		return err
+	}
+	u.locals = locals
+	u.version++
+	return nil
+}
+
+// solverTime models the virtual time spent computing treaties during a
+// negotiation (Figure 24's "solver" component): base cost plus per-sample
+// cost of Algorithm 1's L*f simulated writes. OPT and the default
+// configuration are closed-form (base cost only).
+func (sys *System) solverTime() sim.Duration {
+	switch sys.Opts.Mode {
+	case ModeHomeo:
+		return sys.Opts.SolverBase +
+			sim.Duration(sys.Opts.Lookahead*sys.Opts.CostFactor)*sys.Opts.SolverPerSample
+	default:
+		return sys.Opts.SolverBase
+	}
+}
+
+// Run starts ClientsPerSite clients at every site and runs the simulation
+// through warm-up plus measurement, returning the collector.
+func (sys *System) Run() *metrics.Collector {
+	n := sys.Opts.Topo.NSites()
+	deadline := sim.Time(sys.Opts.Warmup + sys.Opts.Measure)
+	sys.E.Deadline = deadline
+	// Warm-up boundary: flip the collector into measuring mode.
+	sys.E.After(sys.Opts.Warmup, func() {
+		sys.Col.Measuring = true
+		sys.Col.Start = sys.E.Now()
+	})
+	for site := 0; site < n; site++ {
+		for c := 0; c < sys.Opts.ClientsPerSite; c++ {
+			site := site
+			id := site*sys.Opts.ClientsPerSite + c
+			sys.E.Spawn(id, func(p *sim.Proc) {
+				sys.clientLoop(p, site, id)
+			})
+		}
+	}
+	sys.E.Run()
+	sys.Col.End = sys.E.Now()
+	if sys.Col.End > deadline {
+		sys.Col.End = deadline
+	}
+	sys.E.Drain()
+	return sys.Col
+}
+
+// clientLoop issues requests back-to-back until the deadline.
+func (sys *System) clientLoop(p *sim.Proc, site, id int) {
+	rng := rand.New(rand.NewSource(sys.Opts.Seed*1_000_003 + int64(id)))
+	deadline := sim.Time(sys.Opts.Warmup + sys.Opts.Measure)
+	for n := 0; sys.Opts.MaxTxnsPerClient == 0 || n < sys.Opts.MaxTxnsPerClient; n++ {
+		if p.Now() >= deadline {
+			return
+		}
+		req := sys.W.Next(rng, site)
+		start := p.Now()
+		var synced bool
+		var err error
+		switch sys.Opts.Mode {
+		case ModeHomeo, ModeOpt, ModeHomeoDefault:
+			synced, err = sys.execHomeo(p, site, req)
+		case ModeTwoPC:
+			err = sys.execTwoPC(p, site, req)
+		case ModeLocal:
+			err = sys.execLocal(p, site, req)
+		}
+		if err != nil {
+			// Unrecoverable execution error: drop the request.
+			continue
+		}
+		if sys.Opts.MeasureName == "" || req.Name == sys.Opts.MeasureName {
+			sys.Col.RecordCommit(sim.Duration(p.Now()-start), synced)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens of the L / L++ surface syntax.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokSemi
+	tokComma
+	tokAssign // :=
+	tokEq     // =
+	tokNE     // !=
+	tokLT
+	tokLE
+	tokGT
+	tokGE
+	tokPlus
+	tokMinus
+	tokStar
+	tokAndAnd
+	tokOrOr
+	tokBang
+	// keywords
+	tokIf
+	tokThen
+	tokElse
+	tokSkip
+	tokRead
+	tokWrite
+	tokPrint
+	tokTrue
+	tokFalse
+	tokTxn
+	tokArray
+	tokRelation
+)
+
+var keywords = map[string]tokenKind{
+	"if":          tokIf,
+	"then":        tokThen,
+	"else":        tokElse,
+	"skip":        tokSkip,
+	"read":        tokRead,
+	"write":       tokWrite,
+	"print":       tokPrint,
+	"true":        tokTrue,
+	"false":       tokFalse,
+	"transaction": tokTxn,
+	"array":       tokArray,
+	"relation":    tokRelation,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	ival int64
+	pos  int // byte offset, for error reporting
+	line int
+}
+
+// lexer turns L / L++ source text into tokens. It supports // line
+// comments and arbitrary whitespace.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: []rune(src), line: 1}
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		lx.toks = append(lx.toks, tok)
+		if tok.kind == tokEOF {
+			return lx.toks, nil
+		}
+	}
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("lang: line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekRune() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		r := lx.src[lx.pos]
+		switch {
+		case r == '\n':
+			lx.line++
+			lx.pos++
+		case unicode.IsSpace(r):
+			lx.pos++
+		case r == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	start := lx.pos
+	mk := func(k tokenKind, text string) token {
+		return token{kind: k, text: text, pos: start, line: lx.line}
+	}
+	if lx.pos >= len(lx.src) {
+		return mk(tokEOF, ""), nil
+	}
+	r := lx.src[lx.pos]
+	switch {
+	case unicode.IsDigit(r):
+		for lx.pos < len(lx.src) && unicode.IsDigit(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		text := string(lx.src[start:lx.pos])
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return token{}, lx.errf("bad integer literal %q", text)
+		}
+		t := mk(tokInt, text)
+		t.ival = v
+		return t, nil
+	case unicode.IsLetter(r) || r == '_':
+		for lx.pos < len(lx.src) &&
+			(unicode.IsLetter(lx.src[lx.pos]) || unicode.IsDigit(lx.src[lx.pos]) ||
+				lx.src[lx.pos] == '_' || lx.src[lx.pos] == '\'') {
+			lx.pos++
+		}
+		text := string(lx.src[start:lx.pos])
+		if k, ok := keywords[text]; ok {
+			return mk(k, text), nil
+		}
+		return mk(tokIdent, text), nil
+	}
+	lx.pos++
+	switch r {
+	case '(':
+		return mk(tokLParen, "("), nil
+	case ')':
+		return mk(tokRParen, ")"), nil
+	case '{':
+		return mk(tokLBrace, "{"), nil
+	case '}':
+		return mk(tokRBrace, "}"), nil
+	case ';':
+		return mk(tokSemi, ";"), nil
+	case ',':
+		return mk(tokComma, ","), nil
+	case '+':
+		return mk(tokPlus, "+"), nil
+	case '-':
+		return mk(tokMinus, "-"), nil
+	case '*':
+		return mk(tokStar, "*"), nil
+	case '=':
+		if lx.peekRune() == '=' { // accept == as =
+			lx.pos++
+			return mk(tokEq, "=="), nil
+		}
+		return mk(tokEq, "="), nil
+	case ':':
+		if lx.peekRune() == '=' {
+			lx.pos++
+			return mk(tokAssign, ":="), nil
+		}
+		return token{}, lx.errf("unexpected ':'")
+	case '<':
+		if lx.peekRune() == '=' {
+			lx.pos++
+			return mk(tokLE, "<="), nil
+		}
+		return mk(tokLT, "<"), nil
+	case '>':
+		if lx.peekRune() == '=' {
+			lx.pos++
+			return mk(tokGE, ">="), nil
+		}
+		return mk(tokGT, ">"), nil
+	case '!':
+		if lx.peekRune() == '=' {
+			lx.pos++
+			return mk(tokNE, "!="), nil
+		}
+		return mk(tokBang, "!"), nil
+	case '&':
+		if lx.peekRune() == '&' {
+			lx.pos++
+			return mk(tokAndAnd, "&&"), nil
+		}
+		return token{}, lx.errf("unexpected '&'")
+	case '|':
+		if lx.peekRune() == '|' {
+			lx.pos++
+			return mk(tokOrOr, "||"), nil
+		}
+		return token{}, lx.errf("unexpected '|'")
+	}
+	return token{}, lx.errf("unexpected character %q", string(r))
+}

@@ -1,0 +1,222 @@
+package lang
+
+import "fmt"
+
+// Lower desugars an L++ transaction into pure L per Appendix A: every
+// ArrayRead a(i) becomes a chain of conditionals over the scalar objects
+// a[0..n-1], and every ArrayWrite becomes the analogous write chain.
+// Relations were already flattened to row-major indices by the parser.
+//
+// The returned transaction has no Arrays and contains no ArrayRead or
+// ArrayWrite nodes; it is suitable for symbolic-table construction, which
+// is defined on L.
+//
+// Array reads inside expressions are hoisted into fresh temporary
+// variables first (the if-chain is a command, not an expression), matching
+// the "xˆ := read(a(iˆ)) is syntactic sugar" presentation in the paper.
+func Lower(t *Transaction) (*Transaction, error) {
+	l := &lowerer{arrays: make(map[string]ArrayDecl, len(t.Arrays))}
+	for _, d := range t.Arrays {
+		l.arrays[d.Name] = d
+	}
+	body, err := l.lowerCmd(t.Body)
+	if err != nil {
+		return nil, fmt.Errorf("lang: lowering %s: %w", t.Name, err)
+	}
+	return &Transaction{Name: t.Name, Params: t.Params, Body: body}, nil
+}
+
+type lowerer struct {
+	arrays map[string]ArrayDecl
+	nTemp  int
+}
+
+func (l *lowerer) fresh() string {
+	l.nTemp++
+	return fmt.Sprintf("_lw%d", l.nTemp)
+}
+
+// lowerExpr rewrites an expression, emitting hoisted prelude commands for
+// any ArrayRead it contains.
+func (l *lowerer) lowerExpr(e Expr) (Expr, []Cmd, error) {
+	switch e := e.(type) {
+	case IntLit, Param, TempVar, Read:
+		return e, nil, nil
+	case ArrayRead:
+		d, ok := l.arrays[e.Array]
+		if !ok {
+			return nil, nil, fmt.Errorf("undeclared array %q", e.Array)
+		}
+		idx, pre, err := l.lowerExpr(e.Index)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Hoist the index into a temp so the if-chain tests a stable value.
+		iv := l.fresh()
+		pre = append(pre, Assign{Var: iv, E: idx})
+		tv := l.fresh()
+		pre = append(pre, readChain(d, iv, tv))
+		return TempVar{Name: tv}, pre, nil
+	case Neg:
+		inner, pre, err := l.lowerExpr(e.E)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Neg{E: inner}, pre, nil
+	case Bin:
+		lx, pl, err := l.lowerExpr(e.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		rx, pr, err := l.lowerExpr(e.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Bin{Op: e.Op, L: lx, R: rx}, append(pl, pr...), nil
+	}
+	return nil, nil, fmt.Errorf("unknown expression %T", e)
+}
+
+func (l *lowerer) lowerBool(b BoolExpr) (BoolExpr, []Cmd, error) {
+	switch b := b.(type) {
+	case BoolLit:
+		return b, nil, nil
+	case Cmp:
+		lx, pl, err := l.lowerExpr(b.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		rx, pr, err := l.lowerExpr(b.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Cmp{Op: b.Op, L: lx, R: rx}, append(pl, pr...), nil
+	case And:
+		lb, pl, err := l.lowerBool(b.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		rb, pr, err := l.lowerBool(b.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		return And{L: lb, R: rb}, append(pl, pr...), nil
+	case Or:
+		lb, pl, err := l.lowerBool(b.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		rb, pr, err := l.lowerBool(b.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Or{L: lb, R: rb}, append(pl, pr...), nil
+	case Not:
+		ib, pre, err := l.lowerBool(b.B)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Not{B: ib}, pre, nil
+	}
+	return nil, nil, fmt.Errorf("unknown boolean expression %T", b)
+}
+
+func (l *lowerer) lowerCmd(c Cmd) (Cmd, error) {
+	switch c := c.(type) {
+	case Skip:
+		return c, nil
+	case Assign:
+		e, pre, err := l.lowerExpr(c.E)
+		if err != nil {
+			return nil, err
+		}
+		return SeqOf(append(pre, Assign{Var: c.Var, E: e})...), nil
+	case Seq:
+		first, err := l.lowerCmd(c.First)
+		if err != nil {
+			return nil, err
+		}
+		rest, err := l.lowerCmd(c.Rest)
+		if err != nil {
+			return nil, err
+		}
+		return SeqOf(first, rest), nil
+	case If:
+		cond, pre, err := l.lowerBool(c.Cond)
+		if err != nil {
+			return nil, err
+		}
+		thenC, err := l.lowerCmd(c.Then)
+		if err != nil {
+			return nil, err
+		}
+		elseC, err := l.lowerCmd(c.Else)
+		if err != nil {
+			return nil, err
+		}
+		return SeqOf(append(pre, If{Cond: cond, Then: thenC, Else: elseC})...), nil
+	case WriteCmd:
+		e, pre, err := l.lowerExpr(c.E)
+		if err != nil {
+			return nil, err
+		}
+		return SeqOf(append(pre, WriteCmd{Obj: c.Obj, E: e})...), nil
+	case ArrayWrite:
+		d, ok := l.arrays[c.Array]
+		if !ok {
+			return nil, fmt.Errorf("undeclared array %q", c.Array)
+		}
+		idx, pre, err := l.lowerExpr(c.Index)
+		if err != nil {
+			return nil, err
+		}
+		val, pre2, err := l.lowerExpr(c.E)
+		if err != nil {
+			return nil, err
+		}
+		pre = append(pre, pre2...)
+		iv := l.fresh()
+		pre = append(pre, Assign{Var: iv, E: idx})
+		vv := l.fresh()
+		pre = append(pre, Assign{Var: vv, E: val})
+		return SeqOf(append(pre, writeChain(d, iv, vv))...), nil
+	case PrintCmd:
+		e, pre, err := l.lowerExpr(c.E)
+		if err != nil {
+			return nil, err
+		}
+		return SeqOf(append(pre, PrintCmd{E: e})...), nil
+	}
+	return nil, fmt.Errorf("unknown command %T", c)
+}
+
+// readChain builds "if iv = 0 then tv := read(a[0]) else if iv = 1 ... else
+// tv := 0", the Appendix A encoding of a bounded array read. Out-of-range
+// indices yield the null default value 0.
+func readChain(d ArrayDecl, indexVar, targetVar string) Cmd {
+	n := d.Len * d.Cols
+	var chain Cmd = Assign{Var: targetVar, E: IntLit{Value: 0}}
+	for i := n - 1; i >= 0; i-- {
+		chain = If{
+			Cond: Cmp{Op: CmpEQ, L: TempVar{Name: indexVar}, R: IntLit{Value: i}},
+			Then: Assign{Var: targetVar, E: Read{Obj: ArrayObj(d.Name, i)}},
+			Else: chain,
+		}
+	}
+	return chain
+}
+
+// writeChain builds the analogous conditional chain of scalar writes.
+// Out-of-range indices are a no-op (skip).
+func writeChain(d ArrayDecl, indexVar, valueVar string) Cmd {
+	n := d.Len * d.Cols
+	var chain Cmd = Skip{}
+	for i := n - 1; i >= 0; i-- {
+		chain = If{
+			Cond: Cmp{Op: CmpEQ, L: TempVar{Name: indexVar}, R: IntLit{Value: i}},
+			Then: WriteCmd{Obj: ArrayObj(d.Name, i), E: TempVar{Name: valueVar}},
+			Else: chain,
+		}
+	}
+	return chain
+}

@@ -1,0 +1,394 @@
+package lia
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+)
+
+func c(term Term, op RelOp) Constraint { return Constraint{Term: term, Op: op} }
+
+func term(consts int64, pairs ...any) Term {
+	t := NewTerm()
+	t.Const = consts
+	for i := 0; i < len(pairs); i += 2 {
+		t.AddVar(pairs[i].(logic.Var), int64(pairs[i+1].(int)))
+	}
+	return t
+}
+
+var (
+	vx = logic.Obj("x")
+	vy = logic.Obj("y")
+	vz = logic.Obj("z")
+)
+
+func TestLinearizeBasic(t *testing.T) {
+	// 2*x + 3 - (y - x) = 3x - y + 3
+	e := logic.Sub{
+		L: logic.Add{L: logic.Mul{L: logic.Const{Value: 2}, R: logic.Ref{Var: vx}}, R: logic.Const{Value: 3}},
+		R: logic.Sub{L: logic.Ref{Var: vy}, R: logic.Ref{Var: vx}},
+	}
+	lt, err := Linearize(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Coeffs[vx] != 3 || lt.Coeffs[vy] != -1 || lt.Const != 3 {
+		t.Fatalf("linearized = %v", lt)
+	}
+}
+
+func TestLinearizeNonLinear(t *testing.T) {
+	e := logic.Mul{L: logic.Ref{Var: vx}, R: logic.Ref{Var: vy}}
+	if _, err := Linearize(e); err != ErrNonLinear {
+		t.Fatalf("err = %v, want ErrNonLinear", err)
+	}
+	// Constant * variable is fine even nested.
+	e2 := logic.Mul{L: logic.Sub{L: logic.Const{Value: 5}, R: logic.Const{Value: 2}}, R: logic.Ref{Var: vx}}
+	lt, err := Linearize(e2)
+	if err != nil || lt.Coeffs[vx] != 3 {
+		t.Fatalf("got %v, %v", lt, err)
+	}
+}
+
+func TestTermCancellation(t *testing.T) {
+	tm := NewTerm()
+	tm.AddVar(vx, 5)
+	tm.AddVar(vx, -5)
+	if !tm.IsConst() {
+		t.Fatalf("term should be constant after cancellation: %v", tm)
+	}
+}
+
+func TestAtomConstraintsAllOps(t *testing.T) {
+	x := logic.Ref{Var: vx}
+	ten := logic.Const{Value: 10}
+	check := func(op lang.CmpOp, val int64, want bool) {
+		cs, err := AtomConstraints(op, x, ten)
+		if err != nil {
+			t.Fatalf("op %v: %v", op, err)
+		}
+		b := logic.DBBinding(lang.Database{"x": val}, nil, nil)
+		for _, cc := range cs {
+			got, err := cc.Eval(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("op %v at x=%d: got %v, want %v (%v)", op, val, got, want, cc)
+			}
+		}
+	}
+	check(lang.CmpLT, 9, true)
+	check(lang.CmpLT, 10, false)
+	check(lang.CmpLE, 10, true)
+	check(lang.CmpLE, 11, false)
+	check(lang.CmpEQ, 10, true)
+	check(lang.CmpEQ, 9, false)
+	check(lang.CmpGT, 11, true)
+	check(lang.CmpGT, 10, false)
+	check(lang.CmpGE, 10, true)
+	check(lang.CmpGE, 9, false)
+	if _, err := AtomConstraints(lang.CmpNE, x, ten); err != ErrDisjunctive {
+		t.Fatalf("NE should be ErrDisjunctive, got %v", err)
+	}
+}
+
+func TestFeasibleSimple(t *testing.T) {
+	// x <= 5 && x >= 3: feasible.
+	cs := []Constraint{
+		c(term(-5, vx, 1), LE), // x - 5 <= 0
+		c(term(3, vx, -1), LE), // 3 - x <= 0
+	}
+	if !Feasible(cs) {
+		t.Fatal("3 <= x <= 5 should be feasible")
+	}
+	// x <= 2 && x >= 3: infeasible.
+	cs2 := []Constraint{
+		c(term(-2, vx, 1), LE),
+		c(term(3, vx, -1), LE),
+	}
+	if Feasible(cs2) {
+		t.Fatal("3 <= x <= 2 should be infeasible")
+	}
+}
+
+func TestFeasibleStrict(t *testing.T) {
+	// x < 3 && x > 2 is rationally feasible (x = 2.5): the relaxation
+	// accepts it, documenting the known incompleteness for integers.
+	cs := []Constraint{
+		c(term(-3, vx, 1), LT), // x - 3 < 0
+		c(term(2, vx, -1), LT), // 2 - x < 0
+	}
+	if !Feasible(cs) {
+		t.Fatal("rational relaxation should accept 2 < x < 3")
+	}
+	// x < 3 && x > 3 is infeasible even rationally.
+	cs2 := []Constraint{
+		c(term(-3, vx, 1), LT),
+		c(term(3, vx, -1), LT),
+	}
+	if Feasible(cs2) {
+		t.Fatal("x<3 && x>3 should be infeasible")
+	}
+}
+
+func TestFeasibleEqualityPivot(t *testing.T) {
+	// x + y = 10 && x >= 8 && y >= 3: infeasible.
+	cs := []Constraint{
+		c(term(-10, vx, 1, vy, 1), EQ),
+		c(term(8, vx, -1), LE),
+		c(term(3, vy, -1), LE),
+	}
+	if Feasible(cs) {
+		t.Fatal("x+y=10, x>=8, y>=3 should be infeasible")
+	}
+	// Relax y >= 2: feasible (x=8, y=2).
+	cs2 := []Constraint{
+		c(term(-10, vx, 1, vy, 1), EQ),
+		c(term(8, vx, -1), LE),
+		c(term(2, vy, -1), LE),
+	}
+	if !Feasible(cs2) {
+		t.Fatal("x+y=10, x>=8, y>=2 should be feasible")
+	}
+}
+
+func TestFeasibleThreeVarChain(t *testing.T) {
+	// x <= y && y <= z && z <= x - 1: infeasible cycle.
+	cs := []Constraint{
+		c(term(0, vx, 1, vy, -1), LE),
+		c(term(0, vy, 1, vz, -1), LE),
+		c(term(1, vz, 1, vx, -1), LE),
+	}
+	if Feasible(cs) {
+		t.Fatal("cyclic chain with slack -1 should be infeasible")
+	}
+	// Without the -1 it is feasible (all equal).
+	cs2 := []Constraint{
+		c(term(0, vx, 1, vy, -1), LE),
+		c(term(0, vy, 1, vz, -1), LE),
+		c(term(0, vz, 1, vx, -1), LE),
+	}
+	if !Feasible(cs2) {
+		t.Fatal("x<=y<=z<=x should be feasible")
+	}
+}
+
+func TestFeasibleContradictoryEqualities(t *testing.T) {
+	cs := []Constraint{
+		c(term(-5, vx, 1), EQ), // x = 5
+		c(term(-6, vx, 1), EQ), // x = 6
+	}
+	if Feasible(cs) {
+		t.Fatal("x=5 && x=6 should be infeasible")
+	}
+}
+
+func TestImplies(t *testing.T) {
+	// x >= 5 implies x >= 3.
+	prem := []Constraint{c(term(5, vx, -1), LE)}
+	concl := c(term(3, vx, -1), LE)
+	if !Implies(prem, concl) {
+		t.Fatal("x>=5 should imply x>=3")
+	}
+	// x >= 3 does not imply x >= 5.
+	if Implies([]Constraint{c(term(3, vx, -1), LE)}, c(term(5, vx, -1), LE)) {
+		t.Fatal("x>=3 should not imply x>=5")
+	}
+	// x = 4 implies x >= 4 and x <= 4.
+	eq := []Constraint{c(term(-4, vx, 1), EQ)}
+	if !Implies(eq, c(term(4, vx, -1), LE)) || !Implies(eq, c(term(-4, vx, 1), LE)) {
+		t.Fatal("x=4 should imply both inequalities")
+	}
+	// x >= 4 && x <= 4 implies x = 4 (equality conclusion).
+	both := []Constraint{c(term(4, vx, -1), LE), c(term(-4, vx, 1), LE)}
+	if !Implies(both, c(term(-4, vx, 1), EQ)) {
+		t.Fatal("4<=x<=4 should imply x=4")
+	}
+}
+
+// TestImpliesH1Shape mirrors the paper's running example: local treaties
+// x >= 20 - cy and y >= 20 - cx with cx + cy <= 20 must imply the global
+// treaty x + y >= 20 (Section 4.2).
+func TestImpliesH1Shape(t *testing.T) {
+	cy, cx := int64(12), int64(8)
+	prem := []Constraint{
+		c(term(20-cy, vx, -1), LE), // 20 - cy - x <= 0, i.e. x >= 20-cy
+		c(term(20-cx, vy, -1), LE),
+	}
+	global := c(term(20, vx, -1, vy, -1), LE) // 20 - x - y <= 0
+	if !Implies(prem, global) {
+		t.Fatal("valid treaty configuration should imply global treaty")
+	}
+	// An invalid configuration (cx + cy > 20) must not imply it.
+	cy, cx = 15, 8
+	prem2 := []Constraint{
+		c(term(20-cy, vx, -1), LE),
+		c(term(20-cx, vy, -1), LE),
+	}
+	if Implies(prem2, global) {
+		t.Fatal("invalid configuration should not imply global treaty")
+	}
+}
+
+func TestSubstVar(t *testing.T) {
+	cs := []Constraint{c(term(-10, vx, 1, vy, 2), LE)} // x + 2y - 10 <= 0
+	fixed := NewTerm()
+	fixed.Const = 3
+	out := SubstVar(cs, vy, fixed) // x + 6 - 10 <= 0 => x - 4 <= 0
+	if len(out) != 1 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0].Term.Coeffs[vx] != 1 || out[0].Term.Const != -4 {
+		t.Fatalf("subst result = %v", out[0])
+	}
+	if _, ok := out[0].Term.Coeffs[vy]; ok {
+		t.Fatal("y should be eliminated")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	cs := []Constraint{
+		c(term(-9, vx, 2), LE),         // 2x <= 9  => x <= 4 (floor)
+		c(term(3, vx, -1), LT),         // 3 - x < 0 => x > 3 => x >= 4
+		c(term(-100, vy, 1), LEstub()), // ignored below
+	}
+	cs = cs[:2]
+	lo, hasLo, up, hasUp := Bounds(cs, vx)
+	if !hasLo || !hasUp || lo != 4 || up != 4 {
+		t.Fatalf("bounds = [%d(%v), %d(%v)], want [4, 4]", lo, hasLo, up, hasUp)
+	}
+}
+
+// LEstub works around wanting an RelOp value inline above.
+func LEstub() RelOp { return LE }
+
+func TestBoundsEquality(t *testing.T) {
+	cs := []Constraint{c(term(-14, vx, 2), EQ)} // 2x = 14 => x = 7
+	lo, hasLo, up, hasUp := Bounds(cs, vx)
+	if !hasLo || !hasUp || lo != 7 || up != 7 {
+		t.Fatalf("bounds = [%d, %d]", lo, up)
+	}
+	// 2x = 13 has no integer solution: bounds must be contradictory.
+	cs2 := []Constraint{c(term(-13, vx, 2), EQ)}
+	lo, _, up, _ = Bounds(cs2, vx)
+	if lo <= up {
+		t.Fatalf("non-integral equality should give empty bounds, got [%d, %d]", lo, up)
+	}
+}
+
+func TestFormulaToConstraintsRoundTrip(t *testing.T) {
+	f := logic.And(
+		logic.Atom{Op: lang.CmpGE, L: logic.Add{L: logic.Ref{Var: vx}, R: logic.Ref{Var: vy}}, R: logic.Const{Value: 20}},
+		logic.Atom{Op: lang.CmpLT, L: logic.Ref{Var: vx}, R: logic.Const{Value: 100}},
+	)
+	cs, err := FormulaToConstraints(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("got %d constraints", len(cs))
+	}
+	back := ConstraintsToFormula(cs)
+	// Check semantic agreement on a grid of points.
+	for x := int64(-5); x <= 110; x += 5 {
+		for y := int64(-5); y <= 30; y += 5 {
+			b := logic.DBBinding(lang.Database{"x": x, "y": y}, nil, nil)
+			want, err := logic.EvalFormula(f, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := logic.EvalFormula(back, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("round trip disagrees at (%d,%d): %v vs %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+// Property: if a random integer point satisfies all constraints, Feasible
+// must return true (soundness of the relaxation in the satisfiable
+// direction).
+func TestFeasibleSoundOnModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		// Random point.
+		px, py, pz := int64(rng.Intn(41)-20), int64(rng.Intn(41)-20), int64(rng.Intn(41)-20)
+		bind := func(v logic.Var) (int64, bool) {
+			switch v {
+			case vx:
+				return px, true
+			case vy:
+				return py, true
+			case vz:
+				return pz, true
+			}
+			return 0, false
+		}
+		// Random constraints that the point satisfies (generate then adjust
+		// the constant so it holds).
+		var cs []Constraint
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			tm := NewTerm()
+			for _, v := range []logic.Var{vx, vy, vz} {
+				if rng.Intn(2) == 0 {
+					tm.AddVar(v, int64(rng.Intn(7)-3))
+				}
+			}
+			val, _ := tm.Eval(bind)
+			op := []RelOp{LE, LT, EQ}[rng.Intn(3)]
+			switch op {
+			case LE:
+				tm.Const -= val // now evaluates to 0 <= 0
+			case LT:
+				tm.Const -= val + 1 // now evaluates to -1 < 0
+			case EQ:
+				tm.Const -= val
+			}
+			cs = append(cs, Constraint{Term: tm, Op: op})
+		}
+		return Feasible(cs)
+	}
+	wrapped := func(uint8) bool { return f() }
+	if err := quick.Check(wrapped, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, fl, ce int64 }{
+		{7, 2, 3, 4},
+		{-7, 2, -4, -3},
+		{7, -2, -4, -3},
+		{-7, -2, 3, 4},
+		{6, 3, 2, 2},
+		{0, 5, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := floorDiv(tc.a, tc.b); got != tc.fl {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.fl)
+		}
+		if got := ceilDiv(tc.a, tc.b); got != tc.ce {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.ce)
+		}
+	}
+}
+
+func TestConstraintStringStable(t *testing.T) {
+	cs := []Constraint{
+		c(term(-5, vx, 1), LE),
+		c(term(3, vy, -1), LT),
+	}
+	SortConstraints(cs)
+	if cs[0].String() > cs[1].String() {
+		t.Fatal("SortConstraints did not order by string")
+	}
+}

@@ -1,0 +1,89 @@
+package lia
+
+import "repro/internal/logic"
+
+// TightenBounds simplifies a conjunction by collapsing single-variable
+// inequality constraints into the tightest bound per variable and
+// direction, dropping the rest. Multi-variable constraints and equalities
+// pass through unchanged. The result is equisatisfiable with the input
+// and dramatically smaller for the bound-heavy systems the treaty
+// optimizer generates.
+func TightenBounds(cs []Constraint) []Constraint {
+	type key struct {
+		v     logic.Var
+		upper bool
+	}
+	best := make(map[key]Constraint)
+	var rest []Constraint
+	for _, c := range cs {
+		if c.Op == EQ || len(c.Term.Coeffs) != 1 {
+			rest = append(rest, c)
+			continue
+		}
+		var v logic.Var
+		var coeff int64
+		for vv, cc := range c.Term.Coeffs {
+			v, coeff = vv, cc
+		}
+		// Normalize to v <= b or v >= b with b rational; compare via the
+		// implied integer bound (coefficients here are small).
+		var b int64
+		strictAdj := int64(0)
+		if c.Op == LT {
+			strictAdj = 1
+		}
+		k := key{v: v, upper: coeff > 0}
+		if coeff > 0 {
+			// coeff*v + const (<|<=) 0 -> v <= floor((-const - strict)/coeff)
+			b = floorDiv(-c.Term.Const-strictAdj, coeff)
+		} else {
+			// v >= ceil((-const - strict)/coeff) with negative coeff.
+			b = ceilDiv(-c.Term.Const-strictAdj, coeff)
+		}
+		cur, ok := best[k]
+		if !ok {
+			best[k] = normalizedBound(v, b, k.upper)
+			continue
+		}
+		curB := boundValue(cur, v, k.upper)
+		if (k.upper && b < curB) || (!k.upper && b > curB) {
+			best[k] = normalizedBound(v, b, k.upper)
+		}
+	}
+	out := rest
+	// Deterministic order.
+	vars := make(map[logic.Var]bool)
+	for k := range best {
+		vars[k.v] = true
+	}
+	for _, v := range logic.SortedVars(vars) {
+		if c, ok := best[key{v: v, upper: false}]; ok {
+			out = append(out, c)
+		}
+		if c, ok := best[key{v: v, upper: true}]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// normalizedBound builds v <= b (upper) or v >= b (lower) in canonical
+// form.
+func normalizedBound(v logic.Var, b int64, upper bool) Constraint {
+	t := NewTerm()
+	if upper {
+		t.AddVar(v, 1)
+		t.Const = -b
+	} else {
+		t.AddVar(v, -1)
+		t.Const = b
+	}
+	return Constraint{Term: t, Op: LE}
+}
+
+func boundValue(c Constraint, v logic.Var, upper bool) int64 {
+	if upper {
+		return -c.Term.Const
+	}
+	return c.Term.Const
+}

@@ -1,0 +1,167 @@
+package logic
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func TestFoldGroundAtoms(t *testing.T) {
+	cases := []struct {
+		f    Formula
+		want string
+	}{
+		{Atom{Op: lang.CmpEQ, L: Const{Value: 2}, R: Const{Value: 2}}, "true"},
+		{Atom{Op: lang.CmpEQ, L: Const{Value: 2}, R: Const{Value: 3}}, "false"},
+		{Atom{Op: lang.CmpLT, L: Const{Value: 2}, R: Const{Value: 3}}, "true"},
+		{Atom{Op: lang.CmpNE, L: Const{Value: 2}, R: Const{Value: 2}}, "false"},
+	}
+	for _, tc := range cases {
+		if got := Fold(tc.f).String(); got != tc.want {
+			t.Errorf("Fold(%s) = %s, want %s", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestFoldArithmetic(t *testing.T) {
+	// (2 + 3) * 2 - 1 = 9  =>  atom "9 < 10" folds to true.
+	e := Sub{
+		L: Mul{L: Add{L: Const{Value: 2}, R: Const{Value: 3}}, R: Const{Value: 2}},
+		R: Const{Value: 1},
+	}
+	f := Fold(Atom{Op: lang.CmpLT, L: e, R: Const{Value: 10}})
+	if _, ok := f.(TrueF); !ok {
+		t.Fatalf("Fold = %s, want true", f)
+	}
+	// Negation folds too.
+	n := Fold(Atom{Op: lang.CmpEQ, L: Neg{E: Const{Value: 4}}, R: Const{Value: -4}})
+	if _, ok := n.(TrueF); !ok {
+		t.Fatalf("Fold(neg) = %s", n)
+	}
+}
+
+func TestFoldCollapsesConnectives(t *testing.T) {
+	x := Ref{Var: Obj("x")}
+	live := Atom{Op: lang.CmpLT, L: x, R: Const{Value: 5}}
+	// (0 = 1) && (x < 5) folds to false.
+	f := Fold(And(Atom{Op: lang.CmpEQ, L: Const{Value: 0}, R: Const{Value: 1}}, live))
+	if _, ok := f.(FalseF); !ok {
+		t.Fatalf("Fold(and) = %s, want false", f)
+	}
+	// (0 = 0) && (x < 5) folds to x < 5.
+	f = Fold(And(Atom{Op: lang.CmpEQ, L: Const{Value: 0}, R: Const{Value: 0}}, live))
+	if _, ok := f.(Atom); !ok {
+		t.Fatalf("Fold(and-true) = %s, want the live atom", f)
+	}
+	// (1 = 1) || (x < 5) folds to true.
+	f = Fold(Or(Atom{Op: lang.CmpEQ, L: Const{Value: 1}, R: Const{Value: 1}}, live))
+	if _, ok := f.(TrueF); !ok {
+		t.Fatalf("Fold(or) = %s, want true", f)
+	}
+	// !(0 = 1) folds to true.
+	f = Fold(NotF{F: Atom{Op: lang.CmpEQ, L: Const{Value: 0}, R: Const{Value: 1}}})
+	if _, ok := f.(TrueF); !ok {
+		t.Fatalf("Fold(not) = %s, want true", f)
+	}
+}
+
+func TestFoldPreservesSemantics(t *testing.T) {
+	x := Ref{Var: Obj("x")}
+	f := And(
+		Or(Atom{Op: lang.CmpGE, L: x, R: Const{Value: 0}},
+			Atom{Op: lang.CmpLT, L: Add{L: Const{Value: 1}, R: Const{Value: 1}}, R: Const{Value: 1}}),
+		NotF{F: Atom{Op: lang.CmpEQ, L: x, R: Const{Value: 7}}},
+	)
+	folded := Fold(f)
+	for xv := int64(-3); xv <= 10; xv++ {
+		b := DBBinding(lang.Database{"x": xv}, nil, nil)
+		want, err := EvalFormula(f, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EvalFormula(folded, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("x=%d: folded %v, original %v", xv, got, want)
+		}
+	}
+}
+
+func TestStringRenderers(t *testing.T) {
+	x := Ref{Var: Obj("x")}
+	p := Ref{Var: Param("p")}
+	tm := Ref{Var: Temp("t")}
+	cf := Ref{Var: Config("c")}
+	cases := []struct {
+		got, want string
+	}{
+		{x.String(), "x"},
+		{p.String(), "$p"},
+		{tm.String(), "^t"},
+		{cf.String(), "#c"},
+		{Add{L: x, R: Const{Value: 1}}.String(), "(x + 1)"},
+		{Sub{L: x, R: p}.String(), "(x - $p)"},
+		{Mul{L: Const{Value: 2}, R: x}.String(), "(2 * x)"},
+		{Neg{E: x}.String(), "-(x)"},
+		{TrueF{}.String(), "true"},
+		{FalseF{}.String(), "false"},
+		{NotF{F: TrueF{}}.String(), "!(true)"},
+		{AndF{Parts: []Formula{TrueF{}, FalseF{}}}.String(), "(true) && (false)"},
+		{OrF{Parts: []Formula{TrueF{}, FalseF{}}}.String(), "(true) || (false)"},
+		{ObjVar.String(), "obj"},
+		{ParamVar.String(), "param"},
+		{TempVar.String(), "temp"},
+		{ConfigVar.String(), "config"},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("String() = %q, want %q", tc.got, tc.want)
+		}
+	}
+}
+
+func TestEvalFormulaErrorPaths(t *testing.T) {
+	unbound := Atom{Op: lang.CmpLT, L: Ref{Var: Temp("ghost")}, R: Const{Value: 1}}
+	b := DBBinding(lang.Database{}, nil, nil)
+	for _, f := range []Formula{
+		unbound,
+		And(unbound, TrueF{}),
+		Or(unbound, FalseF{}),
+		NotF{F: unbound},
+	} {
+		if _, err := EvalFormula(f, b); err == nil {
+			t.Errorf("EvalFormula(%s) should fail on unbound temp", f)
+		}
+	}
+}
+
+func TestFromLangExprErrors(t *testing.T) {
+	ar := lang.ArrayRead{Array: "a", Index: lang.IntLit{Value: 0}}
+	if _, err := FromLangExpr(ar); err == nil {
+		t.Fatal("ArrayRead must be rejected (lower first)")
+	}
+	if _, err := FromLangExpr(lang.Bin{Op: lang.OpAdd, L: ar, R: lang.IntLit{Value: 1}}); err == nil {
+		t.Fatal("nested ArrayRead must be rejected")
+	}
+	if _, err := FromLangBool(lang.Cmp{Op: lang.CmpEQ, L: ar, R: lang.IntLit{Value: 1}}); err == nil {
+		t.Fatal("ArrayRead in comparison must be rejected")
+	}
+}
+
+func TestConfigBindingAndSubstKinds(t *testing.T) {
+	b := DBBinding(lang.Database{"x": 3}, map[string]int64{"p": 4}, map[string]int64{"c": 5})
+	e := Add{L: Add{L: Ref{Var: Obj("x")}, R: Ref{Var: Param("p")}}, R: Ref{Var: Config("c")}}
+	v, err := EvalExpr(e, b)
+	if err != nil || v != 12 {
+		t.Fatalf("v = %d, err = %v", v, err)
+	}
+	// Substitution through every expression constructor.
+	sub := map[Var]Expr{Obj("x"): Const{Value: 10}}
+	out := Subst(Mul{L: Neg{E: Ref{Var: Obj("x")}}, R: Sub{L: Ref{Var: Obj("x")}, R: Const{Value: 1}}}, sub)
+	v, err = EvalExpr(out, b)
+	if err != nil || v != -90 {
+		t.Fatalf("subst eval = %d, err = %v", v, err)
+	}
+}

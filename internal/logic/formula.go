@@ -1,0 +1,356 @@
+package logic
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// Formula is a quantifier-free first-order formula over symbolic integer
+// expressions.
+type Formula interface {
+	formulaNode()
+	String() string
+}
+
+// TrueF is the formula true.
+type TrueF struct{}
+
+// FalseF is the formula false.
+type FalseF struct{}
+
+// Atom compares two expressions: L op R.
+type Atom struct {
+	Op   lang.CmpOp
+	L, R Expr
+}
+
+// AndF is a conjunction of one or more formulas.
+type AndF struct{ Parts []Formula }
+
+// OrF is a disjunction of one or more formulas.
+type OrF struct{ Parts []Formula }
+
+// NotF is negation.
+type NotF struct{ F Formula }
+
+func (TrueF) formulaNode()  {}
+func (FalseF) formulaNode() {}
+func (Atom) formulaNode()   {}
+func (AndF) formulaNode()   {}
+func (OrF) formulaNode()    {}
+func (NotF) formulaNode()   {}
+
+func (TrueF) String() string  { return "true" }
+func (FalseF) String() string { return "false" }
+func (a Atom) String() string {
+	return fmt.Sprintf("%s %s %s", a.L, a.Op, a.R)
+}
+func (f AndF) String() string {
+	parts := make([]string, len(f.Parts))
+	for i, p := range f.Parts {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return joinStrings(parts, " && ")
+}
+func (f OrF) String() string {
+	parts := make([]string, len(f.Parts))
+	for i, p := range f.Parts {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return joinStrings(parts, " || ")
+}
+func (f NotF) String() string { return "!(" + f.F.String() + ")" }
+
+// And conjoins formulas, flattening nested conjunctions and dropping
+// trivial parts.
+func And(fs ...Formula) Formula {
+	var parts []Formula
+	for _, f := range fs {
+		switch f := f.(type) {
+		case TrueF:
+			continue
+		case FalseF:
+			return FalseF{}
+		case AndF:
+			parts = append(parts, f.Parts...)
+		default:
+			parts = append(parts, f)
+		}
+	}
+	switch len(parts) {
+	case 0:
+		return TrueF{}
+	case 1:
+		return parts[0]
+	}
+	return AndF{Parts: parts}
+}
+
+// Or disjoins formulas, flattening nested disjunctions and dropping
+// trivial parts.
+func Or(fs ...Formula) Formula {
+	var parts []Formula
+	for _, f := range fs {
+		switch f := f.(type) {
+		case FalseF:
+			continue
+		case TrueF:
+			return TrueF{}
+		case OrF:
+			parts = append(parts, f.Parts...)
+		default:
+			parts = append(parts, f)
+		}
+	}
+	switch len(parts) {
+	case 0:
+		return FalseF{}
+	case 1:
+		return parts[0]
+	}
+	return OrF{Parts: parts}
+}
+
+// Not negates a formula, pushing through literals.
+func Not(f Formula) Formula {
+	switch f := f.(type) {
+	case TrueF:
+		return FalseF{}
+	case FalseF:
+		return TrueF{}
+	case NotF:
+		return f.F
+	case Atom:
+		return Atom{Op: f.Op.Negate(), L: f.L, R: f.R}
+	}
+	return NotF{F: f}
+}
+
+// FromLangBool converts a lang boolean expression into a formula.
+func FromLangBool(b lang.BoolExpr) (Formula, error) {
+	switch b := b.(type) {
+	case lang.BoolLit:
+		if b.Value {
+			return TrueF{}, nil
+		}
+		return FalseF{}, nil
+	case lang.Cmp:
+		l, err := FromLangExpr(b.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := FromLangExpr(b.R)
+		if err != nil {
+			return nil, err
+		}
+		return Atom{Op: b.Op, L: l, R: r}, nil
+	case lang.And:
+		l, err := FromLangBool(b.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := FromLangBool(b.R)
+		if err != nil {
+			return nil, err
+		}
+		return And(l, r), nil
+	case lang.Or:
+		l, err := FromLangBool(b.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := FromLangBool(b.R)
+		if err != nil {
+			return nil, err
+		}
+		return Or(l, r), nil
+	case lang.Not:
+		inner, err := FromLangBool(b.B)
+		if err != nil {
+			return nil, err
+		}
+		return Not(inner), nil
+	}
+	return nil, fmt.Errorf("logic: unknown boolean expression %T", b)
+}
+
+// SubstFormula substitutes expressions for variables throughout f. This is
+// the ϕ{e/x} operation of Figure 6.
+func SubstFormula(f Formula, sub map[Var]Expr) Formula {
+	switch f := f.(type) {
+	case TrueF, FalseF:
+		return f
+	case Atom:
+		return Atom{Op: f.Op, L: Subst(f.L, sub), R: Subst(f.R, sub)}
+	case AndF:
+		parts := make([]Formula, len(f.Parts))
+		for i, p := range f.Parts {
+			parts[i] = SubstFormula(p, sub)
+		}
+		return And(parts...)
+	case OrF:
+		parts := make([]Formula, len(f.Parts))
+		for i, p := range f.Parts {
+			parts[i] = SubstFormula(p, sub)
+		}
+		return Or(parts...)
+	case NotF:
+		return Not(SubstFormula(f.F, sub))
+	}
+	return f
+}
+
+// EvalFormula evaluates f under a binding.
+func EvalFormula(f Formula, b Binding) (bool, error) {
+	switch f := f.(type) {
+	case TrueF:
+		return true, nil
+	case FalseF:
+		return false, nil
+	case Atom:
+		l, err := EvalExpr(f.L, b)
+		if err != nil {
+			return false, err
+		}
+		r, err := EvalExpr(f.R, b)
+		if err != nil {
+			return false, err
+		}
+		return f.Op.Holds(l, r), nil
+	case AndF:
+		for _, p := range f.Parts {
+			ok, err := EvalFormula(p, b)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	case OrF:
+		for _, p := range f.Parts {
+			ok, err := EvalFormula(p, b)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case NotF:
+		ok, err := EvalFormula(f.F, b)
+		if err != nil {
+			return false, err
+		}
+		return !ok, nil
+	}
+	return false, fmt.Errorf("logic: unknown formula %T", f)
+}
+
+// FormulaVars adds every variable mentioned in f to out.
+func FormulaVars(f Formula, out map[Var]bool) {
+	switch f := f.(type) {
+	case Atom:
+		ExprVars(f.L, out)
+		ExprVars(f.R, out)
+	case AndF:
+		for _, p := range f.Parts {
+			FormulaVars(p, out)
+		}
+	case OrF:
+		for _, p := range f.Parts {
+			FormulaVars(p, out)
+		}
+	case NotF:
+		FormulaVars(f.F, out)
+	}
+}
+
+// Conjuncts returns the top-level conjuncts of f (itself if not a
+// conjunction).
+func Conjuncts(f Formula) []Formula {
+	if and, ok := f.(AndF); ok {
+		return and.Parts
+	}
+	if _, ok := f.(TrueF); ok {
+		return nil
+	}
+	return []Formula{f}
+}
+
+// Fold simplifies a formula by evaluating ground (constant-operand)
+// subexpressions and atoms, collapsing trivial connectives. Guards
+// produced by analyzing lowered array accesses are full of ground atoms
+// like "2 = 3"; folding them keeps symbolic tables small.
+func Fold(f Formula) Formula {
+	switch f := f.(type) {
+	case Atom:
+		l, r := foldExpr(f.L), foldExpr(f.R)
+		lc, lok := l.(Const)
+		rc, rok := r.(Const)
+		if lok && rok {
+			if f.Op.Holds(lc.Value, rc.Value) {
+				return TrueF{}
+			}
+			return FalseF{}
+		}
+		return Atom{Op: f.Op, L: l, R: r}
+	case AndF:
+		parts := make([]Formula, len(f.Parts))
+		for i, p := range f.Parts {
+			parts[i] = Fold(p)
+		}
+		return And(parts...)
+	case OrF:
+		parts := make([]Formula, len(f.Parts))
+		for i, p := range f.Parts {
+			parts[i] = Fold(p)
+		}
+		return Or(parts...)
+	case NotF:
+		return Not(Fold(f.F))
+	default:
+		return f
+	}
+}
+
+// foldExpr constant-folds a symbolic expression bottom-up.
+func foldExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case Add:
+		l, r := foldExpr(e.L), foldExpr(e.R)
+		if lc, ok := l.(Const); ok {
+			if rc, ok := r.(Const); ok {
+				return Const{Value: lc.Value + rc.Value}
+			}
+		}
+		return Add{L: l, R: r}
+	case Sub:
+		l, r := foldExpr(e.L), foldExpr(e.R)
+		if lc, ok := l.(Const); ok {
+			if rc, ok := r.(Const); ok {
+				return Const{Value: lc.Value - rc.Value}
+			}
+		}
+		return Sub{L: l, R: r}
+	case Mul:
+		l, r := foldExpr(e.L), foldExpr(e.R)
+		if lc, ok := l.(Const); ok {
+			if rc, ok := r.(Const); ok {
+				return Const{Value: lc.Value * rc.Value}
+			}
+		}
+		return Mul{L: l, R: r}
+	case Neg:
+		inner := foldExpr(e.E)
+		if c, ok := inner.(Const); ok {
+			return Const{Value: -c.Value}
+		}
+		return Neg{E: inner}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,190 @@
+package logic
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func TestFromLangExprAndEval(t *testing.T) {
+	le := lang.Bin{Op: lang.OpAdd,
+		L: lang.Read{Obj: "x"},
+		R: lang.Bin{Op: lang.OpMul, L: lang.IntLit{Value: 3}, R: lang.Param{Name: "p"}},
+	}
+	e, err := FromLangExpr(le)
+	if err != nil {
+		t.Fatalf("FromLangExpr: %v", err)
+	}
+	b := DBBinding(lang.Database{"x": 7}, map[string]int64{"p": 5}, nil)
+	v, err := EvalExpr(e, b)
+	if err != nil {
+		t.Fatalf("EvalExpr: %v", err)
+	}
+	if v != 22 {
+		t.Fatalf("value = %d, want 22", v)
+	}
+}
+
+func TestSubstExpr(t *testing.T) {
+	// (x + t) with t := x - 1 should evaluate as 2x - 1.
+	e := Add{L: Ref{Var: Obj("x")}, R: Ref{Var: Temp("t")}}
+	sub := map[Var]Expr{Temp("t"): Sub{L: Ref{Var: Obj("x")}, R: Const{Value: 1}}}
+	out := Subst(e, sub)
+	b := DBBinding(lang.Database{"x": 10}, nil, nil)
+	v, err := EvalExpr(out, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 19 {
+		t.Fatalf("value = %d, want 19", v)
+	}
+}
+
+func TestFormulaConnectivesAndEval(t *testing.T) {
+	x := Ref{Var: Obj("x")}
+	y := Ref{Var: Obj("y")}
+	// (x < 10 && !(y = 3)) || x >= 100
+	f := Or(
+		And(
+			Atom{Op: lang.CmpLT, L: x, R: Const{Value: 10}},
+			Not(Atom{Op: lang.CmpEQ, L: y, R: Const{Value: 3}}),
+		),
+		Atom{Op: lang.CmpGE, L: x, R: Const{Value: 100}},
+	)
+	cases := []struct {
+		x, y int64
+		want bool
+	}{
+		{5, 2, true},
+		{5, 3, false},
+		{50, 2, false},
+		{150, 3, true},
+	}
+	for _, tc := range cases {
+		got, err := EvalFormula(f, DBBinding(lang.Database{"x": tc.x, "y": tc.y}, nil, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("x=%d y=%d: got %v, want %v", tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestAndOrSimplification(t *testing.T) {
+	a := Atom{Op: lang.CmpLT, L: Ref{Var: Obj("x")}, R: Const{Value: 1}}
+	if _, ok := And(TrueF{}, a).(Atom); !ok {
+		t.Error("And(true, a) should reduce to a")
+	}
+	if _, ok := And(FalseF{}, a).(FalseF); !ok {
+		t.Error("And(false, a) should be false")
+	}
+	if _, ok := Or(TrueF{}, a).(TrueF); !ok {
+		t.Error("Or(true, a) should be true")
+	}
+	if _, ok := Or(FalseF{}, a).(Atom); !ok {
+		t.Error("Or(false, a) should reduce to a")
+	}
+	if _, ok := And().(TrueF); !ok {
+		t.Error("empty And should be true")
+	}
+	if _, ok := Or().(FalseF); !ok {
+		t.Error("empty Or should be false")
+	}
+}
+
+func TestNotPushesThroughAtoms(t *testing.T) {
+	a := Atom{Op: lang.CmpLT, L: Ref{Var: Obj("x")}, R: Const{Value: 5}}
+	n := Not(a)
+	atom, ok := n.(Atom)
+	if !ok {
+		t.Fatalf("Not(atom) = %T, want Atom", n)
+	}
+	if atom.Op != lang.CmpGE {
+		t.Fatalf("negated op = %v, want >=", atom.Op)
+	}
+	// Double negation restores the relation.
+	if nn, ok := Not(Not(a)).(Atom); !ok || nn.Op != lang.CmpLT {
+		t.Fatal("double negation broken")
+	}
+}
+
+func TestSubstFormulaMatchesFig6Example(t *testing.T) {
+	// From Figure 7: guard (xh + yh < 10) after substituting yh := read(y)
+	// then xh := read(x) should become x + y < 10.
+	guard := Atom{Op: lang.CmpLT,
+		L: Add{L: Ref{Var: Temp("xh")}, R: Ref{Var: Temp("yh")}},
+		R: Const{Value: 10},
+	}
+	step1 := SubstFormula(guard, map[Var]Expr{Temp("yh"): Ref{Var: Obj("y")}})
+	step2 := SubstFormula(step1, map[Var]Expr{Temp("xh"): Ref{Var: Obj("x")}})
+	vars := map[Var]bool{}
+	FormulaVars(step2, vars)
+	if vars[Temp("xh")] || vars[Temp("yh")] {
+		t.Fatalf("temporaries survived substitution: %v", vars)
+	}
+	ok, err := EvalFormula(step2, DBBinding(lang.Database{"x": 4, "y": 5}, nil, nil))
+	if err != nil || !ok {
+		t.Fatalf("x+y<10 should hold on (4,5): %v %v", ok, err)
+	}
+	ok, err = EvalFormula(step2, DBBinding(lang.Database{"x": 6, "y": 5}, nil, nil))
+	if err != nil || ok {
+		t.Fatalf("x+y<10 should fail on (6,5): %v %v", ok, err)
+	}
+}
+
+func TestFromLangBool(t *testing.T) {
+	lb := lang.And{
+		L: lang.Cmp{Op: lang.CmpLE, L: lang.Read{Obj: "a"}, R: lang.IntLit{Value: 4}},
+		R: lang.Not{B: lang.Cmp{Op: lang.CmpEQ, L: lang.Read{Obj: "b"}, R: lang.IntLit{Value: 0}}},
+	}
+	f, err := FromLangBool(lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := EvalFormula(f, DBBinding(lang.Database{"a": 3, "b": 1}, nil, nil))
+	if err != nil || !ok {
+		t.Fatalf("formula should hold: %v %v", ok, err)
+	}
+	ok, _ = EvalFormula(f, DBBinding(lang.Database{"a": 3, "b": 0}, nil, nil))
+	if ok {
+		t.Fatal("formula should fail when b = 0")
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	a := Atom{Op: lang.CmpLT, L: Ref{Var: Obj("x")}, R: Const{Value: 1}}
+	b := Atom{Op: lang.CmpGE, L: Ref{Var: Obj("y")}, R: Const{Value: 2}}
+	f := And(a, b)
+	cs := Conjuncts(f)
+	if len(cs) != 2 {
+		t.Fatalf("Conjuncts = %d parts, want 2", len(cs))
+	}
+	if len(Conjuncts(TrueF{})) != 0 {
+		t.Fatal("Conjuncts(true) should be empty")
+	}
+	if len(Conjuncts(a)) != 1 {
+		t.Fatal("Conjuncts(atom) should be the atom")
+	}
+}
+
+func TestSortedVarsDeterminism(t *testing.T) {
+	set := map[Var]bool{
+		Obj("z"): true, Obj("a"): true, Param("p"): true, Config("c"): true,
+	}
+	vs := SortedVars(set)
+	if len(vs) != 4 {
+		t.Fatalf("len = %d", len(vs))
+	}
+	// Obj < Param < Config per kind ordering.
+	if vs[0] != Obj("a") || vs[1] != Obj("z") || vs[2] != Param("p") || vs[3] != Config("c") {
+		t.Fatalf("order = %v", vs)
+	}
+}
+
+func TestEvalUnbound(t *testing.T) {
+	e := Ref{Var: Temp("ghost")}
+	if _, err := EvalExpr(e, DBBinding(lang.Database{}, nil, nil)); err == nil {
+		t.Fatal("expected unbound-variable error")
+	}
+}

@@ -1,0 +1,176 @@
+// Package maxsat implements the Fu-Malik partial MaxSAT algorithm (Fu &
+// Malik, SAT'06) on top of internal/sat, as used by the Homeostasis
+// paper's treaty optimizer ("we use the Fu-Malik Max SAT procedure in the
+// Microsoft Z3 SMT solver", Section 5.2).
+//
+// Partial MaxSAT: given hard clauses that must hold and soft clauses to
+// satisfy as many of as possible, Fu-Malik iteratively solves, extracts an
+// unsatisfiable core of soft clauses, relaxes every soft clause in the
+// core with a fresh blocking variable, adds an at-most-one constraint over
+// the new blocking variables, and repeats until satisfiable. The number of
+// iterations equals the number of falsified soft clauses in the optimum.
+package maxsat
+
+import (
+	"fmt"
+
+	"repro/internal/sat"
+)
+
+// Clause is a disjunction of literals.
+type Clause []sat.Lit
+
+// Problem is a partial MaxSAT instance. Variables are 1-based; use NewVar
+// to allocate.
+type Problem struct {
+	nVars int
+	hard  []Clause
+	soft  []Clause
+}
+
+// NewProblem returns an empty instance.
+func NewProblem() *Problem { return &Problem{} }
+
+// NewVar allocates a fresh variable.
+func (p *Problem) NewVar() int {
+	p.nVars++
+	return p.nVars
+}
+
+// AddHard adds a clause that any solution must satisfy.
+func (p *Problem) AddHard(lits ...sat.Lit) {
+	p.track(lits)
+	p.hard = append(p.hard, Clause(lits))
+}
+
+// AddSoft adds a clause the solver should satisfy if possible. All soft
+// clauses have unit weight (the paper's instances are unweighted).
+func (p *Problem) AddSoft(lits ...sat.Lit) {
+	p.track(lits)
+	p.soft = append(p.soft, Clause(lits))
+}
+
+func (p *Problem) track(lits []sat.Lit) {
+	for _, l := range lits {
+		if v := l.Var(); v > p.nVars {
+			p.nVars = v
+		}
+	}
+}
+
+// NumSoft returns the number of soft clauses.
+func (p *Problem) NumSoft() int { return len(p.soft) }
+
+// Result is the outcome of a MaxSAT solve.
+type Result struct {
+	// Feasible is false when the hard clauses alone are unsatisfiable.
+	Feasible bool
+	// Model is the satisfying assignment (indexed by variable, entry 0
+	// unused) over the original variables.
+	Model []bool
+	// SatisfiedSoft[i] reports whether soft clause i is satisfied by
+	// Model.
+	SatisfiedSoft []bool
+	// Cost is the number of falsified soft clauses (the Fu-Malik
+	// iteration count).
+	Cost int
+	// Iterations counts SAT-solver invocations performed.
+	Iterations int
+}
+
+// Solve runs the Fu-Malik algorithm and returns the optimal result. The
+// problem is not modified.
+func Solve(p *Problem) Result {
+	// Working copies: soft clauses accumulate relaxation literals across
+	// rounds, hard clauses accumulate cardinality constraints, and nVars
+	// grows with blocking variables. The caller's Problem stays untouched.
+	origVars := p.nVars
+	nVars := p.nVars
+	hard := append([]Clause(nil), p.hard...)
+	newVar := func() int {
+		nVars++
+		return nVars
+	}
+	soft := make([]Clause, len(p.soft))
+	for i, c := range p.soft {
+		soft[i] = append(Clause(nil), c...)
+	}
+	// Selector variable per soft clause: clause_i || !sel_i, assumed true.
+	// Rebuilt each round because clause contents change.
+	res := Result{Feasible: true}
+	cost := 0
+	for {
+		s := sat.New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for _, c := range hard {
+			s.AddClause(c...)
+		}
+		selectors := make([]sat.Lit, len(soft))
+		selToIdx := make(map[sat.Lit]int, len(soft))
+		for i, c := range soft {
+			sel := sat.Lit(s.NewVar())
+			selectors[i] = sel
+			selToIdx[sel] = i
+			lits := append(append([]sat.Lit(nil), c...), sel.Neg())
+			s.AddClause(lits...)
+		}
+		res.Iterations++
+		status := s.Solve(selectors...)
+		if status == sat.Sat {
+			model := s.Model()
+			res.Model = append([]bool(nil), model[:origVars+1]...)
+			res.Cost = cost
+			res.SatisfiedSoft = make([]bool, len(p.soft))
+			for i, c := range p.soft {
+				res.SatisfiedSoft[i] = clauseSatisfied(c, model)
+			}
+			return res
+		}
+		// Hard clauses alone unsatisfiable?
+		if s.Solve() == sat.Unsat {
+			res.Feasible = false
+			return res
+		}
+		// Extract a core of soft-clause selectors and relax.
+		core := s.Core(selectors)
+		if len(core) == 0 {
+			// Should not happen: hard clauses are satisfiable but the
+			// empty assumption set is unsat.
+			panic("maxsat: empty core with satisfiable hard clauses")
+		}
+		cost++
+		// Add one fresh blocking variable per core clause, and an
+		// at-most-one (pairwise) constraint over them as hard clauses.
+		blocking := make([]sat.Lit, 0, len(core))
+		for _, sel := range core {
+			i, ok := selToIdx[sel]
+			if !ok {
+				panic(fmt.Sprintf("maxsat: unknown selector %d in core", sel))
+			}
+			b := sat.Lit(newVar())
+			blocking = append(blocking, b)
+			soft[i] = append(soft[i], b)
+		}
+		for i := 0; i < len(blocking); i++ {
+			for j := i + 1; j < len(blocking); j++ {
+				hard = append(hard, Clause{blocking[i].Neg(), blocking[j].Neg()})
+			}
+		}
+		// Exactly-one is the classic formulation; at-least-one is implied
+		// by the core being genuinely unsatisfiable, but adding it prunes
+		// search.
+		hard = append(hard, Clause(append([]sat.Lit(nil), blocking...)))
+	}
+}
+
+func clauseSatisfied(c Clause, model []bool) bool {
+	for _, l := range c {
+		v := l.Var()
+		if v < len(model) && model[v] == l.Sign() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+// Package metrics collects the measurements the paper's evaluation
+// reports: per-transaction latency percentiles (Figures 10, 13, 16, 19,
+// 21, 27), throughput (Figures 11, 14, 17, 20, 22, 25, 28), synchronization
+// ratio (Figures 12, 15, 18, 26, 29), and time breakdowns (Figure 24).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Histogram records latency samples and reports percentiles.
+type Histogram struct {
+	samples []sim.Duration
+	sorted  bool
+}
+
+// Add records a sample.
+func (h *Histogram) Add(d sim.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int { return len(h.samples) }
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank; zero when empty.
+func (h *Histogram) Percentile(p float64) sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	rank := int(p / 100 * float64(len(h.samples)))
+	if rank >= len(h.samples) {
+		rank = len(h.samples) - 1
+	}
+	if rank < 0 {
+		rank = 0
+	}
+	return h.samples[rank]
+}
+
+// Mean returns the arithmetic mean.
+func (h *Histogram) Mean() sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum sim.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / sim.Duration(len(h.samples))
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.samples[len(h.samples)-1]
+}
+
+// ProfileString renders the percentile profile used in the paper's
+// latency figures.
+func (h *Histogram) ProfileString() string {
+	ps := []float64{10, 30, 50, 70, 90, 92, 94, 96, 97, 98, 99, 100}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = fmt.Sprintf("p%.0f=%v", p, h.Percentile(p))
+	}
+	return strings.Join(parts, " ")
+}
+
+// CDF returns (latency, cumulative probability) pairs at the given
+// quantile resolution, for Figure 27's CDF plot.
+func (h *Histogram) CDF(points int) [][2]float64 {
+	h.ensureSorted()
+	out := make([][2]float64, 0, points)
+	for i := 1; i <= points; i++ {
+		q := float64(i) / float64(points)
+		idx := int(q*float64(len(h.samples))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(h.samples) {
+			idx = len(h.samples) - 1
+		}
+		ms := float64(h.samples[idx]) / float64(sim.Millisecond)
+		out = append(out, [2]float64{ms, q})
+	}
+	return out
+}
+
+// Breakdown accumulates where violating transactions spend time
+// (Figure 24): local execution, treaty solving, and communication.
+type Breakdown struct {
+	Local  sim.Duration
+	Solver sim.Duration
+	Comm   sim.Duration
+	N      int64
+}
+
+// Add accumulates one transaction's breakdown.
+func (b *Breakdown) Add(local, solver, comm sim.Duration) {
+	b.Local += local
+	b.Solver += solver
+	b.Comm += comm
+	b.N++
+}
+
+// Avg returns the per-transaction averages.
+func (b *Breakdown) Avg() (local, solver, comm sim.Duration) {
+	if b.N == 0 {
+		return 0, 0, 0
+	}
+	n := sim.Duration(b.N)
+	return b.Local / n, b.Solver / n, b.Comm / n
+}
+
+// Collector aggregates a run's measurements.
+type Collector struct {
+	// Latency histogram over committed transactions.
+	Latency Histogram
+	// Committed counts successful transactions; Synced counts those that
+	// triggered treaty renegotiation; AbortedConflicts counts
+	// lock-timeout/deadlock aborts (2PC conflicts).
+	Committed        int64
+	Synced           int64
+	AbortedConflicts int64
+	// ViolationBreakdown is the Figure 24 split for transactions that
+	// required synchronization.
+	ViolationBreakdown Breakdown
+	// Measuring gates collection (warm-up phase records nothing).
+	Measuring bool
+	// Start/End of the measuring window (virtual time).
+	Start, End sim.Time
+}
+
+// RecordCommit records a committed transaction's latency.
+func (c *Collector) RecordCommit(lat sim.Duration, synced bool) {
+	if !c.Measuring {
+		return
+	}
+	c.Committed++
+	c.Latency.Add(lat)
+	if synced {
+		c.Synced++
+	}
+}
+
+// RecordConflictAbort records an abort due to contention.
+func (c *Collector) RecordConflictAbort() {
+	if !c.Measuring {
+		return
+	}
+	c.AbortedConflicts++
+}
+
+// Throughput returns committed transactions per second of virtual time in
+// the measuring window.
+func (c *Collector) Throughput() float64 {
+	window := sim.Duration(c.End - c.Start)
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.Committed) / window.Seconds()
+}
+
+// SyncRatio returns the percentage of committed transactions that
+// required synchronization.
+func (c *Collector) SyncRatio() float64 {
+	if c.Committed == 0 {
+		return 0
+	}
+	return 100 * float64(c.Synced) / float64(c.Committed)
+}

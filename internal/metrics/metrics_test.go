@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(sim.Duration(i) * sim.Millisecond)
+	}
+	if got := h.Percentile(50); got != 51*sim.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(0); got != 1*sim.Millisecond {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := h.Percentile(100); got != 100*sim.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := h.Max(); got != 100*sim.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := h.Mean(); got != 50*sim.Millisecond+500*sim.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	vals := rng.Perm(1000)
+	for _, v := range vals {
+		h.Add(sim.Duration(v+1) * sim.Microsecond)
+	}
+	if got := h.Percentile(99); got < 980*sim.Microsecond {
+		t.Fatalf("p99 = %v on shuffled input", got)
+	}
+	if h.N() != 1000 {
+		t.Fatalf("n = %d", h.N())
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestAddAfterPercentileResorts(t *testing.T) {
+	var h Histogram
+	h.Add(10 * sim.Millisecond)
+	_ = h.Percentile(50)
+	h.Add(1 * sim.Millisecond) // must trigger re-sort
+	if got := h.Percentile(0); got != 1*sim.Millisecond {
+		t.Fatalf("p0 = %v after late insert", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10; i++ {
+		h.Add(sim.Duration(i) * sim.Millisecond)
+	}
+	cdf := h.CDF(10)
+	if len(cdf) != 10 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	// Monotone in both coordinates.
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i][0] < cdf[i-1][0] || cdf[i][1] <= cdf[i-1][1] {
+			t.Fatalf("CDF not monotone: %v", cdf)
+		}
+	}
+	if cdf[9][1] != 1.0 {
+		t.Fatalf("CDF does not reach 1: %v", cdf[9])
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(2*sim.Millisecond, 50*sim.Millisecond, 200*sim.Millisecond)
+	b.Add(4*sim.Millisecond, 30*sim.Millisecond, 200*sim.Millisecond)
+	local, solver, comm := b.Avg()
+	if local != 3*sim.Millisecond || solver != 40*sim.Millisecond || comm != 200*sim.Millisecond {
+		t.Fatalf("avg = %v %v %v", local, solver, comm)
+	}
+	var empty Breakdown
+	l, s, c := empty.Avg()
+	if l != 0 || s != 0 || c != 0 {
+		t.Fatal("empty breakdown should average to zero")
+	}
+}
+
+func TestCollectorGating(t *testing.T) {
+	c := &Collector{}
+	c.RecordCommit(5*sim.Millisecond, false) // warm-up: ignored
+	c.RecordConflictAbort()
+	if c.Committed != 0 || c.AbortedConflicts != 0 {
+		t.Fatal("warm-up events must not be recorded")
+	}
+	c.Measuring = true
+	c.Start = 0
+	c.RecordCommit(5*sim.Millisecond, true)
+	c.RecordCommit(5*sim.Millisecond, false)
+	c.RecordConflictAbort()
+	c.End = sim.Time(2 * sim.Second)
+	if c.Committed != 2 || c.Synced != 1 || c.AbortedConflicts != 1 {
+		t.Fatalf("counters: %d %d %d", c.Committed, c.Synced, c.AbortedConflicts)
+	}
+	if got := c.Throughput(); got != 1.0 {
+		t.Fatalf("throughput = %f, want 1.0", got)
+	}
+	if got := c.SyncRatio(); got != 50 {
+		t.Fatalf("sync ratio = %f, want 50", got)
+	}
+}
+
+func TestThroughputZeroWindow(t *testing.T) {
+	c := &Collector{}
+	if c.Throughput() != 0 || c.SyncRatio() != 0 {
+		t.Fatal("zero-window collector should report zeros")
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	var h Histogram
+	h.Add(sim.Millisecond)
+	s := h.ProfileString()
+	if s == "" {
+		t.Fatal("empty profile")
+	}
+}

@@ -1,0 +1,262 @@
+// Package micro implements the Section 6.1 microbenchmark: a replicated
+// Stock(itemid, qty) table and a single parameterized order transaction
+// (Listing 1) that decrements an item's quantity, refilling it when it
+// reaches the floor:
+//
+//	SELECT qty FROM stock WHERE itemid=@itemid;
+//	if (qty > 1) then new_qty = qty - 1 else new_qty = REFILL - 1
+//	UPDATE stock SET qty = new_qty WHERE itemid = @itemid;
+//
+// The transaction is analyzed for real: the L++ source is rewritten for
+// replication (Appendix B delta objects), its symbolic table is computed
+// (Section 2), and each item's treaty is derived from the matched row
+// (Section 4). All 10,000 items share one canonical analysis via renaming
+// (the paper's parameterized compression, Section 5.1).
+package micro
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/symtab"
+	"repro/internal/treaty"
+	"repro/internal/workload"
+)
+
+// canonObj is the canonical stock object the analysis runs over.
+const canonObj = lang.ObjID("q")
+
+// Source returns the L++ source of the order transaction for a given
+// REFILL constant.
+func Source(refill int64) string {
+	return strings.ReplaceAll(`
+transaction Order() {
+	v := read(q);
+	if (v > 1) then
+		write(q = v - 1)
+	else
+		write(q = REFILL - 1)
+}`, "REFILL", fmt.Sprintf("%d", refill))
+}
+
+// Config parameterizes the workload.
+type Config struct {
+	// Items is the number of stock items (paper: 10,000).
+	Items int
+	// Refill is the REFILL constant (paper default: 100).
+	Refill int64
+	// ItemsPerTxn is the number of distinct items one order touches
+	// (Figure 27 varies 1..5).
+	ItemsPerTxn int
+	// NSites is the replication degree.
+	NSites int
+	// InitialQty is the starting quantity of every item (defaults to
+	// Refill).
+	InitialQty int64
+}
+
+// Workload is the microbenchmark; it implements workload.Workload.
+type Workload struct {
+	cfg   Config
+	txn   *lang.Transaction // canonical L++ order transaction
+	rw    *lang.Transaction // replica-rewritten form (site 0)
+	table *symtab.Table     // symbolic table of the rewritten form
+}
+
+// New analyzes the transaction and builds the workload.
+func New(cfg Config) (*Workload, error) {
+	if cfg.Items <= 0 {
+		cfg.Items = 10000
+	}
+	if cfg.Refill == 0 {
+		cfg.Refill = 100
+	}
+	if cfg.ItemsPerTxn <= 0 {
+		cfg.ItemsPerTxn = 1
+	}
+	if cfg.NSites <= 0 {
+		return nil, fmt.Errorf("micro: NSites must be positive")
+	}
+	if cfg.InitialQty == 0 {
+		cfg.InitialQty = cfg.Refill
+	}
+	txn, err := lang.ParseTransaction(Source(cfg.Refill))
+	if err != nil {
+		return nil, err
+	}
+	lang.ResolveParams(txn)
+	// Appendix B: rewrite writes into per-site delta objects. The guard of
+	// the rewritten transaction mentions the logical value
+	// q + sum_j dq_j, which is what the treaty must bound.
+	rw := lang.Simplify(lang.ReplicaRewrite(txn, 0, cfg.NSites, map[lang.ObjID]bool{canonObj: true}))
+	table, err := symtab.Build(rw)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{cfg: cfg, txn: txn, rw: rw, table: table}, nil
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "micro" }
+
+// Config returns the workload's configuration.
+func (w *Workload) Config() Config { return w.cfg }
+
+// Table exposes the canonical symbolic table (for the analyzer CLI and
+// tests).
+func (w *Workload) Table() *symtab.Table { return w.table }
+
+// ItemObj names the stock object of an item.
+func ItemObj(item int) lang.ObjID {
+	return lang.ObjID(fmt.Sprintf("stock[%d]", item))
+}
+
+// InitialDB implements workload.Workload.
+func (w *Workload) InitialDB() lang.Database {
+	db := lang.Database{}
+	for i := 0; i < w.cfg.Items; i++ {
+		db[ItemObj(i)] = w.cfg.InitialQty
+	}
+	return db
+}
+
+// NumUnits implements workload.Workload: one treaty unit per item.
+func (w *Workload) NumUnits() int { return w.cfg.Items }
+
+// UnitObjects implements workload.Workload.
+func (w *Workload) UnitObjects(unit int) []lang.ObjID {
+	return []lang.ObjID{ItemObj(unit)}
+}
+
+// toCanonical maps a folded unit database onto the canonical object
+// names.
+func (w *Workload) toCanonical(unit int, folded lang.Database) lang.Database {
+	db := lang.Database{canonObj: folded.Get(ItemObj(unit))}
+	return db
+}
+
+// BuildGlobal implements workload.Workload: match the symbolic-table row
+// for the current consolidated state, preprocess its guard into linear
+// constraints (Appendix C.1), and rename to the item's concrete objects.
+func (w *Workload) BuildGlobal(unit int, folded lang.Database) (treaty.Global, error) {
+	canonical := w.toCanonical(unit, folded)
+	row, err := w.table.MatchRow(canonical, nil)
+	if err != nil {
+		return treaty.Global{}, err
+	}
+	g, err := treaty.Preprocess(w.table.Rows[row].Guard, canonical, nil, nil)
+	if err != nil {
+		return treaty.Global{}, err
+	}
+	concrete := ItemObj(unit)
+	return g.Rename(func(obj lang.ObjID) lang.ObjID {
+		if base, site, ok := lang.IsDeltaObj(obj); ok && base == canonObj {
+			return lang.DeltaObj(concrete, site)
+		}
+		if obj == canonObj {
+			return concrete
+		}
+		return obj
+	}), nil
+}
+
+// model samples future executions for Algorithm 1: L orders spread
+// uniformly across sites, each applied with the real transaction
+// semantics to per-site delta objects.
+type model struct {
+	w    *Workload
+	unit int
+}
+
+// Model implements workload.Workload.
+func (w *Workload) Model(unit int) treaty.WorkloadModel {
+	return &model{w: w, unit: unit}
+}
+
+// SampleFuture implements treaty.WorkloadModel.
+func (m *model) SampleFuture(rng *rand.Rand, db lang.Database, l int) []lang.Database {
+	obj := ItemObj(m.unit)
+	cur := db.Clone()
+	out := make([]lang.Database, 0, l)
+	for i := 0; i < l; i++ {
+		site := rng.Intn(m.w.cfg.NSites)
+		logical := lang.LogicalValue(cur, obj, m.w.cfg.NSites)
+		if logical > 1 {
+			d := lang.DeltaObj(obj, site)
+			cur[d] = cur.Get(d) - 1
+		} else {
+			// Refill consolidates at a synchronization point.
+			cur = lang.Database{obj: m.w.cfg.Refill - 1}
+		}
+		out = append(out, cur.Clone())
+	}
+	return out
+}
+
+// Next implements workload.Workload: an order for ItemsPerTxn distinct
+// uniformly random items.
+func (w *Workload) Next(rng *rand.Rand, site int) workload.Request {
+	items := make([]int, 0, w.cfg.ItemsPerTxn)
+	seen := make(map[int]bool, w.cfg.ItemsPerTxn)
+	for len(items) < w.cfg.ItemsPerTxn {
+		it := rng.Intn(w.cfg.Items)
+		if !seen[it] {
+			seen[it] = true
+			items = append(items, it)
+		}
+	}
+	return w.MakeRequest(items)
+}
+
+// MakeRequest builds the order request for explicit items (exported for
+// tests and examples).
+func (w *Workload) MakeRequest(items []int) workload.Request {
+	args := make([]int64, len(items))
+	units := make([]int, len(items))
+	objs := make([]lang.ObjID, len(items))
+	for i, it := range items {
+		args[i] = int64(it)
+		units[i] = it
+		objs[i] = ItemObj(it)
+	}
+	refill := w.cfg.Refill
+	return workload.Request{
+		Name:    "Order",
+		Args:    args,
+		Units:   units,
+		Objects: objs,
+		Exec: func(v workload.SiteView) error {
+			for _, it := range items {
+				obj := ItemObj(it)
+				qty, err := v.ReadLogical(obj)
+				if err != nil {
+					return err
+				}
+				if qty > 1 {
+					if err := v.WriteLogical(obj, qty-1); err != nil {
+						return err
+					}
+				} else {
+					if err := v.WriteLogical(obj, refill-1); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		Apply: func(db lang.Database) []int64 {
+			for _, it := range items {
+				obj := ItemObj(it)
+				qty := db.Get(obj)
+				if qty > 1 {
+					db.Set(obj, qty-1)
+				} else {
+					db.Set(obj, refill-1)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,67 @@
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkPigeonhole measures the solver on the classic UNSAT family
+// PHP(n+1, n).
+func BenchmarkPigeonhole(b *testing.B) {
+	for _, n := range []int{4, 6} {
+		b.Run(fmt.Sprintf("php-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := New()
+				lits := make([][]Lit, n+1)
+				for p := 0; p <= n; p++ {
+					lits[p] = make([]Lit, n)
+					for h := 0; h < n; h++ {
+						lits[p][h] = Lit(s.NewVar())
+					}
+					s.AddClause(lits[p]...)
+				}
+				for h := 0; h < n; h++ {
+					for p1 := 0; p1 <= n; p1++ {
+						for p2 := p1 + 1; p2 <= n; p2++ {
+							s.AddClause(lits[p1][h].Neg(), lits[p2][h].Neg())
+						}
+					}
+				}
+				if s.Solve() != Unsat {
+					b.Fatal("PHP should be UNSAT")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRandom3SAT measures satisfiable-phase random instances.
+func BenchmarkRandom3SAT(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const nVars, nClauses = 60, 200 // below the phase transition
+	clauses := make([][]Lit, nClauses)
+	for i := range clauses {
+		cl := make([]Lit, 3)
+		for j := range cl {
+			v := 1 + rng.Intn(nVars)
+			if rng.Intn(2) == 0 {
+				cl[j] = Lit(v)
+			} else {
+				cl[j] = Lit(-v)
+			}
+		}
+		clauses[i] = cl
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for _, cl := range clauses {
+			s.AddClause(cl...)
+		}
+		s.Solve()
+	}
+}

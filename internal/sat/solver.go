@@ -1,0 +1,395 @@
+// Package sat implements a CNF boolean satisfiability solver: DPLL search
+// with unit propagation over two-watched-literal clause lists, dynamic
+// (activity-based) branching, assumption literals, and deletion-minimized
+// unsat cores over assumptions.
+//
+// It is the engine under internal/maxsat's Fu-Malik procedure, which the
+// treaty generator (Section 4.2 / Appendix C.2 of the Homeostasis paper)
+// uses to pick optimal treaty configurations. The paper used Z3; this is a
+// from-scratch stdlib-only replacement sized for the instances Algorithm 1
+// produces.
+package sat
+
+import "fmt"
+
+// Lit is a literal: +v for variable v, -v for its negation. Variables are
+// numbered from 1.
+type Lit int
+
+// Var returns the literal's variable.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Sign reports whether the literal is positive.
+func (l Lit) Sign() bool { return l > 0 }
+
+type clause struct {
+	lits []Lit
+}
+
+// Status is the result of a Solve call.
+type Status int
+
+const (
+	// Unknown means Solve has not run or was interrupted.
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula (under the given assumptions) is
+	// unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+const (
+	valUnassigned int8 = iota
+	valTrue
+	valFalse
+)
+
+// Solver holds a CNF instance and solver state. The zero value is not
+// usable; call New.
+type Solver struct {
+	nVars    int
+	clauses  []*clause
+	watches  map[Lit][]*clause
+	assigns  []int8 // indexed by var, 1-based
+	level    []int  // decision level per var
+	trail    []Lit
+	trailLim []int // trail index at each decision level
+	reason   []*clause
+	activity []float64
+	varInc   float64
+
+	// hasEmpty is set when an empty (always-false) clause was added.
+	hasEmpty bool
+
+	// Stats counters.
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{
+		watches:  make(map[Lit][]*clause),
+		assigns:  []int8{valUnassigned}, // index 0 unused
+		level:    []int{0},
+		reason:   []*clause{nil},
+		activity: []float64{0},
+		varInc:   1.0,
+	}
+}
+
+// NewVar allocates a fresh variable and returns its index (1-based).
+func (s *Solver) NewVar() int {
+	s.nVars++
+	s.assigns = append(s.assigns, valUnassigned)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	return s.nVars
+}
+
+// NVars returns the number of allocated variables.
+func (s *Solver) NVars() int { return s.nVars }
+
+// ensureVar grows the variable space to cover v.
+func (s *Solver) ensureVar(v int) {
+	for s.nVars < v {
+		s.NewVar()
+	}
+}
+
+// AddClause adds a clause. Duplicate literals are removed; tautologies are
+// dropped; empty clauses make the instance trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) {
+	seen := make(map[Lit]bool, len(lits))
+	var out []Lit
+	for _, l := range lits {
+		if l == 0 {
+			panic("sat: zero literal")
+		}
+		s.ensureVar(l.Var())
+		if seen[l.Neg()] {
+			return // tautology
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	if len(out) == 0 {
+		s.hasEmpty = true
+		return
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	// Watch the first two literals (unit clauses handled at solve start).
+	if len(out) >= 2 {
+		s.watches[out[0]] = append(s.watches[out[0]], c)
+		s.watches[out[1]] = append(s.watches[out[1]], c)
+	}
+}
+
+func (s *Solver) value(l Lit) int8 {
+	a := s.assigns[l.Var()]
+	if a == valUnassigned {
+		return valUnassigned
+	}
+	if l.Sign() == (a == valTrue) {
+		return valTrue
+	}
+	return valFalse
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case valTrue:
+		return true
+	case valFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		s.assigns[v] = valTrue
+	} else {
+		s.assigns[v] = valFalse
+	}
+	s.level[v] = len(s.trailLim)
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	s.Propagations++
+	return true
+}
+
+// propagate runs unit propagation from the given trail position, returning
+// the conflicting clause or nil.
+func (s *Solver) propagate(qhead *int) *clause {
+	for *qhead < len(s.trail) {
+		l := s.trail[*qhead]
+		*qhead++
+		falsified := l.Neg()
+		ws := s.watches[falsified]
+		var kept []*clause
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure falsified is at position 1.
+			if c.lits[0] == falsified {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == valTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for j := 2; j < len(c.lits); j++ {
+				if s.value(c.lits[j]) != valFalse {
+					c.lits[1], c.lits[j] = c.lits[j], c.lits[1]
+					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				// Conflict: keep remaining watchers and report.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[falsified] = kept
+				s.Conflicts++
+				return c
+			}
+		}
+		s.watches[falsified] = kept
+	}
+	return nil
+}
+
+func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+
+func (s *Solver) backtrackTo(level int) {
+	if len(s.trailLim) <= level {
+		return
+	}
+	limit := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		v := s.trail[i].Var()
+		s.assigns[v] = valUnassigned
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:level]
+}
+
+// pickBranchVar returns the unassigned variable with the highest activity,
+// or 0 when all variables are assigned.
+func (s *Solver) pickBranchVar() int {
+	best, bestAct := 0, -1.0
+	for v := 1; v <= s.nVars; v++ {
+		if s.assigns[v] == valUnassigned && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	for _, l := range c.lits {
+		s.activity[l.Var()] += s.varInc
+	}
+	s.varInc *= 1.05
+	if s.varInc > 1e100 {
+		for v := 1; v <= s.nVars; v++ {
+			s.activity[v] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// Solve decides satisfiability under the given assumption literals.
+// On Sat, Model reports the assignment. On Unsat with assumptions, the
+// failed assumptions can be minimized with Core.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if s.hasEmpty {
+		return Unsat
+	}
+	s.backtrackTo(0)
+	qhead := 0
+	// Assert unit clauses at level 0.
+	for _, c := range s.clauses {
+		if len(c.lits) == 1 {
+			if !s.enqueue(c.lits[0], c) {
+				return Unsat
+			}
+		}
+	}
+	if s.propagate(&qhead) != nil {
+		return Unsat
+	}
+	rootLevel := 0
+	// Assert assumptions, each at its own decision level.
+	for _, a := range assumptions {
+		if a == 0 || a.Var() > s.nVars {
+			panic(fmt.Sprintf("sat: bad assumption %d", a))
+		}
+		switch s.value(a) {
+		case valTrue:
+			continue
+		case valFalse:
+			return Unsat
+		}
+		s.newDecisionLevel()
+		rootLevel = len(s.trailLim)
+		s.enqueue(a, nil)
+		if s.propagate(&qhead) != nil {
+			return Unsat
+		}
+	}
+	rootLevel = len(s.trailLim)
+
+	// DPLL with chronological backtracking. flip[i] records whether the
+	// decision at level rootLevel+i has already been tried both ways.
+	type decision struct {
+		lit     Lit
+		flipped bool
+	}
+	var decisions []decision
+	for {
+		conflict := s.propagate(&qhead)
+		if conflict != nil {
+			s.bumpClause(conflict)
+			// Backtrack to the most recent unflipped decision.
+			for {
+				if len(decisions) == 0 {
+					return Unsat
+				}
+				d := &decisions[len(decisions)-1]
+				if !d.flipped {
+					lvl := rootLevel + len(decisions) - 1
+					s.backtrackTo(lvl)
+					qhead = len(s.trail)
+					d.flipped = true
+					d.lit = d.lit.Neg()
+					s.newDecisionLevel()
+					s.enqueue(d.lit, nil)
+					break
+				}
+				decisions = decisions[:len(decisions)-1]
+				s.backtrackTo(rootLevel + len(decisions))
+				qhead = len(s.trail)
+			}
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			return Sat // all variables assigned, no conflict
+		}
+		s.Decisions++
+		s.newDecisionLevel()
+		decisions = append(decisions, decision{lit: Lit(v)})
+		s.enqueue(Lit(v), nil)
+	}
+}
+
+// Model returns the satisfying assignment after a Sat result, indexed by
+// variable (entry 0 unused).
+func (s *Solver) Model() []bool {
+	out := make([]bool, s.nVars+1)
+	for v := 1; v <= s.nVars; v++ {
+		out[v] = s.assigns[v] == valTrue
+	}
+	return out
+}
+
+// ModelValue returns the assigned value of a literal after Sat.
+func (s *Solver) ModelValue(l Lit) bool {
+	if l.Sign() {
+		return s.assigns[l.Var()] == valTrue
+	}
+	return s.assigns[l.Var()] != valTrue
+}
+
+// Core returns a minimized subset of the given assumptions that is still
+// unsatisfiable together with the clause database. It uses deletion-based
+// minimization (re-solving with each assumption removed), which is simple
+// and adequate for the small soft-constraint sets Algorithm 1 generates.
+// The assumptions must be jointly Unsat; Core panics otherwise.
+func (s *Solver) Core(assumptions []Lit) []Lit {
+	if st := s.Solve(assumptions...); st != Unsat {
+		panic("sat: Core called on satisfiable assumptions")
+	}
+	core := append([]Lit(nil), assumptions...)
+	for i := 0; i < len(core); {
+		trial := make([]Lit, 0, len(core)-1)
+		trial = append(trial, core[:i]...)
+		trial = append(trial, core[i+1:]...)
+		if s.Solve(trial...) == Unsat {
+			core = trial // assumption i is unnecessary
+		} else {
+			i++
+		}
+	}
+	return core
+}

@@ -1,0 +1,281 @@
+// Package sim is a deterministic discrete-event simulation engine with
+// cooperative processes. It replaces the paper's EC2 deployment: virtual
+// time advances only through scheduled events, so experiments with
+// hundreds of simulated seconds of WAN latency run in milliseconds of
+// wall-clock time and are exactly reproducible.
+//
+// Concurrency model: exactly one goroutine (either the engine or a single
+// process) runs at any moment. A process runs until it parks (Sleep,
+// channel receive, resource acquire), at which point control returns to
+// the engine, which pops the next event off the virtual-time heap. Events
+// at equal times fire in schedule order, making runs deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual time in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a virtual time span in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(d)/float64(Microsecond))
+	}
+	return fmt.Sprintf("%dns", int64(d))
+}
+
+// Seconds converts the duration to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+type event struct {
+	t   Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type ctlMsg int
+
+const (
+	ctlParked ctlMsg = iota
+	ctlDone
+)
+
+// Engine owns the virtual clock and event queue.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    int64
+	ctl    chan ctlMsg
+	rng    *rand.Rand
+	live   int // processes started and not finished
+	procs  []*Proc
+
+	// Deadline, when nonzero, stops Run once virtual time would pass it.
+	Deadline Time
+}
+
+// NewEngine returns an engine whose random stream is seeded
+// deterministically.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		ctl: make(chan ctlMsg),
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random stream.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at the given virtual time (clamped to now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run after d elapses.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now+Time(d), fn) }
+
+// Proc is a cooperative process. All Proc methods must be called from the
+// process's own goroutine.
+type Proc struct {
+	e       *Engine
+	ID      int
+	resume  chan struct{}
+	parked  bool
+	started bool
+	done    bool
+	killed  bool
+	token   int64
+}
+
+type killedError struct{}
+
+func (killedError) Error() string { return "sim: process killed by Drain" }
+
+// Spawn starts a new process running fn at the current virtual time.
+func (e *Engine) Spawn(id int, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, ID: id, resume: make(chan struct{})}
+	e.live++
+	e.procs = append(e.procs, p)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedError); !ok {
+					panic(r)
+				}
+			}
+			p.done = true
+			e.ctl <- ctlDone
+		}()
+		<-p.resume
+		if p.killed {
+			return
+		}
+		p.started = true
+		fn(p)
+	}()
+	e.At(e.now, func() {
+		if !p.done && !p.started {
+			e.resumeProc(p)
+		}
+	})
+	return p
+}
+
+// Drain terminates every process that has not finished: parked processes
+// are woken into a cancellation panic recovered by the spawn wrapper, and
+// unstarted processes exit immediately. Call after Run returns (at the
+// deadline) to avoid leaking goroutines across experiments.
+func (e *Engine) Drain() {
+	for {
+		progress := false
+		for _, p := range e.procs {
+			if p.done {
+				continue
+			}
+			p.killed = true
+			if p.parked || !p.started {
+				p.parked = false
+				p.token++
+				e.resumeProc(p)
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// resumeProc hands control to p and waits until it parks or finishes.
+// Must only be called from the engine's goroutine (inside an event fn).
+func (e *Engine) resumeProc(p *Proc) {
+	p.resume <- struct{}{}
+	msg := <-e.ctl
+	if msg == ctlDone {
+		e.live--
+	}
+}
+
+// prepPark marks the process as about to park and returns the wake token.
+func (p *Proc) prepPark() int64 {
+	p.parked = true
+	return p.token
+}
+
+// park yields control to the engine until woken.
+func (p *Proc) park() {
+	p.e.ctl <- ctlParked
+	<-p.resume
+	if p.killed {
+		panic(killedError{})
+	}
+}
+
+// wakeIf resumes the process if it is still parked with the given token.
+// Returns whether the wake took effect. Must be called from an event fn.
+func (p *Proc) wakeIf(token int64) bool {
+	if !p.parked || p.token != token {
+		return false
+	}
+	p.parked = false
+	p.token++
+	p.e.resumeProc(p)
+	return true
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	token := p.prepPark()
+	p.e.After(d, func() { p.wakeIf(token) })
+	p.park()
+}
+
+// Now returns the current virtual time (valid while the process runs).
+func (p *Proc) Now() Time { return p.e.Now() }
+
+// Token returns the process's current park token, for building
+// synchronization primitives outside this package. Capture it while the
+// process is parked and pass it to WakeIf.
+func (p *Proc) Token() int64 { return p.token }
+
+// PrepPark marks the process as about to park and returns the wake token,
+// for building synchronization primitives outside this package. Call
+// Park immediately after scheduling any wake events.
+func (p *Proc) PrepPark() int64 { return p.prepPark() }
+
+// Park yields control to the engine until another event wakes the process
+// via WakeIf with the token PrepPark returned.
+func (p *Proc) Park() { p.park() }
+
+// WakeIf resumes the process if it is still parked with the given token,
+// reporting whether the wake took effect. Must be called from an event
+// callback (engine context), not from another process.
+func (p *Proc) WakeIf(token int64) bool { return p.wakeIf(token) }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Run processes events until the queue empties or the deadline passes.
+// It returns the final virtual time.
+func (e *Engine) Run() Time {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if e.Deadline != 0 && ev.t > e.Deadline {
+			e.now = e.Deadline
+			return e.now
+		}
+		e.now = ev.t
+		ev.fn()
+	}
+	return e.now
+}
+
+// Live returns the number of processes that have started but not
+// finished (parked processes included).
+func (e *Engine) Live() int { return e.live }

@@ -1,0 +1,471 @@
+// Package store implements each site's local transactional storage: an
+// in-memory object->int64 store guarded by a strict two-phase-locking
+// manager with shared/exclusive locks, lock upgrades, wait-for-graph
+// deadlock detection, and a configurable lock-wait timeout (the paper's
+// MySQL deployment used innodb_lock_wait_timeout = 1s, which produces the
+// long latency tail discussed in Section 6.2).
+//
+// The store also tracks the set of objects written since the start of the
+// current protocol round; the homeostasis cleanup phase broadcasts exactly
+// this dirty set (Section 3.3).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/lang"
+	"repro/internal/sim"
+)
+
+// Lock-acquisition failures. Both abort the requesting transaction.
+var (
+	// ErrLockTimeout is returned when a lock wait exceeds the store's
+	// timeout.
+	ErrLockTimeout = errors.New("store: lock wait timeout exceeded")
+	// ErrDeadlock is returned when granting the request would create a
+	// wait-for cycle; the requester is chosen as the victim.
+	ErrDeadlock = errors.New("store: deadlock detected")
+)
+
+// LockMode distinguishes shared from exclusive locks.
+type LockMode int
+
+const (
+	// LockS is a shared (read) lock.
+	LockS LockMode = iota
+	// LockX is an exclusive (write) lock.
+	LockX
+)
+
+func (m LockMode) String() string {
+	if m == LockS {
+		return "S"
+	}
+	return "X"
+}
+
+// Store is one site's local database.
+type Store struct {
+	e  *sim.Engine
+	db lang.Database
+
+	locks *lockTable
+
+	// dirty is the set of objects written by committed transactions since
+	// the last ResetDirty (i.e. since the current round began).
+	dirty map[lang.ObjID]bool
+
+	// LockTimeout bounds lock waits; zero means wait forever.
+	LockTimeout sim.Duration
+
+	nextTxnID int
+
+	// Stats.
+	Commits   int64
+	Aborts    int64
+	Deadlocks int64
+	Timeouts  int64
+}
+
+// New creates a store with a copy of the initial database.
+func New(e *sim.Engine, initial lang.Database) *Store {
+	return &Store{
+		e:     e,
+		db:    initial.Clone(),
+		locks: newLockTable(e),
+		dirty: make(map[lang.ObjID]bool),
+	}
+}
+
+// Get reads an object without any locking (used by the protocol layer
+// outside transaction scope, e.g. when assembling synchronization
+// messages).
+func (s *Store) Get(obj lang.ObjID) int64 { return s.db.Get(obj) }
+
+// Apply installs a value without locking or dirty tracking (used when
+// applying remote synchronization state during cleanup).
+func (s *Store) Apply(obj lang.ObjID, v int64) { s.db.Set(obj, v) }
+
+// Snapshot returns a copy of the full database.
+func (s *Store) Snapshot() lang.Database { return s.db.Clone() }
+
+// DirtySet returns the objects written since the last ResetDirty, with
+// their current values, in deterministic order.
+func (s *Store) DirtySet() []ObjValue {
+	out := make([]ObjValue, 0, len(s.dirty))
+	for obj := range s.dirty {
+		out = append(out, ObjValue{Obj: obj, Value: s.db.Get(obj)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Obj < out[j].Obj })
+	return out
+}
+
+// ResetDirty clears the dirty set (start of a new round).
+func (s *Store) ResetDirty() { s.dirty = make(map[lang.ObjID]bool) }
+
+// ObjValue is an (object, value) pair used in synchronization messages.
+type ObjValue struct {
+	Obj   lang.ObjID
+	Value int64
+}
+
+// Txn is an open transaction holding locks. All methods must be called
+// from the owning process.
+type Txn struct {
+	s      *Store
+	p      *sim.Proc
+	id     int
+	undo   []ObjValue
+	wrote  map[lang.ObjID]bool
+	closed bool
+}
+
+// Begin opens a transaction.
+func (s *Store) Begin(p *sim.Proc) *Txn {
+	s.nextTxnID++
+	return &Txn{
+		s:     s,
+		p:     p,
+		id:    s.nextTxnID,
+		wrote: make(map[lang.ObjID]bool),
+	}
+}
+
+// ID returns the transaction's store-local identifier.
+func (t *Txn) ID() int { return t.id }
+
+// Read acquires a shared lock and returns the object's value.
+func (t *Txn) Read(obj lang.ObjID) (int64, error) {
+	if t.closed {
+		return 0, fmt.Errorf("store: read on closed transaction")
+	}
+	if err := t.s.locks.acquire(t.p, t, obj, LockS, t.s.LockTimeout); err != nil {
+		return 0, err
+	}
+	return t.s.db.Get(obj), nil
+}
+
+// Write acquires an exclusive lock and installs the value, recording undo
+// information.
+func (t *Txn) Write(obj lang.ObjID, v int64) error {
+	if t.closed {
+		return fmt.Errorf("store: write on closed transaction")
+	}
+	if err := t.s.locks.acquire(t.p, t, obj, LockX, t.s.LockTimeout); err != nil {
+		return err
+	}
+	if !t.wrote[obj] {
+		t.undo = append(t.undo, ObjValue{Obj: obj, Value: t.s.db.Get(obj)})
+		t.wrote[obj] = true
+	}
+	t.s.db.Set(obj, v)
+	return nil
+}
+
+// Commit makes the transaction's writes durable in the dirty set and
+// releases all locks.
+func (t *Txn) Commit() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for obj := range t.wrote {
+		t.s.dirty[obj] = true
+	}
+	t.s.Commits++
+	t.s.locks.releaseAll(t)
+}
+
+// Abort rolls back the transaction's writes and releases all locks.
+func (t *Txn) Abort() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.s.db.Set(t.undo[i].Obj, t.undo[i].Value)
+	}
+	t.s.Aborts++
+	t.s.locks.releaseAll(t)
+}
+
+// lockReq is one entry in an object's lock queue.
+type lockReq struct {
+	txn     *Txn
+	proc    *sim.Proc
+	mode    LockMode
+	granted bool
+	// upgrade marks an S->X upgrade request.
+	upgrade bool
+	// timedOut is set by the timeout event so the waiter can distinguish
+	// wake reasons.
+	timedOut bool
+}
+
+type lockTable struct {
+	e      *sim.Engine
+	queues map[lang.ObjID][]*lockReq
+	// held maps txn id -> objects it holds locks on (for release).
+	held map[int]map[lang.ObjID]bool
+}
+
+func newLockTable(e *sim.Engine) *lockTable {
+	return &lockTable{
+		e:      e,
+		queues: make(map[lang.ObjID][]*lockReq),
+		held:   make(map[int]map[lang.ObjID]bool),
+	}
+}
+
+func compatible(a, b LockMode) bool { return a == LockS && b == LockS }
+
+// findReq returns the queue entry of txn for obj, if any.
+func findReq(q []*lockReq, txn *Txn) *lockReq {
+	for _, r := range q {
+		if r.txn.id == txn.id {
+			return r
+		}
+	}
+	return nil
+}
+
+// canGrant decides whether req (in q) can be granted now.
+func canGrant(q []*lockReq, req *lockReq) bool {
+	if req.upgrade {
+		// Upgrade succeeds when req's transaction is the only granted
+		// holder.
+		for _, r := range q {
+			if r != req && r.granted && r.txn.id != req.txn.id {
+				return false
+			}
+		}
+		return true
+	}
+	// FIFO: all earlier queue entries must be compatible granted holders
+	// or compatible waiting requests (no barging past waiters).
+	for _, r := range q {
+		if r == req {
+			return true
+		}
+		if r.txn.id == req.txn.id {
+			continue
+		}
+		if !compatible(r.mode, req.mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func (lt *lockTable) acquire(p *sim.Proc, txn *Txn, obj lang.ObjID, mode LockMode, timeout sim.Duration) error {
+	q := lt.queues[obj]
+	if existing := findReq(q, txn); existing != nil && existing.granted {
+		if existing.mode >= mode {
+			return nil // already held at sufficient strength
+		}
+		// S -> X upgrade.
+		existing.upgrade = true
+		existing.mode = LockX
+		if canGrant(lt.queues[obj], existing) {
+			existing.upgrade = false
+			return nil
+		}
+		return lt.wait(p, txn, obj, existing, timeout)
+	}
+	req := &lockReq{txn: txn, proc: p, mode: mode}
+	lt.queues[obj] = append(lt.queues[obj], req)
+	if canGrant(lt.queues[obj], req) {
+		req.granted = true
+		lt.noteHeld(txn, obj)
+		return nil
+	}
+	return lt.wait(p, txn, obj, req, timeout)
+}
+
+func (lt *lockTable) noteHeld(txn *Txn, obj lang.ObjID) {
+	m, ok := lt.held[txn.id]
+	if !ok {
+		m = make(map[lang.ObjID]bool)
+		lt.held[txn.id] = m
+	}
+	m[obj] = true
+}
+
+// wait parks until the request is granted, times out, or would deadlock.
+func (lt *lockTable) wait(p *sim.Proc, txn *Txn, obj lang.ObjID, req *lockReq, timeout sim.Duration) error {
+	if lt.wouldDeadlock(txn, obj) {
+		lt.removeReq(obj, req)
+		txn.s.Deadlocks++
+		return ErrDeadlock
+	}
+	var deadline sim.Time = -1
+	if timeout > 0 {
+		deadline = lt.e.Now() + sim.Time(timeout)
+	}
+	for {
+		token := p.PrepPark()
+		if deadline >= 0 {
+			lt.e.At(deadline, func() {
+				if !req.granted {
+					req.timedOut = true
+					p.WakeIf(token)
+				}
+			})
+		}
+		p.Park()
+		if req.granted && !req.upgrade {
+			lt.noteHeld(txn, obj)
+			return nil
+		}
+		if req.granted && req.upgrade {
+			// Upgrade completed by grantWaiters.
+			req.upgrade = false
+			return nil
+		}
+		if req.timedOut || (deadline >= 0 && lt.e.Now() >= sim.Time(deadline)) {
+			lt.removeReq(obj, req)
+			txn.s.Timeouts++
+			return ErrLockTimeout
+		}
+	}
+}
+
+// wouldDeadlock reports whether txn waiting on obj creates a wait-for
+// cycle. Edges: a waiting transaction waits for every incompatible granted
+// holder of the object it wants.
+func (lt *lockTable) wouldDeadlock(txn *Txn, obj lang.ObjID) bool {
+	// Build the wait-for graph.
+	waitsFor := make(map[int][]int)
+	addEdges := func(waiter *lockReq, o lang.ObjID) {
+		for _, r := range lt.queues[o] {
+			if r.granted && r.txn.id != waiter.txn.id && !compatible(r.mode, waiter.mode) {
+				waitsFor[waiter.txn.id] = append(waitsFor[waiter.txn.id], r.txn.id)
+			}
+		}
+	}
+	for o, q := range lt.queues {
+		for _, r := range q {
+			if !r.granted || r.upgrade {
+				addEdges(r, o)
+			}
+		}
+	}
+	// Hypothetical edge set for txn waiting on obj.
+	for _, r := range lt.queues[obj] {
+		if r.granted && r.txn.id != txn.id {
+			waitsFor[txn.id] = append(waitsFor[txn.id], r.txn.id)
+		}
+	}
+	// DFS from txn looking for a cycle back to txn.
+	seen := make(map[int]bool)
+	var dfs func(id int) bool
+	dfs = func(id int) bool {
+		if seen[id] {
+			return false
+		}
+		seen[id] = true
+		for _, next := range waitsFor[id] {
+			if next == txn.id || dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, next := range waitsFor[txn.id] {
+		if next == txn.id || dfs(next) {
+			return true
+		}
+	}
+	return false
+}
+
+func (lt *lockTable) removeReq(obj lang.ObjID, req *lockReq) {
+	q := lt.queues[obj]
+	for i, r := range q {
+		if r == req {
+			lt.queues[obj] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	lt.grantWaiters(obj)
+}
+
+// releaseAll frees every lock txn holds and re-evaluates waiters.
+func (lt *lockTable) releaseAll(txn *Txn) {
+	objs := lt.held[txn.id]
+	delete(lt.held, txn.id)
+	// Also remove any pending (ungranted) requests.
+	var pendingObjs []lang.ObjID
+	for o, q := range lt.queues {
+		for _, r := range q {
+			if r.txn.id == txn.id && !r.granted {
+				pendingObjs = append(pendingObjs, o)
+			}
+		}
+	}
+	for _, o := range pendingObjs {
+		q := lt.queues[o]
+		out := q[:0]
+		for _, r := range q {
+			if r.txn.id != txn.id || r.granted {
+				out = append(out, r)
+			}
+		}
+		lt.queues[o] = out
+	}
+	for o := range objs {
+		q := lt.queues[o]
+		out := q[:0]
+		for _, r := range q {
+			if r.txn.id != txn.id {
+				out = append(out, r)
+			}
+		}
+		if len(out) == 0 {
+			delete(lt.queues, o)
+		} else {
+			lt.queues[o] = out
+		}
+		lt.grantWaiters(o)
+	}
+	sortObjs(pendingObjs)
+	for _, o := range pendingObjs {
+		lt.grantWaiters(o)
+	}
+}
+
+func sortObjs(objs []lang.ObjID) {
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+}
+
+// grantWaiters grants every request that has become grantable and wakes
+// its process.
+func (lt *lockTable) grantWaiters(obj lang.ObjID) {
+	q := lt.queues[obj]
+	for _, r := range q {
+		if r.granted && !r.upgrade {
+			continue
+		}
+		if canGrant(q, r) {
+			r.granted = true
+			if r.upgrade {
+				// Leave r.upgrade set; wait() clears it on wake so the
+				// waiter can distinguish upgrade completion.
+				lt.noteHeld(r.txn, obj)
+			}
+			proc := r.proc
+			token := proc != nil
+			if token {
+				tok := procToken(proc)
+				lt.e.At(lt.e.Now(), func() { proc.WakeIf(tok) })
+			}
+		}
+	}
+}
+
+// procToken exposes the current park token of a process for deferred
+// wakes. (Relies on the cooperative single-threaded discipline: the
+// process is parked while this runs.)
+func procToken(p *sim.Proc) int64 { return p.Token() }

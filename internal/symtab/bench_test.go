@@ -1,0 +1,108 @@
+package symtab
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// BenchmarkBuildSimple measures symbolic-table construction for the
+// paper's T1 (two paths).
+func BenchmarkBuildSimple(b *testing.B) {
+	txn := lang.MustParse(`
+transaction T1() {
+	xh := read(x);
+	yh := read(y);
+	if (xh + yh < 10) then write(x = xh + 1) else write(x = xh - 1)
+}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(txn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildLoweredArray measures construction over a lowered L++
+// array access (path blowup with pruning).
+func BenchmarkBuildLoweredArray(b *testing.B) {
+	txn := lang.MustParse(`
+transaction T(i) {
+	array a(8);
+	v := a(i);
+	if (v > 0) then write(a(i) = v - 1) else skip
+}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(txn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJoinMonolithicVsFactorized quantifies the Section 5.1
+// compression: joining K independent 2-row tables monolithically is
+// exponential; factor groups keep it linear.
+func BenchmarkJoinMonolithicVsFactorized(b *testing.B) {
+	makeTables := func(k int) []*Table {
+		var tables []*Table
+		for i := 0; i < k; i++ {
+			obj := fmt.Sprintf("o%d", i)
+			txn := lang.MustParse(`
+transaction T` + obj + `() {
+	v := read(` + obj + `);
+	if (v > 0) then write(` + obj + ` = v - 1) else write(` + obj + ` = 10)
+}`)
+			tbl, err := Build(txn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tables = append(tables, tbl)
+		}
+		return tables
+	}
+	for _, k := range []int{4, 8} {
+		tables := makeTables(k)
+		b.Run(fmt.Sprintf("monolithic-%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				jt := Join(tables...)
+				if jt.Size() != 1<<k {
+					b.Fatalf("size = %d", jt.Size())
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("factorized-%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				total := 0
+				for _, g := range FactorGroups(tables) {
+					total += Join(g.Tables...).Size()
+				}
+				if total != 2*k {
+					b.Fatalf("total = %d", total)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatchRow measures row lookup, the hot operation at treaty
+// generation time.
+func BenchmarkMatchRow(b *testing.B) {
+	tbl, err := Build(lang.MustParse(`
+transaction T() {
+	xh := read(x);
+	yh := read(y);
+	if (xh + yh < 10) then write(x = xh + 1) else write(x = xh - 1)
+}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := lang.Database{"x": 10, "y": 13}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.MatchRow(db, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

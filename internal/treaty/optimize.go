@@ -1,0 +1,221 @@
+package treaty
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/lia"
+	"repro/internal/maxsat"
+	"repro/internal/sat"
+)
+
+// WorkloadModel is the "model of the expected future transaction
+// workload" Algorithm 1 samples from. Implementations simulate the effect
+// of L sampled transactions starting from db and return the sequence of
+// databases visited (one entry per transactional write, D_1..D_L).
+type WorkloadModel interface {
+	SampleFuture(rng *rand.Rand, db lang.Database, l int) []lang.Database
+}
+
+// OptimizeOptions are Algorithm 1's tunable knobs.
+type OptimizeOptions struct {
+	// Lookahead is L, the length of each sampled future execution.
+	Lookahead int
+	// CostFactor is f, the number of futures to sample.
+	CostFactor int
+	// Rng drives the sampling; required.
+	Rng *rand.Rand
+	// MaxTheoryRounds bounds the lazy theory-refinement loop; past it the
+	// optimizer finishes with a greedy feasible subset. Zero means the
+	// default (8).
+	MaxTheoryRounds int
+}
+
+// OptimizeStats reports the optimizer's work, used by the Figure 24
+// latency-breakdown experiment.
+type OptimizeStats struct {
+	// SoftTotal and SoftSatisfied count Algorithm 1 soft constraints
+	// (after deduplication).
+	SoftTotal     int
+	SoftSatisfied int
+	// MaxSATIterations counts SAT-solver invocations inside Fu-Malik
+	// across all theory rounds.
+	MaxSATIterations int
+	// TheoryRounds counts lazy theory-refinement loops.
+	TheoryRounds int
+	// GreedyFallback is true when the theory-round cap was hit.
+	GreedyFallback bool
+	// UsedDefault is true when optimization fell back to the Theorem 4.3
+	// default configuration.
+	UsedDefault bool
+}
+
+// Optimize implements Algorithm 1: sample f futures of length L from the
+// workload model, turn each visited database into a soft constraint
+// ("the local treaty templates hold on D_j"), and find a valid
+// configuration maximizing the number of satisfied soft constraints.
+//
+// The search runs Fu-Malik MaxSAT over soft-constraint selectors, lazily
+// refined with linear-arithmetic theory conflicts (minimal infeasible
+// subsets become blocking clauses). Because implicit-hitting-set loops
+// can need many refinements on adversarial instances, the loop is bounded
+// and degrades to a greedy feasible subset that preserves validity.
+//
+// The returned configuration always satisfies H1 and H2 (worst case it is
+// the Theorem 4.3 default), so the caller may install it unconditionally.
+func Optimize(t *Template, db lang.Database, model WorkloadModel, opt OptimizeOptions) (Config, OptimizeStats) {
+	var stats OptimizeStats
+	hard := t.HardConstraints(db)
+	maxRounds := opt.MaxTheoryRounds
+	if maxRounds <= 0 {
+		maxRounds = 3
+	}
+
+	// Collect soft constraints from sampled futures, deduplicating
+	// identical ones (futures often revisit the same states).
+	var softs []SoftConstraint
+	seen := make(map[string]bool)
+	for i := 0; i < opt.CostFactor; i++ {
+		future := model.SampleFuture(opt.Rng, db, opt.Lookahead)
+		for _, dj := range future {
+			sc := t.SoftFor(dj)
+			if len(sc.Constraints) == 0 {
+				continue
+			}
+			key := softKey(sc)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			softs = append(softs, sc)
+		}
+	}
+	stats.SoftTotal = len(softs)
+	if len(softs) == 0 {
+		cfg := t.DefaultConfig(db)
+		stats.UsedDefault = true
+		return cfg, stats
+	}
+
+	finish := func(selected []int) (Config, bool) {
+		cs := append([]lia.Constraint(nil), hard...)
+		for _, idx := range selected {
+			cs = append(cs, softs[idx].Constraints...)
+		}
+		modelVals, ok := lia.SolveModel(lia.TightenBounds(cs))
+		if !ok {
+			return nil, false
+		}
+		cfg := make(Config)
+		for _, v := range t.ConfigVars() {
+			cfg[v] = modelVals[v]
+		}
+		// Redistribute unused H1 slack: lowering a configuration value only
+		// loosens that site's local treaty and cannot violate the selected
+		// soft constraints or H2 (both are upper bounds), so handing out
+		// the leftover budget equally strictly lengthens expected rounds.
+		t.relaxIntoSlack(cfg)
+		if err := t.Validate(cfg, db); err != nil {
+			return nil, false
+		}
+		stats.SoftSatisfied = len(selected)
+		return cfg, true
+	}
+
+	// Lazy SMT loop: MaxSAT over selectors; check the selected set against
+	// the linear theory; on conflict, block the minimal infeasible subset.
+	var blocked [][]int
+	for stats.TheoryRounds < maxRounds {
+		stats.TheoryRounds++
+		p := maxsat.NewProblem()
+		selectors := make([]sat.Lit, len(softs))
+		for i := range softs {
+			selectors[i] = sat.Lit(p.NewVar())
+			p.AddSoft(selectors[i])
+		}
+		for _, set := range blocked {
+			clause := make([]sat.Lit, len(set))
+			for i, idx := range set {
+				clause[i] = selectors[idx].Neg()
+			}
+			p.AddHard(clause...)
+		}
+		res := maxsat.Solve(p)
+		stats.MaxSATIterations += res.Iterations
+		if !res.Feasible {
+			break
+		}
+		var selected []int
+		for i := range softs {
+			if res.Model[selectors[i].Var()] {
+				selected = append(selected, i)
+			}
+		}
+		if cfg, ok := finish(selected); ok {
+			return cfg, stats
+		}
+		if len(selected) == 0 {
+			break
+		}
+		blocked = append(blocked, minimizeConflict(hard, softs, selected))
+	}
+
+	// Greedy fallback: add soft constraints one at a time, keeping the
+	// running set feasible. Linear in the number of softs and always
+	// terminates with a valid configuration.
+	stats.GreedyFallback = true
+	var kept []int
+	cs := append([]lia.Constraint(nil), hard...)
+	for i := range softs {
+		trial := append(append([]lia.Constraint(nil), cs...), softs[i].Constraints...)
+		if _, ok := lia.SolveModel(lia.TightenBounds(trial)); ok {
+			cs = trial
+			kept = append(kept, i)
+		}
+	}
+	if cfg, ok := finish(kept); ok {
+		return cfg, stats
+	}
+	cfg := t.DefaultConfig(db)
+	stats.UsedDefault = true
+	return cfg, stats
+}
+
+func softKey(sc SoftConstraint) string {
+	parts := make([]string, len(sc.Constraints))
+	for i, c := range sc.Constraints {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// minimizeConflict returns a small (not necessarily minimal) subset of
+// the selected soft constraints that is infeasible together with the hard
+// constraints, via bounded greedy deletion: after the work cap, whatever
+// remains is returned — still a valid (if weaker) blocking set.
+func minimizeConflict(hard []lia.Constraint, softs []SoftConstraint, selected []int) []int {
+	feasible := func(idxs []int) bool {
+		cs := append([]lia.Constraint(nil), hard...)
+		for _, idx := range idxs {
+			cs = append(cs, softs[idx].Constraints...)
+		}
+		_, ok := lia.SolveModel(lia.TightenBounds(cs))
+		return ok
+	}
+	const maxDeletionChecks = 48
+	core := append([]int(nil), selected...)
+	checks := 0
+	for i := 0; i < len(core) && checks < maxDeletionChecks; {
+		checks++
+		trial := make([]int, 0, len(core)-1)
+		trial = append(trial, core[:i]...)
+		trial = append(trial, core[i+1:]...)
+		if !feasible(trial) {
+			core = trial
+		} else {
+			i++
+		}
+	}
+	return core
+}

@@ -1,0 +1,150 @@
+package treaty
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+	"repro/internal/lia"
+	"repro/internal/logic"
+)
+
+// ParamBounds gives the inclusive range a transaction parameter can take,
+// used to strengthen parameterized guards into parameter-free treaties
+// (the paper pushes parameters into symbolic tables; at treaty time the
+// worst case over the workload's parameter domain is what must hold).
+type ParamBounds map[string][2]int64
+
+// Preprocess implements Appendix C.1: it strengthens an arbitrary guard
+// formula psi (which holds on the current database D under the given
+// parameter binding) into a conjunction of linear constraints over
+// database objects only.
+//
+//   - Conjuncts that are linear atoms are kept; strict inequalities are
+//     normalized to non-strict using integrality (t < 0 becomes t+1 <= 0).
+//   - Parameter occurrences in inequality conjuncts are replaced by their
+//     worst-case bound so the constraint holds for every parameter value in
+//     range; if no bounds are known the parameter is fixed to its current
+//     value.
+//   - Any conjunct outside the linear fragment (disjunctions, negations of
+//     non-atoms, disequalities, nonlinear atoms, equalities with
+//     parameters) is replaced by constraints fixing each database object it
+//     mentions to its current value — "any variables involved in the
+//     subexpression have their values fixed to the current ones".
+//
+// The result implies psi, so enforcing it enforces psi.
+func Preprocess(psi logic.Formula, db lang.Database, params map[string]int64, bounds ParamBounds) (Global, error) {
+	// Verify psi actually holds on D (it is the matched symbolic-table
+	// row, so this is an internal consistency check).
+	holds, err := logic.EvalFormula(psi, logic.DBBinding(db, params, nil))
+	if err != nil {
+		return Global{}, fmt.Errorf("treaty: evaluating psi on D: %w", err)
+	}
+	if !holds {
+		return Global{}, fmt.Errorf("treaty: psi does not hold on the current database")
+	}
+
+	var out []lia.Constraint
+	fixed := make(map[logic.Var]bool)
+	for _, conj := range logic.Conjuncts(psi) {
+		cs, err := lia.FormulaToConstraints(conj)
+		if err != nil {
+			// Outside the linear fragment: fix every object it mentions.
+			out = append(out, fixVars(conj, db, fixed)...)
+			continue
+		}
+		ok := true
+		var normalized []lia.Constraint
+		for _, c := range cs {
+			nc, convOK := strengthenParams(c, params, bounds)
+			if !convOK {
+				ok = false
+				break
+			}
+			normalized = append(normalized, normalizeStrict(nc))
+		}
+		if !ok {
+			out = append(out, fixVars(conj, db, fixed)...)
+			continue
+		}
+		out = append(out, normalized...)
+	}
+	// Sanity: every remaining variable is an object variable.
+	for _, c := range out {
+		for _, v := range c.Term.Vars() {
+			if v.Kind != logic.ObjVar {
+				return Global{}, fmt.Errorf("treaty: preprocessing left non-object variable %s", v)
+			}
+		}
+	}
+	g := Global{Constraints: out}
+	if !g.Holds(db) {
+		return Global{}, fmt.Errorf("treaty: internal error: preprocessed treaty does not hold on D")
+	}
+	return g, nil
+}
+
+// strengthenParams eliminates parameter variables from a constraint. For
+// inequalities each parameter contribution is replaced by its worst-case
+// (largest) value over the parameter's range; for equalities any parameter
+// makes the clause non-strengthenable and the caller falls back to fixing.
+func strengthenParams(c lia.Constraint, params map[string]int64, bounds ParamBounds) (lia.Constraint, bool) {
+	nc := c.Clone()
+	for _, v := range c.Term.Vars() {
+		switch v.Kind {
+		case logic.ObjVar:
+			continue
+		case logic.ParamVar:
+			coeff := nc.Term.Coeffs[v]
+			delete(nc.Term.Coeffs, v)
+			if nc.Op == lia.EQ {
+				return lia.Constraint{}, false
+			}
+			if b, ok := bounds[v.Name]; ok {
+				// Worst case for "term <= 0" maximizes coeff*p.
+				lo, hi := b[0], b[1]
+				w := coeff * hi
+				if coeff < 0 {
+					w = coeff * lo
+				}
+				nc.Term.Const += w
+			} else if val, ok := params[v.Name]; ok {
+				nc.Term.Const += coeff * val
+			} else {
+				return lia.Constraint{}, false
+			}
+		default:
+			return lia.Constraint{}, false
+		}
+	}
+	return nc, true
+}
+
+// normalizeStrict rewrites t < 0 as t + 1 <= 0 (valid over integers).
+func normalizeStrict(c lia.Constraint) lia.Constraint {
+	if c.Op != lia.LT {
+		return c
+	}
+	nc := c.Clone()
+	nc.Term.Const++
+	nc.Op = lia.LE
+	return nc
+}
+
+// fixVars emits x = D(x) constraints for every object variable mentioned
+// by the formula, deduplicating across conjuncts.
+func fixVars(f logic.Formula, db lang.Database, fixed map[logic.Var]bool) []lia.Constraint {
+	vars := make(map[logic.Var]bool)
+	logic.FormulaVars(f, vars)
+	var out []lia.Constraint
+	for _, v := range logic.SortedVars(vars) {
+		if v.Kind != logic.ObjVar || fixed[v] {
+			continue
+		}
+		fixed[v] = true
+		t := lia.NewTerm()
+		t.AddVar(v, 1)
+		t.Const = -db.Get(lang.ObjID(v.Name))
+		out = append(out, lia.Constraint{Term: t, Op: lia.EQ})
+	}
+	return out
+}

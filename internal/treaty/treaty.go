@@ -1,0 +1,393 @@
+// Package treaty implements treaty generation for the homeostasis
+// protocol (Section 4 and Appendix C of the paper): preprocessing a
+// symbolic-table guard into a conjunction of linear constraints, deriving
+// per-site local-treaty templates with configuration variables, the
+// always-valid default configuration of Theorem 4.3, and the MaxSAT-based
+// optimizer of Algorithm 1.
+package treaty
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/lia"
+	"repro/internal/logic"
+)
+
+// Placement maps each database object to the site that owns it.
+type Placement func(lang.ObjID) int
+
+// Global is a global treaty: a conjunction of linear constraints over
+// database objects, each in canonical form Term op 0 with op in {LE, EQ}
+// (strict inequalities are normalized away using integrality).
+type Global struct {
+	Constraints []lia.Constraint
+}
+
+// Holds reports whether the database satisfies the global treaty.
+func (g Global) Holds(db lang.Database) bool {
+	b := logic.DBBinding(db, nil, nil)
+	for _, c := range g.Constraints {
+		ok, err := c.Eval(b)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (g Global) String() string {
+	parts := make([]string, len(g.Constraints))
+	for i, c := range g.Constraints {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " && ")
+}
+
+// Local is the local treaty of one site: constraints over that site's
+// objects only, obtained by instantiating the template's configuration
+// variables.
+type Local struct {
+	Site        int
+	Constraints []lia.Constraint
+}
+
+// Holds reports whether the (site-local view of the) database satisfies
+// the local treaty.
+func (l Local) Holds(db lang.Database) bool {
+	b := logic.DBBinding(db, nil, nil)
+	for _, c := range l.Constraints {
+		ok, err := c.Eval(b)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (l Local) String() string {
+	parts := make([]string, len(l.Constraints))
+	for i, c := range l.Constraints {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("site %d: %s", l.Site, strings.Join(parts, " && "))
+}
+
+// SiteClause is one site's share of a global clause: the sum of the
+// clause's terms over objects local to the site, plus a fresh
+// configuration variable.
+type SiteClause struct {
+	Site      int
+	LocalTerm lia.Term
+	Config    logic.Var
+}
+
+// TemplateClause pairs a global clause with its per-site split.
+type TemplateClause struct {
+	Global lia.Constraint
+	Sites  []SiteClause // indexed by site id 0..NSites-1
+}
+
+// Template is the set of local treaty templates for all sites
+// (Section 4.2): a per-clause, per-site decomposition with configuration
+// variables awaiting instantiation.
+type Template struct {
+	NSites  int
+	Clauses []TemplateClause
+}
+
+// Config assigns integer values to configuration variables.
+type Config map[logic.Var]int64
+
+// BuildTemplate splits each global constraint by site ownership, creating
+// one configuration variable per (clause, site) pair, exactly as in the
+// paper: a clause sum d_i x_i (op) n becomes, at site k,
+// sum_{Loc(x_i)=k} d_i x_i + c_k (op) n.
+func BuildTemplate(g Global, nSites int, place Placement) (*Template, error) {
+	t := &Template{NSites: nSites}
+	for j, gc := range g.Constraints {
+		if gc.Op == lia.LT {
+			return nil, fmt.Errorf("treaty: clause %d not normalized (LT)", j)
+		}
+		tc := TemplateClause{Global: gc.Clone()}
+		locals := make([]lia.Term, nSites)
+		for k := range locals {
+			locals[k] = lia.NewTerm()
+		}
+		for _, v := range gc.Term.Vars() {
+			if v.Kind != logic.ObjVar {
+				return nil, fmt.Errorf("treaty: clause %d mentions non-object variable %s", j, v)
+			}
+			site := place(lang.ObjID(v.Name))
+			if site < 0 || site >= nSites {
+				return nil, fmt.Errorf("treaty: object %s placed on invalid site %d", v.Name, site)
+			}
+			locals[site].AddVar(v, gc.Term.Coeffs[v])
+		}
+		for k := 0; k < nSites; k++ {
+			tc.Sites = append(tc.Sites, SiteClause{
+				Site:      k,
+				LocalTerm: locals[k],
+				Config:    logic.Config(fmt.Sprintf("c%d_%d", j, k)),
+			})
+		}
+		t.Clauses = append(t.Clauses, tc)
+	}
+	return t, nil
+}
+
+// ConfigVars lists every configuration variable of the template in
+// deterministic order.
+func (t *Template) ConfigVars() []logic.Var {
+	set := make(map[logic.Var]bool)
+	for _, tc := range t.Clauses {
+		for _, sc := range tc.Sites {
+			set[sc.Config] = true
+		}
+	}
+	return logic.SortedVars(set)
+}
+
+// localSum evaluates the site-local part of a clause on a database.
+func localSum(term lia.Term, db lang.Database) int64 {
+	sum := term.Const
+	for v, c := range term.Coeffs {
+		sum += c * db.Get(lang.ObjID(v.Name))
+	}
+	return sum
+}
+
+// DefaultConfig is the Theorem 4.3 configuration, valid for any database
+// satisfying the global treaty: c_k = n - S_k(D) for inequality clauses
+// and the complementary-sum value (which coincides) for equalities. Under
+// it, each site's local treaty pins its local sum at the current value.
+func (t *Template) DefaultConfig(db lang.Database) Config {
+	cfg := make(Config)
+	for _, tc := range t.Clauses {
+		// Canonical clause: Term + 0 (op) 0 with n = -Term.Const.
+		n := -tc.Global.Term.Const
+		for _, sc := range tc.Sites {
+			cfg[sc.Config] = n - localSum(sc.LocalTerm, db)
+		}
+	}
+	return cfg
+}
+
+// LocalTreaty instantiates site k's local treaty under the configuration:
+// for each clause, sum_{local} d_i x_i + c_k + C (op) 0.
+func (t *Template) LocalTreaty(site int, cfg Config) (Local, error) {
+	out := Local{Site: site}
+	for j, tc := range t.Clauses {
+		sc := tc.Sites[site]
+		val, ok := cfg[sc.Config]
+		if !ok {
+			return Local{}, fmt.Errorf("treaty: clause %d site %d: unassigned config %s",
+				j, site, sc.Config)
+		}
+		term := sc.LocalTerm.Clone()
+		term.Const += val + tc.Global.Term.Const
+		out.Constraints = append(out.Constraints, lia.Constraint{Term: term, Op: tc.Global.Op})
+	}
+	return out, nil
+}
+
+// LocalTreaties instantiates every site's local treaty.
+func (t *Template) LocalTreaties(cfg Config) ([]Local, error) {
+	out := make([]Local, t.NSites)
+	for k := 0; k < t.NSites; k++ {
+		l, err := t.LocalTreaty(k, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = l
+	}
+	return out, nil
+}
+
+// HardConstraints returns the constraints over configuration variables
+// that make a configuration valid (requirement H1: the conjunction of
+// local treaties must imply the global treaty):
+//
+//   - inequality clause with bound n: sum_k c_k >= (K-1) * n
+//   - equality clause: each c_k is pinned to n - S_k(D)
+//
+// plus requirement H2 (each local treaty holds on the current database D):
+// c_k <= n - S_k(D) for inequalities.
+func (t *Template) HardConstraints(db lang.Database) []lia.Constraint {
+	var out []lia.Constraint
+	for _, tc := range t.Clauses {
+		n := -tc.Global.Term.Const
+		k := int64(t.NSites)
+		switch tc.Global.Op {
+		case lia.LE:
+			// H1: (K-1)*n - sum_k c_k <= 0.
+			h1 := lia.NewTerm()
+			h1.Const = (k - 1) * n
+			for _, sc := range tc.Sites {
+				h1.AddVar(sc.Config, -1)
+			}
+			out = append(out, lia.Constraint{Term: h1, Op: lia.LE})
+			// H2 per site: c_k - (n - S_k(D)) <= 0.
+			for _, sc := range tc.Sites {
+				h2 := lia.NewTerm()
+				h2.AddVar(sc.Config, 1)
+				h2.Const = localSum(sc.LocalTerm, db) - n
+				out = append(out, lia.Constraint{Term: h2, Op: lia.LE})
+			}
+		case lia.EQ:
+			for _, sc := range tc.Sites {
+				eq := lia.NewTerm()
+				eq.AddVar(sc.Config, 1)
+				eq.Const = localSum(sc.LocalTerm, db) - n
+				out = append(out, lia.Constraint{Term: eq, Op: lia.EQ})
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks that a configuration is a valid treaty configuration:
+// H2 directly on D, and H1 by linear-arithmetic implication (the
+// conjunction of all local treaties implies every global clause). This is
+// the Lemma 4.2 / Theorem 4.3 property.
+func (t *Template) Validate(cfg Config, db lang.Database) error {
+	locals, err := t.LocalTreaties(cfg)
+	if err != nil {
+		return err
+	}
+	var all []lia.Constraint
+	for _, l := range locals {
+		if !l.Holds(db) {
+			return fmt.Errorf("treaty: H2 violated: %s does not hold on current database", l)
+		}
+		all = append(all, l.Constraints...)
+	}
+	var global []lia.Constraint
+	for _, tc := range t.Clauses {
+		global = append(global, tc.Global)
+	}
+	if !lia.ImpliesAll(all, global) {
+		return fmt.Errorf("treaty: H1 violated: local treaties do not imply the global treaty")
+	}
+	return nil
+}
+
+// SoftConstraint is one Algorithm 1 soft constraint: "all local treaty
+// templates hold on a sampled future database D_j", expressed as bounds on
+// configuration variables.
+type SoftConstraint struct {
+	Constraints []lia.Constraint
+}
+
+// SoftFor builds the soft constraint for a future database: for each
+// inequality clause and site, c_k <= n - S_k(D_j). Equality clauses are
+// already pinned by the hard constraints and contribute nothing soft.
+func (t *Template) SoftFor(db lang.Database) SoftConstraint {
+	var out SoftConstraint
+	for _, tc := range t.Clauses {
+		if tc.Global.Op != lia.LE {
+			continue
+		}
+		n := -tc.Global.Term.Const
+		for _, sc := range tc.Sites {
+			cterm := lia.NewTerm()
+			cterm.AddVar(sc.Config, 1)
+			cterm.Const = localSum(sc.LocalTerm, db) - n
+			out.Constraints = append(out.Constraints, lia.Constraint{Term: cterm, Op: lia.LE})
+		}
+	}
+	return out
+}
+
+// EqualSplitConfig is the hand-crafted demarcation-style configuration the
+// paper uses as its OPT baseline (Section 6.1): for each inequality
+// clause, the slack between the current state and the treaty boundary is
+// split equally among the sites, which is optimal for uniform workloads.
+// Equality clauses are pinned as in DefaultConfig.
+func (t *Template) EqualSplitConfig(db lang.Database) Config {
+	cfg := make(Config)
+	for _, tc := range t.Clauses {
+		n := -tc.Global.Term.Const
+		switch tc.Global.Op {
+		case lia.EQ:
+			for _, sc := range tc.Sites {
+				cfg[sc.Config] = n - localSum(sc.LocalTerm, db)
+			}
+		case lia.LE:
+			total := int64(0)
+			for _, sc := range tc.Sites {
+				total += localSum(sc.LocalTerm, db)
+			}
+			slack := n - total
+			if slack < 0 {
+				slack = 0
+			}
+			k := int64(t.NSites)
+			share := slack / k
+			rem := slack - share*k
+			for i, sc := range tc.Sites {
+				extra := int64(0)
+				if int64(i) < rem {
+					extra = 1
+				}
+				cfg[sc.Config] = n - localSum(sc.LocalTerm, db) - share - extra
+			}
+		}
+	}
+	return cfg
+}
+
+// Rename returns a copy of the global treaty with every object variable
+// renamed through f. Workloads with many independent, identically-shaped
+// units (e.g. one stock quantity per item) analyze a single canonical unit
+// and rename the resulting treaty per concrete item — the parameterized
+// compression of Section 5.1.
+func (g Global) Rename(f func(lang.ObjID) lang.ObjID) Global {
+	out := Global{Constraints: make([]lia.Constraint, len(g.Constraints))}
+	for i, c := range g.Constraints {
+		nc := lia.Constraint{Term: lia.NewTerm(), Op: c.Op}
+		nc.Term.Const = c.Term.Const
+		for v, coeff := range c.Term.Coeffs {
+			if v.Kind == logic.ObjVar {
+				nc.Term.AddVar(logic.Obj(f(lang.ObjID(v.Name))), coeff)
+			} else {
+				nc.Term.AddVar(v, coeff)
+			}
+		}
+		out.Constraints[i] = nc
+	}
+	return out
+}
+
+// relaxIntoSlack lowers configuration values to consume any slack left in
+// the H1 budget of each inequality clause (sum_k c_k >= (K-1)*n), sharing
+// it equally among sites. Lowering c_k loosens site k's local treaty and
+// cannot break upper-bound constraints, so the result remains valid and
+// strictly dominates the input configuration.
+func (t *Template) relaxIntoSlack(cfg Config) {
+	for _, tc := range t.Clauses {
+		if tc.Global.Op != lia.LE {
+			continue
+		}
+		n := -tc.Global.Term.Const
+		k := int64(t.NSites)
+		sum := int64(0)
+		for _, sc := range tc.Sites {
+			sum += cfg[sc.Config]
+		}
+		excess := sum - (k-1)*n
+		if excess <= 0 {
+			continue
+		}
+		share := excess / k
+		rem := excess - share*k
+		for i, sc := range tc.Sites {
+			extra := int64(0)
+			if int64(i) < rem {
+				extra = 1
+			}
+			cfg[sc.Config] -= share + extra
+		}
+	}
+}
