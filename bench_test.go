@@ -11,15 +11,19 @@ import (
 	"repro/internal/experiments"
 )
 
-func benchExperiment(b *testing.B, name string) {
+// benchExperimentAt regenerates the experiment with the given sweep
+// parallelism (0 = GOMAXPROCS, the engine default).
+func benchExperimentAt(b *testing.B, name string, parallel int) {
 	b.Helper()
 	fn, ok := experiments.ByName(name)
 	if !ok {
 		b.Fatalf("unknown experiment %q", name)
 	}
+	sc := experiments.Bench
+	sc.Parallel = parallel
 	var lines int
 	for i := 0; i < b.N; i++ {
-		r, err := fn(experiments.Bench)
+		r, err := fn(sc)
 		if err != nil {
 			b.Fatalf("%s: %v", name, err)
 		}
@@ -29,6 +33,11 @@ func benchExperiment(b *testing.B, name string) {
 		}
 	}
 	b.ReportMetric(float64(lines), "series")
+}
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	benchExperimentAt(b, name, 0)
 }
 
 func BenchmarkTable1RTTMatrix(b *testing.B)            { benchExperiment(b, "table1") }
@@ -58,6 +67,19 @@ func BenchmarkFig28DistTPCCThroughputVsSkew(b *testing.B) {
 }
 func BenchmarkFig29DistTPCCSyncRatioVsSkew(b *testing.B) { benchExperiment(b, "fig29") }
 func BenchmarkAblationOptimizerVsDefault(b *testing.B)   { benchExperiment(b, "ablation") }
+
+// Serial counterparts of the largest multi-cell sweeps, for measuring the
+// parallel engine's speedup (compare against the default benchmarks
+// above, which fan cells across GOMAXPROCS workers).
+func BenchmarkFig17ThroughputVsClientsSerial(b *testing.B) {
+	benchExperimentAt(b, "fig17", 1)
+}
+func BenchmarkFig20TPCCThroughputVsSkewSerial(b *testing.B) {
+	benchExperimentAt(b, "fig20", 1)
+}
+func BenchmarkFig25ThroughputVsLookaheadSerial(b *testing.B) {
+	benchExperimentAt(b, "fig25", 1)
+}
 
 // TestExperimentNamesResolve pins the experiment registry: every listed
 // name resolves and ids are unique.

@@ -5,10 +5,13 @@
 //
 //	homeostasis-bench -list
 //	homeostasis-bench -experiment fig11
-//	homeostasis-bench -experiment all -scale quick
+//	homeostasis-bench -experiment all -scale quick -parallel 8 -progress
 //
 // Scales: "full" approximates the paper's setup at simulation-friendly
-// size; "quick" is a reduced regression scale.
+// size; "quick" is a reduced regression scale; "bench" is the smallest
+// smoke-test scale. Sweep cells (independent simulated clusters) are
+// fanned out across -parallel worker goroutines (default: all cores);
+// output is byte-identical for any -parallel value.
 package main
 
 import (
@@ -24,7 +27,9 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "", "experiment id (fig10..fig29, table1, ablation) or 'all'")
-		scaleName  = flag.String("scale", "full", "experiment scale: full or quick")
+		scaleName  = flag.String("scale", "full", "experiment scale: full, quick, or bench")
+		parallel   = flag.Int("parallel", 0, "max sweep cells simulated concurrently (0 = all cores)")
+		progress   = flag.Bool("progress", false, "report per-cell progress on stderr")
 		list       = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
@@ -37,7 +42,7 @@ func main() {
 		return
 	}
 	if *experiment == "" {
-		fmt.Fprintln(os.Stderr, "usage: homeostasis-bench -experiment <id|all> [-scale full|quick]")
+		fmt.Fprintln(os.Stderr, "usage: homeostasis-bench -experiment <id|all> [-scale full|quick|bench] [-parallel N]")
 		fmt.Fprintln(os.Stderr, "       homeostasis-bench -list")
 		os.Exit(2)
 	}
@@ -48,39 +53,51 @@ func main() {
 		sc = experiments.Full
 	case "quick":
 		sc = experiments.Quick
+	case "bench":
+		sc = experiments.Bench
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want full or quick)\n", *scaleName)
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want full, quick, or bench)\n", *scaleName)
 		os.Exit(2)
+	}
+	sc.Parallel = *parallel
+
+	runOne := func(name string) {
+		fn, ok := experiments.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", name)
+			os.Exit(2)
+		}
+		if *progress {
+			sc.OnProgress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", name, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		t0 := time.Now()
+		r, err := fn(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(r)
+		if r.Cells > 0 {
+			fmt.Printf("(%s: %d cells on %d workers in %.1fs)\n\n",
+				name, r.Cells, r.Workers, time.Since(t0).Seconds())
+		} else {
+			fmt.Printf("(%s regenerated in %.1fs)\n\n", name, time.Since(t0).Seconds())
+		}
 	}
 
 	if *experiment == "all" {
 		start := time.Now()
 		for _, name := range experiments.Names() {
-			fn, _ := experiments.ByName(name)
-			t0 := time.Now()
-			r, err := fn(sc)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "error:", name, err)
-				os.Exit(1)
-			}
-			fmt.Println(r)
-			fmt.Printf("(%s regenerated in %.1fs)\n\n", name, time.Since(t0).Seconds())
+			runOne(name)
 		}
-		fmt.Printf("(all experiments regenerated in %.1fs)\n", time.Since(start).Seconds())
+		fmt.Printf("(all experiments regenerated in %.1fs; %d simulation cells total)\n",
+			time.Since(start).Seconds(), experiments.TotalCells())
 		return
 	}
-
-	fn, ok := experiments.ByName(*experiment)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *experiment)
-		os.Exit(2)
-	}
-	start := time.Now()
-	r, err := fn(sc)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
-	}
-	fmt.Println(r)
-	fmt.Printf("(regenerated in %.1fs)\n", time.Since(start).Seconds())
+	runOne(*experiment)
 }

@@ -4,6 +4,12 @@
 // Report with the same rows/series the paper plots. The cmd/homeostasis-
 // bench CLI and the repository-root benchmarks are thin wrappers around
 // these functions.
+//
+// Sweeps run on the parallel experiment engine (runner.go): every sweep
+// point is an independent cell — an isolated simulated cluster — fanned
+// out across Scale.Parallel worker goroutines with ordered result
+// aggregation, so reports are byte-identical for any parallelism
+// setting.
 package experiments
 
 import (
@@ -34,6 +40,14 @@ type Scale struct {
 	TPCCStockPerWarehouse int
 	// Seed drives all randomness.
 	Seed int64
+	// Parallel bounds how many sweep cells the experiment engine
+	// simulates concurrently; 0 means GOMAXPROCS. Every cell is an
+	// isolated simulation with a seed derived only from the scale, so
+	// reports are byte-identical for any Parallel setting.
+	Parallel int
+	// OnProgress, when non-nil, is called as sweep cells complete. Calls
+	// are serialized by the engine but may come from worker goroutines.
+	OnProgress func(done, total int)
 }
 
 // Full is the default scale used by the CLI.
@@ -70,6 +84,12 @@ type Report struct {
 	ID    string
 	Title string
 	Lines []string
+	// Cells is the number of independent simulation cells the sweep ran
+	// and Workers the worker-pool size that ran them. Both are metadata
+	// for the CLI's metrics surface; String() excludes them so rendered
+	// output is identical across parallelism settings.
+	Cells   int
+	Workers int
 }
 
 func (r *Report) addf(format string, args ...any) {
@@ -95,15 +115,18 @@ type runCfg struct {
 	seedBump              int64
 }
 
+// runResult keeps only the measurements of a finished cell. It must not
+// reference the System: the parallel engine holds every cell's result
+// until ordered aggregation, and retaining the simulated cluster (stores,
+// treaties, units) would inflate the live heap across the whole sweep.
 type runResult struct {
 	col    *metrics.Collector
-	sys    *homeostasis.System
 	window sim.Duration
 }
 
 // run executes one configuration over the given workload factory (the
 // factory is invoked per run because workloads capture NSites).
-func run(cfg runCfg, makeWorkload func(nSites int) (workload.Workload, error)) (*runResult, error) {
+func run(cfg runCfg, makeWorkload workloadFactory) (*runResult, error) {
 	w, err := makeWorkload(cfg.nSites)
 	if err != nil {
 		return nil, err
@@ -135,7 +158,7 @@ func run(cfg runCfg, makeWorkload func(nSites int) (workload.Workload, error)) (
 		return nil, err
 	}
 	col := sys.Run()
-	return &runResult{col: col, sys: sys, window: cfg.scale.Measure}, nil
+	return &runResult{col: col, window: cfg.scale.Measure}, nil
 }
 
 func (r *runResult) throughputPerReplica(nSites int) float64 {
@@ -160,7 +183,7 @@ func max(a, b int) int {
 }
 
 // microFactory builds the Section 6.1 workload.
-func microFactory(sc Scale, refill int64, itemsPerTxn int) func(int) (workload.Workload, error) {
+func microFactory(sc Scale, refill int64, itemsPerTxn int) workloadFactory {
 	return func(nSites int) (workload.Workload, error) {
 		return micro.New(micro.Config{
 			Items:       sc.Items,
@@ -172,7 +195,7 @@ func microFactory(sc Scale, refill int64, itemsPerTxn int) func(int) (workload.W
 }
 
 // tpccFactory builds the Section 6.2 workload.
-func tpccFactory(sc Scale, h float64, mixNO, mixPay, mixDel int) func(int) (workload.Workload, error) {
+func tpccFactory(sc Scale, h float64, mixNO, mixPay, mixDel int) workloadFactory {
 	return func(nSites int) (workload.Workload, error) {
 		return tpcc.New(tpcc.Config{
 			Warehouses:            10,

@@ -1,0 +1,112 @@
+package experiments_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// runAt regenerates one experiment at Bench scale with the given
+// parallelism, checking the report is well-formed and non-empty.
+func runAt(t *testing.T, name string, parallel int) *experiments.Report {
+	t.Helper()
+	fn, ok := experiments.ByName(name)
+	if !ok {
+		t.Fatalf("experiment %q does not resolve", name)
+	}
+	sc := experiments.Bench
+	sc.Parallel = parallel
+	r, err := fn(sc)
+	if err != nil {
+		t.Fatalf("%s (parallel=%d): %v", name, parallel, err)
+	}
+	if len(r.Lines) == 0 {
+		t.Fatalf("%s (parallel=%d): empty report", name, parallel)
+	}
+	for i, line := range r.Lines {
+		if line == "" {
+			t.Fatalf("%s (parallel=%d): empty line %d", name, parallel, i)
+		}
+	}
+	return r
+}
+
+// TestExperimentsDeterministicAcrossParallelism runs every registered
+// experiment at Bench scale under the serial and the parallel engine and
+// requires byte-identical output: each sweep cell is an isolated
+// simulation whose seed depends only on the scale, so the worker count
+// must never leak into results. In -short mode only a representative
+// subset runs (one micro throughput sweep, one TPC-C sweep, the
+// ablation).
+func TestExperimentsDeterministicAcrossParallelism(t *testing.T) {
+	names := experiments.Names()
+	if testing.Short() {
+		names = []string{"fig11", "fig20", "ablation"}
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			serial := runAt(t, name, 1)
+			parallel := runAt(t, name, 4)
+			if serial.String() != parallel.String() {
+				t.Errorf("output differs between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					serial, parallel)
+			}
+			if serial.Cells != parallel.Cells {
+				t.Errorf("cell counts differ: %d vs %d", serial.Cells, parallel.Cells)
+			}
+			if name != "table1" && parallel.Cells == 0 {
+				t.Errorf("%s reports zero sweep cells", name)
+			}
+		})
+	}
+}
+
+// TestProgressCallback checks the engine's progress surface: callbacks
+// are serialized, monotonic, and end exactly at the cell count.
+func TestProgressCallback(t *testing.T) {
+	fn, _ := experiments.ByName("ablation")
+	sc := experiments.Bench
+	sc.Parallel = 4
+	var calls int32
+	last := 0
+	total := 0
+	sc.OnProgress = func(done, n int) {
+		atomic.AddInt32(&calls, 1)
+		if done != last+1 {
+			t.Errorf("progress jumped from %d to %d", last, done)
+		}
+		last = done
+		total = n
+	}
+	r, err := fn(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(calls) != r.Cells || last != r.Cells || total != r.Cells {
+		t.Errorf("progress saw %d/%d of %d cells", calls, last, r.Cells)
+	}
+}
+
+// TestWorkerCountMetadata pins the worker-pool sizing: explicit Parallel
+// wins, and the pool never exceeds the cell count.
+func TestWorkerCountMetadata(t *testing.T) {
+	fn, _ := experiments.ByName("ablation") // 3 cells
+	sc := experiments.Bench
+	sc.Parallel = 8
+	r, err := fn(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cells != 3 {
+		t.Fatalf("ablation ran %d cells, want 3", r.Cells)
+	}
+	if r.Workers != 3 {
+		t.Fatalf("ablation used %d workers, want 3 (capped by cells)", r.Workers)
+	}
+	if experiments.TotalCells() < int64(r.Cells) {
+		t.Fatalf("TotalCells() = %d, want >= %d", experiments.TotalCells(), r.Cells)
+	}
+}

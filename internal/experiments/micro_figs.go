@@ -21,21 +21,34 @@ var microModes = []homeostasis.Mode{
 	homeostasis.ModeTwoPC, homeostasis.ModeLocal,
 }
 
+var microSyncModes = []homeostasis.Mode{homeostasis.ModeHomeo, homeostasis.ModeOpt}
+
+// microCell builds one microbenchmark sweep cell.
+func microCell(sc Scale, mode homeostasis.Mode, nSites int, rtt sim.Duration, clients, lookahead int, refill int64, itemsPerTxn int) cell {
+	return cell{
+		cfg: runCfg{
+			mode: mode, nSites: nSites, rtt: rtt,
+			clients: clients, lookahead: lookahead, scale: sc,
+		},
+		factory: microFactory(sc, refill, itemsPerTxn),
+	}
+}
+
 // Fig10 reproduces "Latency with network RTT": latency percentiles for
 // each mode at RTT 50ms and 200ms.
 func Fig10(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 10", Title: "Latency by percentile vs network RTT (Nr=2, Nc=16)"}
-	for _, mode := range microModes {
-		for _, rtt := range []sim.Duration{50 * sim.Millisecond, 200 * sim.Millisecond} {
-			res, err := run(runCfg{
-				mode: mode, nSites: microDefaultSites, rtt: rtt,
-				clients: microDefaultClients, scale: sc,
-			}, microFactory(sc, microDefaultRefill, 1))
-			if err != nil {
-				return nil, err
-			}
+	rtts := []sim.Duration{50 * sim.Millisecond, 200 * sim.Millisecond}
+	at, err := sweepGrid(sc, r, len(microModes), len(rtts), func(mi, ti int) cell {
+		return microCell(sc, microModes[mi], microDefaultSites, rtts[ti], microDefaultClients, 0, microDefaultRefill, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mode := range microModes {
+		for ti, rtt := range rtts {
 			label := fmt.Sprintf("%s-t%d", mode, int64(rtt/sim.Millisecond))
-			r.Lines = append(r.Lines, latencyProfile(label, &res.col.Latency))
+			r.Lines = append(r.Lines, latencyProfile(label, &at(mi, ti).col.Latency))
 		}
 	}
 	return r, nil
@@ -45,20 +58,19 @@ func Fig10(sc Scale) (*Report, error) {
 func Fig11(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 11", Title: "Throughput per replica (txn/s) vs network RTT (Nr=2, Nc=16)"}
 	r.addf("%-8s %8s %8s %8s %8s", "rtt(ms)", "homeo", "opt", "2pc", "local")
-	for _, rttMs := range []int64{50, 100, 150, 200} {
-		vals := make([]float64, 0, 4)
-		for _, mode := range microModes {
-			res, err := run(runCfg{
-				mode: mode, nSites: microDefaultSites,
-				rtt:     sim.Duration(rttMs) * sim.Millisecond,
-				clients: microDefaultClients, scale: sc,
-			}, microFactory(sc, microDefaultRefill, 1))
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, res.throughputPerReplica(microDefaultSites))
-		}
-		r.addf("%-8d %8.0f %8.0f %8.0f %8.0f", rttMs, vals[0], vals[1], vals[2], vals[3])
+	rtts := []int64{50, 100, 150, 200}
+	at, err := sweepGrid(sc, r, len(rtts), len(microModes), func(ti, mi int) cell {
+		return microCell(sc, microModes[mi], microDefaultSites, sim.Duration(rtts[ti])*sim.Millisecond, microDefaultClients, 0, microDefaultRefill, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, rttMs := range rtts {
+		r.addf("%-8d %8.0f %8.0f %8.0f %8.0f", rttMs,
+			at(ti, 0).throughputPerReplica(microDefaultSites),
+			at(ti, 1).throughputPerReplica(microDefaultSites),
+			at(ti, 2).throughputPerReplica(microDefaultSites),
+			at(ti, 3).throughputPerReplica(microDefaultSites))
 	}
 	return r, nil
 }
@@ -67,20 +79,15 @@ func Fig11(sc Scale) (*Report, error) {
 func Fig12(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 12", Title: "Synchronization ratio (%) vs network RTT (Nr=2, Nc=16)"}
 	r.addf("%-8s %8s %8s", "rtt(ms)", "homeo", "opt")
-	for _, rttMs := range []int64{50, 100, 150, 200} {
-		vals := make([]float64, 0, 2)
-		for _, mode := range []homeostasis.Mode{homeostasis.ModeHomeo, homeostasis.ModeOpt} {
-			res, err := run(runCfg{
-				mode: mode, nSites: microDefaultSites,
-				rtt:     sim.Duration(rttMs) * sim.Millisecond,
-				clients: microDefaultClients, scale: sc,
-			}, microFactory(sc, microDefaultRefill, 1))
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, res.col.SyncRatio())
-		}
-		r.addf("%-8d %8.2f %8.2f", rttMs, vals[0], vals[1])
+	rtts := []int64{50, 100, 150, 200}
+	at, err := sweepGrid(sc, r, len(rtts), len(microSyncModes), func(ti, mi int) cell {
+		return microCell(sc, microSyncModes[mi], microDefaultSites, sim.Duration(rtts[ti])*sim.Millisecond, microDefaultClients, 0, microDefaultRefill, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, rttMs := range rtts {
+		r.addf("%-8d %8.2f %8.2f", rttMs, at(ti, 0).col.SyncRatio(), at(ti, 1).col.SyncRatio())
 	}
 	return r, nil
 }
@@ -88,16 +95,16 @@ func Fig12(sc Scale) (*Report, error) {
 // Fig13 reproduces "Latency with the number of replicas".
 func Fig13(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 13", Title: "Latency by percentile vs replicas (RTT=100ms, Nc=16)"}
-	for _, mode := range microModes {
-		for _, nr := range []int{2, 5} {
-			res, err := run(runCfg{
-				mode: mode, nSites: nr, rtt: microDefaultRTT,
-				clients: microDefaultClients, scale: sc,
-			}, microFactory(sc, microDefaultRefill, 1))
-			if err != nil {
-				return nil, err
-			}
-			r.Lines = append(r.Lines, latencyProfile(fmt.Sprintf("%s-r%d", mode, nr), &res.col.Latency))
+	replicas := []int{2, 5}
+	at, err := sweepGrid(sc, r, len(microModes), len(replicas), func(mi, ri int) cell {
+		return microCell(sc, microModes[mi], replicas[ri], microDefaultRTT, microDefaultClients, 0, microDefaultRefill, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mode := range microModes {
+		for ri, nr := range replicas {
+			r.Lines = append(r.Lines, latencyProfile(fmt.Sprintf("%s-r%d", mode, nr), &at(mi, ri).col.Latency))
 		}
 	}
 	return r, nil
@@ -107,19 +114,19 @@ func Fig13(sc Scale) (*Report, error) {
 func Fig14(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 14", Title: "Throughput per replica (txn/s) vs replicas (RTT=100ms, Nc=16)"}
 	r.addf("%-8s %8s %8s %8s %8s", "replicas", "homeo", "opt", "2pc", "local")
-	for nr := 2; nr <= 5; nr++ {
-		vals := make([]float64, 0, 4)
-		for _, mode := range microModes {
-			res, err := run(runCfg{
-				mode: mode, nSites: nr, rtt: microDefaultRTT,
-				clients: microDefaultClients, scale: sc,
-			}, microFactory(sc, microDefaultRefill, 1))
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, res.throughputPerReplica(nr))
-		}
-		r.addf("%-8d %8.0f %8.0f %8.0f %8.0f", nr, vals[0], vals[1], vals[2], vals[3])
+	replicas := []int{2, 3, 4, 5}
+	at, err := sweepGrid(sc, r, len(replicas), len(microModes), func(ri, mi int) cell {
+		return microCell(sc, microModes[mi], replicas[ri], microDefaultRTT, microDefaultClients, 0, microDefaultRefill, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, nr := range replicas {
+		r.addf("%-8d %8.0f %8.0f %8.0f %8.0f", nr,
+			at(ri, 0).throughputPerReplica(nr),
+			at(ri, 1).throughputPerReplica(nr),
+			at(ri, 2).throughputPerReplica(nr),
+			at(ri, 3).throughputPerReplica(nr))
 	}
 	return r, nil
 }
@@ -128,19 +135,15 @@ func Fig14(sc Scale) (*Report, error) {
 func Fig15(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 15", Title: "Synchronization ratio (%) vs replicas (RTT=100ms, Nc=16)"}
 	r.addf("%-8s %8s %8s", "replicas", "homeo", "opt")
-	for nr := 2; nr <= 5; nr++ {
-		vals := make([]float64, 0, 2)
-		for _, mode := range []homeostasis.Mode{homeostasis.ModeHomeo, homeostasis.ModeOpt} {
-			res, err := run(runCfg{
-				mode: mode, nSites: nr, rtt: microDefaultRTT,
-				clients: microDefaultClients, scale: sc,
-			}, microFactory(sc, microDefaultRefill, 1))
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, res.col.SyncRatio())
-		}
-		r.addf("%-8d %8.2f %8.2f", nr, vals[0], vals[1])
+	replicas := []int{2, 3, 4, 5}
+	at, err := sweepGrid(sc, r, len(replicas), len(microSyncModes), func(ri, mi int) cell {
+		return microCell(sc, microSyncModes[mi], replicas[ri], microDefaultRTT, microDefaultClients, 0, microDefaultRefill, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, nr := range replicas {
+		r.addf("%-8d %8.2f %8.2f", nr, at(ri, 0).col.SyncRatio(), at(ri, 1).col.SyncRatio())
 	}
 	return r, nil
 }
@@ -148,16 +151,16 @@ func Fig15(sc Scale) (*Report, error) {
 // Fig16 reproduces "Latency with the number of clients".
 func Fig16(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 16", Title: "Latency by percentile vs clients per replica (Nr=2, RTT=100ms)"}
-	for _, mode := range microModes {
-		for _, nc := range []int{1, 32} {
-			res, err := run(runCfg{
-				mode: mode, nSites: microDefaultSites, rtt: microDefaultRTT,
-				clients: nc, scale: sc,
-			}, microFactory(sc, microDefaultRefill, 1))
-			if err != nil {
-				return nil, err
-			}
-			r.Lines = append(r.Lines, latencyProfile(fmt.Sprintf("%s-c%d", mode, nc), &res.col.Latency))
+	clients := []int{1, 32}
+	at, err := sweepGrid(sc, r, len(microModes), len(clients), func(mi, ci int) cell {
+		return microCell(sc, microModes[mi], microDefaultSites, microDefaultRTT, clients[ci], 0, microDefaultRefill, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mode := range microModes {
+		for ci, nc := range clients {
+			r.Lines = append(r.Lines, latencyProfile(fmt.Sprintf("%s-c%d", mode, nc), &at(mi, ci).col.Latency))
 		}
 	}
 	return r, nil
@@ -167,19 +170,19 @@ func Fig16(sc Scale) (*Report, error) {
 func Fig17(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 17", Title: "Throughput per replica (txn/s) vs clients per replica (Nr=2, RTT=100ms)"}
 	r.addf("%-8s %8s %8s %8s %8s", "clients", "homeo", "opt", "2pc", "local")
-	for _, nc := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
-		vals := make([]float64, 0, 4)
-		for _, mode := range microModes {
-			res, err := run(runCfg{
-				mode: mode, nSites: microDefaultSites, rtt: microDefaultRTT,
-				clients: nc, scale: sc,
-			}, microFactory(sc, microDefaultRefill, 1))
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, res.throughputPerReplica(microDefaultSites))
-		}
-		r.addf("%-8d %8.0f %8.0f %8.0f %8.0f", nc, vals[0], vals[1], vals[2], vals[3])
+	clients := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	at, err := sweepGrid(sc, r, len(clients), len(microModes), func(ci, mi int) cell {
+		return microCell(sc, microModes[mi], microDefaultSites, microDefaultRTT, clients[ci], 0, microDefaultRefill, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, nc := range clients {
+		r.addf("%-8d %8.0f %8.0f %8.0f %8.0f", nc,
+			at(ci, 0).throughputPerReplica(microDefaultSites),
+			at(ci, 1).throughputPerReplica(microDefaultSites),
+			at(ci, 2).throughputPerReplica(microDefaultSites),
+			at(ci, 3).throughputPerReplica(microDefaultSites))
 	}
 	return r, nil
 }
@@ -188,19 +191,15 @@ func Fig17(sc Scale) (*Report, error) {
 func Fig18(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 18", Title: "Synchronization ratio (%) vs clients per replica (Nr=2, RTT=100ms)"}
 	r.addf("%-8s %8s %8s", "clients", "homeo", "opt")
-	for _, nc := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
-		vals := make([]float64, 0, 2)
-		for _, mode := range []homeostasis.Mode{homeostasis.ModeHomeo, homeostasis.ModeOpt} {
-			res, err := run(runCfg{
-				mode: mode, nSites: microDefaultSites, rtt: microDefaultRTT,
-				clients: nc, scale: sc,
-			}, microFactory(sc, microDefaultRefill, 1))
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, res.col.SyncRatio())
-		}
-		r.addf("%-8d %8.2f %8.2f", nc, vals[0], vals[1])
+	clients := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	at, err := sweepGrid(sc, r, len(clients), len(microSyncModes), func(ci, mi int) cell {
+		return microCell(sc, microSyncModes[mi], microDefaultSites, microDefaultRTT, clients[ci], 0, microDefaultRefill, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, nc := range clients {
+		r.addf("%-8d %8.2f %8.2f", nc, at(ci, 0).col.SyncRatio(), at(ci, 1).col.SyncRatio())
 	}
 	return r, nil
 }
@@ -211,16 +210,18 @@ func Fig18(sc Scale) (*Report, error) {
 func Fig24(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 24", Title: "Violation latency breakdown vs lookahead L (RTT=100ms, Nc=16, REFILL=100)"}
 	r.addf("%-6s %10s %10s %10s", "L", "local", "solver", "comm")
+	var lookaheads []int
 	for l := 10; l <= 100; l += 10 {
-		res, err := run(runCfg{
-			mode: homeostasis.ModeHomeo, nSites: microDefaultSites,
-			rtt: microDefaultRTT, clients: microDefaultClients,
-			lookahead: l, scale: sc,
-		}, microFactory(sc, microDefaultRefill, 1))
-		if err != nil {
-			return nil, err
-		}
-		local, solver, comm := res.col.ViolationBreakdown.Avg()
+		lookaheads = append(lookaheads, l)
+	}
+	at, err := sweepGrid(sc, r, len(lookaheads), 1, func(li, _ int) cell {
+		return microCell(sc, homeostasis.ModeHomeo, microDefaultSites, microDefaultRTT, microDefaultClients, lookaheads[li], microDefaultRefill, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, l := range lookaheads {
+		local, solver, comm := at(li, 0).col.ViolationBreakdown.Avg()
 		r.addf("%-6d %10v %10v %10v", l, local, solver, comm)
 	}
 	return r, nil
@@ -230,20 +231,22 @@ func Fig24(sc Scale) (*Report, error) {
 func Fig25(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 25", Title: "Throughput per replica (txn/s) vs lookahead L for REFILL values (RTT=100ms, Nc=16)"}
 	r.addf("%-6s %8s %8s %8s", "L", "rf10", "rf100", "rf1000")
+	refills := []int64{10, 100, 1000}
+	var lookaheads []int
 	for l := 10; l <= 100; l += 30 {
-		vals := make([]float64, 0, 3)
-		for _, rf := range []int64{10, 100, 1000} {
-			res, err := run(runCfg{
-				mode: homeostasis.ModeHomeo, nSites: microDefaultSites,
-				rtt: microDefaultRTT, clients: microDefaultClients,
-				lookahead: l, scale: sc,
-			}, microFactory(sc, rf, 1))
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, res.throughputPerReplica(microDefaultSites))
-		}
-		r.addf("%-6d %8.0f %8.0f %8.0f", l, vals[0], vals[1], vals[2])
+		lookaheads = append(lookaheads, l)
+	}
+	at, err := sweepGrid(sc, r, len(lookaheads), len(refills), func(li, fi int) cell {
+		return microCell(sc, homeostasis.ModeHomeo, microDefaultSites, microDefaultRTT, microDefaultClients, lookaheads[li], refills[fi], 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, l := range lookaheads {
+		r.addf("%-6d %8.0f %8.0f %8.0f", l,
+			at(li, 0).throughputPerReplica(microDefaultSites),
+			at(li, 1).throughputPerReplica(microDefaultSites),
+			at(li, 2).throughputPerReplica(microDefaultSites))
 	}
 	return r, nil
 }
@@ -253,20 +256,20 @@ func Fig25(sc Scale) (*Report, error) {
 func Fig26(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 26", Title: "Synchronization ratio (%) vs lookahead L for REFILL values (Nr=2, RTT=100ms, Nc=16)"}
 	r.addf("%-6s %8s %8s %8s", "L", "rf10", "rf100", "rf1000")
+	refills := []int64{10, 100, 1000}
+	var lookaheads []int
 	for l := 10; l <= 100; l += 30 {
-		vals := make([]float64, 0, 3)
-		for _, rf := range []int64{10, 100, 1000} {
-			res, err := run(runCfg{
-				mode: homeostasis.ModeHomeo, nSites: microDefaultSites,
-				rtt: microDefaultRTT, clients: microDefaultClients,
-				lookahead: l, scale: sc,
-			}, microFactory(sc, rf, 1))
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, res.col.SyncRatio())
-		}
-		r.addf("%-6d %8.2f %8.2f %8.2f", l, vals[0], vals[1], vals[2])
+		lookaheads = append(lookaheads, l)
+	}
+	at, err := sweepGrid(sc, r, len(lookaheads), len(refills), func(li, fi int) cell {
+		return microCell(sc, homeostasis.ModeHomeo, microDefaultSites, microDefaultRTT, microDefaultClients, lookaheads[li], refills[fi], 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, l := range lookaheads {
+		r.addf("%-6d %8.2f %8.2f %8.2f", l,
+			at(li, 0).col.SyncRatio(), at(li, 1).col.SyncRatio(), at(li, 2).col.SyncRatio())
 	}
 	return r, nil
 }
@@ -281,30 +284,29 @@ func Fig27(sc Scale) (*Report, error) {
 		header += fmt.Sprintf(" %9s", fmt.Sprintf("p%g", q))
 	}
 	r.Lines = append(r.Lines, header)
-	series := func(mode homeostasis.Mode, items int) error {
-		res, err := run(runCfg{
-			mode: mode, nSites: microDefaultSites, rtt: microDefaultRTT,
-			clients: 20, scale: sc,
-		}, microFactory(sc, microDefaultRefill, items))
-		if err != nil {
-			return err
-		}
-		line := fmt.Sprintf("%s-items%d    ", mode, items)
-		for _, q := range quantiles {
-			line += fmt.Sprintf(" %9v", res.col.Latency.Percentile(q))
-		}
-		r.Lines = append(r.Lines, line)
-		return nil
+	type seriesSpec struct {
+		mode  homeostasis.Mode
+		items int
 	}
+	var specs []seriesSpec
 	for items := 1; items <= 5; items++ {
-		if err := series(homeostasis.ModeHomeo, items); err != nil {
-			return nil, err
-		}
+		specs = append(specs, seriesSpec{homeostasis.ModeHomeo, items})
 	}
 	for _, items := range []int{1, 5} {
-		if err := series(homeostasis.ModeTwoPC, items); err != nil {
-			return nil, err
+		specs = append(specs, seriesSpec{homeostasis.ModeTwoPC, items})
+	}
+	at, err := sweepGrid(sc, r, len(specs), 1, func(si, _ int) cell {
+		return microCell(sc, specs[si].mode, microDefaultSites, microDefaultRTT, 20, 0, microDefaultRefill, specs[si].items)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range specs {
+		line := fmt.Sprintf("%s-items%d    ", s.mode, s.items)
+		for _, q := range quantiles {
+			line += fmt.Sprintf(" %9v", at(si, 0).col.Latency.Percentile(q))
 		}
+		r.Lines = append(r.Lines, line)
 	}
 	return r, nil
 }
@@ -315,19 +317,19 @@ func Fig27(sc Scale) (*Report, error) {
 func AblationOptimizer(sc Scale) (*Report, error) {
 	r := &Report{ID: "Ablation", Title: "Treaty generation strategies (micro, Nr=2, RTT=100ms, Nc=16)"}
 	r.addf("%-16s %10s %10s %10s", "strategy", "tput/rep", "sync(%)", "p50")
-	for _, mode := range []homeostasis.Mode{
+	modes := []homeostasis.Mode{
 		homeostasis.ModeHomeo, homeostasis.ModeOpt, homeostasis.ModeHomeoDefault,
-	} {
-		res, err := run(runCfg{
-			mode: mode, nSites: microDefaultSites, rtt: microDefaultRTT,
-			clients: microDefaultClients, scale: sc,
-		}, microFactory(sc, microDefaultRefill, 1))
-		if err != nil {
-			return nil, err
-		}
+	}
+	at, err := sweepGrid(sc, r, len(modes), 1, func(mi, _ int) cell {
+		return microCell(sc, modes[mi], microDefaultSites, microDefaultRTT, microDefaultClients, 0, microDefaultRefill, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mode := range modes {
 		r.addf("%-16s %10.0f %10.2f %10v", mode,
-			res.throughputPerReplica(microDefaultSites),
-			res.col.SyncRatio(), res.col.Latency.Percentile(50))
+			at(mi, 0).throughputPerReplica(microDefaultSites),
+			at(mi, 0).col.SyncRatio(), at(mi, 0).col.Latency.Percentile(50))
 	}
 	return r, nil
 }

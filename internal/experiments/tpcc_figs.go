@@ -11,25 +11,15 @@ import (
 // New Order only.
 const tpccDefaultClients = 8
 
-// Fig19 reproduces "Latency with workload skew": New Order latency
-// percentiles for H = 1 and H = 50 under opt, homeo, and 2PC.
-func Fig19(sc Scale) (*Report, error) {
-	r := &Report{ID: "Figure 19", Title: "TPC-C New Order latency by percentile vs skew H (Nr=2 UE/UW, Nc=8)"}
-	for _, mode := range []homeostasis.Mode{
-		homeostasis.ModeOpt, homeostasis.ModeHomeo, homeostasis.ModeTwoPC,
-	} {
-		for _, h := range []float64{1, 50} {
-			res, err := run(runCfg{
-				mode: mode, nSites: 2, ec2: true, clients: tpccClients(mode),
-				measureName: "NewOrder", scale: sc,
-			}, tpccFactory(sc, h, 45, 45, 10))
-			if err != nil {
-				return nil, err
-			}
-			r.Lines = append(r.Lines, latencyProfile(fmt.Sprintf("%s-h%g", mode, h), &res.col.Latency))
-		}
+// tpccCell builds one TPC-C sweep cell on the EC2 topology.
+func tpccCell(sc Scale, mode homeostasis.Mode, nSites, clients int, measureName string, h float64, mixNO, mixPay, mixDel int) cell {
+	return cell{
+		cfg: runCfg{
+			mode: mode, nSites: nSites, ec2: true, clients: clients,
+			measureName: measureName, scale: sc,
+		},
+		factory: tpccFactory(sc, h, mixNO, mixPay, mixDel),
 	}
-	return r, nil
 }
 
 // tpccClients returns the client count per replica: 8 normally, but 1 for
@@ -45,26 +35,48 @@ func tpccClients(mode homeostasis.Mode) int {
 	return tpccDefaultClients
 }
 
+// Fig19 reproduces "Latency with workload skew": New Order latency
+// percentiles for H = 1 and H = 50 under opt, homeo, and 2PC.
+func Fig19(sc Scale) (*Report, error) {
+	r := &Report{ID: "Figure 19", Title: "TPC-C New Order latency by percentile vs skew H (Nr=2 UE/UW, Nc=8)"}
+	modes := []homeostasis.Mode{
+		homeostasis.ModeOpt, homeostasis.ModeHomeo, homeostasis.ModeTwoPC,
+	}
+	skews := []float64{1, 50}
+	at, err := sweepGrid(sc, r, len(modes), len(skews), func(mi, hi int) cell {
+		return tpccCell(sc, modes[mi], 2, tpccClients(modes[mi]), "NewOrder", skews[hi], 45, 45, 10)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mode := range modes {
+		for hi, h := range skews {
+			r.Lines = append(r.Lines, latencyProfile(fmt.Sprintf("%s-h%g", mode, h), &at(mi, hi).col.Latency))
+		}
+	}
+	return r, nil
+}
+
 // Fig20 reproduces "Throughput with workload skew": New Order throughput
 // per replica as H grows.
 func Fig20(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 20", Title: "TPC-C New Order throughput per replica (txn/s) vs skew H (Nr=2 UE/UW, Nc=8)"}
 	r.addf("%-6s %8s %8s %8s", "H", "opt", "homeo", "2pc-c1")
-	for _, h := range []float64{5, 10, 20, 30, 40, 50} {
-		vals := make([]float64, 0, 3)
-		for _, mode := range []homeostasis.Mode{
-			homeostasis.ModeOpt, homeostasis.ModeHomeo, homeostasis.ModeTwoPC,
-		} {
-			res, err := run(runCfg{
-				mode: mode, nSites: 2, ec2: true, clients: tpccClients(mode),
-				measureName: "NewOrder", scale: sc,
-			}, tpccFactory(sc, h, 45, 45, 10))
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, res.throughputPerReplica(2))
-		}
-		r.addf("%-6g %8.1f %8.1f %8.1f", h, vals[0], vals[1], vals[2])
+	skews := []float64{5, 10, 20, 30, 40, 50}
+	modes := []homeostasis.Mode{
+		homeostasis.ModeOpt, homeostasis.ModeHomeo, homeostasis.ModeTwoPC,
+	}
+	at, err := sweepGrid(sc, r, len(skews), len(modes), func(hi, mi int) cell {
+		return tpccCell(sc, modes[mi], 2, tpccClients(modes[mi]), "NewOrder", skews[hi], 45, 45, 10)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for hi, h := range skews {
+		r.addf("%-6g %8.1f %8.1f %8.1f", h,
+			at(hi, 0).throughputPerReplica(2),
+			at(hi, 1).throughputPerReplica(2),
+			at(hi, 2).throughputPerReplica(2))
 	}
 	return r, nil
 }
@@ -73,20 +85,17 @@ func Fig20(sc Scale) (*Report, error) {
 // topology (replicas added in Table 1 order) at H = 10.
 func Fig21(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 21", Title: "TPC-C New Order latency by percentile vs replicas (EC2 topology, Nc=8, H=10)"}
-	for _, mode := range []homeostasis.Mode{homeostasis.ModeHomeo, homeostasis.ModeTwoPC} {
-		for _, nr := range []int{2, 5} {
-			clients := tpccDefaultClients
-			if mode == homeostasis.ModeTwoPC {
-				clients = 1 // the paper could only run one 2PC client per replica
-			}
-			res, err := run(runCfg{
-				mode: mode, nSites: nr, ec2: true, clients: clients,
-				measureName: "NewOrder", scale: sc,
-			}, tpccFactory(sc, 10, 45, 45, 10))
-			if err != nil {
-				return nil, err
-			}
-			r.Lines = append(r.Lines, latencyProfile(fmt.Sprintf("%s-r%d", mode, nr), &res.col.Latency))
+	modes := []homeostasis.Mode{homeostasis.ModeHomeo, homeostasis.ModeTwoPC}
+	replicas := []int{2, 5}
+	at, err := sweepGrid(sc, r, len(modes), len(replicas), func(mi, ri int) cell {
+		return tpccCell(sc, modes[mi], replicas[ri], tpccClients(modes[mi]), "NewOrder", 10, 45, 45, 10)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mode := range modes {
+		for ri, nr := range replicas {
+			r.Lines = append(r.Lines, latencyProfile(fmt.Sprintf("%s-r%d", mode, nr), &at(mi, ri).col.Latency))
 		}
 	}
 	return r, nil
@@ -98,24 +107,18 @@ func Fig21(sc Scale) (*Report, error) {
 func Fig22(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 22", Title: "TPC-C New Order throughput per replica (txn/s) vs replicas (EC2 topology, H=10)"}
 	r.addf("%-8s %10s %10s %12s", "replicas", "homeo-c8", "2pc-c1", "2pc-c8(est)")
-	for nr := 2; nr <= 5; nr++ {
-		homeoRes, err := run(runCfg{
-			mode: homeostasis.ModeHomeo, nSites: nr, ec2: true,
-			clients: tpccDefaultClients, measureName: "NewOrder", scale: sc,
-		}, tpccFactory(sc, 10, 45, 45, 10))
-		if err != nil {
-			return nil, err
-		}
-		twoPCRes, err := run(runCfg{
-			mode: homeostasis.ModeTwoPC, nSites: nr, ec2: true,
-			clients: 1, measureName: "NewOrder", scale: sc,
-		}, tpccFactory(sc, 10, 45, 45, 10))
-		if err != nil {
-			return nil, err
-		}
-		t2 := twoPCRes.throughputPerReplica(nr)
+	replicas := []int{2, 3, 4, 5}
+	modes := []homeostasis.Mode{homeostasis.ModeHomeo, homeostasis.ModeTwoPC}
+	at, err := sweepGrid(sc, r, len(replicas), len(modes), func(ri, mi int) cell {
+		return tpccCell(sc, modes[mi], replicas[ri], tpccClients(modes[mi]), "NewOrder", 10, 45, 45, 10)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, nr := range replicas {
+		t2 := at(ri, 1).throughputPerReplica(nr)
 		r.addf("%-8d %10.1f %10.1f %12.1f", nr,
-			homeoRes.throughputPerReplica(nr), t2, 8*t2)
+			at(ri, 0).throughputPerReplica(nr), t2, 8*t2)
 	}
 	return r, nil
 }
@@ -126,27 +129,20 @@ func Fig22(sc Scale) (*Report, error) {
 func Fig28(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 28", Title: "Distributed TPC-C overall throughput (txn/s) vs H (2 DCs, mix 49/49/2)"}
 	r.addf("%-6s %10s %10s %10s", "H", "homeo", "opt", "2pc(est)")
-	for _, h := range []float64{1, 10, 20, 30, 40, 50} {
-		vals := make([]float64, 0, 2)
-		for _, mode := range []homeostasis.Mode{homeostasis.ModeHomeo, homeostasis.ModeOpt} {
-			res, err := run(runCfg{
-				mode: mode, nSites: 2, ec2: true, clients: tpccDefaultClients,
-				scale: sc,
-			}, tpccFactory(sc, h, 49, 49, 2))
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, res.col.Throughput())
-		}
-		twoPC, err := run(runCfg{
-			mode: homeostasis.ModeTwoPC, nSites: 2, ec2: true, clients: 1,
-			scale: sc,
-		}, tpccFactory(sc, h, 49, 49, 2))
-		if err != nil {
-			return nil, err
-		}
-		r.addf("%-6g %10.0f %10.0f %10.0f", h, vals[0], vals[1],
-			8*twoPC.col.Throughput())
+	skews := []float64{1, 10, 20, 30, 40, 50}
+	modes := []homeostasis.Mode{
+		homeostasis.ModeHomeo, homeostasis.ModeOpt, homeostasis.ModeTwoPC,
+	}
+	at, err := sweepGrid(sc, r, len(skews), len(modes), func(hi, mi int) cell {
+		return tpccCell(sc, modes[mi], 2, tpccClients(modes[mi]), "", skews[hi], 49, 49, 2)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for hi, h := range skews {
+		r.addf("%-6g %10.0f %10.0f %10.0f", h,
+			at(hi, 0).col.Throughput(), at(hi, 1).col.Throughput(),
+			8*at(hi, 2).col.Throughput())
 	}
 	return r, nil
 }
@@ -156,19 +152,16 @@ func Fig28(sc Scale) (*Report, error) {
 func Fig29(sc Scale) (*Report, error) {
 	r := &Report{ID: "Figure 29", Title: "Distributed TPC-C synchronization ratio (%) vs H (2 DCs, mix 49/49/2)"}
 	r.addf("%-6s %8s %8s", "H", "homeo", "opt")
-	for _, h := range []float64{1, 10, 20, 30, 40, 50} {
-		vals := make([]float64, 0, 2)
-		for _, mode := range []homeostasis.Mode{homeostasis.ModeHomeo, homeostasis.ModeOpt} {
-			res, err := run(runCfg{
-				mode: mode, nSites: 2, ec2: true, clients: tpccDefaultClients,
-				scale: sc,
-			}, tpccFactory(sc, h, 49, 49, 2))
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, res.col.SyncRatio())
-		}
-		r.addf("%-6g %8.2f %8.2f", h, vals[0], vals[1])
+	skews := []float64{1, 10, 20, 30, 40, 50}
+	modes := []homeostasis.Mode{homeostasis.ModeHomeo, homeostasis.ModeOpt}
+	at, err := sweepGrid(sc, r, len(skews), len(modes), func(hi, mi int) cell {
+		return tpccCell(sc, modes[mi], 2, tpccDefaultClients, "", skews[hi], 49, 49, 2)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for hi, h := range skews {
+		r.addf("%-6g %8.2f %8.2f", h, at(hi, 0).col.SyncRatio(), at(hi, 1).col.SyncRatio())
 	}
 	return r, nil
 }

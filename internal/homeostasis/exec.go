@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/lang"
-	"repro/internal/logic"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -36,26 +35,36 @@ func (sys *System) execHomeo(p *sim.Proc, site int, req workload.Request) (synce
 		cpu := sys.CPUs[site]
 		cpu.Acquire(p)
 		p.Sleep(sys.Opts.LocalExecTime)
-		committed, violated := func() (bool, bool) {
+		committed, violated, checkErr := func() (bool, bool, error) {
 			tx := sys.Stores[site].Begin(p)
 			defer tx.Abort()
 			view := &deltaView{tx: tx, site: site, nSites: sys.Opts.Topo.NSites()}
 			if execErr := req.Exec(view); execErr != nil {
-				return false, false
+				return false, false, nil
 			}
 			// Pre-commit check: would committing leave the site's state
 			// inside its local treaties? The store already reflects the
 			// tentative writes.
 			for _, u := range units {
-				if !sys.localTreatyHolds(u, site) {
-					return false, true
+				holds, err := sys.localTreatyHolds(u, site)
+				if err != nil {
+					// A treaty that cannot be evaluated is a protocol
+					// error, not a violation: it must not trigger a
+					// synchronization round.
+					return false, false, err
+				}
+				if !holds {
+					return false, true, nil
 				}
 			}
 			tx.Commit()
 			sys.logCommit(req, site, view.log)
-			return true, false
+			return true, false, nil
 		}()
 		cpu.Release()
+		if checkErr != nil {
+			return synced, fmt.Errorf("homeostasis: request %s: %w", req.Name, checkErr)
+		}
 		if committed {
 			return synced, nil
 		}
@@ -91,19 +100,17 @@ func (sys *System) execHomeo(p *sim.Proc, site int, req workload.Request) (synce
 }
 
 // localTreatyHolds evaluates the site's local treaty for the unit against
-// the site store's current (tentative) state.
-func (sys *System) localTreatyHolds(u *unitState, site int) bool {
-	s := sys.Stores[site]
-	bind := func(v logic.Var) (int64, bool) {
-		return s.Get(lang.ObjID(v.Name)), true
+// the site store's current (tentative) state, using the constraint
+// closures compiled at the last negotiation round (see
+// treaty.Compile). The compiled form pre-resolves object ids and cannot
+// fail during evaluation; a unit with no compiled treaty for the site is
+// reported as an error, which callers must keep distinct from a treaty
+// violation — only the latter starts a synchronization round.
+func (sys *System) localTreatyHolds(u *unitState, site int) (bool, error) {
+	if site < 0 || site >= len(u.compiled) {
+		return false, fmt.Errorf("unit %d has no compiled local treaty for site %d", u.id, site)
 	}
-	for _, c := range u.locals[site].Constraints {
-		ok, err := c.Eval(bind)
-		if err != nil || !ok {
-			return false
-		}
-	}
-	return true
+	return u.compiled[site].Holds(sys.Stores[site]), nil
 }
 
 // waitForUnit parks until the unit is not negotiating.

@@ -115,9 +115,13 @@ type Committed struct {
 
 // unitState is the runtime state of one treaty unit.
 type unitState struct {
-	id          int
-	objects     []lang.ObjID
-	locals      []treaty.Local
+	id      int
+	objects []lang.ObjID
+	locals  []treaty.Local
+	// compiled holds the per-site constraint closures for the current
+	// negotiation round (same indexing as locals). The pre-commit check
+	// evaluates these instead of interpreting the lia.Constraint trees.
+	compiled    []treaty.CompiledLocal
 	negotiating bool
 	waiters     []*sim.Proc
 	version     int64
@@ -312,7 +316,16 @@ func (sys *System) generateTreaties(u *unitState, folded lang.Database) error {
 	if err != nil {
 		return err
 	}
+	// Compile once per round: the per-commit check runs orders of
+	// magnitude more often than negotiation. Compilation also validates
+	// the treaty (no stray non-object variables), so the commit-path
+	// evaluation cannot fail.
+	compiled, err := treaty.CompileLocals(locals)
+	if err != nil {
+		return fmt.Errorf("homeostasis: unit %d: %w", u.id, err)
+	}
 	u.locals = locals
+	u.compiled = compiled
 	u.version++
 	return nil
 }
