@@ -30,6 +30,7 @@ func main() {
 		scaleName  = flag.String("scale", "full", "experiment scale: full, quick, or bench")
 		parallel   = flag.Int("parallel", 0, "max sweep cells simulated concurrently (0 = all cores)")
 		progress   = flag.Bool("progress", false, "report per-cell progress on stderr")
+		verbose    = flag.Bool("v", false, "print per-sweep totals (commits, drops, store counters) after each report")
 		list       = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
@@ -82,6 +83,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(r)
+		if *verbose && r.Cells > 0 {
+			fmt.Printf("(%s totals: %s)\n", name, r.Totals)
+		}
 		if r.Cells > 0 {
 			fmt.Printf("(%s: %d cells on %d workers in %.1fs)\n\n",
 				name, r.Cells, r.Workers, time.Since(t0).Seconds())

@@ -1,0 +1,430 @@
+// Command homeostasis-serve boots a live multi-site homeostasis cluster
+// and serves transactions in real time. It is the wall-clock counterpart
+// of cmd/homeostasis-bench: the same protocol core (internal/store,
+// internal/homeostasis) runs on internal/rtlive instead of the simulator,
+// so site CPU caps, lock timeouts, and WAN round trips are real waits and
+// real concurrency limits.
+//
+// Serving mode (default) exposes HTTP/JSON:
+//
+//	homeostasis-serve -workload tpcc -sites 3 -addr :8080
+//	curl -s -X POST localhost:8080/txn -d '{"site":0}'
+//	curl -s localhost:8080/stats
+//
+// POST /txn executes one transaction drawn from the workload's request
+// mix at the given site (round-robin when omitted) and reports its name,
+// latency, and whether it triggered a treaty synchronization. GET /stats
+// reports cluster-wide throughput, latency percentiles, dropped requests,
+// and per-site 2PL store counters. GET /healthz is a liveness probe.
+//
+// Drive mode runs a built-in closed-loop load driver instead of serving:
+//
+//	homeostasis-serve -workload tpcc -drive clients=8,duration=5s
+//
+// It starts the given number of clients per site, measures for the given
+// duration, prints real throughput and latency percentiles through the
+// same metrics collector the experiments use, verifies the commit log is
+// observationally equivalent under serial replay (Theorem 3.8), and exits
+// nonzero on zero commits or a failed check.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/homeostasis"
+	"repro/internal/micro"
+	"repro/internal/rt"
+	"repro/internal/rtlive"
+	"repro/internal/tpcc"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "tpcc", "workload: micro or tpcc")
+		modeName     = flag.String("mode", "homeo", "protocol: homeo, opt, homeo-default, 2pc, or local")
+		sites        = flag.Int("sites", 2, "number of replica sites")
+		rtt          = flag.Duration("rtt", 50*time.Millisecond, "uniform inter-site round-trip time (really slept)")
+		cpu          = flag.Int("cpu", 4, "CPU slots per site (a real concurrency limit)")
+		execTime     = flag.Duration("exec-time", 2*time.Millisecond, "local execution service time per transaction")
+		lockTimeout  = flag.Duration("lock-timeout", time.Second, "2PL lock-wait timeout")
+		items        = flag.Int("items", 200, "micro: stock items")
+		refill       = flag.Int64("refill", 100, "micro: REFILL constant")
+		warehouses   = flag.Int("warehouses", 2, "tpcc: warehouses")
+		stock        = flag.Int("stock", 30, "tpcc: stock rows per warehouse")
+		seed         = flag.Int64("seed", 1, "seed for treaty optimization and request draws")
+		addr         = flag.String("addr", ":8080", "serving mode: HTTP listen address")
+		drive        = flag.String("drive", "", "drive mode: clients=N,duration=5s (closed-loop load, then exit)")
+		warmup       = flag.Duration("warmup", 250*time.Millisecond, "drive mode: warm-up before measuring")
+		checkReplay  = flag.Bool("check-replay", true, "drive mode: verify serial-replay equivalence of the commit log")
+		verbose      = flag.Bool("v", false, "drive mode: also print per-site store counters")
+	)
+	flag.Parse()
+
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := buildWorkload(*workloadName, *sites, *items, *refill, *warehouses, *stock, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := homeostasis.Options{
+		Mode:             mode,
+		Topo:             cluster.Uniform(*sites, rt.Duration(*rtt)),
+		CPUPerSite:       *cpu,
+		LocalExecTime:    rt.Duration(*execTime),
+		LockTimeout:      rt.Duration(*lockTimeout),
+		Seed:             *seed,
+		MaxTxnsPerClient: 0,
+	}
+
+	if *drive != "" {
+		clients, duration, err := parseDrive(*drive)
+		if err != nil {
+			fatal(err)
+		}
+		opts.ClientsPerSite = clients
+		opts.Warmup = rt.Duration(*warmup)
+		opts.Measure = rt.Duration(duration)
+		opts.EnableLog = *checkReplay && mode != homeostasis.ModeLocal
+		runDrive(w, opts, *checkReplay, *verbose)
+		return
+	}
+
+	opts.EnableLog = false
+	runServe(w, opts, *addr)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "homeostasis-serve:", err)
+	os.Exit(1)
+}
+
+func parseMode(s string) (homeostasis.Mode, error) {
+	switch strings.ToLower(s) {
+	case "homeo":
+		return homeostasis.ModeHomeo, nil
+	case "opt":
+		return homeostasis.ModeOpt, nil
+	case "homeo-default":
+		return homeostasis.ModeHomeoDefault, nil
+	case "2pc":
+		return homeostasis.ModeTwoPC, nil
+	case "local":
+		return homeostasis.ModeLocal, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func buildWorkload(name string, sites, items int, refill int64, warehouses, stock int, seed int64) (workload.Workload, error) {
+	switch strings.ToLower(name) {
+	case "micro":
+		return micro.New(micro.Config{Items: items, Refill: refill, NSites: sites})
+	case "tpcc":
+		return tpcc.New(tpcc.Config{
+			Warehouses:            warehouses,
+			DistrictsPerWarehouse: 2,
+			StockPerWarehouse:     stock,
+			Customers:             200,
+			NSites:                sites,
+			Seed:                  seed,
+		})
+	}
+	return nil, fmt.Errorf("unknown workload %q (want micro or tpcc)", name)
+}
+
+// parseDrive parses "clients=N,duration=5s".
+func parseDrive(s string) (clients int, duration time.Duration, err error) {
+	clients, duration = 4, 5*time.Second
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return 0, 0, fmt.Errorf("drive: bad option %q (want clients=N,duration=5s)", part)
+		}
+		switch kv[0] {
+		case "clients":
+			clients, err = strconv.Atoi(kv[1])
+			if err != nil || clients <= 0 {
+				return 0, 0, fmt.Errorf("drive: bad clients %q", kv[1])
+			}
+		case "duration":
+			duration, err = time.ParseDuration(kv[1])
+			if err != nil || duration <= 0 {
+				return 0, 0, fmt.Errorf("drive: bad duration %q", kv[1])
+			}
+		default:
+			return 0, 0, fmt.Errorf("drive: unknown option %q", kv[0])
+		}
+	}
+	return clients, duration, nil
+}
+
+// runDrive boots the cluster and runs the closed-loop load driver: the
+// same System.Run path the experiments use, except the runtime is real.
+func runDrive(w workload.Workload, opts homeostasis.Options, checkReplay, verbose bool) {
+	live := rtlive.New(opts.Seed)
+	bootStart := time.Now()
+	sys, err := homeostasis.New(live, w, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("booted %s on %d sites in %v (mode %v, %d units)\n",
+		w.Name(), opts.Topo.NSites(), time.Since(bootStart).Round(time.Millisecond), opts.Mode, w.NumUnits())
+	fmt.Printf("driving %d clients/site for %v (warmup %v)...\n",
+		opts.ClientsPerSite, rt.Duration(opts.Measure), rt.Duration(opts.Warmup))
+
+	col := sys.Run()
+
+	fmt.Printf("\ncommitted:        %d (%.1f txn/s real)\n", col.Committed, col.Throughput())
+	fmt.Printf("sync ratio:       %.2f%%\n", col.SyncRatio())
+	fmt.Printf("conflict aborts:  %d\n", col.AbortedConflicts)
+	fmt.Printf("dropped:          %d\n", col.Dropped)
+	fmt.Printf("latency:          p50=%v p90=%v p99=%v max=%v\n",
+		col.Latency.Percentile(50), col.Latency.Percentile(90),
+		col.Latency.Percentile(99), col.Latency.Max())
+	fmt.Printf("store (cluster):  %s\n", sys.StoreStats())
+	if verbose {
+		for site, s := range sys.SiteStats() {
+			fmt.Printf("store (site %d):   %s\n", site, s)
+		}
+	}
+
+	failed := false
+	if col.Committed == 0 {
+		fmt.Println("FAIL: no transactions committed in the measurement window")
+		failed = true
+	}
+	if checkReplay && opts.Mode != homeostasis.ModeLocal {
+		if err := sys.CheckReplayEquivalence(); err != nil {
+			fmt.Println("FAIL: replay equivalence:", err)
+			failed = true
+		} else {
+			fmt.Printf("replay check:     OK (%d committed transactions observationally equivalent under serial replay)\n",
+				len(sys.CommitLog))
+		}
+	}
+	if live.Live() != 0 {
+		fmt.Printf("FAIL: %d processes still alive after drain\n", live.Live())
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// server is the HTTP serving state: the live system plus per-request
+// bookkeeping that lives outside the runtime's execution contract.
+type server struct {
+	live *rtlive.Runtime
+	sys  *homeostasis.System
+	w    workload.Workload
+
+	mu  sync.Mutex // guards rng (request draws happen on handler goroutines)
+	rng *rand.Rand
+
+	nextID   atomic.Int64
+	nextSite atomic.Int64
+	start    time.Time
+}
+
+// txnRequest is the POST /txn body. All fields are optional.
+type txnRequest struct {
+	// Site executes the transaction at a specific site; -1 or absent
+	// round-robins.
+	Site *int `json:"site,omitempty"`
+}
+
+// txnResponse reports one executed transaction.
+type txnResponse struct {
+	Name      string  `json:"name"`
+	Args      []int64 `json:"args"`
+	Site      int     `json:"site"`
+	Committed bool    `json:"committed"`
+	Synced    bool    `json:"synced"`
+	LatencyMS float64 `json:"latency_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
+func (s *server) handleTxn(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var body txnRequest
+	if req.Body != nil {
+		// An empty body is fine; decode errors on present bodies are not.
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+			http.Error(rw, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	n := s.sys.Opts.Topo.NSites()
+	site := int(s.nextSite.Add(1)-1) % n
+	if body.Site != nil {
+		site = *body.Site
+		if site < 0 || site >= n {
+			http.Error(rw, fmt.Sprintf("site %d out of range [0,%d)", site, n), http.StatusBadRequest)
+			return
+		}
+	}
+	s.mu.Lock()
+	txn := s.w.Next(s.rng, site)
+	s.mu.Unlock()
+
+	resp := txnResponse{Name: txn.Name, Args: txn.Args, Site: site}
+	ran := s.live.Exec(int(s.nextID.Add(1)), func(p rt.Proc) {
+		start := p.Now()
+		synced, err := s.sys.ExecRequest(p, site, txn)
+		lat := rt.Duration(p.Now() - start)
+		resp.LatencyMS = float64(lat) / float64(rt.Millisecond)
+		if err != nil {
+			resp.Error = err.Error()
+			s.sys.Col.RecordDropped()
+			return
+		}
+		resp.Committed = true
+		resp.Synced = synced
+		s.sys.Col.RecordCommit(lat, synced)
+	})
+	if !ran {
+		http.Error(rw, "server draining", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(rw, resp)
+}
+
+// statsResponse is the GET /stats body.
+type statsResponse struct {
+	Workload  string  `json:"workload"`
+	Mode      string  `json:"mode"`
+	Sites     int     `json:"sites"`
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Committed      int64            `json:"committed"`
+	Synced         int64            `json:"synced"`
+	SyncRatioPct   float64          `json:"sync_ratio_pct"`
+	ConflictAborts int64            `json:"conflict_aborts"`
+	Dropped        int64            `json:"dropped"`
+	ThroughputTxnS float64          `json:"throughput_txn_s"`
+	LatencyP50MS   float64          `json:"latency_p50_ms"`
+	LatencyP90MS   float64          `json:"latency_p90_ms"`
+	LatencyP99MS   float64          `json:"latency_p99_ms"`
+	LatencyMaxMS   float64          `json:"latency_max_ms"`
+	StoreCluster   storeStatsJSON   `json:"store_cluster"`
+	StorePerSite   []storeStatsJSON `json:"store_per_site"`
+}
+
+type storeStatsJSON struct {
+	Commits   int64 `json:"commits"`
+	Aborts    int64 `json:"aborts"`
+	Deadlocks int64 `json:"deadlocks"`
+	Timeouts  int64 `json:"timeouts"`
+}
+
+func toJSONStats(s homeostasis.StoreStats) storeStatsJSON {
+	return storeStatsJSON{Commits: s.Commits, Aborts: s.Aborts, Deadlocks: s.Deadlocks, Timeouts: s.Timeouts}
+}
+
+func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
+	resp := statsResponse{
+		Workload:  s.w.Name(),
+		Mode:      s.sys.Opts.Mode.String(),
+		Sites:     s.sys.Opts.Topo.NSites(),
+		UptimeSec: time.Since(s.start).Seconds(),
+	}
+	// Snapshot under the execution contract: the collector and stores are
+	// shared protocol state.
+	s.live.Locked(func() {
+		col := s.sys.Col
+		col.End = s.live.Now() // rolling window end for the throughput rate
+		resp.Committed = col.Committed
+		resp.Synced = col.Synced
+		resp.SyncRatioPct = col.SyncRatio()
+		resp.ConflictAborts = col.AbortedConflicts
+		resp.Dropped = col.Dropped
+		resp.ThroughputTxnS = col.Throughput()
+		resp.LatencyP50MS = ms(col.Latency.Percentile(50))
+		resp.LatencyP90MS = ms(col.Latency.Percentile(90))
+		resp.LatencyP99MS = ms(col.Latency.Percentile(99))
+		resp.LatencyMaxMS = ms(col.Latency.Max())
+		resp.StoreCluster = toJSONStats(s.sys.StoreStats())
+		for _, st := range s.sys.SiteStats() {
+			resp.StorePerSite = append(resp.StorePerSite, toJSONStats(st))
+		}
+	})
+	writeJSON(rw, resp)
+}
+
+func ms(d rt.Duration) float64 { return float64(d) / float64(rt.Millisecond) }
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// runServe boots the cluster and serves transactions over HTTP until
+// SIGINT/SIGTERM.
+func runServe(w workload.Workload, opts homeostasis.Options, addr string) {
+	live := rtlive.New(opts.Seed)
+	bootStart := time.Now()
+	sys, err := homeostasis.New(live, w, opts)
+	if err != nil {
+		fatal(err)
+	}
+	// No warm-up window in serving mode: measure from the start.
+	sys.Col.Measuring = true
+	sys.Col.Start = live.Now()
+
+	srv := &server{
+		live:  live,
+		sys:   sys,
+		w:     w,
+		rng:   rand.New(rand.NewSource(opts.Seed + 101)),
+		start: time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/txn", srv.handleTxn)
+	mux.HandleFunc("/stats", srv.handleStats)
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(rw, "ok")
+	})
+
+	httpSrv := &http.Server{Addr: addr, Handler: mux}
+	fmt.Printf("booted %s on %d sites in %v (mode %v, %d units)\n",
+		w.Name(), opts.Topo.NSites(), time.Since(bootStart).Round(time.Millisecond), opts.Mode, w.NumUnits())
+	fmt.Printf("serving on %s  (POST /txn, GET /stats, GET /healthz)\n", addr)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-sigc:
+	}
+	fmt.Println("\nshutting down...")
+	httpSrv.Close()
+	live.Drain()
+	fmt.Printf("final: committed=%d dropped=%d store: %s\n",
+		sys.Col.Committed, sys.Col.Dropped, sys.StoreStats())
+}

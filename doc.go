@@ -16,13 +16,17 @@
 //     (DPLL, Fu-Malik, Fourier-Motzkin) standing in for Z3;
 //   - internal/homeostasis: the protocol runtime (Section 3.3) plus the
 //     2PC / local / OPT baselines over per-site 2PL stores
-//     (internal/store) on a deterministic discrete-event simulation
-//     (internal/sim, internal/cluster);
+//     (internal/store), programmed against the internal/rt runtime
+//     contract so the same core runs on the deterministic discrete-event
+//     simulator (internal/sim, internal/cluster) and on the wall-clock
+//     serving runtime (internal/rtlive);
 //   - internal/micro, internal/tpcc: the Section 6 workloads;
 //   - internal/experiments: one runner per evaluation table/figure.
 //
 // Entry points: cmd/homeostasis-bench regenerates the paper's evaluation,
-// cmd/homeostasis-analyze exposes the offline analyzer, examples/ holds
-// runnable walkthroughs, and bench_test.go in this directory hosts the
-// benchmark harness (one testing.B benchmark per table and figure).
+// cmd/homeostasis-serve serves live transactions over HTTP (and hosts a
+// closed-loop load driver), cmd/homeostasis-analyze exposes the offline
+// analyzer, examples/ holds runnable walkthroughs, and bench_test.go in
+// this directory hosts the benchmark harness (one testing.B benchmark
+// per table and figure).
 package repro

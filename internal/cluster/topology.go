@@ -6,13 +6,13 @@ package cluster
 import (
 	"fmt"
 
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // Topology holds symmetric one-way latencies between sites.
 type Topology struct {
 	n      int
-	oneWay [][]sim.Duration
+	oneWay [][]rt.Duration
 	names  []string
 }
 
@@ -28,15 +28,15 @@ func (t *Topology) Name(site int) string {
 }
 
 // OneWay returns the one-way latency between two sites.
-func (t *Topology) OneWay(a, b int) sim.Duration { return t.oneWay[a][b] }
+func (t *Topology) OneWay(a, b int) rt.Duration { return t.oneWay[a][b] }
 
 // RTT returns the round-trip time between two sites.
-func (t *Topology) RTT(a, b int) sim.Duration { return 2 * t.oneWay[a][b] }
+func (t *Topology) RTT(a, b int) rt.Duration { return 2 * t.oneWay[a][b] }
 
 // MaxOneWayFrom returns the worst one-way latency from the given site to
 // any other site.
-func (t *Topology) MaxOneWayFrom(site int) sim.Duration {
-	var max sim.Duration
+func (t *Topology) MaxOneWayFrom(site int) rt.Duration {
+	var max rt.Duration
 	for other := 0; other < t.n; other++ {
 		if other != site && t.oneWay[site][other] > max {
 			max = t.oneWay[site][other]
@@ -46,16 +46,16 @@ func (t *Topology) MaxOneWayFrom(site int) sim.Duration {
 }
 
 // MaxRTTFrom returns the worst round trip from the given site.
-func (t *Topology) MaxRTTFrom(site int) sim.Duration {
+func (t *Topology) MaxRTTFrom(site int) rt.Duration {
 	return 2 * t.MaxOneWayFrom(site)
 }
 
 // Uniform builds a topology of n sites with identical pairwise RTT, as in
 // the microbenchmark experiments (Section 6.1, simulated RTTs).
-func Uniform(n int, rtt sim.Duration) *Topology {
-	t := &Topology{n: n, oneWay: make([][]sim.Duration, n)}
+func Uniform(n int, rtt rt.Duration) *Topology {
+	t := &Topology{n: n, oneWay: make([][]rt.Duration, n)}
 	for i := range t.oneWay {
-		t.oneWay[i] = make([]sim.Duration, n)
+		t.oneWay[i] = make([]rt.Duration, n)
 		for j := range t.oneWay[i] {
 			if i != j {
 				t.oneWay[i][j] = rtt / 2
@@ -93,11 +93,11 @@ func EC2(n int) *Topology {
 	if n < 1 || n > 5 {
 		panic(fmt.Sprintf("cluster: EC2 topology supports 1..5 sites, got %d", n))
 	}
-	t := &Topology{n: n, oneWay: make([][]sim.Duration, n), names: table1Names[:n]}
+	t := &Topology{n: n, oneWay: make([][]rt.Duration, n), names: table1Names[:n]}
 	for i := range t.oneWay {
-		t.oneWay[i] = make([]sim.Duration, n)
+		t.oneWay[i] = make([]rt.Duration, n)
 		for j := range t.oneWay[i] {
-			t.oneWay[i][j] = sim.Duration(table1RTT[i][j]) * sim.Millisecond / 2
+			t.oneWay[i][j] = rt.Duration(table1RTT[i][j]) * rt.Millisecond / 2
 		}
 	}
 	return t

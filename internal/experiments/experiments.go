@@ -90,6 +90,36 @@ type Report struct {
 	// output is identical across parallelism settings.
 	Cells   int
 	Workers int
+	// Totals aggregates per-cell run counters across the sweep. Metadata
+	// for the CLI's -v surface; String() excludes it so rendered reports
+	// stay byte-identical to the goldens.
+	Totals RunTotals
+}
+
+// RunTotals sums a sweep's per-cell measurement counters: the collector's
+// commit/sync/drop counts plus the cluster-wide 2PL store counters.
+type RunTotals struct {
+	Committed        int64
+	Synced           int64
+	AbortedConflicts int64
+	Dropped          int64
+	Store            homeostasis.StoreStats
+}
+
+func (t RunTotals) String() string {
+	return fmt.Sprintf("committed=%d synced=%d conflict-aborts=%d dropped=%d | store: %s",
+		t.Committed, t.Synced, t.AbortedConflicts, t.Dropped, t.Store)
+}
+
+func (t *RunTotals) add(r *runResult) {
+	t.Committed += r.col.Committed
+	t.Synced += r.col.Synced
+	t.AbortedConflicts += r.col.AbortedConflicts
+	t.Dropped += r.col.Dropped
+	t.Store.Commits += r.stats.Commits
+	t.Store.Aborts += r.stats.Aborts
+	t.Store.Deadlocks += r.stats.Deadlocks
+	t.Store.Timeouts += r.stats.Timeouts
 }
 
 func (r *Report) addf(format string, args ...any) {
@@ -122,6 +152,9 @@ type runCfg struct {
 type runResult struct {
 	col    *metrics.Collector
 	window sim.Duration
+	// stats is the cluster-wide store-counter summary, captured before
+	// the System is released (see the type comment).
+	stats homeostasis.StoreStats
 }
 
 // run executes one configuration over the given workload factory (the
@@ -158,7 +191,7 @@ func run(cfg runCfg, makeWorkload workloadFactory) (*runResult, error) {
 		return nil, err
 	}
 	col := sys.Run()
-	return &runResult{col: col, window: cfg.scale.Measure}, nil
+	return &runResult{col: col, window: cfg.scale.Measure, stats: sys.StoreStats()}, nil
 }
 
 func (r *runResult) throughputPerReplica(nSites int) float64 {

@@ -119,6 +119,9 @@ func sweep(sc Scale, r *Report, cells []cell) ([]*runResult, error) {
 	}
 	r.Cells = len(cells)
 	r.Workers = sc.workers(len(cells))
+	for _, cell := range res {
+		r.Totals.add(cell)
+	}
 	return res, nil
 }
 

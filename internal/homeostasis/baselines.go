@@ -3,7 +3,7 @@ package homeostasis
 import (
 	"fmt"
 
-	"repro/internal/sim"
+	"repro/internal/rt"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -14,7 +14,7 @@ import (
 // lock waits beyond the lock timeout (or deadlocks) abort the transaction
 // everywhere and the client retries, which is the conflict behavior that
 // degrades 2PC under contention (Figures 19-22).
-func (sys *System) execTwoPC(p *sim.Proc, site int, req workload.Request) error {
+func (sys *System) execTwoPC(p rt.Proc, site int, req workload.Request) error {
 	for attempt := 0; ; attempt++ {
 		if attempt > 200 {
 			return fmt.Errorf("homeostasis: 2PC request %s livelocked", req.Name)
@@ -31,14 +31,14 @@ func (sys *System) execTwoPC(p *sim.Proc, site int, req workload.Request) error 
 			shift = 6
 		}
 		window := int64(sys.Opts.LocalExecTime) * (1 << shift)
-		p.Sleep(sim.Duration(int64(sys.Opts.LocalExecTime) + sys.E.Rand().Int63n(window)))
+		p.Sleep(rt.Duration(int64(sys.Opts.LocalExecTime) + sys.E.Rand().Int63n(window)))
 	}
 }
 
 // twoPCAttempt performs one 2PC round trip, reporting whether it
 // committed. All transactions are closed on every exit path, including
 // deadline cancellation (the deferred aborts are no-ops after commit).
-func (sys *System) twoPCAttempt(p *sim.Proc, site int, req workload.Request) bool {
+func (sys *System) twoPCAttempt(p rt.Proc, site int, req workload.Request) bool {
 	n := sys.Opts.Topo.NSites()
 	cpu := sys.CPUs[site]
 	cpu.Acquire(p)
@@ -102,7 +102,7 @@ func (sys *System) twoPCAttempt(p *sim.Proc, site int, req workload.Request) boo
 // execLocal runs one request purely locally with no synchronization (the
 // "local" baseline: a bare-bones performance bound with no cross-site
 // consistency).
-func (sys *System) execLocal(p *sim.Proc, site int, req workload.Request) error {
+func (sys *System) execLocal(p rt.Proc, site int, req workload.Request) error {
 	cpu := sys.CPUs[site]
 	cpu.Acquire(p)
 	defer cpu.Release()

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/lang"
-	"repro/internal/sim"
+	"repro/internal/rt"
 	"repro/internal/workload"
 )
 
@@ -12,7 +12,7 @@ import (
 // OPT and the default-config ablation, which differ only in treaty
 // generation): disconnected local execution, pre-commit local treaty
 // check, and on violation the cleanup phase of Section 3.3.
-func (sys *System) execHomeo(p *sim.Proc, site int, req workload.Request) (synced bool, err error) {
+func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced bool, err error) {
 	units := make([]*unitState, len(req.Units))
 	for i, id := range req.Units {
 		units[i] = sys.Units[id]
@@ -114,7 +114,7 @@ func (sys *System) localTreatyHolds(u *unitState, site int) (bool, error) {
 }
 
 // waitForUnit parks until the unit is not negotiating.
-func (sys *System) waitForUnit(p *sim.Proc, u *unitState) {
+func (sys *System) waitForUnit(p rt.Proc, u *unitState) {
 	for u.negotiating {
 		u.waiters = append(u.waiters, p)
 		p.PrepPark()
@@ -142,7 +142,7 @@ func (sys *System) wakeUnitWaiters(u *unitState) {
 //     every site;
 //  3. generate new treaties for the next round (solver time) and
 //     distribute them (second communication round).
-func (sys *System) negotiate(p *sim.Proc, site int, units []*unitState, req workload.Request) error {
+func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req workload.Request) error {
 	for _, u := range units {
 		u.negotiating = true
 	}
@@ -188,7 +188,7 @@ func (sys *System) negotiate(p *sim.Proc, site int, units []*unitState, req work
 			}
 		}
 	}
-	comm1 := sim.Duration(p.Now() - commStart)
+	comm1 := rt.Duration(p.Now() - commStart)
 	// T' is now committed at every site: log it before any further park
 	// point so a deadline cancellation cannot leave it applied-but-
 	// unlogged.
@@ -209,12 +209,12 @@ func (sys *System) negotiate(p *sim.Proc, site int, units []*unitState, req work
 			break
 		}
 	}
-	solver := sim.Duration(p.Now() - solveStart)
+	solver := rt.Duration(p.Now() - solveStart)
 
 	// Round 2: distribute the new treaties.
 	comm2Start := p.Now()
 	p.Sleep(sys.Opts.Topo.MaxRTTFrom(site))
-	comm2 := sim.Duration(p.Now() - comm2Start)
+	comm2 := rt.Duration(p.Now() - comm2Start)
 
 	for _, u := range units {
 		u.negotiating = false

@@ -20,7 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/lang"
 	"repro/internal/metrics"
-	"repro/internal/sim"
+	"repro/internal/rt"
 	"repro/internal/store"
 	"repro/internal/treaty"
 	"repro/internal/workload"
@@ -75,21 +75,21 @@ type Options struct {
 	CPUPerSite int
 	// LocalExecTime is the service time of one transaction's local
 	// execution.
-	LocalExecTime sim.Duration
+	LocalExecTime rt.Duration
 	// LockTimeout mirrors MySQL's innodb_lock_wait_timeout (paper: 1s
 	// minimum).
-	LockTimeout sim.Duration
+	LockTimeout rt.Duration
 	// Lookahead (L) and CostFactor (f) are Algorithm 1's knobs.
 	Lookahead  int
 	CostFactor int
 	// SolverBase and SolverPerSample model the virtual time charged for
 	// treaty computation during negotiation: base plus per-sampled-write
 	// cost. The paper reports <50ms overall for its settings.
-	SolverBase      sim.Duration
-	SolverPerSample sim.Duration
+	SolverBase      rt.Duration
+	SolverPerSample rt.Duration
 	// Warmup and Measure are the warm-up and measurement windows.
-	Warmup  sim.Duration
-	Measure sim.Duration
+	Warmup  rt.Duration
+	Measure rt.Duration
 	// Seed drives all randomness.
 	Seed int64
 	// MaxTxnsPerClient optionally bounds work (0 = unbounded).
@@ -123,21 +123,26 @@ type unitState struct {
 	// evaluates these instead of interpreting the lia.Constraint trees.
 	compiled    []treaty.CompiledLocal
 	negotiating bool
-	waiters     []*sim.Proc
+	waiters     []rt.Proc
 	version     int64
 }
 
 // System is a running multi-site deployment.
 type System struct {
-	E      *sim.Engine
+	E      rt.Runtime
 	Opts   Options
 	W      workload.Workload
 	Stores []*store.Store
-	CPUs   []*sim.Resource
+	CPUs   []rt.Resource
 	Units  []*unitState
 	Col    *metrics.Collector
 
 	CommitLog []Committed
+
+	// deadline is the absolute end of the Run window, measured from when
+	// Run is called (on a live runtime, system construction consumes real
+	// time before Run starts).
+	deadline rt.Time
 
 	optRng *rand.Rand
 
@@ -159,15 +164,15 @@ type System struct {
 // database (base objects plus zeroed delta objects), CPU resources, and
 // per-unit treaties generated offline by the protocol initializer
 // (Section 5.1).
-func New(e *sim.Engine, w workload.Workload, opts Options) (*System, error) {
+func New(e rt.Runtime, w workload.Workload, opts Options) (*System, error) {
 	if opts.CPUPerSite <= 0 {
 		opts.CPUPerSite = 32
 	}
 	if opts.LocalExecTime == 0 {
-		opts.LocalExecTime = 2 * sim.Millisecond
+		opts.LocalExecTime = 2 * rt.Millisecond
 	}
 	if opts.LockTimeout == 0 {
-		opts.LockTimeout = sim.Second
+		opts.LockTimeout = rt.Second
 	}
 	if opts.Lookahead == 0 {
 		opts.Lookahead = 20
@@ -176,10 +181,10 @@ func New(e *sim.Engine, w workload.Workload, opts Options) (*System, error) {
 		opts.CostFactor = 3
 	}
 	if opts.SolverBase == 0 {
-		opts.SolverBase = 5 * sim.Millisecond
+		opts.SolverBase = 5 * rt.Millisecond
 	}
 	if opts.SolverPerSample == 0 {
-		opts.SolverPerSample = 500 * sim.Microsecond
+		opts.SolverPerSample = 500 * rt.Microsecond
 	}
 	n := opts.Topo.NSites()
 	sys := &System{
@@ -195,7 +200,7 @@ func New(e *sim.Engine, w workload.Workload, opts Options) (*System, error) {
 		s := store.New(e, initial)
 		s.LockTimeout = opts.LockTimeout
 		sys.Stores = append(sys.Stores, s)
-		sys.CPUs = append(sys.CPUs, sim.NewResource(e, opts.CPUPerSite))
+		sys.CPUs = append(sys.CPUs, e.NewResource(opts.CPUPerSite))
 	}
 	for u := 0; u < w.NumUnits(); u++ {
 		us := &unitState{id: u, objects: w.UnitObjects(u)}
@@ -334,22 +339,26 @@ func (sys *System) generateTreaties(u *unitState, folded lang.Database) error {
 // negotiation (Figure 24's "solver" component): base cost plus per-sample
 // cost of Algorithm 1's L*f simulated writes. OPT and the default
 // configuration are closed-form (base cost only).
-func (sys *System) solverTime() sim.Duration {
+func (sys *System) solverTime() rt.Duration {
 	switch sys.Opts.Mode {
 	case ModeHomeo:
 		return sys.Opts.SolverBase +
-			sim.Duration(sys.Opts.Lookahead*sys.Opts.CostFactor)*sys.Opts.SolverPerSample
+			rt.Duration(sys.Opts.Lookahead*sys.Opts.CostFactor)*sys.Opts.SolverPerSample
 	default:
 		return sys.Opts.SolverBase
 	}
 }
 
-// Run starts ClientsPerSite clients at every site and runs the simulation
-// through warm-up plus measurement, returning the collector.
+// Run starts ClientsPerSite clients at every site and runs the runtime
+// through warm-up plus measurement, returning the collector. On the
+// simulator this replays the whole run in virtual time; on a live runtime
+// (internal/rtlive) it is a closed-loop load driver measuring real
+// throughput and latency.
 func (sys *System) Run() *metrics.Collector {
 	n := sys.Opts.Topo.NSites()
-	deadline := sim.Time(sys.Opts.Warmup + sys.Opts.Measure)
-	sys.E.Deadline = deadline
+	deadline := sys.E.Now() + rt.Time(sys.Opts.Warmup+sys.Opts.Measure)
+	sys.deadline = deadline
+	sys.E.SetDeadline(deadline)
 	// Warm-up boundary: flip the collector into measuring mode.
 	sys.E.After(sys.Opts.Warmup, func() {
 		sys.Col.Measuring = true
@@ -359,46 +368,136 @@ func (sys *System) Run() *metrics.Collector {
 		for c := 0; c < sys.Opts.ClientsPerSite; c++ {
 			site := site
 			id := site*sys.Opts.ClientsPerSite + c
-			sys.E.Spawn(id, func(p *sim.Proc) {
+			sys.E.Spawn(id, func(p rt.Proc) {
 				sys.clientLoop(p, site, id)
 			})
 		}
 	}
 	sys.E.Run()
+	// Drain before reading the collector: on a live runtime processes keep
+	// executing past the deadline until cancelled, and the collector must
+	// not be read concurrently with them.
+	sys.E.Drain()
 	sys.Col.End = sys.E.Now()
 	if sys.Col.End > deadline {
 		sys.Col.End = deadline
 	}
-	sys.E.Drain()
 	return sys.Col
 }
 
 // clientLoop issues requests back-to-back until the deadline.
-func (sys *System) clientLoop(p *sim.Proc, site, id int) {
+func (sys *System) clientLoop(p rt.Proc, site, id int) {
 	rng := rand.New(rand.NewSource(sys.Opts.Seed*1_000_003 + int64(id)))
-	deadline := sim.Time(sys.Opts.Warmup + sys.Opts.Measure)
+	deadline := sys.deadline
 	for n := 0; sys.Opts.MaxTxnsPerClient == 0 || n < sys.Opts.MaxTxnsPerClient; n++ {
 		if p.Now() >= deadline {
 			return
 		}
 		req := sys.W.Next(rng, site)
 		start := p.Now()
-		var synced bool
-		var err error
-		switch sys.Opts.Mode {
-		case ModeHomeo, ModeOpt, ModeHomeoDefault:
-			synced, err = sys.execHomeo(p, site, req)
-		case ModeTwoPC:
-			err = sys.execTwoPC(p, site, req)
-		case ModeLocal:
-			err = sys.execLocal(p, site, req)
-		}
+		synced, err := sys.ExecRequest(p, site, req)
 		if err != nil {
 			// Unrecoverable execution error: drop the request.
+			sys.Col.RecordDropped()
 			continue
 		}
 		if sys.Opts.MeasureName == "" || req.Name == sys.Opts.MeasureName {
-			sys.Col.RecordCommit(sim.Duration(p.Now()-start), synced)
+			sys.Col.RecordCommit(rt.Duration(p.Now()-start), synced)
 		}
 	}
+}
+
+// ExecRequest runs one request at the given site on the calling process
+// under the system's protocol, reporting whether it required
+// synchronization. It is the single entry point shared by the simulated
+// client loops and the live serving runtime (cmd/homeostasis-serve).
+func (sys *System) ExecRequest(p rt.Proc, site int, req workload.Request) (synced bool, err error) {
+	switch sys.Opts.Mode {
+	case ModeHomeo, ModeOpt, ModeHomeoDefault:
+		return sys.execHomeo(p, site, req)
+	case ModeTwoPC:
+		return false, sys.execTwoPC(p, site, req)
+	case ModeLocal:
+		return false, sys.execLocal(p, site, req)
+	}
+	return false, fmt.Errorf("homeostasis: unknown mode %v", sys.Opts.Mode)
+}
+
+// StoreStats is an aggregate of the per-site 2PL store counters.
+type StoreStats struct {
+	Commits   int64
+	Aborts    int64
+	Deadlocks int64
+	Timeouts  int64
+}
+
+func (s StoreStats) String() string {
+	return fmt.Sprintf("commits=%d aborts=%d deadlocks=%d timeouts=%d",
+		s.Commits, s.Aborts, s.Deadlocks, s.Timeouts)
+}
+
+func (s *StoreStats) add(o StoreStats) {
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.Deadlocks += o.Deadlocks
+	s.Timeouts += o.Timeouts
+}
+
+// SiteStats returns each site's store counters.
+func (sys *System) SiteStats() []StoreStats {
+	out := make([]StoreStats, len(sys.Stores))
+	for i, s := range sys.Stores {
+		out[i] = StoreStats{Commits: s.Commits, Aborts: s.Aborts, Deadlocks: s.Deadlocks, Timeouts: s.Timeouts}
+	}
+	return out
+}
+
+// StoreStats returns the cluster-wide sum of the per-site store counters.
+func (sys *System) StoreStats() StoreStats {
+	var sum StoreStats
+	for _, s := range sys.SiteStats() {
+		sum.add(s)
+	}
+	return sum
+}
+
+// FoldedDB consolidates the final logical database across all sites for
+// every treaty unit (base value plus each site's delta).
+func (sys *System) FoldedDB() lang.Database {
+	out := lang.Database{}
+	for _, u := range sys.Units {
+		for obj, v := range sys.foldUnit(u) {
+			out[obj] = v
+		}
+	}
+	return out
+}
+
+// CheckReplayEquivalence verifies the paper's Theorem 3.8 observational
+// equivalence on the recorded commit log: applying the committed
+// transactions serially (in commit-log order) to the initial logical
+// database must reproduce the final consolidated database. The run must
+// have EnableLog set; ModeLocal provides no cross-site consistency, so
+// the check does not apply to it.
+func (sys *System) CheckReplayEquivalence() error {
+	if !sys.Opts.EnableLog {
+		return fmt.Errorf("homeostasis: replay check needs Options.EnableLog")
+	}
+	if sys.Opts.Mode == ModeLocal {
+		return fmt.Errorf("homeostasis: replay check does not apply to the local baseline")
+	}
+	if len(sys.CommitLog) == 0 {
+		return fmt.Errorf("homeostasis: replay check with empty commit log")
+	}
+	replay := sys.W.InitialDB()
+	for _, c := range sys.CommitLog {
+		c.Apply(replay)
+	}
+	for obj, v := range sys.FoldedDB() {
+		if got := replay.Get(obj); got != v {
+			return fmt.Errorf("homeostasis: replay mismatch on %s: protocol %d, serial replay %d (%d commits)",
+				obj, v, got, len(sys.CommitLog))
+		}
+	}
+	return nil
 }

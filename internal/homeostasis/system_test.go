@@ -46,15 +46,7 @@ func baseOpts(mode Mode, nSites int) Options {
 }
 
 // finalFolded consolidates the final logical database across all sites.
-func finalFolded(sys *System) lang.Database {
-	out := lang.Database{}
-	for _, u := range sys.Units {
-		for obj, v := range sys.foldUnit(u) {
-			out[obj] = v
-		}
-	}
-	return out
-}
+func finalFolded(sys *System) lang.Database { return sys.FoldedDB() }
 
 // TestTheorem38SerialEquivalence is the paper's correctness theorem,
 // checked end-to-end: executing the committed transactions serially on

@@ -9,17 +9,17 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // Histogram records latency samples and reports percentiles.
 type Histogram struct {
-	samples []sim.Duration
+	samples []rt.Duration
 	sorted  bool
 }
 
 // Add records a sample.
-func (h *Histogram) Add(d sim.Duration) {
+func (h *Histogram) Add(d rt.Duration) {
 	h.samples = append(h.samples, d)
 	h.sorted = false
 }
@@ -36,7 +36,7 @@ func (h *Histogram) ensureSorted() {
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using
 // nearest-rank; zero when empty.
-func (h *Histogram) Percentile(p float64) sim.Duration {
+func (h *Histogram) Percentile(p float64) rt.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
@@ -52,19 +52,19 @@ func (h *Histogram) Percentile(p float64) sim.Duration {
 }
 
 // Mean returns the arithmetic mean.
-func (h *Histogram) Mean() sim.Duration {
+func (h *Histogram) Mean() rt.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	var sum sim.Duration
+	var sum rt.Duration
 	for _, s := range h.samples {
 		sum += s
 	}
-	return sum / sim.Duration(len(h.samples))
+	return sum / rt.Duration(len(h.samples))
 }
 
 // Max returns the largest sample.
-func (h *Histogram) Max() sim.Duration {
+func (h *Histogram) Max() rt.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
@@ -97,7 +97,7 @@ func (h *Histogram) CDF(points int) [][2]float64 {
 		if idx >= len(h.samples) {
 			idx = len(h.samples) - 1
 		}
-		ms := float64(h.samples[idx]) / float64(sim.Millisecond)
+		ms := float64(h.samples[idx]) / float64(rt.Millisecond)
 		out = append(out, [2]float64{ms, q})
 	}
 	return out
@@ -106,14 +106,14 @@ func (h *Histogram) CDF(points int) [][2]float64 {
 // Breakdown accumulates where violating transactions spend time
 // (Figure 24): local execution, treaty solving, and communication.
 type Breakdown struct {
-	Local  sim.Duration
-	Solver sim.Duration
-	Comm   sim.Duration
+	Local  rt.Duration
+	Solver rt.Duration
+	Comm   rt.Duration
 	N      int64
 }
 
 // Add accumulates one transaction's breakdown.
-func (b *Breakdown) Add(local, solver, comm sim.Duration) {
+func (b *Breakdown) Add(local, solver, comm rt.Duration) {
 	b.Local += local
 	b.Solver += solver
 	b.Comm += comm
@@ -121,11 +121,11 @@ func (b *Breakdown) Add(local, solver, comm sim.Duration) {
 }
 
 // Avg returns the per-transaction averages.
-func (b *Breakdown) Avg() (local, solver, comm sim.Duration) {
+func (b *Breakdown) Avg() (local, solver, comm rt.Duration) {
 	if b.N == 0 {
 		return 0, 0, 0
 	}
-	n := sim.Duration(b.N)
+	n := rt.Duration(b.N)
 	return b.Local / n, b.Solver / n, b.Comm / n
 }
 
@@ -139,17 +139,20 @@ type Collector struct {
 	Committed        int64
 	Synced           int64
 	AbortedConflicts int64
+	// Dropped counts requests abandoned on unrecoverable execution errors
+	// (livelock bailouts, protocol errors) rather than retried.
+	Dropped int64
 	// ViolationBreakdown is the Figure 24 split for transactions that
 	// required synchronization.
 	ViolationBreakdown Breakdown
 	// Measuring gates collection (warm-up phase records nothing).
 	Measuring bool
 	// Start/End of the measuring window (virtual time).
-	Start, End sim.Time
+	Start, End rt.Time
 }
 
 // RecordCommit records a committed transaction's latency.
-func (c *Collector) RecordCommit(lat sim.Duration, synced bool) {
+func (c *Collector) RecordCommit(lat rt.Duration, synced bool) {
 	if !c.Measuring {
 		return
 	}
@@ -168,10 +171,19 @@ func (c *Collector) RecordConflictAbort() {
 	c.AbortedConflicts++
 }
 
+// RecordDropped records a request abandoned on an unrecoverable
+// execution error.
+func (c *Collector) RecordDropped() {
+	if !c.Measuring {
+		return
+	}
+	c.Dropped++
+}
+
 // Throughput returns committed transactions per second of virtual time in
 // the measuring window.
 func (c *Collector) Throughput() float64 {
-	window := sim.Duration(c.End - c.Start)
+	window := rt.Duration(c.End - c.Start)
 	if window <= 0 {
 		return 0
 	}

@@ -1,0 +1,55 @@
+package rtlive_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rt"
+	"repro/internal/rt/rttest"
+	"repro/internal/rtlive"
+)
+
+// TestRuntimeConformance runs the shared rt conformance suite against the
+// wall-clock runtime: the same contract the simulator pins, now with real
+// goroutines, sync.Cond parking, and time.Timer wakes.
+func TestRuntimeConformance(t *testing.T) {
+	rttest.Run(t, func() rt.Runtime { return rtlive.New(1) })
+}
+
+// TestExecBridgesExternalGoroutines: Exec runs work from plain goroutines
+// (the HTTP handler path) under the execution contract — mutations from
+// concurrently Exec'd processes never race.
+func TestExecBridgesExternalGoroutines(t *testing.T) {
+	r := rtlive.New(1)
+	const n = 16
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if !r.Exec(i, func(p rt.Proc) {
+				p.Sleep(2 * rt.Millisecond)
+				counter++ // unsynchronized on purpose: the contract serializes it
+			}) {
+				t.Error("Exec refused while not draining")
+			}
+		}(i)
+	}
+	wg.Wait()
+	// The bare counter++ from 16 goroutines is only safe (and only passes
+	// -race) if processes really hold the execution right while running.
+	if counter != n {
+		t.Fatalf("counter = %d, want %d (broken execution contract)", counter, n)
+	}
+}
+
+// TestExecRefusedWhileDraining: after Drain, Exec must not hang; it
+// reports that the work did not run.
+func TestExecRefusedWhileDraining(t *testing.T) {
+	r := rtlive.New(1)
+	r.Drain()
+	if r.Exec(0, func(p rt.Proc) {}) {
+		t.Fatal("Exec ran after Drain")
+	}
+}

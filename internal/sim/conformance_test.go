@@ -1,0 +1,15 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/rt"
+	"repro/internal/rt/rttest"
+	"repro/internal/sim"
+)
+
+// TestRuntimeConformance runs the shared rt conformance suite against the
+// simulator, pinning the exact contract internal/rtlive must also meet.
+func TestRuntimeConformance(t *testing.T) {
+	rttest.Run(t, func() rt.Runtime { return sim.NewEngine(1) })
+}

@@ -9,42 +9,38 @@
 // channel receive, resource acquire), at which point control returns to
 // the engine, which pops the next event off the virtual-time heap. Events
 // at equal times fire in schedule order, making runs deterministic.
+//
+// The engine is one implementation of the internal/rt runtime contract
+// (the other is internal/rtlive's wall-clock runtime); the protocol core
+// programs against rt and runs unchanged on either.
 package sim
 
 import (
 	"container/heap"
-	"fmt"
 	"math/rand"
+
+	"repro/internal/rt"
 )
 
 // Time is virtual time in nanoseconds since simulation start.
-type Time int64
+type Time = rt.Time
 
 // Duration is a virtual time span in nanoseconds.
-type Duration int64
+type Duration = rt.Duration
 
 // Common durations.
 const (
-	Nanosecond  Duration = 1
-	Microsecond          = 1000 * Nanosecond
-	Millisecond          = 1000 * Microsecond
-	Second               = 1000 * Millisecond
+	Nanosecond  = rt.Nanosecond
+	Microsecond = rt.Microsecond
+	Millisecond = rt.Millisecond
+	Second      = rt.Second
 )
 
-func (d Duration) String() string {
-	switch {
-	case d >= Second:
-		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
-	case d >= Millisecond:
-		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
-	case d >= Microsecond:
-		return fmt.Sprintf("%.3fus", float64(d)/float64(Microsecond))
-	}
-	return fmt.Sprintf("%dns", int64(d))
-}
-
-// Seconds converts the duration to floating-point seconds.
-func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+// Compile-time checks that the engine implements the runtime contract.
+var (
+	_ rt.Runtime = (*Engine)(nil)
+	_ rt.Proc    = (*Proc)(nil)
+)
 
 type event struct {
 	t   Time
@@ -138,7 +134,7 @@ type killedError struct{}
 func (killedError) Error() string { return "sim: process killed by Drain" }
 
 // Spawn starts a new process running fn at the current virtual time.
-func (e *Engine) Spawn(id int, fn func(p *Proc)) *Proc {
+func (e *Engine) Spawn(id int, fn func(p rt.Proc)) {
 	p := &Proc{e: e, ID: id, resume: make(chan struct{})}
 	e.live++
 	e.procs = append(e.procs, p)
@@ -164,8 +160,13 @@ func (e *Engine) Spawn(id int, fn func(p *Proc)) *Proc {
 			e.resumeProc(p)
 		}
 	})
-	return p
 }
+
+// NewResource creates a counting semaphore on the engine (rt.Runtime).
+func (e *Engine) NewResource(capacity int) rt.Resource { return NewResource(e, capacity) }
+
+// SetDeadline bounds Run (rt.Runtime): virtual time never passes t.
+func (e *Engine) SetDeadline(t Time) { e.Deadline = t }
 
 // Drain terminates every process that has not finished: parked processes
 // are woken into a cancellation panic recovered by the spawn wrapper, and

@@ -1,13 +1,15 @@
 package sim
 
 import (
+	"repro/internal/rt"
+
 	"testing"
 )
 
 func TestSleepAdvancesVirtualTime(t *testing.T) {
 	e := NewEngine(1)
 	var wake Time
-	e.Spawn(0, func(p *Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		p.Sleep(100 * Millisecond)
 		wake = p.Now()
 	})
@@ -26,7 +28,7 @@ func TestDeterministicInterleaving(t *testing.T) {
 		var order []int
 		for i := 0; i < 5; i++ {
 			i := i
-			e.Spawn(i, func(p *Proc) {
+			e.Spawn(i, func(p rt.Proc) {
 				p.Sleep(Duration(10-i) * Millisecond)
 				order = append(order, i)
 				p.Sleep(Duration(i+1) * Millisecond)
@@ -56,7 +58,7 @@ func TestSameTimeFIFO(t *testing.T) {
 	var order []int
 	for i := 0; i < 10; i++ {
 		i := i
-		e.Spawn(i, func(p *Proc) {
+		e.Spawn(i, func(p rt.Proc) {
 			p.Sleep(5 * Millisecond) // all wake at the same instant
 			order = append(order, i)
 		})
@@ -73,11 +75,11 @@ func TestChanSendRecv(t *testing.T) {
 	e := NewEngine(1)
 	ch := NewChan(e)
 	var got []any
-	e.Spawn(0, func(p *Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		got = append(got, ch.Recv(p))
 		got = append(got, ch.Recv(p))
 	})
-	e.Spawn(1, func(p *Proc) {
+	e.Spawn(1, func(p rt.Proc) {
 		p.Sleep(10 * Millisecond)
 		ch.Send("a")
 		p.Sleep(10 * Millisecond)
@@ -93,11 +95,11 @@ func TestChanRecvBeforeSend(t *testing.T) {
 	e := NewEngine(1)
 	ch := NewChan(e)
 	var at Time
-	e.Spawn(0, func(p *Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		ch.Recv(p)
 		at = p.Now()
 	})
-	e.Spawn(1, func(p *Proc) {
+	e.Spawn(1, func(p rt.Proc) {
 		p.Sleep(42 * Millisecond)
 		ch.Send(1)
 	})
@@ -112,7 +114,7 @@ func TestChanTimeout(t *testing.T) {
 	ch := NewChan(e)
 	var ok bool
 	var at Time
-	e.Spawn(0, func(p *Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		_, ok = ch.RecvTimeout(p, 50*Millisecond)
 		at = p.Now()
 	})
@@ -129,10 +131,10 @@ func TestChanTimeoutBeatenBySend(t *testing.T) {
 	e := NewEngine(1)
 	ch := NewChan(e)
 	var ok bool
-	e.Spawn(0, func(p *Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		_, ok = ch.RecvTimeout(p, 100*Millisecond)
 	})
-	e.Spawn(1, func(p *Proc) {
+	e.Spawn(1, func(p rt.Proc) {
 		p.Sleep(10 * Millisecond)
 		ch.Send(7)
 	})
@@ -148,7 +150,7 @@ func TestResourceCapacity(t *testing.T) {
 	var maxInUse int
 	var finish []Time
 	for i := 0; i < 4; i++ {
-		e.Spawn(i, func(p *Proc) {
+		e.Spawn(i, func(p rt.Proc) {
 			r.Acquire(p)
 			if r.InUse() > maxInUse {
 				maxInUse = r.InUse()
@@ -173,13 +175,13 @@ func TestWaitGroup(t *testing.T) {
 	wg := NewWaitGroup(e)
 	wg.Add(3)
 	var doneAt Time
-	e.Spawn(0, func(p *Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		wg.Wait(p)
 		doneAt = p.Now()
 	})
 	for i := 1; i <= 3; i++ {
 		i := i
-		e.Spawn(i, func(p *Proc) {
+		e.Spawn(i, func(p rt.Proc) {
 			p.Sleep(Duration(i*10) * Millisecond)
 			wg.Done()
 		})
@@ -194,7 +196,7 @@ func TestDeadlineStopsRun(t *testing.T) {
 	e := NewEngine(1)
 	e.Deadline = Time(100 * Millisecond)
 	count := 0
-	e.Spawn(0, func(p *Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		for i := 0; i < 1000; i++ {
 			p.Sleep(10 * Millisecond)
 			count++
@@ -214,9 +216,9 @@ func TestDeadlineStopsRun(t *testing.T) {
 func TestNestedSpawn(t *testing.T) {
 	e := NewEngine(1)
 	var childRan bool
-	e.Spawn(0, func(p *Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		p.Sleep(5 * Millisecond)
-		e.Spawn(1, func(q *Proc) {
+		e.Spawn(1, func(q rt.Proc) {
 			q.Sleep(5 * Millisecond)
 			childRan = true
 		})
@@ -253,13 +255,13 @@ func TestDrainKillsParkedAndUnstarted(t *testing.T) {
 	e.Deadline = Time(50 * Millisecond)
 	var cleanupRan int
 	// A proc parked past the deadline.
-	e.Spawn(0, func(p *Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		defer func() { cleanupRan++ }()
 		p.Sleep(Second)
 	})
 	// A proc waiting on a channel nobody sends to.
 	ch := NewChan(e)
-	e.Spawn(1, func(p *Proc) {
+	e.Spawn(1, func(p rt.Proc) {
 		defer func() { cleanupRan++ }()
 		ch.Recv(p)
 	})

@@ -1,12 +1,14 @@
 package sim
 
+import "repro/internal/rt"
+
 // Chan is an unbounded FIFO message queue in virtual time. Any process
 // may Send; receiving processes park until a message (or their timeout)
 // arrives. Sends from non-process context (event callbacks) are allowed.
 type Chan struct {
 	e       *Engine
 	q       []any
-	waiters []*Proc
+	waiters []rt.Proc
 }
 
 // NewChan creates a channel on the engine.
@@ -22,13 +24,13 @@ func (c *Chan) Send(v any) {
 	if len(c.waiters) > 0 {
 		w := c.waiters[0]
 		c.waiters = c.waiters[1:]
-		token := w.token
-		c.e.At(c.e.now, func() { w.wakeIf(token) })
+		token := w.Token()
+		c.e.At(c.e.now, func() { w.WakeIf(token) })
 	}
 }
 
 // Recv blocks until a message is available and returns it.
-func (c *Chan) Recv(p *Proc) any {
+func (c *Chan) Recv(p rt.Proc) any {
 	v, ok := c.RecvTimeout(p, -1)
 	if !ok {
 		panic("sim: Recv returned without a value")
@@ -38,7 +40,7 @@ func (c *Chan) Recv(p *Proc) any {
 
 // RecvTimeout blocks until a message arrives or d elapses (d < 0 means no
 // timeout). Returns ok=false on timeout.
-func (c *Chan) RecvTimeout(p *Proc, d Duration) (any, bool) {
+func (c *Chan) RecvTimeout(p rt.Proc, d Duration) (any, bool) {
 	var deadline Time = -1
 	if d >= 0 {
 		deadline = c.e.now + Time(d)
@@ -54,16 +56,16 @@ func (c *Chan) RecvTimeout(p *Proc, d Duration) (any, bool) {
 			return nil, false
 		}
 		c.waiters = append(c.waiters, p)
-		token := p.prepPark()
+		token := p.PrepPark()
 		if deadline >= 0 {
-			c.e.At(deadline, func() { p.wakeIf(token) })
+			c.e.At(deadline, func() { p.WakeIf(token) })
 		}
-		p.park()
+		p.Park()
 		c.unwait(p)
 	}
 }
 
-func (c *Chan) unwait(p *Proc) {
+func (c *Chan) unwait(p rt.Proc) {
 	for i, w := range c.waiters {
 		if w == p {
 			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
@@ -80,7 +82,7 @@ type Resource struct {
 	e       *Engine
 	cap     int
 	inUse   int
-	waiters []*Proc
+	waiters []rt.Proc
 }
 
 // NewResource creates a resource with the given capacity.
@@ -89,11 +91,11 @@ func NewResource(e *Engine, capacity int) *Resource {
 }
 
 // Acquire blocks until a slot is free and takes it.
-func (r *Resource) Acquire(p *Proc) {
+func (r *Resource) Acquire(p rt.Proc) {
 	for r.inUse >= r.cap {
 		r.waiters = append(r.waiters, p)
-		p.prepPark()
-		p.park()
+		p.PrepPark()
+		p.Park()
 	}
 	r.inUse++
 }
@@ -104,8 +106,8 @@ func (r *Resource) Release() {
 	if len(r.waiters) > 0 {
 		w := r.waiters[0]
 		r.waiters = r.waiters[1:]
-		token := w.token
-		r.e.At(r.e.now, func() { w.wakeIf(token) })
+		token := w.Token()
+		r.e.At(r.e.now, func() { w.WakeIf(token) })
 	}
 }
 
@@ -116,7 +118,7 @@ func (r *Resource) InUse() int { return r.inUse }
 type WaitGroup struct {
 	e       *Engine
 	count   int
-	waiters []*Proc
+	waiters []rt.Proc
 }
 
 // NewWaitGroup creates a wait group.
@@ -130,18 +132,18 @@ func (wg *WaitGroup) Done() {
 	wg.count--
 	if wg.count <= 0 {
 		for _, w := range wg.waiters {
-			token := w.token
-			wg.e.At(wg.e.now, func() { w.wakeIf(token) })
+			token := w.Token()
+			wg.e.At(wg.e.now, func() { w.WakeIf(token) })
 		}
 		wg.waiters = nil
 	}
 }
 
 // Wait parks until the counter reaches zero.
-func (wg *WaitGroup) Wait(p *Proc) {
+func (wg *WaitGroup) Wait(p rt.Proc) {
 	for wg.count > 0 {
 		wg.waiters = append(wg.waiters, p)
-		p.prepPark()
-		p.park()
+		p.PrepPark()
+		p.Park()
 	}
 }

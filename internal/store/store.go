@@ -16,7 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/lang"
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // Lock-acquisition failures. Both abort the requesting transaction.
@@ -48,7 +48,7 @@ func (m LockMode) String() string {
 
 // Store is one site's local database.
 type Store struct {
-	e  *sim.Engine
+	e  rt.Runtime
 	db lang.Database
 
 	locks *lockTable
@@ -58,7 +58,7 @@ type Store struct {
 	dirty map[lang.ObjID]bool
 
 	// LockTimeout bounds lock waits; zero means wait forever.
-	LockTimeout sim.Duration
+	LockTimeout rt.Duration
 
 	nextTxnID int
 
@@ -70,7 +70,7 @@ type Store struct {
 }
 
 // New creates a store with a copy of the initial database.
-func New(e *sim.Engine, initial lang.Database) *Store {
+func New(e rt.Runtime, initial lang.Database) *Store {
 	return &Store{
 		e:     e,
 		db:    initial.Clone(),
@@ -115,7 +115,7 @@ type ObjValue struct {
 // from the owning process.
 type Txn struct {
 	s      *Store
-	p      *sim.Proc
+	p      rt.Proc
 	id     int
 	undo   []ObjValue
 	wrote  map[lang.ObjID]bool
@@ -123,7 +123,7 @@ type Txn struct {
 }
 
 // Begin opens a transaction.
-func (s *Store) Begin(p *sim.Proc) *Txn {
+func (s *Store) Begin(p rt.Proc) *Txn {
 	s.nextTxnID++
 	return &Txn{
 		s:     s,
@@ -194,7 +194,7 @@ func (t *Txn) Abort() {
 // lockReq is one entry in an object's lock queue.
 type lockReq struct {
 	txn     *Txn
-	proc    *sim.Proc
+	proc    rt.Proc
 	mode    LockMode
 	granted bool
 	// upgrade marks an S->X upgrade request.
@@ -205,13 +205,13 @@ type lockReq struct {
 }
 
 type lockTable struct {
-	e      *sim.Engine
+	e      rt.Runtime
 	queues map[lang.ObjID][]*lockReq
 	// held maps txn id -> objects it holds locks on (for release).
 	held map[int]map[lang.ObjID]bool
 }
 
-func newLockTable(e *sim.Engine) *lockTable {
+func newLockTable(e rt.Runtime) *lockTable {
 	return &lockTable{
 		e:      e,
 		queues: make(map[lang.ObjID][]*lockReq),
@@ -259,7 +259,7 @@ func canGrant(q []*lockReq, req *lockReq) bool {
 	return true
 }
 
-func (lt *lockTable) acquire(p *sim.Proc, txn *Txn, obj lang.ObjID, mode LockMode, timeout sim.Duration) error {
+func (lt *lockTable) acquire(p rt.Proc, txn *Txn, obj lang.ObjID, mode LockMode, timeout rt.Duration) error {
 	q := lt.queues[obj]
 	if existing := findReq(q, txn); existing != nil && existing.granted {
 		if existing.mode >= mode {
@@ -294,15 +294,15 @@ func (lt *lockTable) noteHeld(txn *Txn, obj lang.ObjID) {
 }
 
 // wait parks until the request is granted, times out, or would deadlock.
-func (lt *lockTable) wait(p *sim.Proc, txn *Txn, obj lang.ObjID, req *lockReq, timeout sim.Duration) error {
+func (lt *lockTable) wait(p rt.Proc, txn *Txn, obj lang.ObjID, req *lockReq, timeout rt.Duration) error {
 	if lt.wouldDeadlock(txn, obj) {
 		lt.removeReq(obj, req)
 		txn.s.Deadlocks++
 		return ErrDeadlock
 	}
-	var deadline sim.Time = -1
+	var deadline rt.Time = -1
 	if timeout > 0 {
-		deadline = lt.e.Now() + sim.Time(timeout)
+		deadline = lt.e.Now() + rt.Time(timeout)
 	}
 	for {
 		token := p.PrepPark()
@@ -324,7 +324,7 @@ func (lt *lockTable) wait(p *sim.Proc, txn *Txn, obj lang.ObjID, req *lockReq, t
 			req.upgrade = false
 			return nil
 		}
-		if req.timedOut || (deadline >= 0 && lt.e.Now() >= sim.Time(deadline)) {
+		if req.timedOut || (deadline >= 0 && lt.e.Now() >= deadline) {
 			lt.removeReq(obj, req)
 			txn.s.Timeouts++
 			return ErrLockTimeout
@@ -466,6 +466,6 @@ func (lt *lockTable) grantWaiters(obj lang.ObjID) {
 }
 
 // procToken exposes the current park token of a process for deferred
-// wakes. (Relies on the cooperative single-threaded discipline: the
-// process is parked while this runs.)
-func procToken(p *sim.Proc) int64 { return p.Token() }
+// wakes. (Relies on the rt execution contract: the process is parked
+// while this runs, and wake events hold the execution right.)
+func procToken(p rt.Proc) int64 { return p.Token() }

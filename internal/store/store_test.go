@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/lang"
+	"repro/internal/rt"
 	"repro/internal/sim"
 )
 
@@ -11,7 +12,7 @@ func TestBasicReadWriteCommit(t *testing.T) {
 	e := sim.NewEngine(1)
 	s := New(e, lang.Database{"x": 10})
 	var got int64
-	e.Spawn(0, func(p *sim.Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		txn := s.Begin(p)
 		v, err := txn.Read("x")
 		if err != nil {
@@ -35,7 +36,7 @@ func TestBasicReadWriteCommit(t *testing.T) {
 func TestAbortRollsBack(t *testing.T) {
 	e := sim.NewEngine(1)
 	s := New(e, lang.Database{"x": 10, "y": 20})
-	e.Spawn(0, func(p *sim.Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		txn := s.Begin(p)
 		_ = txn.Write("x", 99)
 		_ = txn.Write("y", 98)
@@ -54,7 +55,7 @@ func TestAbortRollsBack(t *testing.T) {
 func TestDirtySetTracksCommittedWrites(t *testing.T) {
 	e := sim.NewEngine(1)
 	s := New(e, lang.Database{"a": 1, "b": 2, "c": 3})
-	e.Spawn(0, func(p *sim.Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		t1 := s.Begin(p)
 		_ = t1.Write("a", 10)
 		t1.Commit()
@@ -78,7 +79,7 @@ func TestSharedLocksCoexist(t *testing.T) {
 	s := New(e, lang.Database{"x": 5})
 	reads := 0
 	for i := 0; i < 3; i++ {
-		e.Spawn(i, func(p *sim.Proc) {
+		e.Spawn(i, func(p rt.Proc) {
 			txn := s.Begin(p)
 			if _, err := txn.Read("x"); err != nil {
 				t.Errorf("read: %v", err)
@@ -104,7 +105,7 @@ func TestExclusiveBlocksAndFIFO(t *testing.T) {
 	var order []int
 	for i := 0; i < 3; i++ {
 		i := i
-		e.Spawn(i, func(p *sim.Proc) {
+		e.Spawn(i, func(p rt.Proc) {
 			p.Sleep(sim.Duration(i) * sim.Millisecond) // stagger arrival
 			txn := s.Begin(p)
 			if err := txn.Write("x", int64(i)); err != nil {
@@ -130,13 +131,13 @@ func TestWriterBlocksReader(t *testing.T) {
 	s := New(e, lang.Database{"x": 1})
 	var readAt sim.Time
 	var readVal int64
-	e.Spawn(0, func(p *sim.Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		txn := s.Begin(p)
 		_ = txn.Write("x", 42)
 		p.Sleep(20 * sim.Millisecond)
 		txn.Commit()
 	})
-	e.Spawn(1, func(p *sim.Proc) {
+	e.Spawn(1, func(p rt.Proc) {
 		p.Sleep(1 * sim.Millisecond)
 		txn := s.Begin(p)
 		v, err := txn.Read("x")
@@ -163,13 +164,13 @@ func TestLockTimeout(t *testing.T) {
 	s.LockTimeout = 50 * sim.Millisecond
 	var gotErr error
 	var at sim.Time
-	e.Spawn(0, func(p *sim.Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		txn := s.Begin(p)
 		_ = txn.Write("x", 2)
 		p.Sleep(sim.Second) // hold X lock a long time
 		txn.Commit()
 	})
-	e.Spawn(1, func(p *sim.Proc) {
+	e.Spawn(1, func(p rt.Proc) {
 		p.Sleep(1 * sim.Millisecond)
 		txn := s.Begin(p)
 		_, gotErr = txn.Read("x")
@@ -192,7 +193,7 @@ func TestDeadlockDetection(t *testing.T) {
 	e := sim.NewEngine(1)
 	s := New(e, lang.Database{"a": 1, "b": 2})
 	var errs []error
-	e.Spawn(0, func(p *sim.Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		txn := s.Begin(p)
 		_ = txn.Write("a", 10)
 		p.Sleep(5 * sim.Millisecond)
@@ -204,7 +205,7 @@ func TestDeadlockDetection(t *testing.T) {
 		}
 		txn.Commit()
 	})
-	e.Spawn(1, func(p *sim.Proc) {
+	e.Spawn(1, func(p rt.Proc) {
 		p.Sleep(1 * sim.Millisecond)
 		txn := s.Begin(p)
 		_ = txn.Write("b", 20)
@@ -233,7 +234,7 @@ func TestDeadlockDetection(t *testing.T) {
 func TestLockUpgrade(t *testing.T) {
 	e := sim.NewEngine(1)
 	s := New(e, lang.Database{"x": 1})
-	e.Spawn(0, func(p *sim.Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		txn := s.Begin(p)
 		if _, err := txn.Read("x"); err != nil {
 			t.Errorf("read: %v", err)
@@ -254,13 +255,13 @@ func TestLockUpgradeWaitsForReaders(t *testing.T) {
 	e := sim.NewEngine(1)
 	s := New(e, lang.Database{"x": 1})
 	var writeAt sim.Time
-	e.Spawn(0, func(p *sim.Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		txn := s.Begin(p)
 		_, _ = txn.Read("x")
 		p.Sleep(30 * sim.Millisecond)
 		txn.Commit() // release S at 30ms
 	})
-	e.Spawn(1, func(p *sim.Proc) {
+	e.Spawn(1, func(p rt.Proc) {
 		p.Sleep(1 * sim.Millisecond)
 		txn := s.Begin(p)
 		_, _ = txn.Read("x")                      // shared with proc 0
@@ -288,7 +289,7 @@ func TestSerializabilityCounter(t *testing.T) {
 	s := New(e, lang.Database{"ctr": 0})
 	const n = 50
 	for i := 0; i < n; i++ {
-		e.Spawn(i, func(p *sim.Proc) {
+		e.Spawn(i, func(p rt.Proc) {
 			// Retry on deadlock/timeout like a real client; upgrade storms
 			// are expected under read-then-write contention.
 			for attempt := 0; attempt < 10; attempt++ {
@@ -325,7 +326,7 @@ func TestSerializabilityCounter(t *testing.T) {
 func TestClosedTxnRejected(t *testing.T) {
 	e := sim.NewEngine(1)
 	s := New(e, lang.Database{"x": 1})
-	e.Spawn(0, func(p *sim.Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		txn := s.Begin(p)
 		txn.Commit()
 		if _, err := txn.Read("x"); err == nil {

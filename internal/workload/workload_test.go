@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/lang"
 	"repro/internal/micro"
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/tpcc"
@@ -141,7 +142,7 @@ func TestMicroExecAgainstStore(t *testing.T) {
 	s := store.New(e, w.InitialDB())
 	req := w.MakeRequest([]int{2})
 	var ran bool
-	e.Spawn(0, func(p *sim.Proc) {
+	e.Spawn(0, func(p rt.Proc) {
 		// Aborted execution leaves no trace.
 		tx := s.Begin(p)
 		if err := req.Exec(&storeView{tx: tx}); err != nil {
