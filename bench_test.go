@@ -67,6 +67,7 @@ func BenchmarkFig28DistTPCCThroughputVsSkew(b *testing.B) {
 }
 func BenchmarkFig29DistTPCCSyncRatioVsSkew(b *testing.B) { benchExperiment(b, "fig29") }
 func BenchmarkAblationOptimizerVsDefault(b *testing.B)   { benchExperiment(b, "ablation") }
+func BenchmarkDriftAllocationStrategies(b *testing.B)    { benchExperiment(b, "drift") }
 
 // Serial counterparts of the largest multi-cell sweeps, for measuring the
 // parallel engine's speedup (compare against the default benchmarks
@@ -94,8 +95,8 @@ func TestExperimentNamesResolve(t *testing.T) {
 			t.Fatalf("experiment %q does not resolve", name)
 		}
 	}
-	if len(seen) != 21 {
-		t.Fatalf("registry has %d experiments, want 21", len(seen))
+	if len(seen) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(seen))
 	}
 }
 

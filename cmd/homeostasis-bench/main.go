@@ -22,12 +22,14 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/homeostasis"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment id (fig10..fig29, table1, ablation) or 'all'")
+		experiment = flag.String("experiment", "", "experiment id (fig10..fig29, table1, ablation, drift) or 'all'")
 		scaleName  = flag.String("scale", "full", "experiment scale: full, quick, or bench")
+		allocName  = flag.String("alloc", "default", "treaty allocation override for every cell: default, equal, model, or adaptive (non-default also enables batched renegotiation; 'default' keeps the golden reports)")
 		parallel   = flag.Int("parallel", 0, "max sweep cells simulated concurrently (0 = all cores)")
 		progress   = flag.Bool("progress", false, "report per-cell progress on stderr")
 		verbose    = flag.Bool("v", false, "print per-sweep totals (commits, drops, store counters) after each report")
@@ -61,6 +63,19 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Parallel = *parallel
+	switch strings.ToLower(*allocName) {
+	case "", "default":
+		sc.Alloc = homeostasis.AllocDefault
+	case "equal":
+		sc.Alloc = homeostasis.AllocEqualSplit
+	case "model":
+		sc.Alloc = homeostasis.AllocModel
+	case "adaptive":
+		sc.Alloc = homeostasis.AllocAdaptive
+	default:
+		fmt.Fprintf(os.Stderr, "unknown alloc %q (want default, equal, model, or adaptive)\n", *allocName)
+		os.Exit(2)
+	}
 
 	runOne := func(name string) {
 		fn, ok := experiments.ByName(name)

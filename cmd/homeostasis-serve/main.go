@@ -58,6 +58,8 @@ func main() {
 	var (
 		workloadName = flag.String("workload", "tpcc", "workload: micro or tpcc")
 		modeName     = flag.String("mode", "homeo", "protocol: homeo, opt, homeo-default, 2pc, or local")
+		allocName    = flag.String("alloc", "default", "treaty allocation: default (mode's builtin), equal, model, or adaptive (non-default also enables batched renegotiation)")
+		drift        = flag.Bool("drift", false, "enable the workload's drift scenario (micro: hot-site rotation; tpcc: skewed warehouse)")
 		sites        = flag.Int("sites", 2, "number of replica sites")
 		rtt          = flag.Duration("rtt", 50*time.Millisecond, "uniform inter-site round-trip time (really slept)")
 		cpu          = flag.Int("cpu", 4, "CPU slots per site (a real concurrency limit)")
@@ -80,17 +82,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	w, err := buildWorkload(*workloadName, *sites, *items, *refill, *warehouses, *stock, *seed)
+	alloc, err := parseAlloc(*allocName)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := buildWorkload(*workloadName, *sites, *items, *refill, *warehouses, *stock, *seed, *drift)
 	if err != nil {
 		fatal(err)
 	}
 
 	opts := homeostasis.Options{
-		Mode:             mode,
-		Topo:             cluster.Uniform(*sites, rt.Duration(*rtt)),
-		CPUPerSite:       *cpu,
-		LocalExecTime:    rt.Duration(*execTime),
-		LockTimeout:      rt.Duration(*lockTimeout),
+		Mode:          mode,
+		Alloc:         alloc,
+		Topo:          cluster.Uniform(*sites, rt.Duration(*rtt)),
+		CPUPerSite:    *cpu,
+		LocalExecTime: rt.Duration(*execTime),
+		LockTimeout:   rt.Duration(*lockTimeout),
+		// On the live runtime the cleanup phase's consolidated T'
+		// executions are real work: charge them a CPU slot and their
+		// service time (the simulator's goldens keep the seed model, so
+		// this is a serve-only default).
+		CleanupExec:      true,
 		Seed:             *seed,
 		MaxTxnsPerClient: 0,
 	}
@@ -133,19 +145,50 @@ func parseMode(s string) (homeostasis.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q", s)
 }
 
-func buildWorkload(name string, sites, items int, refill int64, warehouses, stock int, seed int64) (workload.Workload, error) {
+func parseAlloc(s string) (homeostasis.Alloc, error) {
+	switch strings.ToLower(s) {
+	case "", "default":
+		return homeostasis.AllocDefault, nil
+	case "equal":
+		return homeostasis.AllocEqualSplit, nil
+	case "model":
+		return homeostasis.AllocModel, nil
+	case "adaptive":
+		return homeostasis.AllocAdaptive, nil
+	}
+	return 0, fmt.Errorf("unknown alloc %q (want default, equal, model, or adaptive)", s)
+}
+
+func buildWorkload(name string, sites, items int, refill int64, warehouses, stock int, seed int64, drift bool) (workload.Workload, error) {
 	switch strings.ToLower(name) {
 	case "micro":
-		return micro.New(micro.Config{Items: items, Refill: refill, NSites: sites})
+		cfg := micro.Config{Items: items, Refill: refill, NSites: sites}
+		if drift {
+			// Hot-site rotation: 90% of each site's orders hit its hot
+			// window (1/10th of the items); the rotation period scales
+			// with the table so per-item demand per hot phase spans
+			// multiple negotiation rounds (matching the drift sweep).
+			cfg.HotFrac = 0.9
+			cfg.RotateEvery = 20 * items
+		}
+		return micro.New(cfg)
 	case "tpcc":
-		return tpcc.New(tpcc.Config{
+		cfg := tpcc.Config{
 			Warehouses:            warehouses,
 			DistrictsPerWarehouse: 2,
 			StockPerWarehouse:     stock,
 			Customers:             200,
 			NSites:                sites,
 			Seed:                  seed,
-		})
+		}
+		if drift {
+			// Skewed warehouse: 95% of each site's New Orders target its
+			// rotating home warehouse; rotation scales with the stock
+			// table (matching the drift sweep).
+			cfg.WarehouseAffinity = 95
+			cfg.RotateEvery = 100 * stock
+		}
+		return tpcc.New(cfg)
 	}
 	return nil, fmt.Errorf("unknown workload %q (want micro or tpcc)", name)
 }
@@ -185,8 +228,8 @@ func runDrive(w workload.Workload, opts homeostasis.Options, checkReplay, verbos
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("booted %s on %d sites in %v (mode %v, %d units)\n",
-		w.Name(), opts.Topo.NSites(), time.Since(bootStart).Round(time.Millisecond), opts.Mode, w.NumUnits())
+	fmt.Printf("booted %s on %d sites in %v (mode %v, alloc %v, %d units)\n",
+		w.Name(), opts.Topo.NSites(), time.Since(bootStart).Round(time.Millisecond), opts.Mode, opts.Alloc, w.NumUnits())
 	fmt.Printf("driving %d clients/site for %v (warmup %v)...\n",
 		opts.ClientsPerSite, rt.Duration(opts.Measure), rt.Duration(opts.Warmup))
 
@@ -195,7 +238,13 @@ func runDrive(w workload.Workload, opts homeostasis.Options, checkReplay, verbos
 	fmt.Printf("\ncommitted:        %d (%.1f txn/s real)\n", col.Committed, col.Throughput())
 	fmt.Printf("sync ratio:       %.2f%%\n", col.SyncRatio())
 	fmt.Printf("conflict aborts:  %d\n", col.AbortedConflicts)
-	fmt.Printf("dropped:          %d\n", col.Dropped)
+	fmt.Printf("dropped:          %d (livelocked %d)\n", col.Dropped, col.Livelocked)
+	if opts.Alloc != homeostasis.AllocDefault {
+		fmt.Printf("co-winners:       %d (batched cleanup commits)\n", col.CoWinnerCommits)
+	}
+	if col.TreatyGenFailures > 0 {
+		fmt.Printf("gen failures:     %d (units degraded to pin treaties)\n", col.TreatyGenFailures)
+	}
 	fmt.Printf("latency:          p50=%v p90=%v p99=%v max=%v\n",
 		col.Latency.Percentile(50), col.Latency.Percentile(90),
 		col.Latency.Percentile(99), col.Latency.Max())
@@ -350,16 +399,17 @@ func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 		UptimeSec: time.Since(s.start).Seconds(),
 	}
 	// Snapshot under the execution contract: the collector and stores are
-	// shared protocol state.
+	// shared protocol state. Strictly read-only — a GET must not mutate
+	// the collector, so the rolling throughput window is computed without
+	// touching Collector.End.
 	s.live.Locked(func() {
 		col := s.sys.Col
-		col.End = s.live.Now() // rolling window end for the throughput rate
 		resp.Committed = col.Committed
 		resp.Synced = col.Synced
 		resp.SyncRatioPct = col.SyncRatio()
 		resp.ConflictAborts = col.AbortedConflicts
 		resp.Dropped = col.Dropped
-		resp.ThroughputTxnS = col.Throughput()
+		resp.ThroughputTxnS = col.ThroughputAt(s.live.Now())
 		resp.LatencyP50MS = ms(col.Latency.Percentile(50))
 		resp.LatencyP90MS = ms(col.Latency.Percentile(90))
 		resp.LatencyP99MS = ms(col.Latency.Percentile(99))

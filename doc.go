@@ -23,6 +23,27 @@
 //   - internal/micro, internal/tpcc: the Section 6 workloads;
 //   - internal/experiments: one runner per evaluation table/figure.
 //
+// # Allocation strategies and drift
+//
+// Beyond the paper's strategies (the Algorithm 1 optimizer, the
+// demarcation-style equal split, and the Theorem 4.3 pin), the runtime
+// offers an adaptive engine (homeostasis.Options.Alloc): a per-unit,
+// per-site demand layer tracks delta burn and violation counts since
+// the last negotiation round, treaty.AdaptiveConfig splits each
+// clause's slack proportionally to the observed burn (warm-started
+// through the configuration isomorphism cache, keyed additionally by
+// the quantized demand vector), and the cleanup phase batches — while
+// a unit renegotiates, queued violators register as co-winners and one
+// fold, one treaty generation, and one distribution round commit the
+// whole batch. Everything is opt-in: AllocDefault reproduces the seed
+// protocol bit for bit.
+//
+// The drift workloads exercise it: micro's hot-site rotation
+// (Config.HotFrac/HotWindow/RotateEvery) and TPC-C's skewed warehouse
+// (Config.WarehouseAffinity/RotateEvery), both clocked by
+// workload.Rotor. The "drift" experiment compares equal-split,
+// model-optimized, and adaptive allocation under both.
+//
 // Entry points: cmd/homeostasis-bench regenerates the paper's evaluation,
 // cmd/homeostasis-serve serves live transactions over HTTP (and hosts a
 // closed-loop load driver), cmd/homeostasis-analyze exposes the offline

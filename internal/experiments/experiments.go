@@ -40,6 +40,11 @@ type Scale struct {
 	TPCCStockPerWarehouse int
 	// Seed drives all randomness.
 	Seed int64
+	// Alloc, when not AllocDefault, overrides the treaty allocation
+	// strategy (and enables batched renegotiation) for every cell that
+	// does not pin its own strategy — the CLI's -alloc flag. The default
+	// keeps the seed behavior and the golden reports.
+	Alloc homeostasis.Alloc
 	// Parallel bounds how many sweep cells the experiment engine
 	// simulates concurrently; 0 means GOMAXPROCS. Every cell is an
 	// isolated simulation with a seed derived only from the scale, so
@@ -103,12 +108,14 @@ type RunTotals struct {
 	Synced           int64
 	AbortedConflicts int64
 	Dropped          int64
+	Livelocked       int64
+	CoWinnerCommits  int64
 	Store            homeostasis.StoreStats
 }
 
 func (t RunTotals) String() string {
-	return fmt.Sprintf("committed=%d synced=%d conflict-aborts=%d dropped=%d | store: %s",
-		t.Committed, t.Synced, t.AbortedConflicts, t.Dropped, t.Store)
+	return fmt.Sprintf("committed=%d synced=%d conflict-aborts=%d dropped=%d livelocked=%d co-winners=%d | store: %s",
+		t.Committed, t.Synced, t.AbortedConflicts, t.Dropped, t.Livelocked, t.CoWinnerCommits, t.Store)
 }
 
 func (t *RunTotals) add(r *runResult) {
@@ -116,6 +123,8 @@ func (t *RunTotals) add(r *runResult) {
 	t.Synced += r.col.Synced
 	t.AbortedConflicts += r.col.AbortedConflicts
 	t.Dropped += r.col.Dropped
+	t.Livelocked += r.col.Livelocked
+	t.CoWinnerCommits += r.col.CoWinnerCommits
 	t.Store.Commits += r.stats.Commits
 	t.Store.Aborts += r.stats.Aborts
 	t.Store.Deadlocks += r.stats.Deadlocks
@@ -143,6 +152,10 @@ type runCfg struct {
 	measureName           string
 	scale                 Scale
 	seedBump              int64
+	// alloc pins the cell's allocation strategy; AllocDefault defers to
+	// the scale-wide override (Scale.Alloc), which itself defaults to the
+	// mode's built-in strategy.
+	alloc homeostasis.Alloc
 }
 
 // runResult keeps only the measurements of a finished cell. It must not
@@ -170,9 +183,14 @@ func run(cfg runCfg, makeWorkload workloadFactory) (*runResult, error) {
 	} else {
 		topo = cluster.Uniform(cfg.nSites, cfg.rtt)
 	}
+	alloc := cfg.alloc
+	if alloc == homeostasis.AllocDefault {
+		alloc = cfg.scale.Alloc
+	}
 	e := sim.NewEngine(cfg.scale.Seed + cfg.seedBump)
 	opts := homeostasis.Options{
 		Mode:           cfg.mode,
+		Alloc:          alloc,
 		Topo:           topo,
 		ClientsPerSite: cfg.clients,
 		// The paper ran all microbenchmark replicas on one 32-core host;
@@ -260,6 +278,7 @@ func All(sc Scale) ([]*Report, error) {
 		{"fig24", Fig24}, {"fig25", Fig25}, {"fig26", Fig26}, {"fig27", Fig27},
 		{"fig28", Fig28}, {"fig29", Fig29},
 		{"ablation", AblationOptimizer},
+		{"drift", Drift},
 	}
 	var out []*Report
 	for _, g := range gens {
@@ -283,6 +302,7 @@ func ByName(name string) (func(Scale) (*Report, error), bool) {
 		"fig24": Fig24, "fig25": Fig25, "fig26": Fig26, "fig27": Fig27,
 		"fig28": Fig28, "fig29": Fig29,
 		"ablation": AblationOptimizer,
+		"drift":    Drift,
 	}
 	f, ok := m[name]
 	return f, ok
@@ -296,7 +316,7 @@ func Names() []string {
 		"fig16", "fig17", "fig18",
 		"fig19", "fig20", "fig21", "fig22",
 		"fig24", "fig25", "fig26", "fig27", "fig28", "fig29",
-		"ablation",
+		"ablation", "drift",
 	}
 }
 

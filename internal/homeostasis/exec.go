@@ -17,8 +17,17 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced 
 	for i, id := range req.Units {
 		units[i] = sys.Units[id]
 	}
+	track := sys.Opts.Alloc != AllocDefault
+	var before [][]int64
+	if track {
+		before = make([][]int64, len(units))
+		for i, u := range units {
+			before[i] = make([]int64, len(u.objects))
+		}
+	}
 	for attempt := 0; ; attempt++ {
 		if attempt > 100 {
+			sys.Col.RecordLivelock()
 			return synced, fmt.Errorf("homeostasis: request %s livelocked", req.Name)
 		}
 		// If any touched unit is renegotiating, wait for the new round:
@@ -35,6 +44,18 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced 
 		cpu := sys.CPUs[site]
 		cpu.Acquire(p)
 		p.Sleep(sys.Opts.LocalExecTime)
+		// Demand snapshot: between here and the commit there are no park
+		// points, so the delta movement below is exactly this request's.
+		// Per object, not per unit sum — opposing movements of a unit's
+		// objects must not cancel out of the burn.
+		if track {
+			for i, u := range units {
+				for k, obj := range u.objects {
+					before[i][k] = sys.Stores[site].Get(lang.DeltaObj(obj, site))
+				}
+			}
+		}
+		violIdx := -1
 		committed, violated, checkErr := func() (bool, bool, error) {
 			tx := sys.Stores[site].Begin(p)
 			defer tx.Abort()
@@ -45,7 +66,7 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced 
 			// Pre-commit check: would committing leave the site's state
 			// inside its local treaties? The store already reflects the
 			// tentative writes.
-			for _, u := range units {
+			for i, u := range units {
 				holds, err := sys.localTreatyHolds(u, site)
 				if err != nil {
 					// A treaty that cannot be evaluated is a protocol
@@ -54,6 +75,7 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced 
 					return false, false, err
 				}
 				if !holds {
+					violIdx = i
 					return false, true, nil
 				}
 			}
@@ -61,6 +83,17 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced 
 			sys.logCommit(req, site, view.log)
 			return true, false, nil
 		}()
+		if committed && track {
+			for i, u := range units {
+				for k, obj := range u.objects {
+					d := sys.Stores[site].Get(lang.DeltaObj(obj, site)) - before[i][k]
+					if d < 0 {
+						d = -d
+					}
+					u.demand[site].burn += d
+				}
+			}
+		}
 		cpu.Release()
 		if checkErr != nil {
 			return synced, fmt.Errorf("homeostasis: request %s: %w", req.Name, checkErr)
@@ -73,11 +106,17 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced 
 			sys.Col.RecordConflictAbort()
 			continue
 		}
+		if track {
+			units[violIdx].demand[site].violations++
+		}
 
 		// Treaty violation: the write was rolled back (it must not commit
 		// in this round); run the cleanup phase with this request as the
 		// winning transaction T' — unless another violator won the vote
-		// first, in which case wait and retry as a "loser".
+		// first. With batching enabled the queued violator registers as a
+		// co-winner of the in-flight round when it still can; otherwise
+		// (and always under AllocDefault) it waits and retries as a
+		// "loser".
 		busy := false
 		for _, u := range units {
 			if u.negotiating {
@@ -86,14 +125,27 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced 
 			}
 		}
 		if busy {
+			if j := sys.tryJoin(units, site, req); j != nil {
+				for _, u := range units {
+					sys.waitForUnit(p, u)
+				}
+				if j.committed {
+					// Folded into the round: T' ran at every site with
+					// this request batched behind the winner.
+					sys.Col.RecordCoWinner()
+					return true, nil
+				}
+				// The round closed before this joiner registered was
+				// folded in; retry against the fresh treaties.
+				continue
+			}
+			sys.BusyRetries++
 			for _, u := range units {
 				sys.waitForUnit(p, u)
 			}
 			continue
 		}
-		if err := sys.negotiate(p, site, units, req); err != nil {
-			return true, err
-		}
+		sys.negotiate(p, site, units, req)
 		// T' was executed at every site during cleanup; done.
 		return true, nil
 	}
@@ -111,6 +163,29 @@ func (sys *System) localTreatyHolds(u *unitState, site int) (bool, error) {
 		return false, fmt.Errorf("unit %d has no compiled local treaty for site %d", u.id, site)
 	}
 	return u.compiled[site].Holds(sys.Stores[site]), nil
+}
+
+// tryJoin registers the violator as a co-winner of the negotiation
+// covering every unit it touches, if that round is still accepting
+// (leader still in its first communication round). Returns nil when the
+// units span no single accepting round — the caller falls back to the
+// serial loser path. Only called with batching enabled.
+func (sys *System) tryJoin(units []*unitState, site int, req workload.Request) *joiner {
+	if !sys.batching() || len(units) == 0 {
+		return nil
+	}
+	neg := units[0].neg
+	if neg == nil || !neg.accepting {
+		return nil
+	}
+	for _, u := range units[1:] {
+		if u.neg != neg {
+			return nil
+		}
+	}
+	j := &joiner{site: site, req: req}
+	neg.joiners = append(neg.joiners, j)
+	return j
 }
 
 // waitForUnit parks until the unit is not negotiating.
@@ -137,22 +212,43 @@ func (sys *System) wakeUnitWaiters(u *unitState) {
 // the winning transaction touches:
 //
 //  1. synchronize: every site broadcasts the unit objects it updated this
-//     round (one communication round);
-//  2. execute the winning transaction T' on the consolidated state at
+//     round (one communication round); with batching enabled, violators
+//     queued behind these units register as co-winners meanwhile;
+//  2. execute the winning transaction T' — and every registered
+//     co-winner, in registration order — on the consolidated state at
 //     every site;
 //  3. generate new treaties for the next round (solver time) and
 //     distribute them (second communication round).
-func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req workload.Request) error {
+//
+// The whole batch therefore pays the two MaxRTTFrom rounds once. The
+// commits performed here are unconditional: a treaty-generation failure
+// in step 3 no longer concerns them (they are already applied and logged
+// at every site), so it is surfaced as a protocol-degradation counter
+// with safe pin treaties installed, never as a request error.
+func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req workload.Request) {
+	var neg *negotiation
+	if sys.batching() {
+		neg = &negotiation{accepting: true}
+	}
 	for _, u := range units {
 		u.negotiating = true
+		u.neg = neg
 	}
 	commStart := p.Now()
 
 	// Round 1: collect state from all sites (request out + replies back).
 	p.Sleep(sys.Opts.Topo.MaxRTTFrom(site))
-	// Fold T''s entire logical footprint: the violated units' objects plus
-	// any objects outside them that T' touches (the paper's cleanup
-	// synchronizes everything updated in the round before running T').
+	// Joining closes when the round returns: later violators must not
+	// slip in after the fold below.
+	var joiners []*joiner
+	if neg != nil {
+		neg.accepting = false
+		joiners = neg.joiners
+	}
+	// Fold the batch's entire logical footprint: the violated units'
+	// objects plus any objects outside them that T' or a co-winner
+	// touches (the paper's cleanup synchronizes everything updated in the
+	// round before running T').
 	objSet := make(map[lang.ObjID]bool)
 	for _, u := range units {
 		for _, obj := range u.objects {
@@ -161,6 +257,11 @@ func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req worklo
 	}
 	for _, obj := range req.Objects {
 		objSet[obj] = true
+	}
+	for _, j := range joiners {
+		for _, obj := range j.req.Objects {
+			objSet[obj] = true
+		}
 	}
 	n := sys.Opts.Topo.NSites()
 	folded := lang.Database{}
@@ -172,14 +273,19 @@ func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req worklo
 		folded[obj] = v
 	}
 
-	// Execute T' on the consolidated state.
+	// Execute T' on the consolidated state, then the co-winners in
+	// registration order (the serial order the commit log records).
 	txnLog := req.Apply(folded)
+	joinerLogs := make([][]int64, len(joiners))
+	for i, j := range joiners {
+		joinerLogs[i] = j.req.Apply(folded)
+	}
 
-	// Install the consolidated post-T' state everywhere: base objects get
-	// the logical values, every delta object resets to zero. This step is
-	// atomic in virtual time (no park points), and homeostasis-mode local
-	// transactions never park mid-transaction, so no in-flight transaction
-	// can observe a half-installed state.
+	// Install the consolidated post-batch state everywhere: base objects
+	// get the logical values, every delta object resets to zero. This
+	// step is atomic in virtual time (no park points), and homeostasis-
+	// mode local transactions never park mid-transaction, so no in-flight
+	// transaction can observe a half-installed state.
 	for obj := range objSet {
 		for s := 0; s < n; s++ {
 			sys.Stores[s].Apply(obj, folded[obj])
@@ -189,25 +295,47 @@ func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req worklo
 		}
 	}
 	comm1 := rt.Duration(p.Now() - commStart)
-	// T' is now committed at every site: log it before any further park
-	// point so a deadline cancellation cannot leave it applied-but-
+	// The batch is now committed at every site: log it before any further
+	// park point so a deadline cancellation cannot leave it applied-but-
 	// unlogged.
 	sys.logCommit(req, site, txnLog)
+	for i, j := range joiners {
+		sys.logCommit(j.req, j.site, joinerLogs[i])
+		j.committed = true
+	}
+
+	// Execution charge for the batch (Options.CleanupExec, live
+	// runtimes): T' and every co-winner occupy a CPU slot for their
+	// service time, after the atomic fold/install/log so the
+	// consolidated state is never exposed half-built across a park
+	// point. The simulator's default keeps the seed model instead —
+	// the cost appears in the violation breakdown only (see Options).
+	if sys.Opts.CleanupExec {
+		cpu := sys.CPUs[site]
+		cpu.Acquire(p)
+		p.Sleep(rt.Duration(1+len(joiners)) * sys.Opts.LocalExecTime)
+		cpu.Release()
+	}
 
 	// Treaty computation (solver time charged in virtual time; the actual
 	// computation runs for real to produce the real treaties).
 	solveStart := p.Now()
 	p.Sleep(sys.solverTime())
-	var genErr error
 	for _, u := range units {
 		unitFolded := lang.Database{}
 		for _, obj := range u.objects {
 			unitFolded[obj] = folded[obj]
 		}
 		if err := sys.generateTreaties(u, unitFolded); err != nil {
-			genErr = err
-			break
+			// The batch already committed: degrade this unit to safe pin
+			// treaties (every next write synchronizes and retries real
+			// generation) and surface the failure as a counter. If even
+			// the pin install fails the stale treaties stay — that path
+			// has no failure mode short of a broken template builder.
+			sys.Col.RecordTreatyGenFailure()
+			_ = sys.installPinTreaties(u, unitFolded)
 		}
+		u.resetDemand()
 	}
 	solver := rt.Duration(p.Now() - solveStart)
 
@@ -218,15 +346,15 @@ func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req worklo
 
 	for _, u := range units {
 		u.negotiating = false
+		u.neg = nil
 		sys.wakeUnitWaiters(u)
 	}
-	if genErr != nil {
-		return genErr
-	}
 	if sys.Col.Measuring {
+		// The exec component is the winner's service time; co-winners are
+		// counted by the collector's CoWinnerCommits, not here, so the
+		// per-violation averages of Figure 24 keep their meaning.
 		sys.Col.ViolationBreakdown.Add(sys.Opts.LocalExecTime, solver, comm1+comm2)
 	}
-	return nil
 }
 
 func (sys *System) logCommit(req workload.Request, site int, log []int64) {

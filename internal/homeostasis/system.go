@@ -19,6 +19,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/lang"
+	"repro/internal/lia"
+	"repro/internal/logic"
 	"repro/internal/metrics"
 	"repro/internal/rt"
 	"repro/internal/store"
@@ -64,10 +66,62 @@ func (m Mode) String() string {
 	return "?"
 }
 
+// Alloc selects the treaty allocation strategy for the treaty-based modes
+// (homeo, opt, homeo-default). AllocDefault keeps each mode's built-in
+// strategy and the seed's serial cleanup phase; any other value overrides
+// the configuration generator AND enables the adaptive engine extras:
+// per-unit demand tracking and batched renegotiation (queued violators
+// commit as co-winners of an in-flight cleanup round instead of paying
+// their own two communication rounds).
+type Alloc int
+
+const (
+	// AllocDefault is the seed behavior: the mode picks the strategy and
+	// the cleanup phase serves one violator per round.
+	AllocDefault Alloc = iota
+	// AllocEqualSplit splits each clause's slack equally (the OPT
+	// baseline's strategy, now available under any mode).
+	AllocEqualSplit
+	// AllocModel runs the Algorithm 1 optimizer against the workload's
+	// static future model.
+	AllocModel
+	// AllocAdaptive splits slack proportionally to the per-site burn
+	// rates observed since the unit's last negotiation round
+	// (treaty.AdaptiveConfig), so skewed and drifting workloads
+	// renegotiate less often.
+	AllocAdaptive
+)
+
+func (a Alloc) String() string {
+	switch a {
+	case AllocDefault:
+		return "default"
+	case AllocEqualSplit:
+		return "equal"
+	case AllocModel:
+		return "model"
+	case AllocAdaptive:
+		return "adaptive"
+	}
+	return "?"
+}
+
 // Options configures a run.
 type Options struct {
 	Mode Mode
 	Topo *cluster.Topology
+	// Alloc overrides the treaty allocation strategy and, when not
+	// AllocDefault, enables demand tracking and batched renegotiation.
+	Alloc Alloc
+	// CleanupExec makes the cleanup phase occupy a CPU slot and sleep
+	// LocalExecTime per transaction it applies, so synchronized
+	// transactions pay real execution cost on live runtimes. Off by
+	// default: the simulator's seed model folds T''s execution cost into
+	// the reported violation breakdown without advancing virtual time
+	// (the experiment goldens depend on that timeline), which is exact
+	// for the breakdown figures and a <1%-of-RTT approximation for the
+	// throughput ones.
+	CleanupExec bool
 	// ClientsPerSite is Nc.
 	ClientsPerSite int
 	// CPUPerSite caps concurrent transaction execution per site (the
@@ -113,6 +167,34 @@ type Committed struct {
 	Apply func(db lang.Database) []int64
 }
 
+// siteDemand is one site's observed demand for a unit since the unit's
+// last negotiation round: the absolute delta consumption (burn) of local
+// commits and the violation count. The adaptive allocator splits the next
+// round's slack proportionally to burn.
+type siteDemand struct {
+	burn       int64
+	violations int64
+}
+
+// negotiation is one in-flight cleanup round. With batching enabled
+// (Options.Alloc != AllocDefault) queued violators whose units are all
+// covered by the round register as co-winners while the leader is still
+// in its first communication round; the leader then folds their
+// footprints too, applies their transactions on the consolidated state,
+// and one treaty generation plus one distribution round commits the
+// whole batch.
+type negotiation struct {
+	accepting bool
+	joiners   []*joiner
+}
+
+// joiner is one co-winner of a batched cleanup round.
+type joiner struct {
+	site      int
+	req       workload.Request
+	committed bool
+}
+
 // unitState is the runtime state of one treaty unit.
 type unitState struct {
 	id      int
@@ -123,8 +205,22 @@ type unitState struct {
 	// evaluates these instead of interpreting the lia.Constraint trees.
 	compiled    []treaty.CompiledLocal
 	negotiating bool
-	waiters     []rt.Proc
-	version     int64
+	// neg is the in-flight cleanup round while negotiating (batching
+	// runs only; nil under AllocDefault).
+	neg     *negotiation
+	waiters []rt.Proc
+	version int64
+	// demand is the per-site demand observed since the last negotiation
+	// round (allocated only when Options.Alloc != AllocDefault).
+	demand []siteDemand
+}
+
+// resetDemand clears the unit's per-site demand stats (called when a
+// negotiation installs fresh treaties).
+func (u *unitState) resetDemand() {
+	for i := range u.demand {
+		u.demand[i] = siteDemand{}
+	}
 }
 
 // System is a running multi-site deployment.
@@ -158,6 +254,11 @@ type System struct {
 	// CacheHits counts configurations served from the isomorphism cache.
 	SolverInvocations int64
 	CacheHits         int64
+
+	// BusyRetries counts violators that found their units already
+	// renegotiating and fell back to the serial wait-and-retry path
+	// (the "loser" path; co-winner joins are counted on the Collector).
+	BusyRetries int64
 }
 
 // New builds the system: per-site stores initialized with the replicated
@@ -204,6 +305,9 @@ func New(e rt.Runtime, w workload.Workload, opts Options) (*System, error) {
 	}
 	for u := 0; u < w.NumUnits(); u++ {
 		us := &unitState{id: u, objects: w.UnitObjects(u)}
+		if opts.Alloc != AllocDefault {
+			us.demand = make([]siteDemand, n)
+		}
 		sys.Units = append(sys.Units, us)
 		if opts.Mode == ModeTwoPC || opts.Mode == ModeLocal {
 			continue
@@ -294,25 +398,55 @@ func (sys *System) generateTreaties(u *unitState, folded lang.Database) error {
 	// output depends only on the treaty's shape and the folded values
 	// (configuration variable names are positional, identical across
 	// isomorphic templates), not on which concrete objects it governs.
+	// The adaptive strategy additionally depends on the unit's observed
+	// demand, so its cache key carries the quantized weight vector: units
+	// with isomorphic treaties AND similar demand skew warm-start from
+	// one allocation.
+	alloc := sys.effectiveAlloc()
+	var weights []int64
 	key := isoKey(g, folded)
+	if alloc == AllocAdaptive {
+		weights = quantizeDemand(u.demand)
+		key = fmt.Sprintf("%s!%v", key, weights)
+	}
 	var cfg treaty.Config
 	if cached, ok := sys.cfgCache[key]; ok {
 		cfg = cached
 		sys.CacheHits++
 	} else {
-		switch sys.Opts.Mode {
-		case ModeHomeo:
-			cfg, _ = treaty.Optimize(tmpl, folded, sys.W.Model(u.id), treaty.OptimizeOptions{
-				Lookahead:  sys.Opts.Lookahead,
-				CostFactor: sys.Opts.CostFactor,
-				Rng:        sys.optRng,
-			})
-		case ModeOpt:
-			cfg = tmpl.EqualSplitConfig(folded)
-		case ModeHomeoDefault:
-			cfg = tmpl.DefaultConfig(folded)
-		default:
-			return fmt.Errorf("homeostasis: mode %v does not use treaties", sys.Opts.Mode)
+		if sys.Opts.Alloc == AllocDefault {
+			switch sys.Opts.Mode {
+			case ModeHomeo:
+				cfg, _ = treaty.Optimize(tmpl, folded, sys.W.Model(u.id), treaty.OptimizeOptions{
+					Lookahead:  sys.Opts.Lookahead,
+					CostFactor: sys.Opts.CostFactor,
+					Rng:        sys.optRng,
+				})
+			case ModeOpt:
+				cfg = tmpl.EqualSplitConfig(folded)
+			case ModeHomeoDefault:
+				cfg = tmpl.DefaultConfig(folded)
+			default:
+				return fmt.Errorf("homeostasis: mode %v does not use treaties", sys.Opts.Mode)
+			}
+		} else {
+			switch sys.Opts.Mode {
+			case ModeHomeo, ModeOpt, ModeHomeoDefault:
+			default:
+				return fmt.Errorf("homeostasis: mode %v does not use treaties", sys.Opts.Mode)
+			}
+			switch alloc {
+			case AllocModel:
+				cfg, _ = treaty.Optimize(tmpl, folded, sys.W.Model(u.id), treaty.OptimizeOptions{
+					Lookahead:  sys.Opts.Lookahead,
+					CostFactor: sys.Opts.CostFactor,
+					Rng:        sys.optRng,
+				})
+			case AllocEqualSplit:
+				cfg = tmpl.EqualSplitConfig(folded)
+			case AllocAdaptive:
+				cfg = tmpl.AdaptiveConfig(folded, weights)
+			}
 		}
 		sys.SolverInvocations++
 		sys.cfgCache[key] = cfg
@@ -335,18 +469,106 @@ func (sys *System) generateTreaties(u *unitState, folded lang.Database) error {
 	return nil
 }
 
-// solverTime models the virtual time spent computing treaties during a
-// negotiation (Figure 24's "solver" component): base cost plus per-sample
-// cost of Algorithm 1's L*f simulated writes. OPT and the default
-// configuration are closed-form (base cost only).
-func (sys *System) solverTime() rt.Duration {
+// effectiveAlloc resolves the allocation strategy actually in force: the
+// explicit Options.Alloc override, or the mode's built-in strategy
+// (homeo = model-optimized, opt = equal split; homeo-default's Theorem
+// 4.3 pin has no override name and reports AllocDefault).
+func (sys *System) effectiveAlloc() Alloc {
+	if sys.Opts.Alloc != AllocDefault {
+		return sys.Opts.Alloc
+	}
 	switch sys.Opts.Mode {
 	case ModeHomeo:
+		return AllocModel
+	case ModeOpt:
+		return AllocEqualSplit
+	}
+	return AllocDefault
+}
+
+// batching reports whether the cleanup phase accepts co-winners
+// (batched renegotiation is part of the adaptive engine opt-in).
+func (sys *System) batching() bool { return sys.Opts.Alloc != AllocDefault }
+
+// quantizeDemand maps per-site burn counters to a coarse weight vector
+// (resolution 8 relative to the total) so the isomorphism cache can share
+// adaptive allocations between units with similar — not only identical —
+// demand skew, and the allocation itself is a pure function of the cache
+// key.
+func quantizeDemand(demand []siteDemand) []int64 {
+	weights := make([]int64, len(demand))
+	total := int64(0)
+	for _, d := range demand {
+		total += d.burn
+	}
+	if total == 0 {
+		// No burn observed (e.g. only violations): fall back to violation
+		// counts so a violation-heavy site still attracts slack.
+		for _, d := range demand {
+			total += d.violations
+		}
+		if total == 0 {
+			return weights
+		}
+		for i, d := range demand {
+			weights[i] = (d.violations*16/total + 1) / 2
+		}
+		return weights
+	}
+	for i, d := range demand {
+		weights[i] = (d.burn*16/total + 1) / 2
+	}
+	return weights
+}
+
+// installPinTreaties is the cleanup phase's safety net when treaty
+// generation fails after T' has already committed everywhere: it installs
+// the always-valid pin treaties directly from the consolidated state
+// (site 0 pins base+delta at the folded value, every other site pins its
+// delta at zero — the Theorem 4.3 default for this shape). Any subsequent
+// write violates and re-enters negotiation, which retries real
+// generation, so the system degrades to sync-per-write instead of
+// executing against stale treaties.
+func (sys *System) installPinTreaties(u *unitState, folded lang.Database) error {
+	var g treaty.Global
+	n := sys.Opts.Topo.NSites()
+	for _, obj := range u.objects {
+		pin := lia.NewTerm()
+		pin.AddVar(logic.Obj(obj), 1)
+		for k := 0; k < n; k++ {
+			pin.AddVar(logic.Obj(lang.DeltaObj(obj, k)), 1)
+		}
+		pin.Const = -folded.Get(obj)
+		g.Constraints = append(g.Constraints, lia.Constraint{Term: pin, Op: lia.EQ})
+	}
+	tmpl, err := treaty.BuildTemplate(g, n, placement)
+	if err != nil {
+		return err
+	}
+	locals, err := tmpl.LocalTreaties(tmpl.DefaultConfig(folded))
+	if err != nil {
+		return err
+	}
+	compiled, err := treaty.CompileLocals(locals)
+	if err != nil {
+		return err
+	}
+	u.locals = locals
+	u.compiled = compiled
+	u.version++
+	return nil
+}
+
+// solverTime models the virtual time spent computing treaties during a
+// negotiation (Figure 24's "solver" component): base cost plus per-sample
+// cost of Algorithm 1's L*f simulated writes. Equal-split, adaptive, and
+// the default configuration are closed-form (base cost only).
+func (sys *System) solverTime() rt.Duration {
+	if sys.effectiveAlloc() == AllocModel {
 		return sys.Opts.SolverBase +
 			rt.Duration(sys.Opts.Lookahead*sys.Opts.CostFactor)*sys.Opts.SolverPerSample
-	default:
-		return sys.Opts.SolverBase
 	}
+	return sys.Opts.SolverBase
 }
 
 // Run starts ClientsPerSite clients at every site and runs the runtime

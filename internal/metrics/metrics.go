@@ -142,6 +142,21 @@ type Collector struct {
 	// Dropped counts requests abandoned on unrecoverable execution errors
 	// (livelock bailouts, protocol errors) rather than retried.
 	Dropped int64
+	// Livelocked counts requests that hit the retry-attempt bound in the
+	// homeostasis executor. Every livelocked request is also Dropped by
+	// its caller; the distinct counter separates livelock bailouts from
+	// other unrecoverable errors.
+	Livelocked int64
+	// TreatyGenFailures counts cleanup rounds whose treaty generation
+	// failed after the winning transaction had already committed at every
+	// site. The protocol installs safe pin treaties and continues (the
+	// commit stands); the counter surfaces the degradation.
+	TreatyGenFailures int64
+	// CoWinnerCommits counts transactions committed as co-winners of a
+	// batched cleanup round (Options.Alloc enabled): queued violators
+	// folded into another winner's synchronization instead of paying
+	// their own two communication rounds.
+	CoWinnerCommits int64
 	// ViolationBreakdown is the Figure 24 split for transactions that
 	// required synchronization.
 	ViolationBreakdown Breakdown
@@ -180,10 +195,49 @@ func (c *Collector) RecordDropped() {
 	c.Dropped++
 }
 
+// RecordLivelock records a request that hit the executor's retry-attempt
+// bound. The caller still records the drop; this is the distinct counter.
+func (c *Collector) RecordLivelock() {
+	if !c.Measuring {
+		return
+	}
+	c.Livelocked++
+}
+
+// RecordTreatyGenFailure records a cleanup round that committed its
+// winning transaction but failed to generate fresh treaties (the system
+// installed safe pin treaties instead).
+func (c *Collector) RecordTreatyGenFailure() {
+	if !c.Measuring {
+		return
+	}
+	c.TreatyGenFailures++
+}
+
+// RecordCoWinner records a transaction committed by joining another
+// violator's cleanup round instead of running its own.
+func (c *Collector) RecordCoWinner() {
+	if !c.Measuring {
+		return
+	}
+	c.CoWinnerCommits++
+}
+
 // Throughput returns committed transactions per second of virtual time in
 // the measuring window.
 func (c *Collector) Throughput() float64 {
 	window := rt.Duration(c.End - c.Start)
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.Committed) / window.Seconds()
+}
+
+// ThroughputAt returns committed transactions per second over the window
+// [Start, now] without mutating the collector, for read-only observers
+// (e.g. a stats endpoint computing a rolling rate on a live system).
+func (c *Collector) ThroughputAt(now rt.Time) float64 {
+	window := rt.Duration(now - c.Start)
 	if window <= 0 {
 		return 0
 	}

@@ -135,3 +135,45 @@ func TestProfileString(t *testing.T) {
 		t.Fatal("empty profile")
 	}
 }
+
+// TestThroughputAtIsReadOnly: the rolling-window rate must not touch the
+// collector (a GET endpoint computes it on a live system).
+func TestThroughputAtIsReadOnly(t *testing.T) {
+	c := &Collector{Measuring: true, Start: 0}
+	for i := 0; i < 10; i++ {
+		c.RecordCommit(sim.Millisecond, false)
+	}
+	endBefore := c.End
+	got := c.ThroughputAt(sim.Time(2 * sim.Second))
+	if got != 5 {
+		t.Fatalf("ThroughputAt = %v txn/s, want 5", got)
+	}
+	if c.End != endBefore {
+		t.Fatalf("ThroughputAt mutated End: %v -> %v", endBefore, c.End)
+	}
+	if c.ThroughputAt(0) != 0 {
+		t.Fatal("empty window must report 0")
+	}
+}
+
+// TestDistinctFailureCounters: the livelock, generation-failure, and
+// co-winner counters record independently and honor the measuring gate.
+func TestDistinctFailureCounters(t *testing.T) {
+	c := &Collector{}
+	c.RecordLivelock()
+	c.RecordTreatyGenFailure()
+	c.RecordCoWinner()
+	if c.Livelocked != 0 || c.TreatyGenFailures != 0 || c.CoWinnerCommits != 0 {
+		t.Fatal("counters recorded during warm-up")
+	}
+	c.Measuring = true
+	c.RecordLivelock()
+	c.RecordDropped()
+	c.RecordTreatyGenFailure()
+	c.RecordCoWinner()
+	c.RecordCoWinner()
+	if c.Livelocked != 1 || c.Dropped != 1 || c.TreatyGenFailures != 1 || c.CoWinnerCommits != 2 {
+		t.Fatalf("counters = livelock %d dropped %d genfail %d cowinner %d",
+			c.Livelocked, c.Dropped, c.TreatyGenFailures, c.CoWinnerCommits)
+	}
+}

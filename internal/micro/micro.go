@@ -55,6 +55,18 @@ type Config struct {
 	// InitialQty is the starting quantity of every item (defaults to
 	// Refill).
 	InitialQty int64
+	// HotFrac enables the hot-site rotation drift scenario: each site
+	// directs this fraction of its orders at a site-specific hot window of
+	// HotWindow items, so per-item demand is heavily skewed toward one
+	// site at a time. Zero disables drift (the seed's uniform draw).
+	HotFrac float64
+	// HotWindow is the width of each site's hot window in items (defaults
+	// to 1/10th of Items when HotFrac is set).
+	HotWindow int
+	// RotateEvery advances every hot window by one window width after
+	// this many request draws, so the hot site of any given item changes
+	// over time and allocations must adapt. Zero never rotates.
+	RotateEvery int
 }
 
 // Workload is the microbenchmark; it implements workload.Workload.
@@ -63,6 +75,7 @@ type Workload struct {
 	txn   *lang.Transaction // canonical L++ order transaction
 	rw    *lang.Transaction // replica-rewritten form (site 0)
 	table *symtab.Table     // symbolic table of the rewritten form
+	rotor *workload.Rotor   // drift clock (hot-site rotation)
 }
 
 // New analyzes the transaction and builds the workload.
@@ -95,7 +108,14 @@ func New(cfg Config) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Workload{cfg: cfg, txn: txn, rw: rw, table: table}, nil
+	if cfg.HotFrac > 0 && cfg.HotWindow <= 0 {
+		cfg.HotWindow = cfg.Items / 10
+		if cfg.HotWindow < 1 {
+			cfg.HotWindow = 1
+		}
+	}
+	return &Workload{cfg: cfg, txn: txn, rw: rw, table: table,
+		rotor: workload.NewRotor(cfg.RotateEvery)}, nil
 }
 
 // Name implements workload.Workload.
@@ -196,12 +216,24 @@ func (m *model) SampleFuture(rng *rand.Rand, db lang.Database, l int) []lang.Dat
 }
 
 // Next implements workload.Workload: an order for ItemsPerTxn distinct
-// uniformly random items.
+// random items — uniform by default; under the hot-site rotation drift
+// scenario (HotFrac > 0), HotFrac of each site's draws land in the site's
+// current hot window instead.
 func (w *Workload) Next(rng *rand.Rand, site int) workload.Request {
+	hotStart := -1
+	if w.cfg.HotFrac > 0 {
+		epoch := w.rotor.Tick()
+		hotStart = (site*w.cfg.Items/w.cfg.NSites + epoch*w.cfg.HotWindow) % w.cfg.Items
+	}
 	items := make([]int, 0, w.cfg.ItemsPerTxn)
 	seen := make(map[int]bool, w.cfg.ItemsPerTxn)
 	for len(items) < w.cfg.ItemsPerTxn {
-		it := rng.Intn(w.cfg.Items)
+		var it int
+		if hotStart >= 0 && rng.Float64() < w.cfg.HotFrac {
+			it = (hotStart + rng.Intn(w.cfg.HotWindow)) % w.cfg.Items
+		} else {
+			it = rng.Intn(w.cfg.Items)
+		}
 		if !seen[it] {
 			seen[it] = true
 			items = append(items, it)

@@ -226,3 +226,74 @@ func TestInitialDB(t *testing.T) {
 }
 
 var _ workload.Workload = (*Workload)(nil)
+
+// TestHotSiteRotationDrift: with drift enabled, each site's draws
+// concentrate in its current hot window, and the window moves when the
+// rotor advances an epoch.
+func TestHotSiteRotationDrift(t *testing.T) {
+	w, err := New(Config{Items: 100, Refill: 100, NSites: 2,
+		HotFrac: 0.9, HotWindow: 10, RotateEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	inWindow := func(item, start, width int) bool {
+		for k := 0; k < width; k++ {
+			if item == (start+k)%100 {
+				return true
+			}
+		}
+		return false
+	}
+	// Epoch 0: site 0's window is items [0,10), site 1's is [50,60).
+	hot0, hot1 := 0, 0
+	for i := 0; i < 500; i++ {
+		r0 := w.Next(rng, 0)
+		if inWindow(int(r0.Args[0]), 0, 10) {
+			hot0++
+		}
+		r1 := w.Next(rng, 1)
+		if inWindow(int(r1.Args[0]), 50, 10) {
+			hot1++
+		}
+	}
+	// 90% target; allow sampling slop (the uniform 10% also lands in the
+	// window 10% of the time, pushing the expectation to ~91%).
+	if hot0 < 400 || hot1 < 400 {
+		t.Fatalf("hot-window hits = %d/%d of 500 each, want >= 400", hot0, hot1)
+	}
+	// The 1000 draws above advanced the rotor one epoch: site 0's window
+	// is now [10,20).
+	moved := 0
+	for i := 0; i < 500; i++ {
+		r := w.Next(rng, 0)
+		if inWindow(int(r.Args[0]), 10, 10) {
+			moved++
+		}
+		w.Next(rng, 1) // keep both sites drawing, as a real run would
+	}
+	if moved < 400 {
+		t.Fatalf("after rotation only %d/500 draws in the moved window", moved)
+	}
+}
+
+// TestNoDriftIsSeedDistribution: HotFrac 0 must leave the request
+// stream untouched — same rng consumption, same draws as the seed.
+func TestNoDriftIsSeedDistribution(t *testing.T) {
+	a, err := New(Config{Items: 50, Refill: 100, NSites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Items: 50, Refill: 100, NSites: 2, RotateEvery: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := rand.New(rand.NewSource(9))
+	r2 := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		x, y := a.Next(r1, i%2), b.Next(r2, i%2)
+		if x.Args[0] != y.Args[0] {
+			t.Fatalf("draw %d differs without HotFrac: %d vs %d", i, x.Args[0], y.Args[0])
+		}
+	}
+}

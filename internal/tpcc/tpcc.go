@@ -96,6 +96,15 @@ type Config struct {
 	MixNewOrder, MixPayment, MixDelivery int
 	// Seed controls data generation.
 	Seed int64
+	// WarehouseAffinity enables the skewed-warehouse drift scenario: this
+	// percentage of each site's New Orders target the site's current home
+	// warehouse instead of the global item distribution, so stock demand
+	// is heavily skewed toward one site per warehouse. Zero disables it.
+	WarehouseAffinity float64
+	// RotateEvery advances every site's home warehouse by one after this
+	// many request draws, drifting the skew across the cluster. Zero
+	// never rotates.
+	RotateEvery int
 }
 
 // Workload implements workload.Workload for TPC-C.
@@ -105,6 +114,7 @@ type Workload struct {
 	hotCount   int
 	table      *symtab.Table // canonical rewritten New Order table
 	initial    lang.Database
+	rotor      *workload.Rotor // drift clock (skewed-warehouse rotation)
 }
 
 // New generates the database and runs the offline analysis.
@@ -167,6 +177,7 @@ func New(cfg Config) (*Workload, error) {
 		db[LowObj(wd)] = 0
 	}
 	w.initial = db
+	w.rotor = workload.NewRotor(cfg.RotateEvery)
 	return w, nil
 }
 
@@ -365,13 +376,35 @@ func (w *Workload) pickItem(rng *rand.Rand) int {
 	return w.hotCount + rng.Intn(w.stockCount-w.hotCount)
 }
 
+// pickDriftItem selects a stock entry for the skewed-warehouse scenario:
+// with probability WarehouseAffinity% the order targets the site's current
+// home warehouse (home = (site + epoch) mod Warehouses), otherwise it
+// falls back to the global hot/cold distribution.
+func (w *Workload) pickDriftItem(rng *rand.Rand, site, epoch int) int {
+	if rng.Float64()*100 < w.cfg.WarehouseAffinity {
+		home := (site + epoch) % w.cfg.Warehouses
+		return home*w.cfg.StockPerWarehouse + rng.Intn(w.cfg.StockPerWarehouse)
+	}
+	return w.pickItem(rng)
+}
+
 // Next implements workload.Workload: draw from the transaction mix.
 func (w *Workload) Next(rng *rand.Rand, site int) workload.Request {
+	drift := w.cfg.WarehouseAffinity > 0
+	epoch := 0
+	if drift {
+		epoch = w.rotor.Tick()
+	}
 	total := w.cfg.MixNewOrder + w.cfg.MixPayment + w.cfg.MixDelivery
 	r := rng.Intn(total)
 	switch {
 	case r < w.cfg.MixNewOrder:
-		item := w.pickItem(rng)
+		var item int
+		if drift {
+			item = w.pickDriftItem(rng, site, epoch)
+		} else {
+			item = w.pickItem(rng)
+		}
 		qty := 1 + rng.Int63n(5)
 		return w.NewOrderRequest(item, qty, rng.Intn(w.cfg.Warehouses*w.cfg.DistrictsPerWarehouse))
 	case r < w.cfg.MixNewOrder+w.cfg.MixPayment:

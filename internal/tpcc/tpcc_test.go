@@ -349,3 +349,46 @@ func TestInitialStockRange(t *testing.T) {
 
 var _ workload.Workload = (*Workload)(nil)
 var _ treaty.WorkloadModel = (*stockModel)(nil)
+
+// TestSkewedWarehouseDrift: with warehouse affinity enabled, a site's
+// New Orders concentrate in its current home warehouse, and the home
+// rotates with the drift epoch.
+func TestSkewedWarehouseDrift(t *testing.T) {
+	w, err := New(Config{
+		Warehouses: 4, DistrictsPerWarehouse: 2, StockPerWarehouse: 25,
+		Customers: 50, NSites: 2, MixNewOrder: 100, MixPayment: 0, MixDelivery: 0,
+		WarehouseAffinity: 95, RotateEvery: 1000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	warehouseOf := func(item int64) int { return int(item) / 25 }
+	// Epoch 0: site 0's home warehouse is 0.
+	home := 0
+	for i := 0; i < 500; i++ {
+		req := w.Next(rng, 0)
+		if req.Name != "NewOrder" {
+			t.Fatalf("pure New Order mix drew %s", req.Name)
+		}
+		if warehouseOf(req.Args[0]) == 0 {
+			home++
+		}
+		w.Next(rng, 1)
+	}
+	if home < 420 { // 95% affinity less sampling slop
+		t.Fatalf("only %d/500 New Orders hit site 0's home warehouse", home)
+	}
+	// The 1000 draws advanced one epoch: site 0's home is warehouse 1.
+	moved := 0
+	for i := 0; i < 500; i++ {
+		req := w.Next(rng, 0)
+		if warehouseOf(req.Args[0]) == 1 {
+			moved++
+		}
+		w.Next(rng, 1)
+	}
+	if moved < 420 {
+		t.Fatalf("after rotation only %d/500 New Orders hit the new home warehouse", moved)
+	}
+}

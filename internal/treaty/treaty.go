@@ -8,6 +8,7 @@ package treaty
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/lang"
@@ -332,6 +333,79 @@ func (t *Template) EqualSplitConfig(db lang.Database) Config {
 					extra = 1
 				}
 				cfg[sc.Config] = n - localSum(sc.LocalTerm, db) - share - extra
+			}
+		}
+	}
+	return cfg
+}
+
+// AdaptiveConfig is the demand-proportional allocation strategy: for each
+// inequality clause, the slack between the current state and the treaty
+// boundary is split across sites proportionally to the given per-site
+// demand weights (observed burn rates since the last negotiation round),
+// so a site consuming most of a unit's slack receives most of the next
+// round's budget and skewed or drifting workloads renegotiate less often.
+// Zero or missing weights degrade gracefully: an all-zero weight vector
+// reproduces EqualSplitConfig exactly. Equality clauses are pinned as in
+// DefaultConfig.
+//
+// Validity does not depend on the weights: every share is non-negative
+// and the shares sum to at most the slack, so H2 (each local treaty holds
+// on D) and H1 (the locals imply the global) hold for any weight vector,
+// exactly as for the equal split.
+func (t *Template) AdaptiveConfig(db lang.Database, weights []int64) Config {
+	total := int64(0)
+	for site := 0; site < t.NSites && site < len(weights); site++ {
+		if weights[site] > 0 {
+			total += weights[site]
+		}
+	}
+	if total == 0 {
+		return t.EqualSplitConfig(db)
+	}
+	cfg := make(Config)
+	for _, tc := range t.Clauses {
+		n := -tc.Global.Term.Const
+		switch tc.Global.Op {
+		case lia.EQ:
+			for _, sc := range tc.Sites {
+				cfg[sc.Config] = n - localSum(sc.LocalTerm, db)
+			}
+		case lia.LE:
+			sum := int64(0)
+			for _, sc := range tc.Sites {
+				sum += localSum(sc.LocalTerm, db)
+			}
+			slack := n - sum
+			if slack < 0 {
+				slack = 0
+			}
+			// Proportional shares by integer division, then hand the
+			// remainder out one unit at a time in descending-weight order
+			// (ties by site index) so the split is deterministic and sums
+			// exactly to the slack.
+			w := make([]int64, t.NSites)
+			for site := range w {
+				if site < len(weights) && weights[site] > 0 {
+					w[site] = weights[site]
+				}
+			}
+			shares := make([]int64, t.NSites)
+			given := int64(0)
+			for site := range shares {
+				shares[site] = slack * w[site] / total
+				given += shares[site]
+			}
+			order := make([]int, t.NSites)
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(a, b int) bool { return w[order[a]] > w[order[b]] })
+			for rem := slack - given; rem > 0; rem-- {
+				shares[order[int(slack-given-rem)%t.NSites]]++
+			}
+			for i, sc := range tc.Sites {
+				cfg[sc.Config] = n - localSum(sc.LocalTerm, db) - shares[i]
 			}
 		}
 	}

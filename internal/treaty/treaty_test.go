@@ -560,3 +560,89 @@ func TestRelaxIntoSlackDistributesBudget(t *testing.T) {
 		t.Fatalf("relaxed config invalid: %v", err)
 	}
 }
+
+// TestAdaptiveConfigProportional: with demand weights 3:1 the slack goes
+// mostly to the hot site, and the configuration stays valid.
+func TestAdaptiveConfigProportional(t *testing.T) {
+	g, _, place := exampleGlobal(t)       // x+y >= 20
+	db := lang.Database{"x": 20, "y": 12} // slack 12
+	tmpl, err := BuildTemplate(g, 2, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tmpl.AdaptiveConfig(db, []int64{3, 1})
+	if err := tmpl.Validate(cfg, db); err != nil {
+		t.Fatalf("adaptive config invalid: %v", err)
+	}
+	locals, _ := tmpl.LocalTreaties(cfg)
+	// Slack 12 split 9/3: site 0 may drop x to 11, site 1 y to 9.
+	if !locals[0].Holds(lang.Database{"x": 11}) || locals[0].Holds(lang.Database{"x": 10}) {
+		t.Fatalf("site 0 adaptive treaty should be x >= 11: %s", locals[0])
+	}
+	if !locals[1].Holds(lang.Database{"y": 9}) || locals[1].Holds(lang.Database{"y": 8}) {
+		t.Fatalf("site 1 adaptive treaty should be y >= 9: %s", locals[1])
+	}
+}
+
+// TestAdaptiveConfigZeroWeightsIsEqualSplit: no observed demand must
+// reproduce the equal split exactly (the offline-initialization case).
+func TestAdaptiveConfigZeroWeightsIsEqualSplit(t *testing.T) {
+	g, db, place := exampleGlobal(t)
+	tmpl, err := BuildTemplate(g, 2, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tmpl.EqualSplitConfig(db)
+	for _, weights := range [][]int64{nil, {0, 0}, {0}, {-1, -2}} {
+		got := tmpl.AdaptiveConfig(db, weights)
+		for v, val := range want {
+			if got[v] != val {
+				t.Fatalf("weights %v: config %s = %d, want equal-split %d", weights, v, got[v], val)
+			}
+		}
+	}
+}
+
+// TestAdaptiveConfigValidRandomized: validity must not depend on the
+// weights — random demand vectors over random databases always yield a
+// configuration satisfying H1 and H2.
+func TestAdaptiveConfigValidRandomized(t *testing.T) {
+	g, _, place := exampleGlobal(t)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		x := rng.Int63n(30)
+		y := 20 - x + rng.Int63n(25) // keep x+y >= 20
+		db := lang.Database{"x": x, "y": y}
+		tmpl, err := BuildTemplate(g, 2, place)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weights := []int64{rng.Int63n(20) - 2, rng.Int63n(20) - 2}
+		cfg := tmpl.AdaptiveConfig(db, weights)
+		if err := tmpl.Validate(cfg, db); err != nil {
+			t.Fatalf("weights %v on %v: %v", weights, db, err)
+		}
+	}
+}
+
+// TestAdaptiveConfigExtremeSkew: all demand on one site hands it the
+// whole slack and pins the idle site at its current value.
+func TestAdaptiveConfigExtremeSkew(t *testing.T) {
+	g, _, place := exampleGlobal(t)
+	db := lang.Database{"x": 25, "y": 15} // slack 20
+	tmpl, err := BuildTemplate(g, 2, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tmpl.AdaptiveConfig(db, []int64{7, 0})
+	if err := tmpl.Validate(cfg, db); err != nil {
+		t.Fatal(err)
+	}
+	locals, _ := tmpl.LocalTreaties(cfg)
+	if !locals[0].Holds(lang.Database{"x": 5}) || locals[0].Holds(lang.Database{"x": 4}) {
+		t.Fatalf("hot site should get the entire slack (x >= 5): %s", locals[0])
+	}
+	if locals[1].Holds(lang.Database{"y": 14}) {
+		t.Fatalf("idle site should be pinned at y >= 15: %s", locals[1])
+	}
+}

@@ -57,6 +57,31 @@ type Request struct {
 	Apply func(db lang.Database) []int64
 }
 
+// Rotor is the drift clock shared by the workload drift scenarios (micro
+// hot-site rotation, TPC-C skewed-warehouse): it counts request draws and
+// reports the current rotation epoch. Each workload instance owns its own
+// rotor, and Next is only ever called under the runtime's execution right
+// (or the serving handler's request lock), so no further synchronization
+// is needed and sweeps stay deterministic.
+type Rotor struct {
+	period int
+	calls  int
+}
+
+// NewRotor returns a rotor advancing one epoch every period draws; a
+// non-positive period never rotates (epoch stays 0).
+func NewRotor(period int) *Rotor { return &Rotor{period: period} }
+
+// Tick counts one request draw and returns the epoch it falls in.
+func (r *Rotor) Tick() int {
+	if r.period <= 0 {
+		return 0
+	}
+	epoch := r.calls / r.period
+	r.calls++
+	return epoch
+}
+
 // Workload supplies initial state, treaty units, and a request stream.
 type Workload interface {
 	// Name identifies the workload.

@@ -260,3 +260,25 @@ func TestTPCCNewOrderRestockRule(t *testing.T) {
 		t.Fatalf("stock after plain order = %d, want 45", got)
 	}
 }
+
+// TestRotor: epochs advance exactly every period ticks; non-positive
+// periods never rotate.
+func TestRotor(t *testing.T) {
+	r := workload.NewRotor(3)
+	var got []int
+	for i := 0; i < 7; i++ {
+		got = append(got, r.Tick())
+	}
+	want := []int{0, 0, 0, 1, 1, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tick %d: epoch %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+	frozen := workload.NewRotor(0)
+	for i := 0; i < 5; i++ {
+		if e := frozen.Tick(); e != 0 {
+			t.Fatalf("period-0 rotor rotated to epoch %d", e)
+		}
+	}
+}
