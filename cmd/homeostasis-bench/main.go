@@ -21,8 +21,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/homeo"
 	"repro/internal/experiments"
-	"repro/internal/homeostasis"
 )
 
 func main() {
@@ -63,19 +63,12 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Parallel = *parallel
-	switch strings.ToLower(*allocName) {
-	case "", "default":
-		sc.Alloc = homeostasis.AllocDefault
-	case "equal":
-		sc.Alloc = homeostasis.AllocEqualSplit
-	case "model":
-		sc.Alloc = homeostasis.AllocModel
-	case "adaptive":
-		sc.Alloc = homeostasis.AllocAdaptive
-	default:
-		fmt.Fprintf(os.Stderr, "unknown alloc %q (want default, equal, model, or adaptive)\n", *allocName)
+	alloc, err := homeo.ParseAlloc(*allocName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	sc.Alloc = alloc
 
 	runOne := func(name string) {
 		fn, ok := experiments.ByName(name)

@@ -1,40 +1,48 @@
 // Command homeostasis-serve boots a live multi-site homeostasis cluster
-// and serves transactions in real time. It is the wall-clock counterpart
-// of cmd/homeostasis-bench: the same protocol core (internal/store,
-// internal/homeostasis) runs on internal/rtlive instead of the simulator,
-// so site CPU caps, lock timeouts, and WAN round trips are real waits and
-// real concurrency limits.
+// and serves the versioned /v1 wire protocol. It is a thin shell over the
+// public embeddable API: repro/homeo builds and runs the cluster,
+// repro/homeo/httpapi serves the protocol, repro/homeo/client drives it.
 //
 // Serving mode (default) exposes HTTP/JSON:
 //
 //	homeostasis-serve -workload tpcc -sites 3 -addr :8080
-//	curl -s -X POST localhost:8080/txn -d '{"site":0}'
-//	curl -s localhost:8080/stats
+//	curl -s -X POST localhost:8080/v1/classes -d '{"l":"transaction Deposit(n) { v := read(acct); write(acct = v + n) }"}'
+//	curl -s -X POST localhost:8080/v1/txn -d '{"class":"Deposit","args":[5]}'
+//	curl -s -X POST localhost:8080/v1/txn -d '{"site":0}'        # base workload mix
+//	curl -s localhost:8080/v1/stats
+//	curl -N localhost:8080/v1/stats?stream=1                      # SSE stream
 //
-// POST /txn executes one transaction drawn from the workload's request
-// mix at the given site (round-robin when omitted) and reports its name,
-// latency, and whether it triggered a treaty synchronization. GET /stats
-// reports cluster-wide throughput, latency percentiles, dropped requests,
-// and per-site 2PL store counters. GET /healthz is a liveness probe.
+// POST /v1/classes registers a transaction class from L or SQL source:
+// the server parses and analyzes it and generates treaties online, so
+// transactions never seen at compile time serve coordination-free where
+// the analysis allows. POST /v1/txn invokes a registered class (or draws
+// from the base workload's mix), singly or in batch, with 429
+// backpressure on queue overflow and structured error codes
+// distinguishing abort, timeout, and livelock. On SIGINT/SIGTERM the
+// server stops admitting (503), drains in-flight work, prints final
+// stats, and exits 0.
 //
-// Drive mode runs a built-in closed-loop load driver instead of serving:
+// Drive mode runs a closed-loop load driver over the same wire protocol:
 //
 //	homeostasis-serve -workload tpcc -drive clients=8,duration=5s
+//	homeostasis-serve -workload none -register class.json -drive clients=4,duration=5s,class=Deposit
 //
-// It starts the given number of clients per site, measures for the given
-// duration, prints real throughput and latency percentiles through the
-// same metrics collector the experiments use, verifies the commit log is
+// The driver boots the server on a loopback listener, registers any
+// -register class files over HTTP, and runs the given number of
+// closed-loop clients per site through homeo/client — the same code path
+// external users take. It prints real throughput and latency through the
+// same collector the experiments use, verifies the commit log is
 // observationally equivalent under serial replay (Theorem 3.8), and exits
 // nonzero on zero commits or a failed check.
 package main
 
 import (
+	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,23 +53,33 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/homeostasis"
+	"repro/homeo"
+	"repro/homeo/client"
+	"repro/homeo/httpapi"
+	"repro/homeo/wire"
 	"repro/internal/micro"
-	"repro/internal/rt"
-	"repro/internal/rtlive"
 	"repro/internal/tpcc"
-	"repro/internal/workload"
 )
 
+// classFiles collects repeatable -register flags.
+type classFiles []string
+
+func (c *classFiles) String() string { return strings.Join(*c, ",") }
+func (c *classFiles) Set(s string) error {
+	*c = append(*c, s)
+	return nil
+}
+
 func main() {
+	var registers classFiles
 	var (
-		workloadName = flag.String("workload", "tpcc", "workload: micro or tpcc")
+		workloadName = flag.String("workload", "tpcc", "base workload: micro, tpcc, or none (serve only registered classes)")
 		modeName     = flag.String("mode", "homeo", "protocol: homeo, opt, homeo-default, 2pc, or local")
 		allocName    = flag.String("alloc", "default", "treaty allocation: default (mode's builtin), equal, model, or adaptive (non-default also enables batched renegotiation)")
 		drift        = flag.Bool("drift", false, "enable the workload's drift scenario (micro: hot-site rotation; tpcc: skewed warehouse)")
 		sites        = flag.Int("sites", 2, "number of replica sites")
 		rtt          = flag.Duration("rtt", 50*time.Millisecond, "uniform inter-site round-trip time (really slept)")
+		ec2          = flag.Bool("ec2", false, "use the paper's Table 1 EC2 inter-region RTTs instead of -rtt")
 		cpu          = flag.Int("cpu", 4, "CPU slots per site (a real concurrency limit)")
 		execTime     = flag.Duration("exec-time", 2*time.Millisecond, "local execution service time per transaction")
 		lockTimeout  = flag.Duration("lock-timeout", time.Second, "2PL lock-wait timeout")
@@ -70,58 +88,60 @@ func main() {
 		warehouses   = flag.Int("warehouses", 2, "tpcc: warehouses")
 		stock        = flag.Int("stock", 30, "tpcc: stock rows per warehouse")
 		seed         = flag.Int64("seed", 1, "seed for treaty optimization and request draws")
-		addr         = flag.String("addr", ":8080", "serving mode: HTTP listen address")
-		drive        = flag.String("drive", "", "drive mode: clients=N,duration=5s (closed-loop load, then exit)")
+		maxInflight  = flag.Int("max-inflight", 1024, "submissions in flight before 429 backpressure")
+		addr         = flag.String("addr", ":8080", "serving mode: HTTP listen address (drive mode: loopback default)")
+		drive        = flag.String("drive", "", "drive mode: clients=N,duration=5s[,class=Name] (closed-loop load over the wire protocol, then exit)")
 		warmup       = flag.Duration("warmup", 250*time.Millisecond, "drive mode: warm-up before measuring")
 		checkReplay  = flag.Bool("check-replay", true, "drive mode: verify serial-replay equivalence of the commit log")
 		verbose      = flag.Bool("v", false, "drive mode: also print per-site store counters")
 	)
+	flag.Var(&registers, "register", "register a transaction class from a JSON file (wire ClassRequest; repeatable; drive mode registers over HTTP)")
 	flag.Parse()
 
-	mode, err := parseMode(*modeName)
+	mode, err := homeo.ParseMode(*modeName)
 	if err != nil {
 		fatal(err)
 	}
-	alloc, err := parseAlloc(*allocName)
+	alloc, err := homeo.ParseAlloc(*allocName)
 	if err != nil {
 		fatal(err)
 	}
-	w, err := buildWorkload(*workloadName, *sites, *items, *refill, *warehouses, *stock, *seed, *drift)
+	base, err := buildWorkload(*workloadName, *sites, *items, *refill, *warehouses, *stock, *seed, *drift)
 	if err != nil {
 		fatal(err)
 	}
 
-	opts := homeostasis.Options{
+	opts := homeo.Options{
+		Runtime:       homeo.RuntimeLive,
 		Mode:          mode,
 		Alloc:         alloc,
-		Topo:          cluster.Uniform(*sites, rt.Duration(*rtt)),
+		Sites:         *sites,
+		RTT:           *rtt,
+		Workload:      base,
 		CPUPerSite:    *cpu,
-		LocalExecTime: rt.Duration(*execTime),
-		LockTimeout:   rt.Duration(*lockTimeout),
-		// On the live runtime the cleanup phase's consolidated T'
-		// executions are real work: charge them a CPU slot and their
-		// service time (the simulator's goldens keep the seed model, so
-		// this is a serve-only default).
-		CleanupExec:      true,
-		Seed:             *seed,
-		MaxTxnsPerClient: 0,
+		LocalExecTime: *execTime,
+		LockTimeout:   *lockTimeout,
+		Seed:          *seed,
+		MaxInflight:   *maxInflight,
+	}
+	if *ec2 {
+		opts.Topology = homeo.EC2(*sites)
 	}
 
 	if *drive != "" {
-		clients, duration, err := parseDrive(*drive)
+		cfg, err := parseDrive(*drive)
 		if err != nil {
 			fatal(err)
 		}
-		opts.ClientsPerSite = clients
-		opts.Warmup = rt.Duration(*warmup)
-		opts.Measure = rt.Duration(duration)
-		opts.EnableLog = *checkReplay && mode != homeostasis.ModeLocal
-		runDrive(w, opts, *checkReplay, *verbose)
+		cfg.warmup = *warmup
+		cfg.checkReplay = *checkReplay && mode != homeo.ModeLocal
+		cfg.verbose = *verbose
+		cfg.registers = registers
+		opts.EnableLog = cfg.checkReplay
+		runDrive(opts, cfg)
 		return
 	}
-
-	opts.EnableLog = false
-	runServe(w, opts, *addr)
+	runServe(opts, *addr, registers)
 }
 
 func fatal(err error) {
@@ -129,38 +149,10 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func parseMode(s string) (homeostasis.Mode, error) {
-	switch strings.ToLower(s) {
-	case "homeo":
-		return homeostasis.ModeHomeo, nil
-	case "opt":
-		return homeostasis.ModeOpt, nil
-	case "homeo-default":
-		return homeostasis.ModeHomeoDefault, nil
-	case "2pc":
-		return homeostasis.ModeTwoPC, nil
-	case "local":
-		return homeostasis.ModeLocal, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q", s)
-}
-
-func parseAlloc(s string) (homeostasis.Alloc, error) {
-	switch strings.ToLower(s) {
-	case "", "default":
-		return homeostasis.AllocDefault, nil
-	case "equal":
-		return homeostasis.AllocEqualSplit, nil
-	case "model":
-		return homeostasis.AllocModel, nil
-	case "adaptive":
-		return homeostasis.AllocAdaptive, nil
-	}
-	return 0, fmt.Errorf("unknown alloc %q (want default, equal, model, or adaptive)", s)
-}
-
-func buildWorkload(name string, sites, items int, refill int64, warehouses, stock int, seed int64, drift bool) (workload.Workload, error) {
+func buildWorkload(name string, sites, items int, refill int64, warehouses, stock int, seed int64, drift bool) (homeo.Workload, error) {
 	switch strings.ToLower(name) {
+	case "none", "":
+		return nil, nil
 	case "micro":
 		cfg := micro.Config{Items: items, Refill: refill, NSites: sites}
 		if drift {
@@ -190,278 +182,99 @@ func buildWorkload(name string, sites, items int, refill int64, warehouses, stoc
 		}
 		return tpcc.New(cfg)
 	}
-	return nil, fmt.Errorf("unknown workload %q (want micro or tpcc)", name)
+	return nil, fmt.Errorf("unknown workload %q (want micro, tpcc, or none)", name)
 }
 
-// parseDrive parses "clients=N,duration=5s".
-func parseDrive(s string) (clients int, duration time.Duration, err error) {
-	clients, duration = 4, 5*time.Second
+// driveConfig is the parsed drive mode.
+type driveConfig struct {
+	clients     int
+	duration    time.Duration
+	class       string
+	warmup      time.Duration
+	checkReplay bool
+	verbose     bool
+	registers   classFiles
+}
+
+// parseDrive parses "clients=N,duration=5s[,class=Name]".
+func parseDrive(s string) (driveConfig, error) {
+	cfg := driveConfig{clients: 4, duration: 5 * time.Second}
 	for _, part := range strings.Split(s, ",") {
 		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
 		if len(kv) != 2 {
-			return 0, 0, fmt.Errorf("drive: bad option %q (want clients=N,duration=5s)", part)
+			return cfg, fmt.Errorf("drive: bad option %q (want clients=N,duration=5s[,class=Name])", part)
 		}
 		switch kv[0] {
 		case "clients":
-			clients, err = strconv.Atoi(kv[1])
-			if err != nil || clients <= 0 {
-				return 0, 0, fmt.Errorf("drive: bad clients %q", kv[1])
+			n, err := strconv.Atoi(kv[1])
+			if err != nil || n <= 0 {
+				return cfg, fmt.Errorf("drive: bad clients %q", kv[1])
 			}
+			cfg.clients = n
 		case "duration":
-			duration, err = time.ParseDuration(kv[1])
-			if err != nil || duration <= 0 {
-				return 0, 0, fmt.Errorf("drive: bad duration %q", kv[1])
+			d, err := time.ParseDuration(kv[1])
+			if err != nil || d <= 0 {
+				return cfg, fmt.Errorf("drive: bad duration %q", kv[1])
 			}
+			cfg.duration = d
+		case "class":
+			cfg.class = kv[1]
 		default:
-			return 0, 0, fmt.Errorf("drive: unknown option %q", kv[0])
+			return cfg, fmt.Errorf("drive: unknown option %q", kv[0])
 		}
 	}
-	return clients, duration, nil
+	return cfg, nil
 }
 
-// runDrive boots the cluster and runs the closed-loop load driver: the
-// same System.Run path the experiments use, except the runtime is real.
-func runDrive(w workload.Workload, opts homeostasis.Options, checkReplay, verbose bool) {
-	live := rtlive.New(opts.Seed)
+// loadClassRequest reads a wire.ClassRequest JSON file.
+func loadClassRequest(path string) (wire.ClassRequest, error) {
+	var spec wire.ClassRequest
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return spec, err
+	}
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return spec, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// boot builds the cluster and reports how long it took.
+func boot(opts homeo.Options) *homeo.Cluster {
 	bootStart := time.Now()
-	sys, err := homeostasis.New(live, w, opts)
+	c, err := homeo.New(opts)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("booted %s on %d sites in %v (mode %v, alloc %v, %d units)\n",
-		w.Name(), opts.Topo.NSites(), time.Since(bootStart).Round(time.Millisecond), opts.Mode, opts.Alloc, w.NumUnits())
-	fmt.Printf("driving %d clients/site for %v (warmup %v)...\n",
-		opts.ClientsPerSite, rt.Duration(opts.Measure), rt.Duration(opts.Warmup))
-
-	col := sys.Run()
-
-	fmt.Printf("\ncommitted:        %d (%.1f txn/s real)\n", col.Committed, col.Throughput())
-	fmt.Printf("sync ratio:       %.2f%%\n", col.SyncRatio())
-	fmt.Printf("conflict aborts:  %d\n", col.AbortedConflicts)
-	fmt.Printf("dropped:          %d (livelocked %d)\n", col.Dropped, col.Livelocked)
-	if opts.Alloc != homeostasis.AllocDefault {
-		fmt.Printf("co-winners:       %d (batched cleanup commits)\n", col.CoWinnerCommits)
-	}
-	if col.TreatyGenFailures > 0 {
-		fmt.Printf("gen failures:     %d (units degraded to pin treaties)\n", col.TreatyGenFailures)
-	}
-	fmt.Printf("latency:          p50=%v p90=%v p99=%v max=%v\n",
-		col.Latency.Percentile(50), col.Latency.Percentile(90),
-		col.Latency.Percentile(99), col.Latency.Max())
-	fmt.Printf("store (cluster):  %s\n", sys.StoreStats())
-	if verbose {
-		for site, s := range sys.SiteStats() {
-			fmt.Printf("store (site %d):   %s\n", site, s)
-		}
-	}
-
-	failed := false
-	if col.Committed == 0 {
-		fmt.Println("FAIL: no transactions committed in the measurement window")
-		failed = true
-	}
-	if checkReplay && opts.Mode != homeostasis.ModeLocal {
-		if err := sys.CheckReplayEquivalence(); err != nil {
-			fmt.Println("FAIL: replay equivalence:", err)
-			failed = true
-		} else {
-			fmt.Printf("replay check:     OK (%d committed transactions observationally equivalent under serial replay)\n",
-				len(sys.CommitLog))
-		}
-	}
-	if live.Live() != 0 {
-		fmt.Printf("FAIL: %d processes still alive after drain\n", live.Live())
-		failed = true
-	}
-	if failed {
-		os.Exit(1)
-	}
+	fmt.Printf("booted %s on %d sites in %v (mode %s, alloc %s)\n",
+		c.WorkloadName(), c.Sites(), time.Since(bootStart).Round(time.Millisecond),
+		opts.Mode, opts.Alloc)
+	return c
 }
 
-// server is the HTTP serving state: the live system plus per-request
-// bookkeeping that lives outside the runtime's execution contract.
-type server struct {
-	live *rtlive.Runtime
-	sys  *homeostasis.System
-	w    workload.Workload
-
-	mu  sync.Mutex // guards rng (request draws happen on handler goroutines)
-	rng *rand.Rand
-
-	nextID   atomic.Int64
-	nextSite atomic.Int64
-	start    time.Time
-}
-
-// txnRequest is the POST /txn body. All fields are optional.
-type txnRequest struct {
-	// Site executes the transaction at a specific site; -1 or absent
-	// round-robins.
-	Site *int `json:"site,omitempty"`
-}
-
-// txnResponse reports one executed transaction.
-type txnResponse struct {
-	Name      string  `json:"name"`
-	Args      []int64 `json:"args"`
-	Site      int     `json:"site"`
-	Committed bool    `json:"committed"`
-	Synced    bool    `json:"synced"`
-	LatencyMS float64 `json:"latency_ms"`
-	Error     string  `json:"error,omitempty"`
-}
-
-func (s *server) handleTxn(rw http.ResponseWriter, req *http.Request) {
-	if req.Method != http.MethodPost {
-		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var body txnRequest
-	if req.Body != nil {
-		// An empty body is fine; decode errors on present bodies are not.
-		if err := json.NewDecoder(req.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
-			http.Error(rw, "bad request body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-	}
-	n := s.sys.Opts.Topo.NSites()
-	site := int(s.nextSite.Add(1)-1) % n
-	if body.Site != nil {
-		site = *body.Site
-		if site < 0 || site >= n {
-			http.Error(rw, fmt.Sprintf("site %d out of range [0,%d)", site, n), http.StatusBadRequest)
-			return
-		}
-	}
-	s.mu.Lock()
-	txn := s.w.Next(s.rng, site)
-	s.mu.Unlock()
-
-	resp := txnResponse{Name: txn.Name, Args: txn.Args, Site: site}
-	ran := s.live.Exec(int(s.nextID.Add(1)), func(p rt.Proc) {
-		start := p.Now()
-		synced, err := s.sys.ExecRequest(p, site, txn)
-		lat := rt.Duration(p.Now() - start)
-		resp.LatencyMS = float64(lat) / float64(rt.Millisecond)
+// runServe serves the wire protocol until SIGINT/SIGTERM, then shuts down
+// gracefully: stop admitting, drain in-flight transactions, print final
+// stats, exit 0.
+func runServe(opts homeo.Options, addr string, registers classFiles) {
+	c := boot(opts)
+	for _, path := range registers {
+		spec, err := loadClassRequest(path)
 		if err != nil {
-			resp.Error = err.Error()
-			s.sys.Col.RecordDropped()
-			return
+			fatal(err)
 		}
-		resp.Committed = true
-		resp.Synced = synced
-		s.sys.Col.RecordCommit(lat, synced)
-	})
-	if !ran {
-		http.Error(rw, "server draining", http.StatusServiceUnavailable)
-		return
-	}
-	writeJSON(rw, resp)
-}
-
-// statsResponse is the GET /stats body.
-type statsResponse struct {
-	Workload  string  `json:"workload"`
-	Mode      string  `json:"mode"`
-	Sites     int     `json:"sites"`
-	UptimeSec float64 `json:"uptime_sec"`
-
-	Committed      int64            `json:"committed"`
-	Synced         int64            `json:"synced"`
-	SyncRatioPct   float64          `json:"sync_ratio_pct"`
-	ConflictAborts int64            `json:"conflict_aborts"`
-	Dropped        int64            `json:"dropped"`
-	ThroughputTxnS float64          `json:"throughput_txn_s"`
-	LatencyP50MS   float64          `json:"latency_p50_ms"`
-	LatencyP90MS   float64          `json:"latency_p90_ms"`
-	LatencyP99MS   float64          `json:"latency_p99_ms"`
-	LatencyMaxMS   float64          `json:"latency_max_ms"`
-	StoreCluster   storeStatsJSON   `json:"store_cluster"`
-	StorePerSite   []storeStatsJSON `json:"store_per_site"`
-}
-
-type storeStatsJSON struct {
-	Commits   int64 `json:"commits"`
-	Aborts    int64 `json:"aborts"`
-	Deadlocks int64 `json:"deadlocks"`
-	Timeouts  int64 `json:"timeouts"`
-}
-
-func toJSONStats(s homeostasis.StoreStats) storeStatsJSON {
-	return storeStatsJSON{Commits: s.Commits, Aborts: s.Aborts, Deadlocks: s.Deadlocks, Timeouts: s.Timeouts}
-}
-
-func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
-	resp := statsResponse{
-		Workload:  s.w.Name(),
-		Mode:      s.sys.Opts.Mode.String(),
-		Sites:     s.sys.Opts.Topo.NSites(),
-		UptimeSec: time.Since(s.start).Seconds(),
-	}
-	// Snapshot under the execution contract: the collector and stores are
-	// shared protocol state. Strictly read-only — a GET must not mutate
-	// the collector, so the rolling throughput window is computed without
-	// touching Collector.End.
-	s.live.Locked(func() {
-		col := s.sys.Col
-		resp.Committed = col.Committed
-		resp.Synced = col.Synced
-		resp.SyncRatioPct = col.SyncRatio()
-		resp.ConflictAborts = col.AbortedConflicts
-		resp.Dropped = col.Dropped
-		resp.ThroughputTxnS = col.ThroughputAt(s.live.Now())
-		resp.LatencyP50MS = ms(col.Latency.Percentile(50))
-		resp.LatencyP90MS = ms(col.Latency.Percentile(90))
-		resp.LatencyP99MS = ms(col.Latency.Percentile(99))
-		resp.LatencyMaxMS = ms(col.Latency.Max())
-		resp.StoreCluster = toJSONStats(s.sys.StoreStats())
-		for _, st := range s.sys.SiteStats() {
-			resp.StorePerSite = append(resp.StorePerSite, toJSONStats(st))
+		t, err := c.Register(homeo.ClassSpec{
+			Name: spec.Name, L: spec.L, SQL: spec.SQL,
+			Bounds: spec.Bounds, Initial: spec.Initial, Rows: spec.Rows,
+		})
+		if err != nil {
+			fatal(err)
 		}
-	})
-	writeJSON(rw, resp)
-}
-
-func ms(d rt.Duration) float64 { return float64(d) / float64(rt.Millisecond) }
-
-func writeJSON(rw http.ResponseWriter, v any) {
-	rw.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(rw)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-// runServe boots the cluster and serves transactions over HTTP until
-// SIGINT/SIGTERM.
-func runServe(w workload.Workload, opts homeostasis.Options, addr string) {
-	live := rtlive.New(opts.Seed)
-	bootStart := time.Now()
-	sys, err := homeostasis.New(live, w, opts)
-	if err != nil {
-		fatal(err)
+		fmt.Printf("registered class %s(%s)\n", t.Name(), strings.Join(t.Params(), ", "))
 	}
-	// No warm-up window in serving mode: measure from the start.
-	sys.Col.Measuring = true
-	sys.Col.Start = live.Now()
 
-	srv := &server{
-		live:  live,
-		sys:   sys,
-		w:     w,
-		rng:   rand.New(rand.NewSource(opts.Seed + 101)),
-		start: time.Now(),
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/txn", srv.handleTxn)
-	mux.HandleFunc("/stats", srv.handleStats)
-	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(rw, "ok")
-	})
-
-	httpSrv := &http.Server{Addr: addr, Handler: mux}
-	fmt.Printf("booted %s on %d sites in %v (mode %v, %d units)\n",
-		w.Name(), opts.Topo.NSites(), time.Since(bootStart).Round(time.Millisecond), opts.Mode, w.NumUnits())
-	fmt.Printf("serving on %s  (POST /txn, GET /stats, GET /healthz)\n", addr)
+	handler := httpapi.NewHandler(c)
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
+	fmt.Printf("serving on %s  (POST /v1/classes, POST /v1/txn, GET /v1/stats, GET /healthz)\n", addr)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -470,11 +283,177 @@ func runServe(w workload.Workload, opts homeostasis.Options, addr string) {
 	select {
 	case err := <-errc:
 		fatal(err)
-	case <-sigc:
+	case sig := <-sigc:
+		fmt.Printf("\n%s: shutting down...\n", sig)
 	}
-	fmt.Println("\nshutting down...")
+	// Graceful shutdown: refuse new work with 503, let in-flight requests
+	// finish (bounded), then cancel whatever is still running (abandoned
+	// per-call-timeout transactions) via the runtime drain.
+	handler.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close()
+	}
+	c.Close()
+	st := c.Stats()
+	fmt.Printf("final: committed=%d dropped=%d sync=%.2f%% store: commits=%d aborts=%d deadlocks=%d timeouts=%d\n",
+		st.Committed, st.Dropped, st.SyncRatioPct,
+		st.Store.Commits, st.Store.Aborts, st.Store.Deadlocks, st.Store.Timeouts)
+}
+
+// runDrive boots the server on a listener, registers classes over HTTP,
+// and runs the closed-loop driver through the wire client — the exact
+// code path external users take.
+func runDrive(opts homeo.Options, cfg driveConfig) {
+	c := boot(opts)
+	handler := httpapi.NewHandler(c)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: handler}
+	go httpSrv.Serve(ln)
+	baseURL := "http://" + ln.Addr().String()
+
+	ctx := context.Background()
+	cl := client.New(baseURL, client.Options{Seed: opts.Seed})
+	if err := cl.Health(ctx); err != nil {
+		fatal(err)
+	}
+
+	// Register class files over HTTP: the online path a real client uses.
+	specByName := map[string]wire.ClassRequest{}
+	for _, path := range cfg.registers {
+		spec, err := loadClassRequest(path)
+		if err != nil {
+			fatal(err)
+		}
+		info, err := cl.RegisterClass(ctx, spec)
+		if err != nil {
+			fatal(err)
+		}
+		specByName[info.Name] = spec
+		pinned := ""
+		if info.Pinned {
+			pinned = " [pinned: " + info.PinReason + "]"
+		}
+		fmt.Printf("registered class %s(%s) over HTTP%s\n", info.Name, strings.Join(info.Params, ", "), pinned)
+	}
+	var driveParams []string
+	var driveBounds map[string][2]int64
+	if cfg.class != "" {
+		spec, ok := specByName[cfg.class]
+		if !ok {
+			fatal(fmt.Errorf("drive: class %q was not registered via -register", cfg.class))
+		}
+		info, err := cl.ListClasses(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		for _, ci := range info {
+			if ci.Name == cfg.class {
+				driveParams = ci.Params
+			}
+		}
+		driveBounds = spec.Bounds
+	}
+
+	fmt.Printf("driving %d clients/site for %v over %s (warmup %v)...\n",
+		cfg.clients, cfg.duration, baseURL, cfg.warmup)
+
+	var stop atomic.Bool
+	var submitted, failed atomic.Int64
+	var wg sync.WaitGroup
+	for site := 0; site < c.Sites(); site++ {
+		for k := 0; k < cfg.clients; k++ {
+			site := site
+			id := site*cfg.clients + k
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(opts.Seed*1_000_003 + int64(id)))
+				for !stop.Load() {
+					req := wire.TxnRequest{Site: &site}
+					if cfg.class != "" {
+						req.Class = cfg.class
+						req.Args = drawArgs(rng, driveParams, driveBounds)
+					}
+					res, err := cl.Submit(ctx, req)
+					submitted.Add(1)
+					if err != nil || res.Error != nil {
+						failed.Add(1)
+					}
+				}
+			}()
+		}
+	}
+	time.Sleep(cfg.warmup)
+	c.BeginMeasure()
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	wg.Wait()
+
+	// Report through the wire protocol, like any external observer.
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nsubmitted:        %d (%d failed client-side)\n", submitted.Load(), failed.Load())
+	fmt.Printf("committed:        %d (%.1f txn/s real)\n", st.Committed, st.ThroughputTxnS)
+	fmt.Printf("sync ratio:       %.2f%%\n", st.SyncRatioPct)
+	fmt.Printf("conflict aborts:  %d\n", st.ConflictAborts)
+	fmt.Printf("dropped:          %d (livelocked %d)\n", st.Dropped, st.Livelocked)
+	if opts.Alloc != homeo.AllocDefault {
+		fmt.Printf("co-winners:       %d (batched cleanup commits)\n", st.CoWinnerCommits)
+	}
+	if st.TreatyGenFailures > 0 {
+		fmt.Printf("gen failures:     %d (units degraded to pin treaties)\n", st.TreatyGenFailures)
+	}
+	fmt.Printf("latency:          p50=%.3fms p90=%.3fms p99=%.3fms max=%.3fms\n",
+		st.LatencyP50MS, st.LatencyP90MS, st.LatencyP99MS, st.LatencyMaxMS)
+	fmt.Printf("store (cluster):  commits=%d aborts=%d deadlocks=%d timeouts=%d\n",
+		st.StoreCluster.Commits, st.StoreCluster.Aborts, st.StoreCluster.Deadlocks, st.StoreCluster.Timeouts)
+	if cfg.verbose {
+		for site, s := range st.StorePerSite {
+			fmt.Printf("store (site %d):   commits=%d aborts=%d deadlocks=%d timeouts=%d\n",
+				site, s.Commits, s.Aborts, s.Deadlocks, s.Timeouts)
+		}
+	}
+
+	handler.Drain()
 	httpSrv.Close()
-	live.Drain()
-	fmt.Printf("final: committed=%d dropped=%d store: %s\n",
-		sys.Col.Committed, sys.Col.Dropped, sys.StoreStats())
+	c.Close()
+
+	exit := 0
+	if st.Committed == 0 {
+		fmt.Println("FAIL: no transactions committed in the measurement window")
+		exit = 1
+	}
+	if cfg.checkReplay {
+		if err := c.CheckReplayEquivalence(); err != nil {
+			fmt.Println("FAIL: replay equivalence:", err)
+			exit = 1
+		} else {
+			fmt.Printf("replay check:     OK (%d committed transactions observationally equivalent under serial replay)\n",
+				c.Committed())
+		}
+	}
+	if live := c.System().E.Live(); live != 0 {
+		fmt.Printf("FAIL: %d processes still alive after drain\n", live)
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+// drawArgs draws an argument vector for the driven class: uniform within
+// the declared bounds, zero for unbounded parameters.
+func drawArgs(rng *rand.Rand, params []string, bounds map[string][2]int64) []int64 {
+	args := make([]int64, len(params))
+	for i, p := range params {
+		if b, ok := bounds[p]; ok && b[1] >= b[0] {
+			args[i] = b[0] + rng.Int63n(b[1]-b[0]+1)
+		}
+	}
+	return args
 }

@@ -2,6 +2,22 @@
 // Protocol: Avoiding Transaction Coordination Through Program Analysis"
 // (Roy, Kot, Bender, Ding, Hojjat, Koch, Foster, Gehrke; SIGMOD 2015).
 //
+// # Public API
+//
+// The supported programmatic surface is the homeo package tree:
+//
+//   - homeo: the embeddable API — Cluster (a running multi-site
+//     deployment on the simulator or the wall-clock runtime), TxnClass
+//     (transaction classes registered at runtime from L or SQL source,
+//     analyzed and treaty-fitted online), Session (submission with
+//     per-call deadlines and the ErrAborted / ErrTimeout /
+//     ErrLivelocked / ErrDropped taxonomy), and streaming Stats;
+//   - homeo/wire: the JSON types of the versioned /v1 wire protocol;
+//   - homeo/httpapi: the HTTP server half (mounted by
+//     cmd/homeostasis-serve, embeddable behind any mux);
+//   - homeo/client: the Go client with connection pooling and jittered
+//     retries, which the serve binary's closed-loop driver is built on.
+//
 // The implementation lives under internal/ (see README.md for the
 // architecture and DESIGN.md for the paper-to-module map):
 //
@@ -45,9 +61,10 @@
 // model-optimized, and adaptive allocation under both.
 //
 // Entry points: cmd/homeostasis-bench regenerates the paper's evaluation,
-// cmd/homeostasis-serve serves live transactions over HTTP (and hosts a
-// closed-loop load driver), cmd/homeostasis-analyze exposes the offline
-// analyzer, examples/ holds runnable walkthroughs, and bench_test.go in
+// cmd/homeostasis-serve serves the /v1 wire protocol live (and hosts the
+// closed-loop load driver built on homeo/client), cmd/homeostasis-analyze
+// exposes the offline analyzer, examples/ holds runnable walkthroughs
+// (quickstart and ecommerce on the public API), and bench_test.go in
 // this directory hosts the benchmark harness (one testing.B benchmark
 // per table and figure).
 package repro

@@ -1,21 +1,21 @@
-// E-commerce: the Section 6.1 scenario as a user-facing application. A
-// stock table is replicated across two datacenters 100ms apart; clients
-// place orders that decrement quantities. The same workload runs under
-// the homeostasis protocol and under 2PC, printing the latency and
-// throughput comparison the paper's Figures 10-11 report.
+// E-commerce: the Section 6.1 scenario as a user-facing application on
+// the public embeddable API. A stock table is replicated across two
+// datacenters 100ms apart; clients place orders that decrement
+// quantities. The same workload runs under the homeostasis protocol and
+// under 2PC, printing the latency and throughput comparison the paper's
+// Figures 10-11 report.
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/homeostasis"
+	"repro/homeo"
 	"repro/internal/micro"
-	"repro/internal/sim"
 )
 
-func runMode(mode homeostasis.Mode) *homeostasis.System {
+func runMode(mode homeo.Mode) homeo.Stats {
 	w, err := micro.New(micro.Config{
 		Items:  500,
 		Refill: 100,
@@ -24,20 +24,22 @@ func runMode(mode homeostasis.Mode) *homeostasis.System {
 	if err != nil {
 		log.Fatal(err)
 	}
-	e := sim.NewEngine(1)
-	sys, err := homeostasis.New(e, w, homeostasis.Options{
+	c, err := homeo.New(homeo.Options{
+		Runtime:        homeo.RuntimeSim,
 		Mode:           mode,
-		Topo:           cluster.Uniform(2, 100*sim.Millisecond),
+		Sites:          2,
+		RTT:            100 * time.Millisecond,
+		Workload:       w,
 		ClientsPerSite: 16,
-		Warmup:         1 * sim.Second,
-		Measure:        10 * sim.Second,
+		Warmup:         1 * time.Second,
+		Measure:        10 * time.Second,
 		Seed:           7,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys.Run()
-	return sys
+	defer c.Close()
+	return c.Drive()
 }
 
 func main() {
@@ -45,19 +47,18 @@ func main() {
 	fmt.Println("placing orders for 10 simulated seconds per protocol...")
 	fmt.Println()
 	fmt.Printf("%-8s %10s %10s %10s %10s %10s\n",
-		"mode", "txn/s", "p50", "p97", "p100", "sync%")
-	for _, mode := range []homeostasis.Mode{
-		homeostasis.ModeHomeo, homeostasis.ModeOpt,
-		homeostasis.ModeTwoPC, homeostasis.ModeLocal,
+		"mode", "txn/s", "p50", "p99", "max", "sync%")
+	for _, mode := range []homeo.Mode{
+		homeo.ModeHomeo, homeo.ModeOpt,
+		homeo.ModeTwoPC, homeo.ModeLocal,
 	} {
-		sys := runMode(mode)
-		col := sys.Col
+		st := runMode(mode)
 		fmt.Printf("%-8s %10.0f %10v %10v %10v %10.2f\n",
-			mode, col.Throughput(),
-			col.Latency.Percentile(50),
-			col.Latency.Percentile(97),
-			col.Latency.Percentile(100),
-			col.SyncRatio())
+			mode, st.Throughput,
+			st.LatencyP50.Round(10*time.Microsecond),
+			st.LatencyP99.Round(10*time.Microsecond),
+			st.LatencyMax.Round(10*time.Microsecond),
+			st.SyncRatioPct)
 	}
 	fmt.Println()
 	fmt.Println("homeostasis commits ~97% of orders at local latency and pays the")

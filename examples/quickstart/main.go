@@ -1,22 +1,21 @@
-// Quickstart: the paper's running example (Figures 3-4, Section 4.2) end
-// to end through the public pipeline — parse two transactions in L,
-// compute their symbolic tables, join them, derive the global treaty for
-// an initial database, split it into per-site local treaties, and run the
-// Algorithm 1 optimizer against a workload model where T1 is twice as
-// likely as T2.
+// Quickstart: the paper's running example (Figures 3-4, Section 4.2)
+// through the public embeddable API (repro/homeo). The two transactions
+// are registered at runtime as transaction classes — the engine parses
+// them, computes their symbolic tables, derives treaties from the initial
+// database, and serves them coordination-free while the treaties hold;
+// the first violating write triggers one synchronization round and fresh
+// treaties.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/lang"
-	"repro/internal/symtab"
-	"repro/internal/treaty"
+	"repro/homeo"
 )
 
-const program = `
+const t1Src = `
 transaction T1() {
 	xh := read(x);
 	yh := read(y);
@@ -24,8 +23,9 @@ transaction T1() {
 		write(x = xh + 1)
 	else
 		write(x = xh - 1)
-}
+}`
 
+const t2Src = `
 transaction T2() {
 	xh := read(x);
 	yh := read(y);
@@ -35,86 +35,71 @@ transaction T2() {
 		write(y = yh - 1)
 }`
 
-// skewedModel simulates futures where T1 (which writes x) is issued twice
-// as often as T2 (which writes y), as in the Appendix C.2 worked example.
-type skewedModel struct{ txns []*lang.Transaction }
-
-func (m skewedModel) SampleFuture(rng *rand.Rand, db lang.Database, l int) []lang.Database {
-	cur := db.Clone()
-	out := make([]lang.Database, 0, l)
-	for i := 0; i < l; i++ {
-		t := m.txns[0] // T1 with probability 2/3
-		if rng.Intn(3) == 2 {
-			t = m.txns[1]
-		}
-		res, err := lang.Eval(t, cur)
-		if err != nil {
-			continue
-		}
-		cur = res.DB
-		out = append(out, cur.Clone())
-	}
-	return out
-}
-
 func main() {
-	// 1. Parse and analyze: one symbolic table per transaction (Figure 4).
-	txns := lang.MustParseProgram(program)
-	var tables []*symtab.Table
-	for _, t := range txns {
-		tbl, err := symtab.Build(t)
+	// 1. A two-site cluster on the deterministic simulator. EnableLog
+	// records the commit log so the run can be replay-checked at the end.
+	c, err := homeo.New(homeo.Options{
+		Runtime:   homeo.RuntimeSim,
+		Sites:     2,
+		Seed:      1,
+		EnableLog: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// 2. Register the transactions as classes. The paper's initial
+	// database: x = 10, y = 13. Each registration runs the analysis
+	// pipeline — symbolic table (Figure 4), guard preprocessing
+	// (Appendix C.1), per-site local treaties (Section 4.2) — online.
+	t1, err := c.Register(homeo.ClassSpec{L: t1Src, Initial: map[string]int64{"x": 10, "y": 13}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2, err := c.Register(homeo.ClassSpec{L: t2Src})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, cls := range []*homeo.TxnClass{t1, t2} {
+		fmt.Println(cls.SymbolicTable())
+		fmt.Printf("local treaties for %s:\n", cls.Name())
+		for _, tr := range cls.Treaties() {
+			fmt.Printf("  %s\n", tr)
+		}
+		fmt.Println()
+	}
+
+	// 3. Submit transactions. While both sites stay inside their local
+	// treaties, T1 and T2 commit without any communication (synced =
+	// false); a write that would leave the treaty region pays one
+	// synchronization round (synced = true) and installs fresh treaties.
+	ctx := context.Background()
+	sess := c.Session()
+	for i := 0; i < 12; i++ {
+		cls := t1
+		if i%2 == 1 {
+			cls = t2
+		}
+		res, err := sess.Submit(ctx, cls)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tables = append(tables, tbl)
-		fmt.Println(tbl)
-	}
-
-	// 2. Joint table for the transaction set {T1, T2} (Figure 4c).
-	joint := symtab.Join(tables...)
-	fmt.Printf("joint table has %d rows (pruned cross product)\n\n", joint.Size())
-
-	// 3. The paper's initial database: x = 10 on site 0, y = 13 on site 1.
-	db := lang.Database{"x": 10, "y": 13}
-	row, err := joint.MatchRow(db, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("database %v matches row %d: psi = %s\n", db, row, joint.Rows[row].Guard)
-
-	// 4. Preprocess psi into the global treaty (Appendix C.1).
-	g, err := treaty.Preprocess(joint.Rows[row].Guard, db, nil, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("global treaty: %s\n\n", g)
-
-	// 5. Split into per-site templates and optimize (Section 4.2).
-	place := func(obj lang.ObjID) int {
-		if obj == "x" {
-			return 0
+		sync := "local commit (no communication)"
+		if res.Synced {
+			sync = "SYNC: violation -> cleanup round -> new treaties"
 		}
-		return 1
+		fmt.Printf("%-3s at site %d  %-46s latency %8s\n", res.Class, res.Site, sync, res.Latency)
 	}
-	tmpl, err := treaty.BuildTemplate(g, 2, place)
-	if err != nil {
+
+	// 4. The run's stats and the Theorem 3.8 check: replaying the commit
+	// log serially reproduces the consolidated database.
+	st := c.Stats()
+	fmt.Printf("\ncommitted %d transactions, %.1f%% required synchronization\n",
+		st.Committed, st.SyncRatioPct)
+	if err := c.CheckReplayEquivalence(); err != nil {
 		log.Fatal(err)
 	}
-	cfg, stats := treaty.Optimize(tmpl, db, skewedModel{txns: txns}, treaty.OptimizeOptions{
-		Lookahead:  3,
-		CostFactor: 3,
-		Rng:        rand.New(rand.NewSource(1)),
-	})
-	if err := tmpl.Validate(cfg, db); err != nil {
-		log.Fatal(err)
-	}
-	locals, _ := tmpl.LocalTreaties(cfg)
-	fmt.Printf("optimized local treaties (%d/%d sampled futures satisfied):\n",
-		stats.SoftSatisfied, stats.SoftTotal)
-	for _, l := range locals {
-		fmt.Printf("  %s\n", l)
-	}
-	fmt.Println("\nwhile both sites stay inside their local treaties, T1 and T2")
-	fmt.Println("commit without any communication; the first violating write")
-	fmt.Println("triggers one synchronization round and a fresh treaty.")
+	fmt.Println("serial-replay equivalence: OK")
 }

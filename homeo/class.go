@@ -1,0 +1,212 @@
+package homeo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lang"
+	"repro/internal/sqlfront"
+	"repro/internal/treaty"
+	"repro/internal/workload"
+)
+
+// ClassSpec describes a transaction class to register. Exactly one of L
+// or SQL must be set.
+type ClassSpec struct {
+	// Name identifies the class. Optional for L classes (defaults to the
+	// transaction's declared name, which must match when both are set);
+	// required for SQL classes.
+	Name string
+	// L is L/L++ source containing exactly one transaction.
+	L string
+	// SQL is a sqlfront script: CREATE TABLE statements followed by DML,
+	// compiled into one transaction (parameters are the @names).
+	SQL string
+	// Bounds declares inclusive parameter ranges. Parameters that reach
+	// branch guards need bounds for the analysis to derive a real treaty;
+	// without them the class still runs correctly but synchronizes on
+	// every write (pin treaties).
+	Bounds map[string][2]int64
+	// Initial gives starting logical values for objects the class touches
+	// (L classes; absent objects start at zero).
+	Initial map[string]int64
+	// Rows preloads relational rows for SQL classes, keyed by table name;
+	// each row lists the column values in declaration order (the key
+	// column must be nonzero — zero marks free slots).
+	Rows map[string][][]int64
+}
+
+// TxnClass is a registered transaction class: the handle submissions
+// name. Its treaties were generated online at registration and are
+// renegotiated by the protocol's cleanup phase like any built-in unit.
+type TxnClass struct {
+	c  *Cluster
+	wc *workload.Class
+}
+
+// Register compiles, analyzes, and installs a transaction class on the
+// running cluster: parse (L or SQL), lower, replica-rewrite, build the
+// symbolic table, derive the unit treaty from the current consolidated
+// state, and install initial values at every site. The registration is
+// atomic with respect to in-flight transactions.
+//
+// Classes whose guards resist analysis (unbounded parameters, oversized
+// tables) are still accepted: they degrade to pin treaties, meaning every
+// write synchronizes — always correct, just not coordination-free. Check
+// TxnClass.Pinned.
+func (c *Cluster) Register(spec ClassSpec) (*TxnClass, error) {
+	if c.Draining() {
+		return nil, fmt.Errorf("%w: cluster is draining", ErrDropped)
+	}
+	if (spec.L == "") == (spec.SQL == "") {
+		return nil, fmt.Errorf("homeo: ClassSpec needs exactly one of L or SQL source")
+	}
+	var bounds treaty.ParamBounds
+	if len(spec.Bounds) > 0 {
+		bounds = make(treaty.ParamBounds, len(spec.Bounds))
+		for p, b := range spec.Bounds {
+			bounds[p] = b
+		}
+	}
+	var (
+		wc  *workload.Class
+		err error
+	)
+	if spec.L != "" {
+		wc, err = workload.CompileLClass(spec.L, c.opts.Sites, bounds)
+		if err == nil && spec.Name != "" && spec.Name != wc.Name {
+			err = fmt.Errorf("homeo: spec name %q does not match transaction name %q", spec.Name, wc.Name)
+		}
+	} else {
+		wc, err = workload.CompileSQLClass(spec.Name, spec.SQL, c.opts.Sites, bounds)
+	}
+	if err != nil {
+		return nil, err
+	}
+	initial, err := buildInitial(wc, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Installation mutates shared protocol state: registry bookkeeping,
+	// per-site stores, and the new unit's treaties. Run it under the
+	// execution right so it is atomic for in-flight transactions. c.mu
+	// additionally serializes concurrent registrations on RuntimeLive
+	// (locked() uses c.mu itself on RuntimeSim).
+	if c.live != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	var regErr error
+	c.locked(func() {
+		if regErr = c.reg.Register(wc, initial); regErr != nil {
+			return
+		}
+		if regErr = c.sys.AddUnits(initial); regErr != nil {
+			// Roll the class back out so the registry and the system's
+			// unit table stay aligned.
+			if uerr := c.reg.Unregister(wc); uerr != nil {
+				regErr = fmt.Errorf("%w (rollback failed: %v)", regErr, uerr)
+			}
+		}
+	})
+	if regErr != nil {
+		return nil, regErr
+	}
+	t := &TxnClass{c: c, wc: wc}
+	if c.live != nil {
+		// classes map writes race with Class() readers only on live.
+		c.classes[wc.Name] = t
+	} else {
+		c.mu.Lock()
+		c.classes[wc.Name] = t
+		c.mu.Unlock()
+	}
+	return t, nil
+}
+
+// buildInitial assembles the install database from Initial values and SQL
+// Rows.
+func buildInitial(wc *workload.Class, spec ClassSpec) (lang.Database, error) {
+	initial := lang.Database{}
+	for obj, v := range spec.Initial {
+		initial[lang.ObjID(obj)] = v
+	}
+	if len(spec.Rows) > 0 && wc.Schema == nil {
+		return nil, fmt.Errorf("homeo: Rows given for non-SQL class %s", wc.Name)
+	}
+	for table, rows := range spec.Rows {
+		tbl := wc.Schema[table]
+		if tbl == nil {
+			return nil, fmt.Errorf("homeo: class %s has no table %q", wc.Name, table)
+		}
+		if int64(len(rows)) > tbl.Size {
+			return nil, fmt.Errorf("homeo: table %q holds %d rows, got %d", table, tbl.Size, len(rows))
+		}
+		for slot, row := range rows {
+			if len(row) > 0 && row[0] == 0 {
+				return nil, fmt.Errorf("homeo: table %q row %d: key column must be nonzero (zero marks free slots)", table, slot)
+			}
+			if err := sqlfront.LoadRow(initial, tbl, int64(slot), row...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return initial, nil
+}
+
+// Class returns a registered class by name (nil when absent).
+func (c *Cluster) Class(name string) *TxnClass {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.classes[name]
+}
+
+// Classes lists the registered class names, sorted.
+func (c *Cluster) Classes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.classes))
+	for name := range c.classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Name returns the class name.
+func (t *TxnClass) Name() string { return t.wc.Name }
+
+// Params returns the class's parameter names in declaration order.
+func (t *TxnClass) Params() []string { return append([]string(nil), t.wc.Params...) }
+
+// Objects returns the class's full object footprint (sorted), which is
+// exactly the object set of its treaty unit.
+func (t *TxnClass) Objects() []string {
+	objs := t.wc.Footprint()
+	out := make([]string, len(objs))
+	for i, o := range objs {
+		out[i] = string(o)
+	}
+	return out
+}
+
+// Pinned reports whether the class fell back to pin treaties
+// (synchronize on every write), and why.
+func (t *TxnClass) Pinned() (bool, string) { return t.wc.Pinned() }
+
+// SymbolicTable renders the class's symbolic table (Section 2), empty
+// when analysis was skipped.
+func (t *TxnClass) SymbolicTable() string { return t.wc.TableString() }
+
+// Treaties renders the class unit's current per-site local treaties.
+// They change whenever the cleanup phase renegotiates.
+func (t *TxnClass) Treaties() []string {
+	var out []string
+	t.c.locked(func() {
+		for _, l := range t.c.sys.UnitLocals(t.wc.Unit()) {
+			out = append(out, l.String())
+		}
+	})
+	return out
+}

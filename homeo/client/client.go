@@ -1,0 +1,277 @@
+// Package client is the Go client for the /v1 wire protocol served by
+// homeo/httpapi (cmd/homeostasis-serve). It pools connections, retries
+// retryable failures (HTTP 429/503 and transport errors) with jittered
+// exponential backoff, and decodes the structured error envelope into
+// *APIError values. The serving binary's -drive closed loop is built on
+// it, so external users and the load driver share one code path.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/homeo/wire"
+)
+
+// APIError is a non-2xx response's structured error.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the stable error code (wire.Error.Code).
+	Code string
+	// Message is human-readable detail.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("homeo api: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Retryable reports whether the request can safely be retried: the
+// server refused it before execution (backpressure or draining).
+func (e *APIError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// Options tunes the client.
+type Options struct {
+	// HTTPClient overrides the pooled default.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call including the first (default 4;
+	// 1 disables retries).
+	MaxAttempts int
+	// RetryBase is the first backoff delay (default 25ms); successive
+	// delays double, each jittered uniformly over [0.5x, 1.5x].
+	RetryBase time.Duration
+	// Seed seeds the jitter stream (0 uses a time-derived seed).
+	Seed int64
+}
+
+// Client talks /v1 to one server.
+type Client struct {
+	base string
+	hc   *http.Client
+	opts Options
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts Options) *Client {
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 4
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 25 * time.Millisecond
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		// A pooled transport sized for closed-loop drivers: many
+		// concurrent clients against one host.
+		hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return &Client{
+		base: strings.TrimSuffix(baseURL, "/"),
+		hc:   hc,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// backoff returns the jittered delay before attempt n (0-based).
+func (c *Client) backoff(n int) time.Duration {
+	d := c.opts.RetryBase << n
+	c.mu.Lock()
+	f := 0.5 + c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// do performs one JSON round trip with retries. A nil out discards the
+// response body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var payload []byte
+	if in != nil {
+		var err error
+		payload, err = json.Marshal(in)
+		if err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("homeo api: %w (last error: %v)", ctx.Err(), lastErr)
+			case <-time.After(c.backoff(attempt - 1)):
+			}
+		}
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		if err != nil {
+			return err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			// Transport failure: retryable (the driver's workloads are
+			// safe to resubmit; callers needing at-most-once set
+			// MaxAttempts to 1).
+			lastErr = err
+			continue
+		}
+		apiErr := decodeResponse(resp, out)
+		if apiErr == nil {
+			return nil
+		}
+		lastErr = apiErr
+		var ae *APIError
+		if errors.As(apiErr, &ae) && ae.Retryable() {
+			continue
+		}
+		return apiErr
+	}
+	return fmt.Errorf("homeo api: giving up after %d attempts: %w", c.opts.MaxAttempts, lastErr)
+}
+
+// decodeResponse decodes a 2xx body into out or a non-2xx body into an
+// *APIError.
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("homeo api: decoding %d response: %w", resp.StatusCode, err)
+		}
+		return nil
+	}
+	var envelope wire.ErrorResponse
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if err := json.Unmarshal(data, &envelope); err != nil || envelope.Error.Code == "" {
+		return &APIError{Status: resp.StatusCode, Code: "internal",
+			Message: strings.TrimSpace(string(data))}
+	}
+	return &APIError{Status: resp.StatusCode, Code: envelope.Error.Code, Message: envelope.Error.Message}
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// RegisterClass registers a transaction class (POST /v1/classes): the
+// server parses the L or SQL source, analyzes it, and generates treaties
+// online.
+func (c *Client) RegisterClass(ctx context.Context, spec wire.ClassRequest) (wire.ClassInfo, error) {
+	var info wire.ClassInfo
+	err := c.do(ctx, http.MethodPost, "/v1/classes", spec, &info)
+	return info, err
+}
+
+// ListClasses lists registered classes (GET /v1/classes).
+func (c *Client) ListClasses(ctx context.Context) ([]wire.ClassInfo, error) {
+	var resp wire.ClassListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/classes", nil, &resp)
+	return resp.Classes, err
+}
+
+// Submit invokes one transaction (POST /v1/txn). A nil error means the
+// server executed the submission; inspect res.Committed and res.Error for
+// the transaction's own outcome (aborted/timeout/livelocked). Queue
+// overflow (429) is retried with backoff and surfaces as *APIError when
+// the budget runs out.
+func (c *Client) Submit(ctx context.Context, req wire.TxnRequest) (wire.TxnResult, error) {
+	var res wire.TxnResult
+	err := c.do(ctx, http.MethodPost, "/v1/txn", wire.TxnEnvelope{TxnRequest: req}, &res)
+	return res, err
+}
+
+// SubmitBatch invokes a batch (POST /v1/txn with batch). Results are in
+// request order; per-element failures are reported in each result.
+func (c *Client) SubmitBatch(ctx context.Context, reqs []wire.TxnRequest) ([]wire.TxnResult, error) {
+	var resp wire.TxnBatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/txn", wire.TxnEnvelope{Batch: reqs}, &resp)
+	return resp.Results, err
+}
+
+// Stats fetches a snapshot (GET /v1/stats).
+func (c *Client) Stats(ctx context.Context) (wire.Stats, error) {
+	var st wire.Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// StreamStats subscribes to the SSE stats stream (GET /v1/stats?stream=1)
+// at the given interval, delivering snapshots until the context is
+// cancelled or the stream ends (then the channel closes). The stream is
+// not retried: callers resubscribe if they need to survive reconnects.
+func (c *Client) StreamStats(ctx context.Context, interval time.Duration) (<-chan wire.Stats, error) {
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	url := fmt.Sprintf("%s/v1/stats?stream=1&interval_ms=%d", c.base, interval.Milliseconds())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeResponse(resp, nil)
+	}
+	ch := make(chan wire.Stats, 1)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		scanner := bufio.NewScanner(resp.Body)
+		scanner.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for scanner.Scan() {
+			line := scanner.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var st wire.Stats
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+				continue
+			}
+			select {
+			case ch <- st:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch, nil
+}

@@ -1,0 +1,60 @@
+package homeo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/homeostasis"
+	"repro/internal/workload"
+)
+
+// ErrDuplicateClass marks a Register call under a name already taken
+// (the wire layer maps it to 409 Conflict).
+var ErrDuplicateClass = workload.ErrDuplicateClass
+
+// The structured error taxonomy for submissions. Classify with errors.Is;
+// the wire protocol maps these to error codes (see homeo/wire).
+var (
+	// ErrAborted: the transaction could not commit (protocol error or an
+	// unrecoverable execution failure). Its effects are not installed.
+	ErrAborted = errors.New("homeo: transaction aborted")
+	// ErrTimeout: the caller's deadline expired before the transaction
+	// finished. The transaction keeps running in the background and MAY
+	// still commit; only the caller stopped waiting.
+	ErrTimeout = errors.New("homeo: deadline exceeded awaiting transaction")
+	// ErrLivelocked: the transaction exhausted its retry budget under
+	// contention (repeated conflict aborts or lost cleanup votes) and was
+	// dropped.
+	ErrLivelocked = errors.New("homeo: transaction livelocked")
+	// ErrDropped: the cluster refused the submission — it is draining or
+	// the in-flight limit (Options.MaxInflight) is reached. The
+	// transaction never started; safe to retry with backoff.
+	ErrDropped = errors.New("homeo: request dropped")
+)
+
+// classifyExec maps an internal execution error onto the taxonomy.
+func classifyExec(err error) error {
+	if errors.Is(err, homeostasis.ErrLivelocked) {
+		return fmt.Errorf("%w: %v", ErrLivelocked, err)
+	}
+	return fmt.Errorf("%w: %v", ErrAborted, err)
+}
+
+// ErrorCode returns the wire code for a taxonomy error: "aborted",
+// "timeout", "livelocked", "dropped", or "internal" for anything else
+// (nil maps to "").
+func ErrorCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrLivelocked):
+		return "livelocked"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrDropped):
+		return "dropped"
+	case errors.Is(err, ErrAborted):
+		return "aborted"
+	}
+	return "internal"
+}

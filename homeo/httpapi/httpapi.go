@@ -1,0 +1,379 @@
+// Package httpapi serves the versioned /v1 wire protocol (see homeo/wire)
+// over an embeddable homeo.Cluster. cmd/homeostasis-serve mounts it; any
+// application embedding a Cluster can too:
+//
+//	h := httpapi.NewHandler(cluster)
+//	http.ListenAndServe(":8080", h)
+//
+// Transaction classes never seen at compile time are registered over
+// POST /v1/classes (the server parses, analyzes, and generates treaties
+// online), invoked over POST /v1/txn (single or batch, with 429
+// backpressure on queue overflow), and observed over GET /v1/stats
+// (snapshot or Server-Sent Events stream). The pre-v1 endpoints /txn and
+// /stats answer 410 Gone with a pointer to their replacements.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/homeo"
+	"repro/homeo/wire"
+)
+
+// Handler serves the /v1 protocol over a cluster.
+type Handler struct {
+	c        *homeo.Cluster
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// NewHandler mounts the /v1 protocol over the cluster.
+func NewHandler(c *homeo.Cluster) *Handler {
+	h := &Handler{c: c, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/v1/classes", h.handleClasses)
+	h.mux.HandleFunc("/v1/txn", h.handleTxn)
+	h.mux.HandleFunc("/v1/stats", h.handleStats)
+	h.mux.HandleFunc("/healthz", h.handleHealthz)
+	h.mux.HandleFunc("/txn", gone("/v1/txn"))
+	h.mux.HandleFunc("/stats", gone("/v1/stats"))
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	h.mux.ServeHTTP(rw, req)
+}
+
+// Drain flips the handler into draining mode: /v1/classes and /v1/txn
+// answer 503 while stats and health stay readable. The serving binary
+// calls it on SIGINT/SIGTERM before draining the cluster.
+func (h *Handler) Drain() { h.draining.Store(true) }
+
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(rw http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(rw, status, wire.ErrorResponse{Error: wire.Error{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// wireStats converts an embeddable-API snapshot into the wire form
+// (kept here so package wire stays dependency-free).
+func wireStats(s homeo.Stats) wire.Stats {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	out := wire.Stats{
+		Workload:          s.Workload,
+		Mode:              s.Mode,
+		Alloc:             s.Alloc,
+		Runtime:           s.Runtime,
+		Sites:             s.Sites,
+		Classes:           s.Classes,
+		UptimeSec:         s.Uptime.Seconds(),
+		Committed:         s.Committed,
+		Synced:            s.Synced,
+		ConflictAborts:    s.ConflictAborts,
+		Dropped:           s.Dropped,
+		Livelocked:        s.Livelocked,
+		TreatyGenFailures: s.TreatyGenFailures,
+		CoWinnerCommits:   s.CoWinnerCommits,
+		SyncRatioPct:      s.SyncRatioPct,
+		ThroughputTxnS:    s.Throughput,
+		LatencyP50MS:      ms(s.LatencyP50),
+		LatencyP90MS:      ms(s.LatencyP90),
+		LatencyP99MS:      ms(s.LatencyP99),
+		LatencyMaxMS:      ms(s.LatencyMax),
+		LatencyMeanMS:     ms(s.LatencyMean),
+		StoreCluster: wire.StoreStats{Commits: s.Store.Commits, Aborts: s.Store.Aborts,
+			Deadlocks: s.Store.Deadlocks, Timeouts: s.Store.Timeouts},
+	}
+	for _, p := range s.PerSite {
+		out.StorePerSite = append(out.StorePerSite, wire.StoreStats{
+			Commits: p.Commits, Aborts: p.Aborts, Deadlocks: p.Deadlocks, Timeouts: p.Timeouts,
+		})
+	}
+	return out
+}
+
+// gone answers 410 for a pre-v1 endpoint, naming its replacement.
+func gone(replacement string) http.HandlerFunc {
+	return func(rw http.ResponseWriter, req *http.Request) {
+		writeError(rw, http.StatusGone, "gone",
+			"this endpoint was replaced by %s (see the /v1 protocol docs)", replacement)
+	}
+}
+
+// decodeBody decodes a JSON body, tolerating an empty one.
+func decodeBody(req *http.Request, v any) error {
+	if req.Body == nil {
+		return nil
+	}
+	dec := json.NewDecoder(req.Body)
+	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
+}
+
+func (h *Handler) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if h.draining.Load() || h.c.Draining() {
+		status = "draining"
+	}
+	writeJSON(rw, http.StatusOK, map[string]string{"status": status})
+}
+
+// classInfo renders a registered class.
+func classInfo(t *homeo.TxnClass) wire.ClassInfo {
+	pinned, why := t.Pinned()
+	return wire.ClassInfo{
+		Name:      t.Name(),
+		Params:    t.Params(),
+		Objects:   t.Objects(),
+		Pinned:    pinned,
+		PinReason: why,
+		Treaties:  t.Treaties(),
+	}
+}
+
+func (h *Handler) handleClasses(rw http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodGet:
+		resp := wire.ClassListResponse{Classes: []wire.ClassInfo{}}
+		for _, name := range h.c.Classes() {
+			if t := h.c.Class(name); t != nil {
+				resp.Classes = append(resp.Classes, classInfo(t))
+			}
+		}
+		writeJSON(rw, http.StatusOK, resp)
+	case http.MethodPost:
+		if h.draining.Load() || h.c.Draining() {
+			writeError(rw, http.StatusServiceUnavailable, "draining", "server is draining")
+			return
+		}
+		var body wire.ClassRequest
+		if err := decodeBody(req, &body); err != nil {
+			writeError(rw, http.StatusBadRequest, "bad_request", "request body: %v", err)
+			return
+		}
+		if body.Name != "" && h.c.Class(body.Name) != nil {
+			writeError(rw, http.StatusConflict, "conflict", "class %q already registered", body.Name)
+			return
+		}
+		t, err := h.c.Register(homeo.ClassSpec{
+			Name:    body.Name,
+			L:       body.L,
+			SQL:     body.SQL,
+			Bounds:  body.Bounds,
+			Initial: body.Initial,
+			Rows:    body.Rows,
+		})
+		if err != nil {
+			status, code := http.StatusBadRequest, "bad_request"
+			switch {
+			case errors.Is(err, homeo.ErrDropped):
+				status, code = http.StatusServiceUnavailable, "draining"
+			case errors.Is(err, homeo.ErrDuplicateClass):
+				// L classes named by their source can collide too.
+				status, code = http.StatusConflict, "conflict"
+			}
+			writeError(rw, status, code, "%v", err)
+			return
+		}
+		writeJSON(rw, http.StatusCreated, classInfo(t))
+	default:
+		writeError(rw, http.StatusMethodNotAllowed, "method_not_allowed", "%s: GET or POST only", req.URL.Path)
+	}
+}
+
+// resolveTxn validates one TxnRequest into a runnable closure.
+func (h *Handler) submitOne(ctx context.Context, body wire.TxnRequest) wire.TxnResult {
+	var (
+		sess *homeo.Session
+		err  error
+	)
+	if body.Site != nil {
+		sess, err = h.c.SessionAt(*body.Site)
+		if err != nil {
+			return wire.TxnResult{Class: body.Class, Args: body.Args,
+				Error: &wire.Error{Code: "bad_request", Message: err.Error()}}
+		}
+	} else {
+		sess = h.c.Session()
+	}
+	if body.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(body.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	var res homeo.Result
+	if body.Class == "" {
+		res, err = sess.SubmitMix(ctx)
+	} else {
+		t := h.c.Class(body.Class)
+		if t == nil {
+			return wire.TxnResult{Class: body.Class, Args: body.Args,
+				Error: &wire.Error{Code: "not_found", Message: fmt.Sprintf("class %q is not registered", body.Class)}}
+		}
+		if want := len(t.Params()); want != len(body.Args) {
+			return wire.TxnResult{Class: body.Class, Args: body.Args,
+				Error: &wire.Error{Code: "bad_request",
+					Message: fmt.Sprintf("class %s expects %d args %v, got %d", body.Class, want, t.Params(), len(body.Args))}}
+		}
+		res, err = sess.Submit(ctx, t, body.Args...)
+	}
+	out := wire.TxnResult{
+		Class:     res.Class,
+		Args:      res.Args,
+		Site:      res.Site,
+		Committed: res.Committed,
+		Synced:    res.Synced,
+		LatencyMS: float64(res.Latency) / float64(time.Millisecond),
+		Log:       res.Log,
+	}
+	if err != nil {
+		if out.Class == "" {
+			out.Class = body.Class
+		}
+		if out.Args == nil {
+			out.Args = body.Args
+		}
+		out.Error = &wire.Error{Code: homeo.ErrorCode(err), Message: err.Error()}
+	}
+	return out
+}
+
+func (h *Handler) handleTxn(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, "method_not_allowed", "%s: POST only", req.URL.Path)
+		return
+	}
+	if h.draining.Load() || h.c.Draining() {
+		writeError(rw, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	var body wire.TxnEnvelope
+	if err := decodeBody(req, &body); err != nil {
+		writeError(rw, http.StatusBadRequest, "bad_request", "request body: %v", err)
+		return
+	}
+
+	if len(body.Batch) == 0 {
+		res := h.submitOne(req.Context(), body.TxnRequest)
+		switch {
+		case res.Error == nil:
+			writeJSON(rw, http.StatusOK, res)
+		case res.Error.Code == "dropped":
+			// Queue overflow backpressure: the transaction never started.
+			writeError(rw, http.StatusTooManyRequests, "dropped", "%s", res.Error.Message)
+		case res.Error.Code == "bad_request", res.Error.Code == "not_found":
+			status := http.StatusBadRequest
+			if res.Error.Code == "not_found" {
+				status = http.StatusNotFound
+			}
+			writeError(rw, status, res.Error.Code, "%s", res.Error.Message)
+		default:
+			// Executed but failed: abort vs timeout vs livelock is
+			// distinguished in the body.
+			writeJSON(rw, http.StatusOK, res)
+		}
+		return
+	}
+
+	// Batch: submit concurrently, respond in request order. Elements
+	// refused by backpressure carry code "dropped"; a batch whose every
+	// element was refused answers 429 overall.
+	results := make([]wire.TxnResult, len(body.Batch))
+	var wg sync.WaitGroup
+	for i, one := range body.Batch {
+		wg.Add(1)
+		go func(i int, one wire.TxnRequest) {
+			defer wg.Done()
+			results[i] = h.submitOne(req.Context(), one)
+		}(i, one)
+	}
+	wg.Wait()
+	allDropped := true
+	for _, r := range results {
+		if r.Error == nil || r.Error.Code != "dropped" {
+			allDropped = false
+			break
+		}
+	}
+	status := http.StatusOK
+	if allDropped && len(results) > 0 {
+		status = http.StatusTooManyRequests
+	}
+	writeJSON(rw, status, wire.TxnBatchResponse{Results: results})
+}
+
+func (h *Handler) handleStats(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(rw, http.StatusMethodNotAllowed, "method_not_allowed", "%s: GET only", req.URL.Path)
+		return
+	}
+	stream := req.URL.Query().Get("stream") != "" ||
+		req.Header.Get("Accept") == "text/event-stream"
+	if !stream {
+		writeJSON(rw, http.StatusOK, wireStats(h.c.Stats()))
+		return
+	}
+	flusher, ok := rw.(http.Flusher)
+	if !ok {
+		writeError(rw, http.StatusBadRequest, "bad_request", "streaming unsupported by this connection")
+		return
+	}
+	interval := time.Second
+	if v := req.URL.Query().Get("interval_ms"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 100 {
+			writeError(rw, http.StatusBadRequest, "bad_request", "interval_ms must be an integer >= 100")
+			return
+		}
+		interval = time.Duration(n) * time.Millisecond
+	}
+	rw.Header().Set("Content-Type", "text/event-stream")
+	rw.Header().Set("Cache-Control", "no-cache")
+	rw.WriteHeader(http.StatusOK)
+	send := func() bool {
+		data, err := json.Marshal(wireStats(h.c.Stats()))
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(rw, "event: stats\ndata: %s\n\n", data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	if !send() {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case <-t.C:
+			if !send() {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package httpapi_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/homeo"
+	"repro/homeo/client"
+	"repro/homeo/httpapi"
+	"repro/homeo/wire"
+	"repro/internal/micro"
+)
+
+const depositSrc = `
+transaction Deposit(n) {
+	v := read(acct);
+	write(acct = v + n)
+}`
+
+func newServer(t *testing.T, opts homeo.Options) (*homeo.Cluster, *httpapi.Handler, *httptest.Server, *client.Client) {
+	t.Helper()
+	opts.Runtime = homeo.RuntimeLive
+	if opts.RTT == 0 {
+		opts.RTT = 2 * time.Millisecond
+	}
+	if opts.LocalExecTime == 0 {
+		opts.LocalExecTime = 100 * time.Microsecond
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 4
+	}
+	c, err := homeo.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := httpapi.NewHandler(c)
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() {
+		srv.Close()
+		c.Close()
+	})
+	cl := client.New(srv.URL, client.Options{Seed: 1})
+	return c, h, srv, cl
+}
+
+// TestRegisterAndSubmitOverHTTP is the wire-protocol acceptance path: a
+// class never seen at compile time registered over /v1/classes, driven
+// under /v1/txn through the Go client, replay-checked.
+func TestRegisterAndSubmitOverHTTP(t *testing.T) {
+	c, _, _, cl := newServer(t, homeo.Options{EnableLog: true})
+	ctx := context.Background()
+
+	info, err := cl.RegisterClass(ctx, wire.ClassRequest{
+		L:       depositSrc,
+		Bounds:  map[string][2]int64{"n": {1, 5}},
+		Initial: map[string]int64{"acct": 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "Deposit" || len(info.Params) != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.Treaties) != 2 {
+		t.Fatalf("treaties = %v", info.Treaties)
+	}
+
+	for i := 0; i < 10; i++ {
+		res, err := cl.Submit(ctx, wire.TxnRequest{Class: "Deposit", Args: []int64{2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Committed || res.Error != nil {
+			t.Fatalf("res = %+v", res)
+		}
+	}
+	list, err := cl.ListClasses(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "Deposit" {
+		t.Fatalf("list = %+v", list)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != 10 || st.Workload != "custom" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := c.CheckReplayEquivalence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSQLClassOverHTTP registers a SQL class with preloaded rows and
+// checks SELECT results come back in the log.
+func TestSQLClassOverHTTP(t *testing.T) {
+	_, _, _, cl := newServer(t, homeo.Options{})
+	ctx := context.Background()
+	_, err := cl.RegisterClass(ctx, wire.ClassRequest{
+		Name: "Restock",
+		SQL: `
+CREATE TABLE inv (item, qty) SIZE 4
+UPDATE inv SET qty = qty + @d WHERE item = @k
+SELECT SUM(qty) FROM inv WHERE item = @k`,
+		Bounds: map[string][2]int64{"d": {1, 3}, "k": {1, 4}},
+		Rows:   map[string][][]int64{"inv": {{1, 10}, {2, 20}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Submit(ctx, wire.TxnRequest{Class: "Restock", Args: []int64{3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Log) != 1 || res.Log[0] != 13 {
+		t.Fatalf("log = %v, want [13]", res.Log)
+	}
+}
+
+// TestBatchSubmission: order preserved, per-element errors.
+func TestBatchSubmission(t *testing.T) {
+	_, _, _, cl := newServer(t, homeo.Options{})
+	ctx := context.Background()
+	if _, err := cl.RegisterClass(ctx, wire.ClassRequest{L: depositSrc, Initial: map[string]int64{"acct": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := cl.SubmitBatch(ctx, []wire.TxnRequest{
+		{Class: "Deposit", Args: []int64{1}},
+		{Class: "Missing"},
+		{Class: "Deposit", Args: []int64{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %+v", results)
+	}
+	if !results[0].Committed || !results[2].Committed {
+		t.Fatalf("commits: %+v", results)
+	}
+	if results[1].Error == nil || results[1].Error.Code != "not_found" {
+		t.Fatalf("missing class result: %+v", results[1])
+	}
+}
+
+// TestMixDraw: a base-workload cluster serves class-less submissions.
+func TestMixDraw(t *testing.T) {
+	w, err := micro.New(micro.Config{Items: 20, Refill: 100, NSites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, cl := newServer(t, homeo.Options{Workload: w})
+	site := 1
+	res, err := cl.Submit(context.Background(), wire.TxnRequest{Site: &site})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != "Order" || !res.Committed || res.Site != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestMixDrawWithoutWorkload: a class-less submission against a cluster
+// with no base workload and no classes is a structured error, not a
+// handler panic.
+func TestMixDrawWithoutWorkload(t *testing.T) {
+	_, _, _, cl := newServer(t, homeo.Options{})
+	res, err := cl.Submit(context.Background(), wire.TxnRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed || res.Error == nil || res.Error.Code != "aborted" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestStatusCodes walks the structured-error matrix.
+func TestStatusCodes(t *testing.T) {
+	_, _, srv, cl := newServer(t, homeo.Options{})
+	ctx := context.Background()
+	if _, err := cl.RegisterClass(ctx, wire.ClassRequest{L: depositSrc}); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(method, path, body string) (int, wire.ErrorResponse) {
+		var req *http.Request
+		var err error
+		if body == "" {
+			req, err = http.NewRequest(method, srv.URL+path, nil)
+		} else {
+			req, err = http.NewRequest(method, srv.URL+path, strings.NewReader(body))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var envelope wire.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&envelope)
+		return resp.StatusCode, envelope
+	}
+
+	cases := []struct {
+		method, path, body string
+		status             int
+		code               string
+	}{
+		{"GET", "/v1/txn", "", 405, "method_not_allowed"},
+		{"POST", "/v1/stats", "", 405, "method_not_allowed"},
+		{"DELETE", "/v1/classes", "", 405, "method_not_allowed"},
+		{"POST", "/v1/txn", "{bad json", 400, "bad_request"},
+		{"POST", "/v1/txn", `{"class":"Nope"}`, 404, "not_found"},
+		{"POST", "/v1/txn", `{"class":"Deposit","args":[1,2]}`, 400, "bad_request"},
+		{"POST", "/v1/txn", `{"site":9}`, 400, "bad_request"},
+		{"POST", "/v1/classes", `{"l":"` + `transaction Deposit(n) { v := read(acct); write(acct = v + n) }` + `"}`, 409, "conflict"},
+		{"POST", "/v1/classes", `{"l":"transaction Bad( {"}`, 400, "bad_request"},
+		{"POST", "/txn", "{}", 410, "gone"},
+		{"GET", "/stats", "", 410, "gone"},
+	}
+	for _, tc := range cases {
+		status, envelope := get(tc.method, tc.path, tc.body)
+		if status != tc.status || envelope.Error.Code != tc.code {
+			t.Errorf("%s %s %q: got %d/%q, want %d/%q",
+				tc.method, tc.path, tc.body, status, envelope.Error.Code, tc.status, tc.code)
+		}
+	}
+}
+
+// TestBackpressure429: queue overflow answers 429 with code "dropped" and
+// the client's retry budget surfaces it as a retryable APIError.
+func TestBackpressure429(t *testing.T) {
+	_, _, srv, _ := newServer(t, homeo.Options{
+		MaxInflight:   1,
+		LocalExecTime: 2 * time.Second,
+	})
+	ctx := context.Background()
+	noRetry := client.New(srv.URL, client.Options{MaxAttempts: 1, Seed: 1})
+	if _, err := noRetry.RegisterClass(ctx, wire.ClassRequest{L: depositSrc}); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the single slot with a slow transaction.
+	go noRetry.Submit(ctx, wire.TxnRequest{Class: "Deposit", Args: []int64{1}})
+	time.Sleep(300 * time.Millisecond)
+
+	_, err := noRetry.Submit(ctx, wire.TxnRequest{Class: "Deposit", Args: []int64{1}})
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if ae.Status != http.StatusTooManyRequests || ae.Code != "dropped" || !ae.Retryable() {
+		t.Fatalf("APIError = %+v", ae)
+	}
+}
+
+// TestDraining503: after Drain, mutation endpoints refuse with 503 while
+// stats and health stay readable.
+func TestDraining503(t *testing.T) {
+	_, h, srv, cl := newServer(t, homeo.Options{})
+	ctx := context.Background()
+	if _, err := cl.RegisterClass(ctx, wire.ClassRequest{L: depositSrc}); err != nil {
+		t.Fatal(err)
+	}
+	h.Drain()
+	noRetry := client.New(srv.URL, client.Options{MaxAttempts: 1, Seed: 1})
+	_, err := noRetry.Submit(ctx, wire.TxnRequest{Class: "Deposit", Args: []int64{1}})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable || ae.Code != "draining" {
+		t.Fatalf("submit err = %v", err)
+	}
+	if _, err := noRetry.RegisterClass(ctx, wire.ClassRequest{L: "transaction X() { write(x = 1) }"}); err == nil {
+		t.Fatal("register accepted while draining")
+	}
+	if _, err := cl.Stats(ctx); err != nil {
+		t.Fatalf("stats unavailable while draining: %v", err)
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health map[string]string
+	json.NewDecoder(resp.Body).Decode(&health)
+	if health["status"] != "draining" {
+		t.Fatalf("health = %v", health)
+	}
+}
+
+// TestTimeoutInBody: a server-side per-call timeout is reported in the
+// response body with code "timeout" (HTTP 200 — the submission executed).
+func TestTimeoutInBody(t *testing.T) {
+	_, _, _, cl := newServer(t, homeo.Options{LocalExecTime: 500 * time.Millisecond})
+	ctx := context.Background()
+	if _, err := cl.RegisterClass(ctx, wire.ClassRequest{L: depositSrc}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Submit(ctx, wire.TxnRequest{Class: "Deposit", Args: []int64{1}, TimeoutMS: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed || res.Error == nil || res.Error.Code != "timeout" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestSSEStream: the stats stream delivers growing snapshots.
+func TestSSEStream(t *testing.T) {
+	_, _, _, cl := newServer(t, homeo.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := cl.StreamStats(ctx, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	for st := range ch {
+		if st.Sites != 2 {
+			t.Fatalf("sites = %d", st.Sites)
+		}
+		got++
+		if got == 3 {
+			cancel()
+			break
+		}
+	}
+	if got < 3 {
+		t.Fatalf("got %d snapshots", got)
+	}
+}
+
+// TestClientRetriesWithBackoff: 429s are retried with jittered backoff
+// until the server yields.
+func TestClientRetriesWithBackoff(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if calls.Add(1) <= 2 {
+			rw.Header().Set("Content-Type", "application/json")
+			rw.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(rw).Encode(wire.ErrorResponse{Error: wire.Error{Code: "dropped", Message: "full"}})
+			return
+		}
+		json.NewEncoder(rw).Encode(wire.TxnResult{Class: "X", Committed: true})
+	}))
+	defer srv.Close()
+	cl := client.New(srv.URL, client.Options{MaxAttempts: 4, RetryBase: time.Millisecond, Seed: 1})
+	res, err := cl.Submit(context.Background(), wire.TxnRequest{Class: "X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || calls.Load() != 3 {
+		t.Fatalf("res = %+v after %d calls", res, calls.Load())
+	}
+
+	// A non-retryable failure is returned immediately.
+	calls.Store(100)
+	srv2 := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		calls.Add(1)
+		rw.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(rw).Encode(wire.ErrorResponse{Error: wire.Error{Code: "bad_request", Message: "no"}})
+	}))
+	defer srv2.Close()
+	cl2 := client.New(srv2.URL, client.Options{MaxAttempts: 4, RetryBase: time.Millisecond, Seed: 1})
+	start := calls.Load()
+	if _, err := cl2.Submit(context.Background(), wire.TxnRequest{Class: "X"}); err == nil {
+		t.Fatal("bad_request not surfaced")
+	}
+	if calls.Load()-start != 1 {
+		t.Fatalf("bad_request retried %d times", calls.Load()-start)
+	}
+}

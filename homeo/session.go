@@ -1,0 +1,192 @@
+package homeo
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rt"
+	"repro/internal/workload"
+)
+
+// Session submits transactions to the cluster. Sessions are cheap and
+// safe for concurrent use; a session created without a site spreads its
+// submissions round-robin across sites.
+type Session struct {
+	c    *Cluster
+	site int // -1 = round-robin
+}
+
+// Session returns a round-robin session.
+func (c *Cluster) Session() *Session { return &Session{c: c, site: -1} }
+
+// SessionAt returns a session pinned to one site (a client talking to its
+// local replica).
+func (c *Cluster) SessionAt(site int) (*Session, error) {
+	if site < 0 || site >= c.opts.Sites {
+		return nil, fmt.Errorf("homeo: site %d out of range [0,%d)", site, c.opts.Sites)
+	}
+	return &Session{c: c, site: site}, nil
+}
+
+// Result is the observable outcome of one submission.
+type Result struct {
+	// Class names the transaction class ("" for base-workload draws until
+	// the draw resolves its request name).
+	Class string
+	// Args are the invocation arguments.
+	Args []int64
+	// Site is the executing site.
+	Site int
+	// Committed reports whether the transaction's effects are installed.
+	Committed bool
+	// Synced reports whether committing required a treaty
+	// synchronization round.
+	Synced bool
+	// Latency is the submission's runtime latency (virtual on
+	// RuntimeSim).
+	Latency time.Duration
+	// Log is the transaction's observable print log (SELECT results for
+	// SQL classes).
+	Log []int64
+}
+
+// Submit executes one invocation of a registered class and waits for its
+// outcome. On RuntimeLive the context's deadline/cancellation is honored:
+// when it fires first, Submit returns ErrTimeout while the transaction
+// finishes in the background (it may still commit). On RuntimeSim the
+// submission runs to completion in virtual time and the context is
+// checked only on entry.
+//
+// Errors are classified by the package taxonomy: ErrDropped (cluster
+// draining or MaxInflight reached — never started), ErrLivelocked
+// (retry budget exhausted), ErrTimeout, ErrAborted.
+func (s *Session) Submit(ctx context.Context, class *TxnClass, args ...int64) (Result, error) {
+	if class == nil {
+		return Result{}, fmt.Errorf("%w: nil class", ErrAborted)
+	}
+	if class.c != s.c {
+		return Result{}, fmt.Errorf("%w: class %s belongs to a different cluster", ErrAborted, class.Name())
+	}
+	var (
+		req workload.Request
+		err error
+	)
+	s.c.locked(func() {
+		req, err = s.c.reg.Request(class.wc, args)
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrAborted, err)
+	}
+	return s.submit(ctx, req)
+}
+
+// SubmitMix draws the next request from the base workload's mix (or a
+// random registered class when the cluster has no base workload) and
+// executes it — the serving path for benchmark-style traffic.
+func (s *Session) SubmitMix(ctx context.Context) (Result, error) {
+	site := s.pickSite()
+	var (
+		req   workload.Request
+		empty bool
+	)
+	s.c.locked(func() {
+		if !s.c.reg.CanDraw() {
+			empty = true
+			return
+		}
+		req = s.c.reg.Next(s.c.rng, site)
+	})
+	if empty {
+		return Result{}, fmt.Errorf("%w: cluster has no base workload and no registered classes to draw from", ErrAborted)
+	}
+	return s.submitAt(ctx, site, req)
+}
+
+func (s *Session) pickSite() int {
+	if s.site >= 0 {
+		return s.site
+	}
+	return int(s.c.nextSite.Add(1)-1) % s.c.opts.Sites
+}
+
+func (s *Session) submit(ctx context.Context, req workload.Request) (Result, error) {
+	return s.submitAt(ctx, s.pickSite(), req)
+}
+
+// submitAt runs the request at the given site under the cluster's
+// runtime, recording the outcome in the metrics collector exactly like
+// the closed-loop client path.
+func (s *Session) submitAt(ctx context.Context, site int, req workload.Request) (Result, error) {
+	c := s.c
+	if c.Draining() {
+		return Result{}, fmt.Errorf("%w: cluster is draining", ErrDropped)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	if n := c.inflight.Add(1); n > int64(c.opts.MaxInflight) {
+		c.inflight.Add(-1)
+		return Result{}, fmt.Errorf("%w: %d submissions in flight (MaxInflight %d)",
+			ErrDropped, n-1, c.opts.MaxInflight)
+	}
+
+	res := Result{Class: req.Name, Args: req.Args, Site: site}
+	var execErr error
+	done := make(chan struct{})
+	id := int(c.nextID.Add(1))
+	// The slot is released exactly once: normally by the process body,
+	// but also by the sim deadlock path below (whose abandoned process
+	// may still run its deferred release when Close drains it).
+	var relOnce sync.Once
+	release := func() { relOnce.Do(func() { c.inflight.Add(-1) }) }
+	body := func(p rt.Proc) {
+		defer close(done)
+		defer release()
+		start := p.Now()
+		out, err := c.sys.ExecRequest(p, site, req)
+		res.Latency = time.Duration(p.Now() - start)
+		if err != nil {
+			execErr = classifyExec(err)
+			c.sys.Col.RecordDropped()
+			return
+		}
+		res.Committed = out.Committed
+		res.Synced = out.Synced
+		res.Log = out.Log
+		if out.Committed {
+			c.sys.Col.RecordCommit(rt.Duration(res.Latency), out.Synced)
+		}
+	}
+
+	if c.sim != nil {
+		// Deterministic path: run the submission to completion in virtual
+		// time. c.mu serializes submissions (the engine is single-run).
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.sim.SetDeadline(0)
+		c.sim.Spawn(id, body)
+		c.sim.Run()
+		select {
+		case <-done:
+		default:
+			release()
+			return Result{}, fmt.Errorf("%w: submission parked with no pending event (deadlocked request)", ErrAborted)
+		}
+		return res, execErr
+	}
+
+	if !c.live.SpawnOK(id, body) {
+		release()
+		return Result{}, fmt.Errorf("%w: cluster is draining", ErrDropped)
+	}
+	select {
+	case <-done:
+		return res, execErr
+	case <-ctx.Done():
+		// The process keeps running (and keeps its metrics accounting);
+		// only this caller stops waiting.
+		return Result{}, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+	}
+}

@@ -1,0 +1,128 @@
+package homeo
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/homeostasis"
+)
+
+// StoreStats aggregates a 2PL store's counters.
+type StoreStats struct {
+	Commits   int64
+	Aborts    int64
+	Deadlocks int64
+	Timeouts  int64
+}
+
+func fromStoreStats(s homeostasis.StoreStats) StoreStats {
+	return StoreStats{Commits: s.Commits, Aborts: s.Aborts, Deadlocks: s.Deadlocks, Timeouts: s.Timeouts}
+}
+
+// Stats is a point-in-time snapshot of the cluster's measurements: the
+// same collector the paper's experiments report from, plus per-site store
+// counters.
+type Stats struct {
+	Workload string
+	Mode     string
+	Alloc    string
+	Runtime  string
+	Sites    int
+	Classes  []string
+	// Uptime is wall-clock time since New.
+	Uptime time.Duration
+
+	Committed         int64
+	Synced            int64
+	ConflictAborts    int64
+	Dropped           int64
+	Livelocked        int64
+	TreatyGenFailures int64
+	CoWinnerCommits   int64
+
+	// SyncRatioPct is the percentage of commits that required a
+	// synchronization round.
+	SyncRatioPct float64
+	// Throughput is committed transactions per second of runtime time
+	// over the current measurement window.
+	Throughput float64
+
+	LatencyP50  time.Duration
+	LatencyP90  time.Duration
+	LatencyP99  time.Duration
+	LatencyMax  time.Duration
+	LatencyMean time.Duration
+
+	// Store aggregates the per-site counters; PerSite lists them.
+	Store   StoreStats
+	PerSite []StoreStats
+}
+
+// Stats snapshots the cluster's measurements. It is strictly read-only —
+// safe to call repeatedly on a serving cluster.
+func (c *Cluster) Stats() Stats {
+	st := Stats{
+		Workload: c.reg.Name(),
+		Mode:     c.opts.Mode.String(),
+		Alloc:    c.opts.Alloc.String(),
+		Runtime:  c.opts.Runtime.String(),
+		Sites:    c.opts.Sites,
+		Classes:  c.Classes(),
+		Uptime:   time.Since(c.start),
+	}
+	c.locked(func() {
+		snap := c.sys.Col.SnapshotAt(c.eng.Now())
+		st.Committed = snap.Committed
+		st.Synced = snap.Synced
+		st.ConflictAborts = snap.ConflictAborts
+		st.Dropped = snap.Dropped
+		st.Livelocked = snap.Livelocked
+		st.TreatyGenFailures = snap.TreatyGenFailures
+		st.CoWinnerCommits = snap.CoWinnerCommits
+		st.SyncRatioPct = snap.SyncRatioPct
+		st.Throughput = snap.Throughput
+		if c.sys.Col.End > c.sys.Col.Start {
+			// A closed measurement window (after Drive): report its rate
+			// instead of a rolling one that decays with wall time.
+			st.Throughput = c.sys.Col.Throughput()
+		}
+		st.LatencyP50 = time.Duration(snap.LatencyP50)
+		st.LatencyP90 = time.Duration(snap.LatencyP90)
+		st.LatencyP99 = time.Duration(snap.LatencyP99)
+		st.LatencyMax = time.Duration(snap.LatencyMax)
+		st.LatencyMean = time.Duration(snap.LatencyMean)
+		st.Store = fromStoreStats(c.sys.StoreStats())
+		for _, s := range c.sys.SiteStats() {
+			st.PerSite = append(st.PerSite, fromStoreStats(s))
+		}
+	})
+	return st
+}
+
+// WatchStats streams snapshots every interval until the context is
+// cancelled (then the channel closes). Intended for live clusters; on the
+// simulator the numbers only move while something drives the engine.
+func (c *Cluster) WatchStats(ctx context.Context, interval time.Duration) <-chan Stats {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ch := make(chan Stats, 1)
+	go func() {
+		defer close(ch)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				select {
+				case ch <- c.Stats():
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return ch
+}

@@ -1,0 +1,156 @@
+// Package wire defines the JSON types of the versioned /v1 HTTP protocol
+// spoken between homeo/httpapi (the server half, mounted by
+// cmd/homeostasis-serve) and homeo/client (the Go client). The protocol:
+//
+//	POST /v1/classes   register a transaction class (L or SQL source)
+//	GET  /v1/classes   list registered classes
+//	POST /v1/txn       invoke a class (or the base workload mix); batch
+//	GET  /v1/stats     snapshot; ?stream=1 or Accept: text/event-stream
+//	                   streams Server-Sent Events
+//	GET  /healthz      liveness probe
+//
+// Every non-2xx response carries an ErrorResponse envelope. Failed
+// transactions inside a 200 response carry a per-result Error whose Code
+// distinguishes aborted, timeout, and livelocked; queue overflow is
+// reported out-of-band as HTTP 429 with code "dropped", and a draining
+// server answers 503 with code "draining".
+// The package is intentionally dependency-free (standard library only):
+// it is the wire contract, importable by any client without dragging in
+// the engine.
+package wire
+
+// Error is the structured error payload.
+type Error struct {
+	// Code is a stable machine-readable identifier: bad_request,
+	// method_not_allowed, not_found, conflict, gone, dropped, draining,
+	// aborted, timeout, livelocked, or internal.
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error Error `json:"error"`
+}
+
+// ClassRequest is the POST /v1/classes body. Exactly one of L and SQL
+// must be set.
+type ClassRequest struct {
+	// Name identifies the class; optional for L (defaults to the
+	// transaction name), required for SQL.
+	Name string `json:"name,omitempty"`
+	// L is L/L++ source containing one transaction.
+	L string `json:"l,omitempty"`
+	// SQL is a sqlfront script (CREATE TABLE + DML).
+	SQL string `json:"sql,omitempty"`
+	// Bounds are inclusive parameter ranges used to strengthen
+	// parameterized guards into treaties.
+	Bounds map[string][2]int64 `json:"bounds,omitempty"`
+	// Initial seeds starting logical values per object (L classes).
+	Initial map[string]int64 `json:"initial,omitempty"`
+	// Rows preloads relational rows per table (SQL classes).
+	Rows map[string][][]int64 `json:"rows,omitempty"`
+}
+
+// ClassInfo describes a registered class (POST/GET /v1/classes).
+type ClassInfo struct {
+	Name    string   `json:"name"`
+	Params  []string `json:"params,omitempty"`
+	Objects []string `json:"objects,omitempty"`
+	// Pinned reports the analysis fallback: the class synchronizes on
+	// every write instead of committing coordination-free.
+	Pinned    bool   `json:"pinned,omitempty"`
+	PinReason string `json:"pin_reason,omitempty"`
+	// Treaties are the unit's current per-site local treaties, rendered.
+	Treaties []string `json:"treaties,omitempty"`
+}
+
+// ClassListResponse is the GET /v1/classes body.
+type ClassListResponse struct {
+	Classes []ClassInfo `json:"classes"`
+}
+
+// TxnRequest is one invocation. As the full POST /v1/txn body it submits
+// a single transaction; inside TxnEnvelope.Batch it is one element of a
+// batch.
+type TxnRequest struct {
+	// Class names a registered class; empty draws the next request from
+	// the base workload's mix.
+	Class string `json:"class,omitempty"`
+	// Args are the invocation arguments (must match the class arity).
+	Args []int64 `json:"args,omitempty"`
+	// Site pins the executing site; absent round-robins.
+	Site *int `json:"site,omitempty"`
+	// TimeoutMS bounds the wait server-side; on expiry the result carries
+	// code "timeout" while the transaction finishes in the background.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// TxnEnvelope is the POST /v1/txn body: either a single TxnRequest or a
+// Batch (when Batch is non-empty the embedded single fields are ignored).
+type TxnEnvelope struct {
+	TxnRequest
+	Batch []TxnRequest `json:"batch,omitempty"`
+}
+
+// TxnResult is one invocation's outcome.
+type TxnResult struct {
+	Class     string  `json:"class"`
+	Args      []int64 `json:"args,omitempty"`
+	Site      int     `json:"site"`
+	Committed bool    `json:"committed"`
+	Synced    bool    `json:"synced,omitempty"`
+	LatencyMS float64 `json:"latency_ms"`
+	// Log is the transaction's observable print log (SELECT results for
+	// SQL classes).
+	Log []int64 `json:"log,omitempty"`
+	// Error classifies a failed invocation: aborted, timeout, livelocked,
+	// or dropped (batch elements refused by backpressure).
+	Error *Error `json:"error,omitempty"`
+}
+
+// TxnBatchResponse is the POST /v1/txn body for batch submissions, in
+// request order.
+type TxnBatchResponse struct {
+	Results []TxnResult `json:"results"`
+}
+
+// StoreStats mirrors one 2PL store's counters.
+type StoreStats struct {
+	Commits   int64 `json:"commits"`
+	Aborts    int64 `json:"aborts"`
+	Deadlocks int64 `json:"deadlocks"`
+	Timeouts  int64 `json:"timeouts"`
+}
+
+// Stats is the GET /v1/stats body (and the SSE event payload).
+type Stats struct {
+	Workload  string   `json:"workload"`
+	Mode      string   `json:"mode"`
+	Alloc     string   `json:"alloc"`
+	Runtime   string   `json:"runtime"`
+	Sites     int      `json:"sites"`
+	Classes   []string `json:"classes,omitempty"`
+	UptimeSec float64  `json:"uptime_sec"`
+
+	Committed         int64 `json:"committed"`
+	Synced            int64 `json:"synced"`
+	ConflictAborts    int64 `json:"conflict_aborts"`
+	Dropped           int64 `json:"dropped"`
+	Livelocked        int64 `json:"livelocked"`
+	TreatyGenFailures int64 `json:"treaty_gen_failures"`
+	CoWinnerCommits   int64 `json:"co_winner_commits"`
+
+	SyncRatioPct   float64 `json:"sync_ratio_pct"`
+	ThroughputTxnS float64 `json:"throughput_txn_s"`
+
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP90MS  float64 `json:"latency_p90_ms"`
+	LatencyP99MS  float64 `json:"latency_p99_ms"`
+	LatencyMaxMS  float64 `json:"latency_max_ms"`
+	LatencyMeanMS float64 `json:"latency_mean_ms"`
+
+	StoreCluster StoreStats   `json:"store_cluster"`
+	StorePerSite []StoreStats `json:"store_per_site,omitempty"`
+}

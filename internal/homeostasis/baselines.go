@@ -14,13 +14,13 @@ import (
 // lock waits beyond the lock timeout (or deadlocks) abort the transaction
 // everywhere and the client retries, which is the conflict behavior that
 // degrades 2PC under contention (Figures 19-22).
-func (sys *System) execTwoPC(p rt.Proc, site int, req workload.Request) error {
+func (sys *System) execTwoPC(p rt.Proc, site int, req workload.Request) (ExecResult, error) {
 	for attempt := 0; ; attempt++ {
 		if attempt > 200 {
-			return fmt.Errorf("homeostasis: 2PC request %s livelocked", req.Name)
+			return ExecResult{}, fmt.Errorf("%w: 2PC request %s", ErrLivelocked, req.Name)
 		}
-		if sys.twoPCAttempt(p, site, req) {
-			return nil
+		if ok, log := sys.twoPCAttempt(p, site, req); ok {
+			return ExecResult{Committed: true, Log: log}, nil
 		}
 		sys.Col.RecordConflictAbort()
 		// Randomized exponential backoff: deterministic-interval retries
@@ -38,7 +38,7 @@ func (sys *System) execTwoPC(p rt.Proc, site int, req workload.Request) error {
 // twoPCAttempt performs one 2PC round trip, reporting whether it
 // committed. All transactions are closed on every exit path, including
 // deadline cancellation (the deferred aborts are no-ops after commit).
-func (sys *System) twoPCAttempt(p rt.Proc, site int, req workload.Request) bool {
+func (sys *System) twoPCAttempt(p rt.Proc, site int, req workload.Request) (bool, []int64) {
 	n := sys.Opts.Topo.NSites()
 	cpu := sys.CPUs[site]
 	cpu.Acquire(p)
@@ -57,7 +57,7 @@ func (sys *System) twoPCAttempt(p rt.Proc, site int, req workload.Request) bool 
 	lview := &directView{tx: local, site: site, nSites: n}
 	if err := req.Exec(lview); err != nil {
 		cpu.Release()
-		return false
+		return false, nil
 	}
 	cpu.Release()
 
@@ -83,7 +83,7 @@ func (sys *System) twoPCAttempt(p rt.Proc, site int, req workload.Request) bool 
 	}
 	p.Sleep(sys.Opts.Topo.MaxOneWayFrom(site))
 	if !ok {
-		return false // deferred aborts clean up everywhere
+		return false, nil // deferred aborts clean up everywhere
 	}
 
 	// Commit round: decision out (half RTT), acks back (half RTT). The
@@ -96,13 +96,13 @@ func (sys *System) twoPCAttempt(p rt.Proc, site int, req workload.Request) bool 
 	local.Commit()
 	sys.logCommit(req, site, lview.log)
 	p.Sleep(sys.Opts.Topo.MaxOneWayFrom(site))
-	return true
+	return true, lview.log
 }
 
 // execLocal runs one request purely locally with no synchronization (the
 // "local" baseline: a bare-bones performance bound with no cross-site
 // consistency).
-func (sys *System) execLocal(p rt.Proc, site int, req workload.Request) error {
+func (sys *System) execLocal(p rt.Proc, site int, req workload.Request) (ExecResult, error) {
 	cpu := sys.CPUs[site]
 	cpu.Acquire(p)
 	defer cpu.Release()
@@ -111,10 +111,13 @@ func (sys *System) execLocal(p rt.Proc, site int, req workload.Request) error {
 	defer tx.Abort()
 	view := &directView{tx: tx, site: site, nSites: sys.Opts.Topo.NSites()}
 	if err := req.Exec(view); err != nil {
+		// The local baseline does not retry: the conflict abort is counted
+		// and the request ends uncommitted but without error (the paper's
+		// accounting; see ExecResult.Committed).
 		sys.Col.RecordConflictAbort()
-		return nil
+		return ExecResult{}, nil
 	}
 	tx.Commit()
 	sys.logCommit(req, site, view.log)
-	return nil
+	return ExecResult{Committed: true, Log: view.log}, nil
 }

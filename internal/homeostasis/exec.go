@@ -12,9 +12,12 @@ import (
 // OPT and the default-config ablation, which differ only in treaty
 // generation): disconnected local execution, pre-commit local treaty
 // check, and on violation the cleanup phase of Section 3.3.
-func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced bool, err error) {
+func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (ExecResult, error) {
 	units := make([]*unitState, len(req.Units))
 	for i, id := range req.Units {
+		if id < 0 || id >= len(sys.Units) {
+			return ExecResult{}, fmt.Errorf("%w: request %s names unknown unit %d", ErrProtocol, req.Name, id)
+		}
 		units[i] = sys.Units[id]
 	}
 	track := sys.Opts.Alloc != AllocDefault
@@ -28,7 +31,7 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced 
 	for attempt := 0; ; attempt++ {
 		if attempt > 100 {
 			sys.Col.RecordLivelock()
-			return synced, fmt.Errorf("homeostasis: request %s livelocked", req.Name)
+			return ExecResult{}, fmt.Errorf("%w: request %s", ErrLivelocked, req.Name)
 		}
 		// If any touched unit is renegotiating, wait for the new round:
 		// new transactions must see the new treaty.
@@ -56,6 +59,7 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced 
 			}
 		}
 		violIdx := -1
+		var commitLog []int64
 		committed, violated, checkErr := func() (bool, bool, error) {
 			tx := sys.Stores[site].Begin(p)
 			defer tx.Abort()
@@ -81,6 +85,7 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced 
 			}
 			tx.Commit()
 			sys.logCommit(req, site, view.log)
+			commitLog = view.log
 			return true, false, nil
 		}()
 		if committed && track {
@@ -96,10 +101,10 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced 
 		}
 		cpu.Release()
 		if checkErr != nil {
-			return synced, fmt.Errorf("homeostasis: request %s: %w", req.Name, checkErr)
+			return ExecResult{}, fmt.Errorf("%w: request %s: %v", ErrProtocol, req.Name, checkErr)
 		}
 		if committed {
-			return synced, nil
+			return ExecResult{Committed: true, Log: commitLog}, nil
 		}
 		if !violated {
 			// Lock failure during execution: retry.
@@ -133,7 +138,7 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced 
 					// Folded into the round: T' ran at every site with
 					// this request batched behind the winner.
 					sys.Col.RecordCoWinner()
-					return true, nil
+					return ExecResult{Committed: true, Synced: true, Log: j.log}, nil
 				}
 				// The round closed before this joiner registered was
 				// folded in; retry against the fresh treaties.
@@ -145,9 +150,9 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (synced 
 			}
 			continue
 		}
-		sys.negotiate(p, site, units, req)
+		winLog := sys.negotiate(p, site, units, req)
 		// T' was executed at every site during cleanup; done.
-		return true, nil
+		return ExecResult{Committed: true, Synced: true, Log: winLog}, nil
 	}
 }
 
@@ -225,7 +230,10 @@ func (sys *System) wakeUnitWaiters(u *unitState) {
 // in step 3 no longer concerns them (they are already applied and logged
 // at every site), so it is surfaced as a protocol-degradation counter
 // with safe pin treaties installed, never as a request error.
-func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req workload.Request) {
+//
+// Returns the winning transaction's print log; co-winners receive theirs
+// through their joiner entries.
+func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req workload.Request) []int64 {
 	var neg *negotiation
 	if sys.batching() {
 		neg = &negotiation{accepting: true}
@@ -301,6 +309,7 @@ func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req worklo
 	sys.logCommit(req, site, txnLog)
 	for i, j := range joiners {
 		sys.logCommit(j.req, j.site, joinerLogs[i])
+		j.log = joinerLogs[i]
 		j.committed = true
 	}
 
@@ -355,6 +364,7 @@ func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req worklo
 		// per-violation averages of Figure 24 keep their meaning.
 		sys.Col.ViolationBreakdown.Add(sys.Opts.LocalExecTime, solver, comm1+comm2)
 	}
+	return txnLog
 }
 
 func (sys *System) logCommit(req workload.Request, site int, log []int64) {

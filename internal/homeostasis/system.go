@@ -13,6 +13,7 @@
 package homeostasis
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -26,6 +27,19 @@ import (
 	"repro/internal/store"
 	"repro/internal/treaty"
 	"repro/internal/workload"
+)
+
+// Structured execution errors. ExecRequest wraps these so embedding
+// callers can classify failures with errors.Is instead of string
+// matching; the public homeo package re-surfaces them in its error
+// taxonomy.
+var (
+	// ErrLivelocked marks a request that exhausted its retry budget
+	// without committing (repeated conflict aborts or lost cleanup votes).
+	ErrLivelocked = errors.New("homeostasis: livelocked")
+	// ErrProtocol marks an internal protocol error (e.g. a unit with no
+	// compiled treaty for the executing site); the request did not commit.
+	ErrProtocol = errors.New("homeostasis: protocol error")
 )
 
 // Mode selects the execution protocol.
@@ -193,6 +207,7 @@ type joiner struct {
 	site      int
 	req       workload.Request
 	committed bool
+	log       []int64
 }
 
 // unitState is the runtime state of one treaty unit.
@@ -320,6 +335,50 @@ func New(e rt.Runtime, w workload.Workload, opts Options) (*System, error) {
 		}
 	}
 	return sys, nil
+}
+
+// AddUnits extends a running system with treaty units the workload gained
+// after construction (dynamic transaction-class registration). install
+// gives initial logical values for objects the new units introduce; they
+// are written as base values at every site with their delta objects
+// zeroed, i.e. a registration is a synchronization point for its own
+// objects. Treaties for each new unit are generated online through the
+// same path the cleanup phase uses. Must be called under the runtime's
+// execution contract (from a process, a timer callback, or
+// rtlive.Runtime.Locked); it performs no parking, so it is atomic with
+// respect to in-flight transactions.
+func (sys *System) AddUnits(install lang.Database) error {
+	n := sys.Opts.Topo.NSites()
+	for obj, v := range install {
+		for s := 0; s < n; s++ {
+			sys.Stores[s].Apply(obj, v)
+			for k := 0; k < n; k++ {
+				sys.Stores[s].Apply(lang.DeltaObj(obj, k), 0)
+			}
+		}
+	}
+	for id := len(sys.Units); id < sys.W.NumUnits(); id++ {
+		u := &unitState{id: id, objects: sys.W.UnitObjects(id)}
+		if sys.Opts.Alloc != AllocDefault {
+			u.demand = make([]siteDemand, n)
+		}
+		if sys.Opts.Mode != ModeTwoPC && sys.Opts.Mode != ModeLocal {
+			if err := sys.generateTreaties(u, sys.foldUnit(u)); err != nil {
+				return fmt.Errorf("homeostasis: registering unit %d: %w", id, err)
+			}
+		}
+		sys.Units = append(sys.Units, u)
+	}
+	return nil
+}
+
+// UnitLocals returns the unit's current per-site local treaties, for
+// introspection (the public API surfaces them as strings).
+func (sys *System) UnitLocals(unit int) []treaty.Local {
+	if unit < 0 || unit >= len(sys.Units) {
+		return nil
+	}
+	return sys.Units[unit].locals
 }
 
 // foldUnit consolidates the unit's logical values across all sites:
@@ -617,32 +676,51 @@ func (sys *System) clientLoop(p rt.Proc, site, id int) {
 		}
 		req := sys.W.Next(rng, site)
 		start := p.Now()
-		synced, err := sys.ExecRequest(p, site, req)
+		res, err := sys.ExecRequest(p, site, req)
 		if err != nil {
 			// Unrecoverable execution error: drop the request.
 			sys.Col.RecordDropped()
 			continue
 		}
 		if sys.Opts.MeasureName == "" || req.Name == sys.Opts.MeasureName {
-			sys.Col.RecordCommit(rt.Duration(p.Now()-start), synced)
+			sys.Col.RecordCommit(rt.Duration(p.Now()-start), res.Synced)
 		}
 	}
 }
 
+// ExecResult is the observable outcome of one executed request.
+type ExecResult struct {
+	// Committed reports whether the request's effects are installed. It
+	// is false only on the local baseline's silent conflict-abort path
+	// (kept for the paper's figures); every treaty-based and 2PC success
+	// is a commit.
+	Committed bool
+	// Synced reports whether the request triggered a treaty
+	// synchronization round (or was batched into one as a co-winner).
+	Synced bool
+	// Log is the transaction's observable print log (Definition 2.1) —
+	// SELECT results for sqlfront classes.
+	Log []int64
+}
+
 // ExecRequest runs one request at the given site on the calling process
-// under the system's protocol, reporting whether it required
-// synchronization. It is the single entry point shared by the simulated
-// client loops and the live serving runtime (cmd/homeostasis-serve).
-func (sys *System) ExecRequest(p rt.Proc, site int, req workload.Request) (synced bool, err error) {
+// under the system's protocol, reporting the observable outcome. It is
+// the single entry point shared by the simulated client loops, the public
+// embeddable API, and the live serving runtime (cmd/homeostasis-serve).
+// Errors wrap ErrLivelocked or ErrProtocol for classification.
+func (sys *System) ExecRequest(p rt.Proc, site int, req workload.Request) (ExecResult, error) {
+	if site < 0 || site >= sys.Opts.Topo.NSites() {
+		return ExecResult{}, fmt.Errorf("%w: site %d out of range [0,%d)", ErrProtocol, site, sys.Opts.Topo.NSites())
+	}
 	switch sys.Opts.Mode {
 	case ModeHomeo, ModeOpt, ModeHomeoDefault:
 		return sys.execHomeo(p, site, req)
 	case ModeTwoPC:
-		return false, sys.execTwoPC(p, site, req)
+		return sys.execTwoPC(p, site, req)
 	case ModeLocal:
-		return false, sys.execLocal(p, site, req)
+		return sys.execLocal(p, site, req)
 	}
-	return false, fmt.Errorf("homeostasis: unknown mode %v", sys.Opts.Mode)
+	return ExecResult{}, fmt.Errorf("%w: unknown mode %v", ErrProtocol, sys.Opts.Mode)
 }
 
 // StoreStats is an aggregate of the per-site 2PL store counters.

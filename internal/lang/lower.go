@@ -51,6 +51,18 @@ func (l *lowerer) lowerExpr(e Expr) (Expr, []Cmd, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		// Constant-index fast path: a(7) is just the scalar object a[7],
+		// no conditional chain needed. Relational encodings (sqlfront)
+		// produce only literal indices, so their scans stay analyzable
+		// instead of exploding into Len*Cols-way chains per access.
+		// Out-of-range literals read the null default 0, matching the
+		// chain's final else.
+		if lit, isLit := idx.(IntLit); isLit {
+			if lit.Value < 0 || lit.Value >= d.Len*d.Cols {
+				return IntLit{Value: 0}, pre, nil
+			}
+			return Read{Obj: ArrayObj(d.Name, lit.Value)}, pre, nil
+		}
 		// Hoist the index into a temp so the if-chain tests a stable value.
 		iv := l.fresh()
 		pre = append(pre, Assign{Var: iv, E: idx})
@@ -175,6 +187,14 @@ func (l *lowerer) lowerCmd(c Cmd) (Cmd, error) {
 			return nil, err
 		}
 		pre = append(pre, pre2...)
+		// Constant-index fast path, mirroring lowerExpr: out-of-range
+		// literal writes are no-ops.
+		if lit, isLit := idx.(IntLit); isLit {
+			if lit.Value < 0 || lit.Value >= d.Len*d.Cols {
+				return SeqOf(append(pre, Skip{})...), nil
+			}
+			return SeqOf(append(pre, WriteCmd{Obj: ArrayObj(d.Name, lit.Value), E: val})...), nil
+		}
 		iv := l.fresh()
 		pre = append(pre, Assign{Var: iv, E: idx})
 		vv := l.fresh()

@@ -208,6 +208,12 @@ type Proc struct {
 // draining, the process is not started.
 func (r *Runtime) Spawn(id int, fn func(p rt.Proc)) { r.spawn(id, fn) }
 
+// SpawnOK is Spawn reporting whether the process started (false when the
+// runtime is draining). Callers that need to distinguish an admitted
+// submission from a refused one (the serving path's backpressure) use
+// this instead of the fire-and-forget contract method.
+func (r *Runtime) SpawnOK(id int, fn func(p rt.Proc)) bool { return r.spawn(id, fn) }
+
 func (r *Runtime) spawn(id int, fn func(p rt.Proc)) bool {
 	p := &Proc{r: r, id: id}
 	p.cond = sync.NewCond(&p.pmu)

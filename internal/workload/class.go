@@ -1,0 +1,369 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/lang"
+	"repro/internal/lia"
+	"repro/internal/logic"
+	"repro/internal/sqlfront"
+	"repro/internal/symtab"
+	"repro/internal/treaty"
+)
+
+// maxTableRows bounds the symbolic table of a registered class. Guards
+// over many independent objects multiply rows; past this bound the class
+// is served with pin treaties (always synchronize on write) instead of a
+// derived treaty — correct, just without coordination-free commits.
+const maxTableRows = 4096
+
+// Class is a transaction class registered at runtime: an L (or lowered
+// L++/SQL) transaction analyzed through the same pipeline the built-in
+// workloads use at compile time — replica rewrite (Appendix B), symbolic
+// table (Section 2), guard preprocessing into a treaty (Appendix C.1).
+// One Class owns one treaty unit covering its whole object footprint.
+//
+// When any stage of the analysis does not apply (unbounded parameters in
+// the guard, a table past maxTableRows, preprocessing failure), the class
+// degrades to pin treaties: every object is held at its consolidated
+// value, so every write triggers a synchronization round whose cleanup
+// phase applies the transaction on the folded state. That path is always
+// observationally correct; the analysis, when it succeeds, is what makes
+// commits coordination-free.
+type Class struct {
+	// Name identifies the class (Request.Name of its invocations).
+	Name string
+	// Params are the transaction's parameters in declaration order.
+	Params []string
+	// Bounds are the declared inclusive parameter ranges used to
+	// strengthen parameterized guards (treaty.ParamBounds).
+	Bounds treaty.ParamBounds
+	// Source is the transaction as registered (before lowering).
+	Source *lang.Transaction
+	// Lowered is the pure-L form executed and replayed.
+	Lowered *lang.Transaction
+	// Schema is the relational schema for SQL-registered classes (nil
+	// otherwise).
+	Schema sqlfront.Schema
+
+	nSites    int
+	writes    []lang.ObjID // sorted write set
+	footprint []lang.ObjID // sorted read ∪ write set = the unit's objects
+	table     *symtab.Table
+	rwBySite  []*lang.Transaction
+	repArgs   []int64 // representative argument vector for row matching
+	pinned    bool    // analysis fallback: pin treaties only
+	pinReason string
+
+	unit int // assigned by the Registry
+}
+
+// NewClass analyzes an already-parsed transaction into a registrable
+// class. The transaction may use L++ arrays (they are lowered); bounds
+// may be nil when the transaction has no parameters or their values do
+// not reach branch guards.
+func NewClass(txn *lang.Transaction, nSites int, bounds treaty.ParamBounds) (*Class, error) {
+	if nSites <= 0 {
+		return nil, fmt.Errorf("workload: class %s: nSites must be positive", txn.Name)
+	}
+	if txn.Name == "" {
+		return nil, fmt.Errorf("workload: class has no transaction name")
+	}
+	for p := range bounds {
+		found := false
+		for _, q := range txn.Params {
+			if q == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("workload: class %s: bound for unknown parameter %q", txn.Name, p)
+		}
+		if b := bounds[p]; b[0] > b[1] {
+			return nil, fmt.Errorf("workload: class %s: empty bound [%d,%d] for %q", txn.Name, b[0], b[1], p)
+		}
+	}
+	lowered := txn
+	if len(txn.Arrays) > 0 {
+		var err error
+		lowered, err = lang.Lower(txn)
+		if err != nil {
+			return nil, fmt.Errorf("workload: class %s: %w", txn.Name, err)
+		}
+	}
+	writeSet := lang.WriteSet(lowered.Body, nil)
+	readSet := lang.ReadSet(lowered.Body, nil)
+	if len(writeSet) == 0 && len(readSet) == 0 {
+		return nil, fmt.Errorf("workload: class %s touches no database objects", txn.Name)
+	}
+	foot := make(map[lang.ObjID]bool, len(writeSet)+len(readSet))
+	replicated := make(map[lang.ObjID]bool, len(foot))
+	for obj := range readSet {
+		foot[obj] = true
+	}
+	for obj := range writeSet {
+		foot[obj] = true
+	}
+	for obj := range foot {
+		if base, site, ok := lang.IsDeltaObj(obj); ok {
+			return nil, fmt.Errorf("workload: class %s: object %q collides with the delta encoding (%s@site%d)",
+				txn.Name, obj, base, site)
+		}
+		replicated[obj] = true
+	}
+	c := &Class{
+		Name:      txn.Name,
+		Params:    append([]string(nil), txn.Params...),
+		Bounds:    bounds,
+		Source:    txn,
+		Lowered:   lowered,
+		nSites:    nSites,
+		writes:    sortedObjs(writeSet),
+		footprint: sortedObjs(foot),
+	}
+	// Representative arguments: the lower bound when declared, zero
+	// otherwise. Used to match a symbolic-table row before strengthening
+	// over the whole range.
+	c.repArgs = make([]int64, len(c.Params))
+	for i, p := range c.Params {
+		if b, ok := bounds[p]; ok {
+			c.repArgs[i] = b[0]
+		}
+	}
+	// The Appendix B rewrite per executing site; site 0's symbolic table
+	// drives treaty generation (guards range over logical values, which
+	// are site-symmetric).
+	c.rwBySite = make([]*lang.Transaction, nSites)
+	for k := 0; k < nSites; k++ {
+		c.rwBySite[k] = lang.Simplify(lang.ReplicaRewrite(lowered, k, nSites, replicated))
+	}
+	table, err := symtab.Build(c.rwBySite[0])
+	switch {
+	case err != nil:
+		c.pinned = true
+		c.pinReason = fmt.Sprintf("symbolic table: %v", err)
+	case len(table.Rows) > maxTableRows:
+		c.pinned = true
+		c.pinReason = fmt.Sprintf("symbolic table has %d rows (> %d)", len(table.Rows), maxTableRows)
+	default:
+		c.table = table
+	}
+	return c, nil
+}
+
+// CompileLClass parses an L/L++ source containing exactly one transaction
+// and analyzes it into a class.
+func CompileLClass(src string, nSites int, bounds treaty.ParamBounds) (*Class, error) {
+	txns, err := lang.ParseProgram(src)
+	if err != nil {
+		return nil, fmt.Errorf("workload: parsing class source: %w", err)
+	}
+	if len(txns) != 1 {
+		return nil, fmt.Errorf("workload: class source must contain exactly one transaction, got %d", len(txns))
+	}
+	lang.ResolveParams(txns[0])
+	return NewClass(txns[0], nSites, bounds)
+}
+
+// CompileSQLClass compiles a sqlfront script (CREATE TABLE + DML) into a
+// class named name. The returned class carries the relational schema so
+// callers can load initial rows with sqlfront.LoadRow.
+func CompileSQLClass(name, script string, nSites int, bounds treaty.ParamBounds) (*Class, error) {
+	if name == "" {
+		return nil, fmt.Errorf("workload: SQL class needs a name")
+	}
+	txn, schema, err := sqlfront.Compile(name, script)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClass(txn, nSites, bounds)
+	if err != nil {
+		return nil, err
+	}
+	c.Schema = schema
+	return c, nil
+}
+
+// Unit returns the treaty unit assigned to the class at registration.
+func (c *Class) Unit() int { return c.unit }
+
+// Footprint returns the class's full object footprint (the unit's
+// objects), sorted.
+func (c *Class) Footprint() []lang.ObjID { return c.footprint }
+
+// Writes returns the class's write set, sorted.
+func (c *Class) Writes() []lang.ObjID { return c.writes }
+
+// Pinned reports whether the class fell back to pin treaties, and why.
+func (c *Class) Pinned() (bool, string) { return c.pinned, c.pinReason }
+
+// TableString renders the class's symbolic table (empty when the class is
+// pinned without analysis).
+func (c *Class) TableString() string {
+	if c.table == nil {
+		return ""
+	}
+	return c.table.String()
+}
+
+// buildGlobal derives the unit's global treaty from the folded database
+// restricted to the class's footprint. Analysis failures at any stage
+// fall back to the always-valid pin treaty, exactly like the TPC-C
+// boundary regions.
+func (c *Class) buildGlobal(folded lang.Database) (treaty.Global, error) {
+	if !c.pinned {
+		params := make(map[string]int64, len(c.Params))
+		for i, p := range c.Params {
+			params[p] = c.repArgs[i]
+		}
+		row, err := c.table.MatchRow(folded, params)
+		if err == nil {
+			g, perr := treaty.Preprocess(c.table.Rows[row].Guard, folded, params, c.Bounds)
+			if perr == nil {
+				return g, nil
+			}
+		}
+		// Representative arguments sit in a boundary region (or the guard
+		// cannot be strengthened over the declared ranges): pin until the
+		// state moves on.
+	}
+	return c.pinGlobal(folded), nil
+}
+
+// pinGlobal pins every footprint object's logical value at its folded
+// value: base + sum of deltas = folded. Any write violates and enters the
+// cleanup phase, which applies the transaction on consolidated state —
+// always observationally correct.
+func (c *Class) pinGlobal(folded lang.Database) treaty.Global {
+	var g treaty.Global
+	for _, obj := range c.footprint {
+		pin := lia.NewTerm()
+		pin.AddVar(logic.Obj(obj), 1)
+		for k := 0; k < c.nSites; k++ {
+			pin.AddVar(logic.Obj(lang.DeltaObj(obj, k)), 1)
+		}
+		pin.Const = -folded.Get(obj)
+		g.Constraints = append(g.Constraints, lia.Constraint{Term: pin, Op: lia.EQ})
+	}
+	return g
+}
+
+// model samples futures for Algorithm 1 by replaying the class itself:
+// random sites invoke the replica-rewritten transaction with arguments
+// drawn uniformly from the declared bounds.
+type classModel struct{ c *Class }
+
+// SampleFuture implements treaty.WorkloadModel.
+func (m classModel) SampleFuture(rng *rand.Rand, db lang.Database, l int) []lang.Database {
+	cur := db.Clone()
+	out := make([]lang.Database, 0, l)
+	for i := 0; i < l; i++ {
+		site := rng.Intn(m.c.nSites)
+		if res, err := lang.Eval(m.c.rwBySite[site], cur, m.c.randArgs(rng)...); err == nil {
+			cur = res.DB
+		}
+		out = append(out, cur.Clone())
+	}
+	return out
+}
+
+// randArgs draws an argument vector uniformly from the declared bounds
+// (parameters without bounds use their representative value).
+func (c *Class) randArgs(rng *rand.Rand) []int64 {
+	args := make([]int64, len(c.Params))
+	for i, p := range c.Params {
+		if b, ok := c.Bounds[p]; ok && b[1] > b[0] {
+			args[i] = b[0] + rng.Int63n(b[1]-b[0]+1)
+		} else {
+			args[i] = c.repArgs[i]
+		}
+	}
+	return args
+}
+
+// execAbort carries a SiteView error out of the evaluator, which has no
+// error channel in its read/write hooks.
+type execAbort struct{ err error }
+
+// exec runs the lowered transaction against a site view: every database
+// read and write goes through the view's logical accessors (the delta
+// encoding under homeostasis, direct access under 2PC/local), and the
+// print log is forwarded after successful evaluation.
+func (c *Class) exec(v SiteView, args []int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			a, ok := r.(execAbort)
+			if !ok {
+				panic(r)
+			}
+			err = a.err
+		}
+	}()
+	env := &lang.Env{
+		ReadFn: func(obj lang.ObjID) int64 {
+			x, rerr := v.ReadLogical(obj)
+			if rerr != nil {
+				panic(execAbort{rerr})
+			}
+			return x
+		},
+		WriteFn: func(obj lang.ObjID, val int64) {
+			if werr := v.WriteLogical(obj, val); werr != nil {
+				panic(execAbort{werr})
+			}
+		},
+	}
+	if err := lang.EvalIn(c.Lowered, env, args...); err != nil {
+		return err
+	}
+	for _, x := range env.Log {
+		v.Print(x)
+	}
+	return nil
+}
+
+// apply performs the transaction's logical effect on a folded database
+// (the cleanup phase's T' execution and serial replay).
+func (c *Class) apply(db lang.Database, args []int64) []int64 {
+	res, err := lang.Eval(c.Lowered, db, args...)
+	if err != nil {
+		// Unreachable after successful compilation: evaluation of a pure
+		// lowered transaction has no failing operations.
+		return nil
+	}
+	for obj, v := range res.DB {
+		db[obj] = v
+	}
+	return res.Log
+}
+
+// request builds one invocation of the class. units is the full set of
+// treaty units governing the request (the class's own unit plus any other
+// registered unit sharing footprint objects).
+func (c *Class) request(units []int, args []int64) (Request, error) {
+	if len(args) != len(c.Params) {
+		return Request{}, fmt.Errorf("workload: class %s expects %d args (%v), got %d",
+			c.Name, len(c.Params), c.Params, len(args))
+	}
+	args = append([]int64(nil), args...)
+	return Request{
+		Name:    c.Name,
+		Args:    args,
+		Units:   units,
+		Objects: c.footprint,
+		Exec:    func(v SiteView) error { return c.exec(v, args) },
+		Apply:   func(db lang.Database) []int64 { return c.apply(db, args) },
+	}, nil
+}
+
+func sortedObjs(set map[lang.ObjID]bool) []lang.ObjID {
+	out := make([]lang.ObjID, 0, len(set))
+	for obj := range set {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

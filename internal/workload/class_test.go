@@ -1,0 +1,348 @@
+package workload_test
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/homeostasis"
+	"repro/internal/lang"
+	"repro/internal/micro"
+	"repro/internal/rt"
+	"repro/internal/sim"
+	"repro/internal/treaty"
+	"repro/internal/workload"
+)
+
+const orderSrc = `
+transaction Order() {
+	v := read(q);
+	if (v > 1) then
+		write(q = v - 1)
+	else
+		write(q = 99)
+}`
+
+const depositSrc = `
+transaction Deposit(n) {
+	v := read(acct);
+	write(acct = v + n)
+}`
+
+const withdrawSrc = `
+transaction Withdraw(n) {
+	v := read(bal);
+	if (v - n > 0) then
+		write(bal = v - n)
+	else
+		skip
+}`
+
+func TestCompileLClass(t *testing.T) {
+	c, err := workload.CompileLClass(orderSrc, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "Order" {
+		t.Fatalf("name = %q", c.Name)
+	}
+	if pinned, why := c.Pinned(); pinned {
+		t.Fatalf("Order pinned: %s", why)
+	}
+	if got := c.Footprint(); len(got) != 1 || got[0] != "q" {
+		t.Fatalf("footprint = %v", got)
+	}
+	if c.TableString() == "" {
+		t.Fatal("no symbolic table")
+	}
+}
+
+func TestCompileLClassErrors(t *testing.T) {
+	if _, err := workload.CompileLClass("transaction T() { skip }", 2, nil); err == nil {
+		t.Fatal("no-object class accepted")
+	}
+	if _, err := workload.CompileLClass(depositSrc, 2, treaty.ParamBounds{"zz": {0, 1}}); err == nil {
+		t.Fatal("bound for unknown parameter accepted")
+	}
+	if _, err := workload.CompileLClass(depositSrc+orderSrc, 2, nil); err == nil {
+		t.Fatal("two-transaction source accepted")
+	}
+	if _, err := workload.CompileLClass("transaction D() { write(x@d1 = 1) }", 2, nil); err == nil {
+		t.Fatal("delta-named object accepted")
+	}
+}
+
+func TestCompileSQLClass(t *testing.T) {
+	c, err := workload.CompileSQLClass("AddStock", `
+CREATE TABLE inv (item, qty) SIZE 4
+UPDATE inv SET qty = qty + @d WHERE item = @k
+SELECT SUM(qty) FROM inv WHERE item = @k
+`, 2, treaty.ParamBounds{"d": {1, 3}, "k": {1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Params) != 2 || c.Params[0] != "d" || c.Params[1] != "k" {
+		t.Fatalf("params = %v", c.Params)
+	}
+	if c.Schema["inv"] == nil {
+		t.Fatal("schema not carried")
+	}
+	if len(c.Footprint()) != 8 {
+		t.Fatalf("footprint = %v, want the 8 inv cells", c.Footprint())
+	}
+}
+
+// registerLive registers a class on a running system the way the public
+// API does: compile, add to the registry, install units.
+func register(t *testing.T, sys *homeostasis.System, reg *workload.Registry, src string, bounds treaty.ParamBounds, initial lang.Database) *workload.Class {
+	t.Helper()
+	c, err := workload.CompileLClass(src, sys.Opts.Topo.NSites(), bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(c, initial); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddUnits(initial); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRegisteredClassOnSim registers classes never seen at construction
+// time on a simulated 2-site cluster, executes them, and verifies serial
+// replay equivalence — the core acceptance path of the dynamic
+// registration design.
+func TestRegisteredClassOnSim(t *testing.T) {
+	for _, mode := range []homeostasis.Mode{homeostasis.ModeHomeo, homeostasis.ModeOpt, homeostasis.ModeTwoPC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			reg, err := workload.NewRegistry(nil, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := sim.NewEngine(1)
+			sys, err := homeostasis.New(e, reg, homeostasis.Options{
+				Mode:      mode,
+				Topo:      cluster.Uniform(2, 100*sim.Millisecond),
+				EnableLog: true,
+				Seed:      7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			dep := register(t, sys, reg, depositSrc, nil, lang.Database{"acct": 10})
+			wd := register(t, sys, reg, withdrawSrc, treaty.ParamBounds{"n": {1, 5}}, nil)
+			// Withdraw starts at zero balance; deposit into it first.
+			dep2 := register(t, sys, reg,
+				strings.NewReplacer("acct", "bal", "Deposit", "Fund").Replace(depositSrc),
+				nil, lang.Database{"bal": 50})
+
+			rng := rand.New(rand.NewSource(3))
+			var execErr error
+			for i := 0; i < 200; i++ {
+				site := i % 2
+				var req workload.Request
+				switch i % 3 {
+				case 0:
+					req, err = reg.Request(dep, []int64{int64(rng.Intn(7) - 3)})
+				case 1:
+					req, err = reg.Request(wd, []int64{int64(1 + rng.Intn(5))})
+				case 2:
+					req, err = reg.Request(dep2, []int64{int64(rng.Intn(4))})
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.Spawn(i, func(p rt.Proc) {
+					if _, err := sys.ExecRequest(p, site, req); err != nil && execErr == nil {
+						execErr = err
+					}
+				})
+				e.Run()
+			}
+			if execErr != nil {
+				t.Fatal(execErr)
+			}
+			if err := sys.CheckReplayEquivalence(); err != nil {
+				t.Fatal(err)
+			}
+			if got := len(sys.CommitLog); got != 200 {
+				t.Fatalf("committed %d of 200", got)
+			}
+		})
+	}
+}
+
+// TestRegisteredSQLClassOnSim drives the full SQL path — sqlfront →
+// lang → symtab → treaty generation → execution — for a client-registered
+// class, checking SELECT results and replay equivalence.
+func TestRegisteredSQLClassOnSim(t *testing.T) {
+	reg, err := workload.NewRegistry(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine(1)
+	sys, err := homeostasis.New(e, reg, homeostasis.Options{
+		Mode:      homeostasis.ModeHomeo,
+		Topo:      cluster.Uniform(2, 100*sim.Millisecond),
+		EnableLog: true,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := workload.CompileSQLClass("Restock", `
+CREATE TABLE inv (item, qty) SIZE 2
+UPDATE inv SET qty = qty + @d WHERE item = @k
+SELECT SUM(qty) FROM inv WHERE item = @k
+`, 2, treaty.ParamBounds{"d": {1, 3}, "k": {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := lang.Database{}
+	if err := sqlLoad(initial, c, 0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := sqlLoad(initial, c, 1, 2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(c, initial); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddUnits(initial); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[int64]int64{1: 10, 2: 20}
+	var execErr error
+	for i := 0; i < 60; i++ {
+		site := i % 2
+		k := int64(1 + i%2)
+		d := int64(1 + i%3)
+		req, err := reg.Request(c, []int64{d, k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[k] += d
+		wantSum := want[k]
+		e.Spawn(i, func(p rt.Proc) {
+			res, err := sys.ExecRequest(p, site, req)
+			if err != nil && execErr == nil {
+				execErr = err
+				return
+			}
+			if len(res.Log) != 1 || res.Log[0] != wantSum {
+				t.Errorf("txn %d: SELECT log = %v, want [%d]", i, res.Log, wantSum)
+			}
+		})
+		e.Run()
+	}
+	if execErr != nil {
+		t.Fatal(execErr)
+	}
+	if err := sys.CheckReplayEquivalence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sqlLoad loads a row into the class's table via the carried schema.
+func sqlLoad(db lang.Database, c *workload.Class, slot int64, values ...int64) error {
+	return sqlfrontLoad(db, c, "inv", slot, values...)
+}
+
+func sqlfrontLoad(db lang.Database, c *workload.Class, table string, slot int64, values ...int64) error {
+	tbl := c.Schema[table]
+	if tbl == nil {
+		return errors.New("no such table")
+	}
+	for col, v := range values {
+		db[lang.ArrayObj(table, slot*int64(len(tbl.Cols))+int64(col))] = v
+	}
+	return nil
+}
+
+// TestRegistryConflicts verifies base-object protection and duplicate
+// names.
+func TestRegistryConflicts(t *testing.T) {
+	base, err := micro.New(micro.Config{Items: 10, Refill: 100, NSites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := workload.NewRegistry(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.NumUnits() != 10 {
+		t.Fatalf("base units = %d", reg.NumUnits())
+	}
+	// A class touching a base stock object must be rejected. Micro's
+	// object names are not expressible in L source, so build the AST
+	// directly.
+	item := micro.ItemObj(3)
+	clash, err := workload.NewClass(&lang.Transaction{
+		Name: "Clash",
+		Body: lang.SeqOf(
+			lang.Assign{Var: "v", E: lang.Read{Obj: item}},
+			lang.WriteCmd{Obj: item, E: lang.Bin{Op: lang.OpSub, L: lang.TempVar{Name: "v"}, R: lang.IntLit{Value: 1}}},
+		),
+	}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(clash, nil); err == nil {
+		t.Fatal("base-object clash accepted")
+	}
+	dep, err := workload.CompileLClass(depositSrc, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(dep, nil); err != nil {
+		t.Fatal(err)
+	}
+	dup, _ := workload.CompileLClass(depositSrc, 2, nil)
+	if err := reg.Register(dup, nil); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if dep.Unit() != 10 {
+		t.Fatalf("unit = %d, want 10", dep.Unit())
+	}
+}
+
+// TestOverlappingClassesShareUnits: two classes over the same object must
+// each check the other's treaty (units resolved at request time).
+func TestOverlappingClassesShareUnits(t *testing.T) {
+	reg, err := workload.NewRegistry(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := workload.CompileLClass(depositSrc, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(a, lang.Database{"acct": 5}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.CompileLClass(
+		strings.NewReplacer("bal", "acct", "Withdraw", "Spend").Replace(withdrawSrc), 2,
+		treaty.ParamBounds{"n": {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(b, nil); err != nil {
+		t.Fatal(err)
+	}
+	reqA, err := reg.Request(a, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqB, err := reg.Request(b, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqA.Units) != 2 || len(reqB.Units) != 2 {
+		t.Fatalf("units A=%v B=%v, want both to span both units", reqA.Units, reqB.Units)
+	}
+}

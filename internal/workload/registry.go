@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/lang"
+	"repro/internal/treaty"
+)
+
+// ErrDuplicateClass marks a registration under a name already taken
+// (classify with errors.Is; the wire layer maps it to 409 Conflict).
+var ErrDuplicateClass = errors.New("workload: duplicate class")
+
+// Registry hosts dynamically registered transaction classes on top of an
+// optional base workload. It implements Workload: base units keep their
+// ids, each registered class appends one unit covering its footprint, and
+// requests for a class are governed by every registered unit that shares
+// an object with it (so overlapping classes check each other's treaties
+// before committing — the soundness condition for concurrent classes).
+//
+// Registration and request construction are not internally synchronized:
+// callers invoke them under the runtime's execution contract (the public
+// API serializes registration behind the scheduler lock on live
+// runtimes), matching every other Workload implementation.
+type Registry struct {
+	base      Workload
+	nSites    int
+	baseUnits int
+	classes   []*Class
+	byName    map[string]*Class
+	// objUnits indexes registered units by footprint object; base units
+	// are not indexed (base overlap is rejected at registration).
+	objUnits map[lang.ObjID][]int
+	// baseObjs is every object the base workload owns (initial database
+	// plus unit objects); class footprints must be disjoint from it.
+	baseObjs map[lang.ObjID]bool
+	// extra accumulates the initial values installed by registrations, so
+	// InitialDB reflects them for serial replay.
+	extra lang.Database
+}
+
+// NewRegistry wraps base (which may be nil for a cluster serving only
+// registered classes) for nSites sites.
+func NewRegistry(base Workload, nSites int) (*Registry, error) {
+	if nSites <= 0 {
+		return nil, fmt.Errorf("workload: registry needs a positive site count")
+	}
+	r := &Registry{
+		base:     base,
+		nSites:   nSites,
+		byName:   make(map[string]*Class),
+		objUnits: make(map[lang.ObjID][]int),
+		baseObjs: make(map[lang.ObjID]bool),
+		extra:    lang.Database{},
+	}
+	if base != nil {
+		r.baseUnits = base.NumUnits()
+		for obj := range base.InitialDB() {
+			r.baseObjs[obj] = true
+		}
+		for u := 0; u < r.baseUnits; u++ {
+			for _, obj := range base.UnitObjects(u) {
+				r.baseObjs[obj] = true
+			}
+		}
+	}
+	return r, nil
+}
+
+// Base returns the wrapped base workload (nil when serving only
+// registered classes).
+func (r *Registry) Base() Workload { return r.base }
+
+// Register adds a compiled class. initial gives starting logical values
+// for footprint objects (absent objects start at zero); the caller is
+// responsible for installing them into a running system
+// (homeostasis.System.AddUnits). The class is assigned the next unit id.
+func (r *Registry) Register(c *Class, initial lang.Database) error {
+	if c.nSites != r.nSites {
+		return fmt.Errorf("workload: class %s compiled for %d sites, registry has %d", c.Name, c.nSites, r.nSites)
+	}
+	if _, dup := r.byName[c.Name]; dup {
+		return fmt.Errorf("%w: %s already registered", ErrDuplicateClass, c.Name)
+	}
+	for _, obj := range c.footprint {
+		if r.baseObjs[obj] {
+			return fmt.Errorf("workload: class %s touches %q, owned by the %s workload (base objects cannot be governed by registered classes)",
+				c.Name, obj, r.base.Name())
+		}
+	}
+	inFoot := make(map[lang.ObjID]bool, len(c.footprint))
+	for _, obj := range c.footprint {
+		inFoot[obj] = true
+	}
+	for obj := range initial {
+		if !inFoot[obj] {
+			return fmt.Errorf("workload: class %s: initial value for %q, which the class never touches", c.Name, obj)
+		}
+	}
+	c.unit = r.baseUnits + len(r.classes)
+	r.classes = append(r.classes, c)
+	r.byName[c.Name] = c
+	for _, obj := range c.footprint {
+		r.objUnits[obj] = append(r.objUnits[obj], c.unit)
+	}
+	for obj, v := range initial {
+		r.extra[obj] = v
+	}
+	return nil
+}
+
+// Unregister removes the most recently registered class (the rollback
+// path when installing its unit into the running system fails). It must
+// only be called before any request for the class was built.
+func (r *Registry) Unregister(c *Class) error {
+	if len(r.classes) == 0 || r.classes[len(r.classes)-1] != c {
+		return fmt.Errorf("workload: %s is not the most recently registered class", c.Name)
+	}
+	r.classes = r.classes[:len(r.classes)-1]
+	delete(r.byName, c.Name)
+	for _, obj := range c.footprint {
+		units := r.objUnits[obj]
+		if len(units) > 0 && units[len(units)-1] == c.unit {
+			units = units[:len(units)-1]
+		}
+		if len(units) == 0 {
+			delete(r.objUnits, obj)
+		} else {
+			r.objUnits[obj] = units
+		}
+	}
+	// Initial values stay in extra: the objects were already installed in
+	// the stores when the rollback happens, and re-registering under the
+	// same name re-validates them.
+	return nil
+}
+
+// Class returns a registered class by name (nil when absent).
+func (r *Registry) Class(name string) *Class { return r.byName[name] }
+
+// CanDraw reports whether Next has anything to draw from (a base
+// workload or at least one registered class). Callers on the serving
+// path check it instead of letting Next panic.
+func (r *Registry) CanDraw() bool { return r.base != nil || len(r.classes) > 0 }
+
+// Classes returns the registered classes in registration order.
+func (r *Registry) Classes() []*Class { return append([]*Class(nil), r.classes...) }
+
+// Request builds one invocation of a registered class, resolving the full
+// unit set governing it at call time (its own unit plus every registered
+// unit sharing a footprint object, so later-registered overlapping
+// classes are checked too).
+func (r *Registry) Request(c *Class, args []int64) (Request, error) {
+	if r.byName[c.Name] != c {
+		return Request{}, fmt.Errorf("workload: class %s is not registered", c.Name)
+	}
+	return c.request(r.unitsFor(c), args)
+}
+
+// unitsFor collects the deduplicated, ascending unit set sharing any of
+// the class's footprint objects. The class's own unit is always included
+// (its footprint objects index it).
+func (r *Registry) unitsFor(c *Class) []int {
+	seen := make(map[int]bool)
+	var units []int
+	for _, obj := range c.footprint {
+		for _, u := range r.objUnits[obj] {
+			if !seen[u] {
+				seen[u] = true
+				units = append(units, u)
+			}
+		}
+	}
+	for i := 1; i < len(units); i++ {
+		for j := i; j > 0 && units[j] < units[j-1]; j-- {
+			units[j], units[j-1] = units[j-1], units[j]
+		}
+	}
+	return units
+}
+
+// InitialValues returns the initial logical values accumulated by
+// registrations (the install set for homeostasis.System.AddUnits).
+func (r *Registry) InitialValues(c *Class) lang.Database {
+	out := lang.Database{}
+	for _, obj := range c.footprint {
+		if v, ok := r.extra[obj]; ok {
+			out[obj] = v
+		}
+	}
+	return out
+}
+
+// Name implements Workload.
+func (r *Registry) Name() string {
+	if r.base != nil {
+		return r.base.Name()
+	}
+	return "custom"
+}
+
+// InitialDB implements Workload: the base initial database plus every
+// registered class's initial values. Because registered objects are
+// disjoint from base objects and were never written before their
+// registration point, serially replaying the commit log against this
+// database is equivalent to installing each class's values at its
+// registration time.
+func (r *Registry) InitialDB() lang.Database {
+	db := lang.Database{}
+	if r.base != nil {
+		db = r.base.InitialDB()
+	}
+	for obj, v := range r.extra {
+		db[obj] = v
+	}
+	return db
+}
+
+// NumUnits implements Workload.
+func (r *Registry) NumUnits() int { return r.baseUnits + len(r.classes) }
+
+// UnitObjects implements Workload.
+func (r *Registry) UnitObjects(unit int) []lang.ObjID {
+	if unit < r.baseUnits {
+		return r.base.UnitObjects(unit)
+	}
+	return r.classes[unit-r.baseUnits].footprint
+}
+
+// BuildGlobal implements Workload.
+func (r *Registry) BuildGlobal(unit int, folded lang.Database) (treaty.Global, error) {
+	if unit < r.baseUnits {
+		return r.base.BuildGlobal(unit, folded)
+	}
+	return r.classes[unit-r.baseUnits].buildGlobal(folded)
+}
+
+// Model implements Workload.
+func (r *Registry) Model(unit int) treaty.WorkloadModel {
+	if unit < r.baseUnits {
+		return r.base.Model(unit)
+	}
+	return classModel{c: r.classes[unit-r.baseUnits]}
+}
+
+// Next implements Workload: base workloads keep their request mix; a
+// registry without a base draws a uniformly random registered class with
+// arguments uniform in its declared bounds (the closed-loop driver path
+// for pure-custom clusters).
+func (r *Registry) Next(rng *rand.Rand, site int) Request {
+	if r.base != nil {
+		return r.base.Next(rng, site)
+	}
+	if len(r.classes) == 0 {
+		panic("workload: registry has no base workload and no registered classes to draw from")
+	}
+	c := r.classes[rng.Intn(len(r.classes))]
+	req, err := r.Request(c, c.randArgs(rng))
+	if err != nil {
+		panic(err) // unreachable: randArgs matches the class's arity
+	}
+	return req
+}
