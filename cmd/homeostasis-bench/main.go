@@ -92,7 +92,7 @@ func main() {
 		}
 		fmt.Println(r)
 		if *verbose && r.Cells > 0 {
-			fmt.Printf("(%s totals: %s)\n", name, r.Totals)
+			fmt.Printf("(%s totals: %s)\n", name, r.Totals.String())
 		}
 		if r.Cells > 0 {
 			fmt.Printf("(%s: %d cells on %d workers in %.1fs)\n\n",

@@ -34,17 +34,37 @@
 // same collector the experiments use, verifies the commit log is
 // observationally equivalent under serial replay (Theorem 3.8), and exits
 // nonzero on zero commits or a failed check.
+//
+// Multi-process mode runs one site per OS process over the HTTP site
+// fabric (internal/fabric): transactions commit locally with no peer
+// traffic while treaties hold, and a violation pays exactly two peer
+// message rounds (/v1/peer/*), coordinated by the violating site:
+//
+//	homeostasis-serve -workload none -site 0 -peers h0:8080,h1:8080,h2:8080 -enable-log
+//	homeostasis-serve -workload none -site 1 -peers h0:8080,h1:8080,h2:8080 -enable-log  # on h1
+//	homeostasis-serve -workload none -site 2 -peers h0:8080,h1:8080,h2:8080 -enable-log  # on h2
+//
+// Every process must get the same workload/protocol flags and seed, and
+// classes must be registered at every site in the same order. The drive
+// mode automates the whole thing on one machine: -drive ...,procs=N
+// spawns N-1 peer processes, drives all N, then verifies the merged
+// commit log (ordered by Lamport clock across processes) is
+// observationally equivalent under serial replay.
 package main
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
+	"os/exec"
 	"os/signal"
 	"strconv"
 	"strings"
@@ -74,6 +94,10 @@ func main() {
 	var registers classFiles
 	var (
 		workloadName = flag.String("workload", "tpcc", "base workload: micro, tpcc, or none (serve only registered classes)")
+		site         = flag.Int("site", -1, "multi-process mode: the one site this process serves (requires -peers)")
+		peersFlag    = flag.String("peers", "", "multi-process mode: comma-separated base URLs of every site in site order (peers[site] is this process)")
+		peerToken    = flag.String("peer-token", "", "multi-process mode: shared secret required on /v1/peer/* mutations (set it whenever peers cross a real network)")
+		enableLog    = flag.Bool("enable-log", false, "record the commit log (GET /v1/peer/log) for replay checks; drive mode forces it")
 		modeName     = flag.String("mode", "homeo", "protocol: homeo, opt, homeo-default, 2pc, or local")
 		allocName    = flag.String("alloc", "default", "treaty allocation: default (mode's builtin), equal, model, or adaptive (non-default also enables batched renegotiation)")
 		drift        = flag.Bool("drift", false, "enable the workload's drift scenario (micro: hot-site rotation; tpcc: skewed warehouse)")
@@ -123,9 +147,42 @@ func main() {
 		LockTimeout:   *lockTimeout,
 		Seed:          *seed,
 		MaxInflight:   *maxInflight,
+		EnableLog:     *enableLog,
 	}
 	if *ec2 {
 		opts.Topology = homeo.EC2(*sites)
+	}
+
+	listenAddr := *addr
+	if *site >= 0 {
+		// Multi-process mode: this process owns exactly one site; the
+		// cleanup phase's rounds travel over the HTTP peer fabric.
+		peers := splitPeers(*peersFlag)
+		if len(peers) < 2 {
+			fatal(fmt.Errorf("-site requires -peers naming at least two sites"))
+		}
+		if *site >= len(peers) {
+			fatal(fmt.Errorf("-site %d out of range for %d peers", *site, len(peers)))
+		}
+		// The peer list fixes the cluster width; -sites is ignored here.
+		opts.Sites = len(peers)
+		if opts.Workload != nil {
+			// Rebuild the workload at the peer-derived width so every
+			// process draws an identical instance.
+			if opts.Workload, err = buildWorkload(*workloadName, opts.Sites, *items, *refill, *warehouses, *stock, *seed, *drift); err != nil {
+				fatal(err)
+			}
+		}
+		if *ec2 {
+			opts.Topology = homeo.EC2(opts.Sites)
+		}
+		opts.Fabric = &homeo.FabricOptions{Site: *site, Peers: peers, Token: *peerToken}
+		if listenAddr == ":8080" {
+			// Default the listen address to this site's peer URL.
+			if u, perr := url.Parse(peers[*site]); perr == nil && u.Host != "" {
+				listenAddr = u.Host
+			}
+		}
 	}
 
 	if *drive != "" {
@@ -138,10 +195,36 @@ func main() {
 		cfg.verbose = *verbose
 		cfg.registers = registers
 		opts.EnableLog = cfg.checkReplay
+		if cfg.procs > 0 {
+			if *site >= 0 {
+				fatal(fmt.Errorf("-drive procs=N spawns its own peer processes; it cannot be combined with -site"))
+			}
+			if strings.ToLower(*workloadName) != "none" || cfg.class == "" {
+				fatal(fmt.Errorf("drive: procs=N needs -workload none plus -register/class= (merged replay reconstructs commits through registered classes)"))
+			}
+			runDriveProcs(opts, cfg)
+			return
+		}
 		runDrive(opts, cfg)
 		return
 	}
-	runServe(opts, *addr, registers)
+	runServe(opts, listenAddr, registers)
+}
+
+// splitPeers parses the -peers list, normalizing entries to base URLs.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		out = append(out, strings.TrimSuffix(p, "/"))
+	}
+	return out
 }
 
 func fatal(err error) {
@@ -190,19 +273,20 @@ type driveConfig struct {
 	clients     int
 	duration    time.Duration
 	class       string
+	procs       int
 	warmup      time.Duration
 	checkReplay bool
 	verbose     bool
 	registers   classFiles
 }
 
-// parseDrive parses "clients=N,duration=5s[,class=Name]".
+// parseDrive parses "clients=N,duration=5s[,class=Name][,procs=N]".
 func parseDrive(s string) (driveConfig, error) {
 	cfg := driveConfig{clients: 4, duration: 5 * time.Second}
 	for _, part := range strings.Split(s, ",") {
 		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
 		if len(kv) != 2 {
-			return cfg, fmt.Errorf("drive: bad option %q (want clients=N,duration=5s[,class=Name])", part)
+			return cfg, fmt.Errorf("drive: bad option %q (want clients=N,duration=5s[,class=Name][,procs=N])", part)
 		}
 		switch kv[0] {
 		case "clients":
@@ -219,6 +303,12 @@ func parseDrive(s string) (driveConfig, error) {
 			cfg.duration = d
 		case "class":
 			cfg.class = kv[1]
+		case "procs":
+			n, err := strconv.Atoi(kv[1])
+			if err != nil || n < 2 {
+				return cfg, fmt.Errorf("drive: bad procs %q (want >= 2)", kv[1])
+			}
+			cfg.procs = n
 		default:
 			return cfg, fmt.Errorf("drive: unknown option %q", kv[0])
 		}
@@ -456,4 +546,251 @@ func drawArgs(rng *rand.Rand, params []string, bounds map[string][2]int64) []int
 		}
 	}
 	return args
+}
+
+// childFlagSkip lists flags runDriveProcs must not forward to the peer
+// processes it spawns (they get their own -site/-peers/-addr, and must
+// not re-enter drive mode or re-register classes).
+var childFlagSkip = map[string]bool{
+	"drive": true, "addr": true, "site": true, "peers": true,
+	"register": true, "enable-log": true, "warmup": true,
+	"check-replay": true, "v": true, "peer-token": true,
+}
+
+// reservePorts picks n distinct free loopback ports by binding and
+// releasing them together.
+func reservePorts(n int) ([]string, error) {
+	lns := make([]net.Listener, 0, n)
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			break
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	if len(addrs) < n {
+		return nil, fmt.Errorf("could not reserve %d loopback ports", n)
+	}
+	return addrs, nil
+}
+
+// runDriveProcs is the multi-process drive mode: spawn procs-1 peer
+// processes (this binary with -site k -peers ...), serve site 0 itself,
+// register the class files at every site over HTTP, run the closed-loop
+// driver against each site's own server, and verify the merged commit
+// log (ordered by Lamport clock across processes) is observationally
+// equivalent under serial replay.
+func runDriveProcs(opts homeo.Options, cfg driveConfig) {
+	n := cfg.procs
+	addrs, err := reservePorts(n)
+	if err != nil {
+		fatal(err)
+	}
+	peers := make([]string, n)
+	for k := range peers {
+		peers[k] = "http://" + addrs[k]
+	}
+	// One shared secret for the whole spawned cluster, fresh per run.
+	tokenBytes := make([]byte, 16)
+	if _, err := cryptorand.Read(tokenBytes); err != nil {
+		fatal(err)
+	}
+	token := hex.EncodeToString(tokenBytes)
+	opts.Sites = n
+	opts.Fabric = &homeo.FabricOptions{Site: 0, Peers: peers, Token: token}
+	opts.EnableLog = true
+
+	// Forward the protocol/workload flags the operator set; each peer is
+	// one site of the same cluster and must be configured identically.
+	var inherited []string
+	flag.Visit(func(f *flag.Flag) {
+		if !childFlagSkip[f.Name] {
+			inherited = append(inherited, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	self, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	var children []*exec.Cmd
+	// fail kills the spawned peers before exiting (fatal never returns,
+	// and os.Exit skips defers).
+	fail := func(err error) {
+		for _, ch := range children {
+			if ch.Process != nil {
+				ch.Process.Kill()
+			}
+		}
+		fatal(err)
+	}
+	for k := 1; k < n; k++ {
+		args := append([]string{}, inherited...)
+		args = append(args,
+			"-site", strconv.Itoa(k),
+			"-peers", strings.Join(addrs, ","),
+			"-addr", addrs[k],
+			"-peer-token", token,
+			"-enable-log")
+		ch := exec.Command(self, args...)
+		ch.Stdout = os.Stderr
+		ch.Stderr = os.Stderr
+		if err := ch.Start(); err != nil {
+			fail(err)
+		}
+		children = append(children, ch)
+	}
+
+	// Site 0 lives in this process, mounted on its reserved address.
+	c := boot(opts)
+	handler := httpapi.NewHandler(c)
+	ln, err := net.Listen("tcp", addrs[0])
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: handler}
+	go httpSrv.Serve(ln)
+
+	ctx := context.Background()
+	clients := make([]*client.Client, n)
+	for k := range clients {
+		clients[k] = client.New(peers[k], client.Options{Seed: opts.Seed + int64(k), PeerToken: token})
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			if err := clients[k].Health(ctx); err == nil {
+				break
+			} else if time.Now().After(deadline) {
+				fail(fmt.Errorf("site %d (%s) never became healthy: %v", k, peers[k], err))
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	fmt.Printf("site fabric up: %d processes (%s)\n", n, strings.Join(addrs, " "))
+
+	// Register every class file at every site, in the same order, so all
+	// processes assign identical unit ids and initial values.
+	var driveParams []string
+	var driveBounds map[string][2]int64
+	for _, path := range cfg.registers {
+		spec, err := loadClassRequest(path)
+		if err != nil {
+			fail(err)
+		}
+		for k, cl := range clients {
+			info, rerr := cl.RegisterClass(ctx, spec)
+			if rerr != nil {
+				fail(fmt.Errorf("registering %s at site %d: %v", path, k, rerr))
+			}
+			if k == 0 && info.Name == cfg.class {
+				driveParams = info.Params
+				driveBounds = spec.Bounds
+			}
+		}
+		fmt.Printf("registered %s at %d sites\n", path, n)
+	}
+	if driveParams == nil {
+		if t, err := clients[0].ListClasses(ctx); err == nil {
+			for _, ci := range t {
+				if ci.Name == cfg.class {
+					driveParams = ci.Params
+				}
+			}
+		}
+	}
+
+	fmt.Printf("driving %d clients/site against %d site processes for %v...\n",
+		cfg.clients, n, cfg.duration)
+	fmt.Println("(note: per-site stats windows start at process boot — -warmup does not apply across processes)")
+	var stop atomic.Bool
+	var submitted, failed atomic.Int64
+	var wg sync.WaitGroup
+	for siteIdx := 0; siteIdx < n; siteIdx++ {
+		for kk := 0; kk < cfg.clients; kk++ {
+			cl := clients[siteIdx]
+			id := siteIdx*cfg.clients + kk
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(opts.Seed*1_000_003 + int64(id)))
+				for !stop.Load() {
+					req := wire.TxnRequest{Class: cfg.class, Args: drawArgs(rng, driveParams, driveBounds)}
+					res, err := cl.Submit(ctx, req)
+					submitted.Add(1)
+					if err != nil || res.Error != nil {
+						failed.Add(1)
+					}
+				}
+			}()
+		}
+	}
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	wg.Wait()
+
+	// Gather per-process stats, logs, and partitions over the wire.
+	var totalCommitted, totalSynced, totalNeg int64
+	logs := make([][]wire.LogEntry, n)
+	parts := make([]wire.PartitionResponse, n)
+	for k, cl := range clients {
+		st, err := cl.Stats(ctx)
+		if err != nil {
+			fail(fmt.Errorf("stats from site %d: %v", k, err))
+		}
+		totalCommitted += st.Committed
+		totalSynced += st.Synced
+		totalNeg += st.Negotiations
+		fmt.Printf("site %d: committed=%d synced=%d negotiations=%d neg-p50=%.3fms neg-p99=%.3fms fabric-errors=%d\n",
+			k, st.Committed, st.Synced, st.Negotiations, st.NegLatencyP50MS, st.NegLatencyP99MS, st.FabricErrors)
+		lr, err := cl.PeerLog(ctx)
+		if err != nil {
+			fail(fmt.Errorf("commit log from site %d: %v", k, err))
+		}
+		logs[k] = lr.Entries
+		pt, err := cl.PeerDB(ctx)
+		if err != nil {
+			fail(fmt.Errorf("partition from site %d: %v", k, err))
+		}
+		parts[k] = pt
+	}
+	fmt.Printf("\nsubmitted:        %d (%d failed client-side)\n", submitted.Load(), failed.Load())
+	fmt.Printf("committed:        %d across %d processes (%.1f txn/s)\n",
+		totalCommitted, n, float64(totalCommitted)/cfg.duration.Seconds())
+	fmt.Printf("sync rounds:      %d (each = 2 peer message rounds over the HTTP fabric)\n", totalNeg)
+
+	exit := 0
+	if totalCommitted == 0 {
+		fmt.Println("FAIL: no transactions committed")
+		exit = 1
+	}
+	if cfg.checkReplay {
+		if err := c.CheckMergedReplay(logs, parts); err != nil {
+			fmt.Println("FAIL: merged replay equivalence:", err)
+			exit = 1
+		} else {
+			total := 0
+			for _, l := range logs {
+				total += len(l)
+			}
+			fmt.Printf("replay check:     OK (%d commits from %d processes observationally equivalent under serial replay)\n",
+				total, n)
+		}
+	}
+
+	// Graceful teardown: children first (they may still hold peer
+	// connections to us), then our own server.
+	for _, ch := range children {
+		ch.Process.Signal(syscall.SIGTERM)
+	}
+	for _, ch := range children {
+		ch.Wait()
+	}
+	children = nil
+	handler.Drain()
+	httpSrv.Close()
+	c.Close()
+	os.Exit(exit)
 }

@@ -36,6 +36,16 @@
 //     contract so the same core runs on the deterministic discrete-event
 //     simulator (internal/sim, internal/cluster) and on the wall-clock
 //     serving runtime (internal/rtlive);
+//   - internal/fabric: the site fabric — each site owns its store
+//     partition behind an actor answering typed peer messages
+//     (CollectState / InstallState / InstallTreaties), and the cleanup
+//     phase's coordinator drives its two communication rounds through a
+//     pluggable Transport: fabric.Local (in-process, latency charged
+//     per message from the topology; the default, byte-identical to the
+//     seed timeline) or fabric.HTTP (JSON peer messages over real
+//     sockets, one OS process per site, Lamport-clocked commit logs for
+//     merged replay checks). homeo.Options.Fabric and
+//     cmd/homeostasis-serve's -site/-peers flags deploy it;
 //   - internal/micro, internal/tpcc: the Section 6 workloads;
 //   - internal/experiments: one runner per evaluation table/figure.
 //

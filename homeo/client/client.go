@@ -16,6 +16,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -31,6 +32,10 @@ type APIError struct {
 	Code string
 	// Message is human-readable detail.
 	Message string
+	// RetryAfter is the server's Retry-After hint on 429/503 responses
+	// (zero when absent). The client waits this long before retrying,
+	// instead of its computed backoff.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -53,6 +58,14 @@ type Options struct {
 	// RetryBase is the first backoff delay (default 25ms); successive
 	// delays double, each jittered uniformly over [0.5x, 1.5x].
 	RetryBase time.Duration
+	// MaxDelay caps every backoff delay, jitter included (default 2s).
+	// Without a cap the doubling overflows time.Duration once the
+	// attempt count shifts RetryBase past 63 bits.
+	MaxDelay time.Duration
+	// PeerToken, when set, is sent as the X-Homeo-Peer-Token header on
+	// every request; the /v1/peer/* introspection endpoints of a
+	// token-protected multi-process cluster require it.
+	PeerToken string
 	// Seed seeds the jitter stream (0 uses a time-derived seed).
 	Seed int64
 }
@@ -76,6 +89,9 @@ func New(baseURL string, opts Options) *Client {
 	if opts.RetryBase <= 0 {
 		opts.RetryBase = 25 * time.Millisecond
 	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 2 * time.Second
+	}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = time.Now().UnixNano()
@@ -98,13 +114,23 @@ func New(baseURL string, opts Options) *Client {
 	}
 }
 
-// backoff returns the jittered delay before attempt n (0-based).
+// backoff returns the jittered delay before attempt n (0-based), capped
+// at MaxDelay. The shift is overflow-guarded: past the cap (or past the
+// representable range) the delay saturates instead of wrapping negative.
 func (c *Client) backoff(n int) time.Duration {
-	d := c.opts.RetryBase << n
+	d := c.opts.MaxDelay
+	if n < 62 {
+		if shifted := c.opts.RetryBase << n; shifted > 0 && shifted < d {
+			d = shifted
+		}
+	}
 	c.mu.Lock()
 	f := 0.5 + c.rng.Float64()
 	c.mu.Unlock()
-	return time.Duration(float64(d) * f)
+	if d = time.Duration(float64(d) * f); d > c.opts.MaxDelay {
+		d = c.opts.MaxDelay
+	}
+	return d
 }
 
 // do performs one JSON round trip with retries. A nil out discards the
@@ -121,10 +147,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			// The server's Retry-After hint wins over computed backoff
+			// (parseRetryAfter bounds it so a bogus header cannot stall).
+			delay := c.backoff(attempt - 1)
+			var ae *APIError
+			if errors.As(lastErr, &ae) && ae.RetryAfter > 0 {
+				delay = ae.RetryAfter
+			}
 			select {
 			case <-ctx.Done():
 				return fmt.Errorf("homeo api: %w (last error: %v)", ctx.Err(), lastErr)
-			case <-time.After(c.backoff(attempt - 1)):
+			case <-time.After(delay):
 			}
 		}
 		var body io.Reader
@@ -137,6 +170,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.opts.PeerToken != "" {
+			req.Header.Set("X-Homeo-Peer-Token", c.opts.PeerToken)
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
@@ -176,11 +212,33 @@ func decodeResponse(resp *http.Response, out any) error {
 	}
 	var envelope wire.ErrorResponse
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	apiErr := &APIError{Status: resp.StatusCode, RetryAfter: parseRetryAfter(resp)}
 	if err := json.Unmarshal(data, &envelope); err != nil || envelope.Error.Code == "" {
-		return &APIError{Status: resp.StatusCode, Code: "internal",
-			Message: strings.TrimSpace(string(data))}
+		apiErr.Code = "internal"
+		apiErr.Message = strings.TrimSpace(string(data))
+		return apiErr
 	}
-	return &APIError{Status: resp.StatusCode, Code: envelope.Error.Code, Message: envelope.Error.Message}
+	apiErr.Code = envelope.Error.Code
+	apiErr.Message = envelope.Error.Message
+	return apiErr
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After header (the only form
+// the server emits), capped at 30s so a bogus header cannot stall a
+// caller.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Health checks /healthz.
@@ -221,6 +279,22 @@ func (c *Client) SubmitBatch(ctx context.Context, reqs []wire.TxnRequest) ([]wir
 	var resp wire.TxnBatchResponse
 	err := c.do(ctx, http.MethodPost, "/v1/txn", wire.TxnEnvelope{Batch: reqs}, &resp)
 	return resp.Results, err
+}
+
+// PeerLog fetches the server process's commit log (GET /v1/peer/log),
+// for merged replay checks across a multi-process cluster.
+func (c *Client) PeerLog(ctx context.Context) (wire.LogResponse, error) {
+	var resp wire.LogResponse
+	err := c.do(ctx, http.MethodGet, "/v1/peer/log", nil, &resp)
+	return resp, err
+}
+
+// PeerDB fetches the server process's authoritative database partition
+// (GET /v1/peer/db).
+func (c *Client) PeerDB(ctx context.Context) (wire.PartitionResponse, error) {
+	var resp wire.PartitionResponse
+	err := c.do(ctx, http.MethodGet, "/v1/peer/db", nil, &resp)
+	return resp, err
 }
 
 // Stats fetches a snapshot (GET /v1/stats).

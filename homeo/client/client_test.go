@@ -1,0 +1,66 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/homeo/client"
+	"repro/homeo/wire"
+)
+
+// TestBackoffCapped pins the MaxDelay clamp: with a large attempt budget
+// the uncapped doubling (RetryBase << n) overflows time.Duration around
+// attempt 63 and turns the backoff negative — i.e. into a hot retry
+// loop. With the cap every delay is bounded by MaxDelay and floored by
+// the jitter's 0.5x factor, so the retries neither spin nor stall.
+func TestBackoffCapped(t *testing.T) {
+	var mu sync.Mutex
+	var times []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		mu.Lock()
+		times = append(times, time.Now())
+		mu.Unlock()
+		rw.Header().Set("Content-Type", "application/json")
+		rw.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(rw).Encode(wire.ErrorResponse{Error: wire.Error{Code: "dropped", Message: "full"}})
+	}))
+	defer srv.Close()
+
+	const attempts = 70 // far past the 63-bit shift horizon
+	cl := client.New(srv.URL, client.Options{
+		MaxAttempts: attempts,
+		RetryBase:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Seed:        1,
+	})
+	start := time.Now()
+	_, err := cl.Submit(context.Background(), wire.TxnRequest{Class: "X"})
+	elapsed := time.Since(start)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want exhausted 429", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(times) != attempts {
+		t.Fatalf("server saw %d attempts, want %d", len(times), attempts)
+	}
+	// Every gap from attempt 4 on is past the doubling horizon for a 1ms
+	// base and must sit in [0.5*MaxDelay, MaxDelay] plus scheduling
+	// slack; an overflow-to-negative backoff would collapse gaps to
+	// microseconds.
+	for i := 4; i < len(times); i++ {
+		if gap := times[i].Sub(times[i-1]); gap < 2*time.Millisecond {
+			t.Fatalf("gap %d = %v, want >= 2ms (backoff collapsed)", i, gap)
+		}
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("70 capped retries took %v, want well under 10s", elapsed)
+	}
+}

@@ -39,12 +39,14 @@ package homeo
 import (
 	"fmt"
 	"math/rand"
+	"net/http"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/homeostasis"
 	"repro/internal/metrics"
 	"repro/internal/rt"
@@ -190,6 +192,33 @@ type Options struct {
 	ClientsPerSite int
 	Warmup         time.Duration
 	Measure        time.Duration
+
+	// Fabric, when set, runs the cluster as one OS process per site over
+	// the HTTP site fabric: this process owns exactly Fabric.Site, and
+	// the cleanup phase's synchronization rounds travel as JSON peer
+	// messages (/v1/peer/*) instead of in-memory calls. Requires
+	// RuntimeLive. Every process must be constructed with the same
+	// workload, seed, and protocol options, and classes must be
+	// registered at every site (the multi-process driver does both).
+	Fabric *FabricOptions
+}
+
+// FabricOptions configures a multi-process deployment.
+type FabricOptions struct {
+	// Site is the one site this process owns.
+	Site int
+	// Peers lists every site's base URL in site order; Peers[Site] is
+	// this process's own address (used by the other processes, ignored
+	// locally). len(Peers) fixes the cluster width.
+	Peers []string
+	// Token is the cluster's shared peer secret: every outgoing peer
+	// message carries it and every /v1/peer/* mutation requires it. The
+	// peer endpoints install state and treaties, so set a token whenever
+	// the peer list crosses anything but a trusted loopback.
+	Token string
+	// Client optionally overrides the pooled HTTP client used for peer
+	// messages.
+	Client *http.Client
 }
 
 // Cluster is a running multi-site deployment: the embeddable counterpart
@@ -222,6 +251,21 @@ type Cluster struct {
 // for the treaty-based modes — offline treaties for the base workload's
 // units. Registered classes get their treaties generated online.
 func New(opts Options) (*Cluster, error) {
+	if opts.Fabric != nil {
+		if opts.Runtime != RuntimeLive {
+			return nil, fmt.Errorf("homeo: Options.Fabric (multi-process) requires RuntimeLive")
+		}
+		if n := len(opts.Fabric.Peers); n < 1 {
+			return nil, fmt.Errorf("homeo: Options.Fabric.Peers must name every site")
+		} else if opts.Sites != 0 && opts.Sites != n {
+			return nil, fmt.Errorf("homeo: Sites (%d) disagrees with len(Fabric.Peers) (%d)", opts.Sites, n)
+		} else {
+			opts.Sites = n
+		}
+		if opts.Fabric.Site < 0 || opts.Fabric.Site >= opts.Sites {
+			return nil, fmt.Errorf("homeo: Fabric.Site %d out of range [0,%d)", opts.Fabric.Site, opts.Sites)
+		}
+	}
 	if opts.Topology == nil {
 		if opts.Sites == 0 {
 			opts.Sites = 2
@@ -235,6 +279,9 @@ func New(opts Options) (*Cluster, error) {
 		opts.Topology = Uniform(opts.Sites, opts.RTT)
 	}
 	opts.Sites = opts.Topology.NSites()
+	if opts.Fabric != nil && len(opts.Fabric.Peers) != opts.Sites {
+		return nil, fmt.Errorf("homeo: topology has %d sites but Fabric.Peers names %d", opts.Sites, len(opts.Fabric.Peers))
+	}
 	if opts.MaxInflight == 0 {
 		opts.MaxInflight = 1024
 	}
@@ -282,6 +329,14 @@ func New(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	c.sys = sys
+	if f := opts.Fabric; f != nil {
+		// Multi-process: this process owns one site; peer messages ride
+		// the HTTP fabric. The peer endpoints are served by
+		// homeo/httpapi's /v1/peer/* mount (PeerHandler).
+		ht := fabric.NewHTTP(c.live, f.Site, f.Peers, sys.Node(f.Site), f.Client)
+		ht.SetToken(f.Token)
+		sys.SetFabric(ht, f.Site)
+	}
 	if opts.ClientsPerSite == 0 {
 		// No closed-loop drive planned: measure from the start (Drive
 		// resets the window when used).
@@ -315,6 +370,38 @@ func (c *Cluster) Mode() Mode { return c.opts.Mode }
 
 // WorkloadName names the base workload ("custom" when none).
 func (c *Cluster) WorkloadName() string { return c.reg.Name() }
+
+// SelfSite reports the one site this process owns in a multi-process
+// deployment, or -1 when every site is in-process.
+func (c *Cluster) SelfSite() int {
+	if c.opts.Fabric == nil {
+		return -1
+	}
+	return c.opts.Fabric.Site
+}
+
+// PeerHandler returns the HTTP handler answering the site fabric's peer
+// protocol for this process's site, to mount under /v1/peer/ (httpapi
+// does this automatically). Only meaningful on a multi-process cluster;
+// nil otherwise.
+func (c *Cluster) PeerHandler() http.Handler {
+	f := c.opts.Fabric
+	if f == nil {
+		return nil
+	}
+	return fabric.NewPeerHandler(c.sys.Node(f.Site), c.locked, f.Token)
+}
+
+// PeerToken reports the configured shared peer secret ("" when unset or
+// not a multi-process cluster). httpapi uses it to guard the read-only
+// peer introspection endpoints with the same credential as the peer
+// mutations.
+func (c *Cluster) PeerToken() string {
+	if c.opts.Fabric == nil {
+		return ""
+	}
+	return c.opts.Fabric.Token
+}
 
 // System exposes the underlying protocol engine for advanced embedding
 // (experiments, direct rt access). Most callers never need it.

@@ -498,3 +498,36 @@ transaction Order(n) {
 	fmt.Println("committed:", res.Committed, "synced:", res.Synced)
 	// Output: committed: true synced: false
 }
+
+// TestFabricOptionsValidation pins the multi-process construction
+// contract: live runtime only, peers fix the width, site in range, and
+// sessions pin to the owned site.
+func TestFabricOptionsValidation(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if _, err := homeo.New(homeo.Options{Runtime: homeo.RuntimeSim, Fabric: &homeo.FabricOptions{Site: 0, Peers: peers}}); err == nil {
+		t.Fatal("sim runtime accepted a fabric config")
+	}
+	if _, err := homeo.New(homeo.Options{Runtime: homeo.RuntimeLive, Fabric: &homeo.FabricOptions{Site: 3, Peers: peers}}); err == nil {
+		t.Fatal("out-of-range site accepted")
+	}
+	if _, err := homeo.New(homeo.Options{Runtime: homeo.RuntimeLive, Sites: 2, Fabric: &homeo.FabricOptions{Site: 0, Peers: peers}}); err == nil {
+		t.Fatal("sites/peers disagreement accepted")
+	}
+	c, err := homeo.New(homeo.Options{Runtime: homeo.RuntimeLive, Fabric: &homeo.FabricOptions{Site: 1, Peers: peers}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Sites() != 3 || c.SelfSite() != 1 {
+		t.Fatalf("sites=%d self=%d", c.Sites(), c.SelfSite())
+	}
+	if c.PeerHandler() == nil {
+		t.Fatal("multi-process cluster has no peer handler")
+	}
+	if _, err := c.SessionAt(0); err == nil {
+		t.Fatal("SessionAt accepted a site owned by another process")
+	}
+	if _, err := c.SessionAt(1); err != nil {
+		t.Fatalf("SessionAt(self): %v", err)
+	}
+}

@@ -15,6 +15,7 @@ package httpapi
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 
 	"repro/homeo"
 	"repro/homeo/wire"
+	"repro/internal/fabric"
 )
 
 // Handler serves the /v1 protocol over a cluster.
@@ -36,7 +38,13 @@ type Handler struct {
 	draining atomic.Bool
 }
 
-// NewHandler mounts the /v1 protocol over the cluster.
+// NewHandler mounts the /v1 protocol over the cluster. On a
+// multi-process cluster (homeo.Options.Fabric) the site fabric's peer
+// protocol is additionally served under /v1/peer/, including the
+// read-only introspection endpoints (/v1/peer/log, /v1/peer/db); all of
+// it requires the configured peer token — the log and partition expose
+// transaction history and database values, the same trust domain as the
+// mutations.
 func NewHandler(c *homeo.Cluster) *Handler {
 	h := &Handler{c: c, mux: http.NewServeMux()}
 	h.mux.HandleFunc("/v1/classes", h.handleClasses)
@@ -45,7 +53,28 @@ func NewHandler(c *homeo.Cluster) *Handler {
 	h.mux.HandleFunc("/healthz", h.handleHealthz)
 	h.mux.HandleFunc("/txn", gone("/v1/txn"))
 	h.mux.HandleFunc("/stats", gone("/v1/stats"))
+	if peer := c.PeerHandler(); peer != nil {
+		// The peer handler owns the full /v1/peer/* paths; the exact
+		// /v1/peer/log and /v1/peer/db patterns below still win.
+		h.mux.Handle("/v1/peer/", peer)
+		h.mux.HandleFunc("/v1/peer/log", h.handlePeerLog)
+		h.mux.HandleFunc("/v1/peer/db", h.handlePeerDB)
+	}
 	return h
+}
+
+// peerAuthorized enforces the peer token on the introspection endpoints
+// (mirroring the fabric handler's check on the mutation endpoints).
+func (h *Handler) peerAuthorized(rw http.ResponseWriter, req *http.Request) bool {
+	tok := h.c.PeerToken()
+	if tok == "" {
+		return true
+	}
+	if subtle.ConstantTimeCompare([]byte(req.Header.Get(fabric.PeerTokenHeader)), []byte(tok)) != 1 {
+		writeError(rw, http.StatusUnauthorized, "unauthorized", "missing or wrong peer token")
+		return false
+	}
+	return true
 }
 
 // ServeHTTP implements http.Handler.
@@ -66,7 +95,15 @@ func writeJSON(rw http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
+// retryAfterSeconds is the backpressure hint attached to 429/503
+// responses: clients should wait this long before retrying instead of
+// falling back to computed backoff (homeo/client honors it).
+const retryAfterSeconds = 1
+
 func writeError(rw http.ResponseWriter, status int, code, format string, args ...any) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		rw.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
 	writeJSON(rw, status, wire.ErrorResponse{Error: wire.Error{
 		Code:    code,
 		Message: fmt.Sprintf(format, args...),
@@ -99,6 +136,10 @@ func wireStats(s homeo.Stats) wire.Stats {
 		LatencyP99MS:      ms(s.LatencyP99),
 		LatencyMaxMS:      ms(s.LatencyMax),
 		LatencyMeanMS:     ms(s.LatencyMean),
+		Negotiations:      s.Negotiations,
+		NegLatencyP50MS:   ms(s.NegotiationP50),
+		NegLatencyP99MS:   ms(s.NegotiationP99),
+		FabricErrors:      s.FabricErrors,
 		StoreCluster: wire.StoreStats{Commits: s.Store.Commits, Aborts: s.Store.Aborts,
 			Deadlocks: s.Store.Deadlocks, Timeouts: s.Store.Timeouts},
 	}
@@ -128,6 +169,39 @@ func decodeBody(req *http.Request, v any) error {
 		return err
 	}
 	return nil
+}
+
+// handlePeerLog serves the process's commit log (Lamport-clocked wire
+// entries) for the multi-process driver's merged replay check.
+func (h *Handler) handlePeerLog(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(rw, http.StatusMethodNotAllowed, "method_not_allowed", "%s: GET only", req.URL.Path)
+		return
+	}
+	if !h.peerAuthorized(rw, req) {
+		return
+	}
+	site := h.c.SelfSite()
+	if site < 0 {
+		site = 0
+	}
+	entries := h.c.WireLog()
+	if entries == nil {
+		entries = []wire.LogEntry{}
+	}
+	writeJSON(rw, http.StatusOK, wire.LogResponse{Site: site, Entries: entries})
+}
+
+// handlePeerDB serves the process's authoritative database partition.
+func (h *Handler) handlePeerDB(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(rw, http.StatusMethodNotAllowed, "method_not_allowed", "%s: GET only", req.URL.Path)
+		return
+	}
+	if !h.peerAuthorized(rw, req) {
+		return
+	}
+	writeJSON(rw, http.StatusOK, h.c.Partition())
 }
 
 func (h *Handler) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
@@ -318,6 +392,7 @@ func (h *Handler) handleTxn(rw http.ResponseWriter, req *http.Request) {
 	status := http.StatusOK
 	if allDropped && len(results) > 0 {
 		status = http.StatusTooManyRequests
+		rw.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 	}
 	writeJSON(rw, status, wire.TxnBatchResponse{Results: results})
 }

@@ -379,3 +379,75 @@ func TestClientRetriesWithBackoff(t *testing.T) {
 		t.Fatalf("bad_request retried %d times", calls.Load()-start)
 	}
 }
+
+// TestRetryAfterHeader: 429 and 503 responses carry a Retry-After hint
+// and the client surfaces it on the APIError.
+func TestRetryAfterHeader(t *testing.T) {
+	_, h, srv, cl := newServer(t, homeo.Options{})
+	ctx := context.Background()
+	if _, err := cl.RegisterClass(ctx, wire.ClassRequest{L: depositSrc}); err != nil {
+		t.Fatal(err)
+	}
+	h.Drain()
+	resp, err := http.Post(srv.URL+"/v1/txn", "application/json",
+		strings.NewReader(`{"class":"Deposit","args":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	noRetry := client.New(srv.URL, client.Options{MaxAttempts: 1, Seed: 1})
+	_, err = noRetry.Submit(ctx, wire.TxnRequest{Class: "Deposit", Args: []int64{1}})
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if ae.RetryAfter != time.Second {
+		t.Fatalf("APIError.RetryAfter = %v, want 1s", ae.RetryAfter)
+	}
+}
+
+// TestClientHonorsRetryAfter: the server's Retry-After hint replaces the
+// computed backoff between retries.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var gaps []time.Duration
+	var last time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		now := time.Now()
+		if !last.IsZero() {
+			gaps = append(gaps, now.Sub(last))
+		}
+		last = now
+		if calls.Add(1) <= 2 {
+			rw.Header().Set("Retry-After", "1")
+			rw.Header().Set("Content-Type", "application/json")
+			rw.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(rw).Encode(wire.ErrorResponse{Error: wire.Error{Code: "dropped", Message: "full"}})
+			return
+		}
+		json.NewEncoder(rw).Encode(wire.TxnResult{Class: "X", Committed: true})
+	}))
+	defer srv.Close()
+	// RetryBase 1ms would normally retry almost immediately; the 1s
+	// Retry-After must dominate.
+	cl := client.New(srv.URL, client.Options{MaxAttempts: 4, RetryBase: time.Millisecond, Seed: 1})
+	start := time.Now()
+	res, err := cl.Submit(context.Background(), wire.TxnRequest{Class: "X"})
+	if err != nil || !res.Committed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Fatalf("two hinted retries finished in %v, want >= 2s (Retry-After ignored?)", elapsed)
+	}
+	for _, g := range gaps {
+		if g < time.Second {
+			t.Fatalf("retry gap %v < hinted 1s", g)
+		}
+	}
+}

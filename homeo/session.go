@@ -22,10 +22,15 @@ type Session struct {
 func (c *Cluster) Session() *Session { return &Session{c: c, site: -1} }
 
 // SessionAt returns a session pinned to one site (a client talking to its
-// local replica).
+// local replica). On a multi-process cluster only the process's own site
+// accepts submissions — clients reach other sites through their own
+// processes.
 func (c *Cluster) SessionAt(site int) (*Session, error) {
 	if site < 0 || site >= c.opts.Sites {
 		return nil, fmt.Errorf("homeo: site %d out of range [0,%d)", site, c.opts.Sites)
+	}
+	if self := c.SelfSite(); self >= 0 && site != self {
+		return nil, fmt.Errorf("homeo: site %d is served by another process (this process owns site %d)", site, self)
 	}
 	return &Session{c: c, site: site}, nil
 }
@@ -107,6 +112,10 @@ func (s *Session) SubmitMix(ctx context.Context) (Result, error) {
 func (s *Session) pickSite() int {
 	if s.site >= 0 {
 		return s.site
+	}
+	if self := s.c.SelfSite(); self >= 0 {
+		// Multi-process: this process executes only its own site.
+		return self
 	}
 	return int(s.c.nextSite.Add(1)-1) % s.c.opts.Sites
 }

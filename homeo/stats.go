@@ -53,6 +53,16 @@ type Stats struct {
 	LatencyMax  time.Duration
 	LatencyMean time.Duration
 
+	// Negotiations counts the cleanup rounds this process coordinated in
+	// the measurement window; NegotiationP50/P99 are percentiles of their
+	// communication cost (the two peer message rounds). FabricErrors
+	// counts site-fabric degradations (failed peer installs, expired
+	// round grants).
+	Negotiations   int64
+	NegotiationP50 time.Duration
+	NegotiationP99 time.Duration
+	FabricErrors   int64
+
 	// Store aggregates the per-site counters; PerSite lists them.
 	Store   StoreStats
 	PerSite []StoreStats
@@ -91,6 +101,10 @@ func (c *Cluster) Stats() Stats {
 		st.LatencyP99 = time.Duration(snap.LatencyP99)
 		st.LatencyMax = time.Duration(snap.LatencyMax)
 		st.LatencyMean = time.Duration(snap.LatencyMean)
+		st.Negotiations = snap.Negotiations
+		st.NegotiationP50 = time.Duration(snap.NegLatencyP50)
+		st.NegotiationP99 = time.Duration(snap.NegLatencyP99)
+		st.FabricErrors = snap.FabricErrors
 		st.Store = fromStoreStats(c.sys.StoreStats())
 		for _, s := range c.sys.SiteStats() {
 			st.PerSite = append(st.PerSite, fromStoreStats(s))

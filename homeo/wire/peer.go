@@ -1,0 +1,128 @@
+package wire
+
+// This file defines the JSON types of the site-fabric peer protocol: the
+// messages sites exchange under /v1/peer/* when a cluster runs as
+// multiple OS processes (one site each, cmd/homeostasis-serve -site N
+// -peers ...). The protocol is the wire form of the paper's cleanup
+// phase (Section 3.3), coordinator-driven by the violating site:
+//
+//	POST /v1/peer/collect           round 1: freeze the violated units and
+//	                                return the site's delta values for the
+//	                                round's object footprint
+//	POST /v1/peer/install-state     round 1 close: install the folded
+//	                                consolidated state
+//	POST /v1/peer/install-treaties  round 2: install the site's new local
+//	                                treaties and release the units
+//	POST /v1/peer/abort             release a round that will not complete
+//	GET  /v1/peer/log               the site's commit log (Lamport-clocked)
+//	GET  /v1/peer/db                the site's authoritative partition of
+//	                                the logical database
+//
+// A site that cannot grant a round because a unit is already negotiating
+// answers 409 with code "busy"; the coordinator aborts, backs off, and
+// retries. All clocks are Lamport timestamps: every message carries the
+// sender's clock, receivers advance to max(own, received)+1, and commit-
+// log entries record theirs, so a merge of per-site logs ordered by
+// (clock, site, seq) respects the causality the synchronization rounds
+// establish.
+
+// PeerCollect is the POST /v1/peer/collect body (round 1 scatter).
+type PeerCollect struct {
+	// From is the coordinating site; Round its round sequence number.
+	From  int    `json:"from"`
+	Round uint64 `json:"round"`
+	Clock int64  `json:"clock"`
+	// Units are the treaty units the round renegotiates; the receiving
+	// site freezes them until install-treaties (or abort) arrives.
+	Units []int `json:"units"`
+	// Objs is the round's logical object footprint: the units' objects
+	// plus everything the winning transaction reads or writes outside
+	// them.
+	Objs []string `json:"objs"`
+}
+
+// PeerState is the collect reply: the site's contribution to the fold —
+// its own delta object values for the requested footprint.
+type PeerState struct {
+	Clock  int64            `json:"clock"`
+	Values map[string]int64 `json:"values"`
+}
+
+// PeerInstallState is the POST /v1/peer/install-state body (round 1
+// close): the folded consolidated state, computed by the coordinator
+// after running the winning transaction on the fold.
+type PeerInstallState struct {
+	From   int              `json:"from"`
+	Round  uint64           `json:"round"`
+	Clock  int64            `json:"clock"`
+	Objs   []string         `json:"objs"`
+	Folded map[string]int64 `json:"folded"`
+}
+
+// PeerConstraint is one linear constraint of a local treaty in canonical
+// form: sum coeffs[obj]*obj + const (op) 0.
+type PeerConstraint struct {
+	Coeffs map[string]int64 `json:"coeffs,omitempty"`
+	Const  int64            `json:"const"`
+	// Op is "<=", "<", or "==".
+	Op string `json:"op"`
+}
+
+// PeerUnitTreaty is one unit's new local treaty for the receiving site.
+type PeerUnitTreaty struct {
+	Unit        int              `json:"unit"`
+	Version     int64            `json:"version"`
+	Constraints []PeerConstraint `json:"constraints"`
+}
+
+// PeerInstallTreaties is the POST /v1/peer/install-treaties body
+// (round 2): the receiving site's share of the round's new treaties.
+// Installing them closes the round at the site.
+type PeerInstallTreaties struct {
+	From  int              `json:"from"`
+	Round uint64           `json:"round"`
+	Clock int64            `json:"clock"`
+	Site  int              `json:"site"`
+	Units []PeerUnitTreaty `json:"units"`
+}
+
+// PeerAbort is the POST /v1/peer/abort body: release a granted round
+// without installing anything (the coordinator lost a busy race or failed
+// mid-round).
+type PeerAbort struct {
+	From  int    `json:"from"`
+	Round uint64 `json:"round"`
+	Clock int64  `json:"clock"`
+}
+
+// PeerAck answers install and abort messages.
+type PeerAck struct {
+	Clock int64 `json:"clock"`
+}
+
+// LogEntry is one commit-log entry (GET /v1/peer/log): enough to replay
+// the transaction through its registered class and to merge per-site logs
+// into a causally consistent order.
+type LogEntry struct {
+	Class string  `json:"class"`
+	Args  []int64 `json:"args,omitempty"`
+	Site  int     `json:"site"`
+	// Clock is the commit's Lamport timestamp; Seq its position in the
+	// site's local log.
+	Clock int64 `json:"clock"`
+	Seq   int   `json:"seq"`
+}
+
+// LogResponse is the GET /v1/peer/log body.
+type LogResponse struct {
+	Site    int        `json:"site"`
+	Entries []LogEntry `json:"entries"`
+}
+
+// PartitionResponse is the GET /v1/peer/db body: the site's authoritative
+// share of the logical database — every treaty-unit object's replicated
+// base value plus the site's own delta object values.
+type PartitionResponse struct {
+	Site   int              `json:"site"`
+	Values map[string]int64 `json:"values"`
+}

@@ -151,6 +151,14 @@ type Stats struct {
 	LatencyMaxMS  float64 `json:"latency_max_ms"`
 	LatencyMeanMS float64 `json:"latency_mean_ms"`
 
+	// Negotiations counts the cleanup rounds this process coordinated;
+	// the percentiles are their communication cost (the two peer message
+	// rounds of the site fabric).
+	Negotiations    int64   `json:"negotiations"`
+	NegLatencyP50MS float64 `json:"neg_latency_p50_ms"`
+	NegLatencyP99MS float64 `json:"neg_latency_p99_ms"`
+	FabricErrors    int64   `json:"fabric_errors"`
+
 	StoreCluster StoreStats   `json:"store_cluster"`
 	StorePerSite []StoreStats `json:"store_per_site,omitempty"`
 }

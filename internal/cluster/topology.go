@@ -50,6 +50,15 @@ func (t *Topology) MaxRTTFrom(site int) rt.Duration {
 	return 2 * t.MaxOneWayFrom(site)
 }
 
+// RoundLatency is the duration of one scatter/gather communication round
+// coordinated by the given site: each peer's message pays its own
+// pairwise round trip, and the round completes when the slowest reply is
+// back — max over peers of RTT(from, k), which is exactly MaxRTTFrom.
+// The site fabric charges this per round.
+func (t *Topology) RoundLatency(from int) rt.Duration {
+	return t.MaxRTTFrom(from)
+}
+
 // Uniform builds a topology of n sites with identical pairwise RTT, as in
 // the microbenchmark experiments (Section 6.1, simulated RTTs).
 func Uniform(n int, rtt rt.Duration) *Topology {

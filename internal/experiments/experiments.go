@@ -102,7 +102,9 @@ type Report struct {
 }
 
 // RunTotals sums a sweep's per-cell measurement counters: the collector's
-// commit/sync/drop counts plus the cluster-wide 2PL store counters.
+// commit/sync/drop counts, the cluster-wide 2PL store counters, and the
+// merged per-negotiation communication-latency histogram (the cost of
+// the site fabric's two message rounds per cleanup).
 type RunTotals struct {
 	Committed        int64
 	Synced           int64
@@ -111,11 +113,17 @@ type RunTotals struct {
 	Livelocked       int64
 	CoWinnerCommits  int64
 	Store            homeostasis.StoreStats
+	NegLatency       metrics.Histogram
 }
 
-func (t RunTotals) String() string {
-	return fmt.Sprintf("committed=%d synced=%d conflict-aborts=%d dropped=%d livelocked=%d co-winners=%d | store: %s",
+func (t *RunTotals) String() string {
+	s := fmt.Sprintf("committed=%d synced=%d conflict-aborts=%d dropped=%d livelocked=%d co-winners=%d | store: %s",
 		t.Committed, t.Synced, t.AbortedConflicts, t.Dropped, t.Livelocked, t.CoWinnerCommits, t.Store)
+	if n := t.NegLatency.N(); n > 0 {
+		s += fmt.Sprintf(" | neg: n=%d p50=%v p99=%v", n,
+			t.NegLatency.Percentile(50), t.NegLatency.Percentile(99))
+	}
+	return s
 }
 
 func (t *RunTotals) add(r *runResult) {
@@ -129,6 +137,7 @@ func (t *RunTotals) add(r *runResult) {
 	t.Store.Aborts += r.stats.Aborts
 	t.Store.Deadlocks += r.stats.Deadlocks
 	t.Store.Timeouts += r.stats.Timeouts
+	t.NegLatency.AddAll(&r.col.NegotiationLatency)
 }
 
 func (r *Report) addf(format string, args ...any) {

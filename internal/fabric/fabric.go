@@ -1,0 +1,160 @@
+// Package fabric is the site fabric: the explicit message-passing layer
+// the homeostasis cleanup phase (Section 3.3 of the paper) runs over.
+// Each site owns its store partition behind a Node — an actor answering
+// the peer protocol's typed messages — and the coordinator (the violating
+// site) drives its two communication rounds through a Transport instead
+// of reaching into other sites' memory:
+//
+//	round 1   CollectState scatter/gather: every site contributes its
+//	          delta values for the round's object footprint, and the
+//	          folded consolidated state comes back as InstallState.
+//	round 2   InstallTreaties scatter: each site receives its new local
+//	          treaties, closing the round.
+//
+// Two transports ship with the repository. Local keeps every site
+// in-process: messages are direct calls, with communication latency
+// charged to the coordinating process per message from the cluster
+// topology (the round completes when the slowest peer's reply is back).
+// HTTP ships the same messages as JSON over real sockets (homeo/wire
+// peer types, served under /v1/peer/*), so a cluster can run as one OS
+// process per site on different machines.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lang"
+	"repro/internal/rt"
+	"repro/internal/treaty"
+)
+
+// RoundID names one synchronization round cluster-wide: the coordinating
+// site plus a coordinator-local sequence number.
+type RoundID struct {
+	Site int
+	Seq  uint64
+}
+
+func (r RoundID) String() string { return fmt.Sprintf("round %d.%d", r.Site, r.Seq) }
+
+// CollectState is the round-1 scatter message: freeze the units and
+// return the site's delta values for the round's object footprint.
+type CollectState struct {
+	Round RoundID
+	// Clock is the sender's Lamport clock.
+	Clock int64
+	// Units are the treaty units the round renegotiates.
+	Units []int
+	// Objs is the round's logical footprint: the units' objects plus
+	// everything the winning transaction touches outside them.
+	Objs []lang.ObjID
+}
+
+// StateReply is one site's CollectState answer: its own delta object
+// values for the requested footprint.
+type StateReply struct {
+	Clock  int64
+	Values lang.Database
+}
+
+// InstallState closes round 1: the folded consolidated state (with the
+// winning transaction already applied) to install at the site.
+type InstallState struct {
+	Round  RoundID
+	Clock  int64
+	Objs   []lang.ObjID
+	Folded lang.Database
+}
+
+// UnitTreaty is one unit's new local treaty for the destination site.
+type UnitTreaty struct {
+	Unit    int
+	Version int64
+	Local   treaty.Local
+}
+
+// InstallTreaties is the round-2 message for one site: its share of the
+// round's new treaties. Installing them closes the round at the site.
+type InstallTreaties struct {
+	Round RoundID
+	Clock int64
+	// Site is the destination site (the treaties are its locals).
+	Site  int
+	Units []UnitTreaty
+}
+
+// AbortRound releases a granted round that will not complete (the
+// coordinator lost a busy race or failed mid-round).
+type AbortRound struct {
+	Round RoundID
+	Clock int64
+}
+
+// ErrBusy is returned by a Node refusing CollectState because one of the
+// round's units is already negotiating. The coordinator aborts the round,
+// backs off, and retries.
+var ErrBusy = errors.New("fabric: unit busy in another round")
+
+// SiteError attributes a transport or handler failure to one site, so
+// partial scatter failures surface with their origin. Unwrap exposes the
+// underlying error (errors.Is sees ErrBusy through it).
+type SiteError struct {
+	Site int
+	Err  error
+}
+
+func (e *SiteError) Error() string { return fmt.Sprintf("fabric: site %d: %v", e.Site, e.Err) }
+func (e *SiteError) Unwrap() error { return e.Err }
+
+// Node is the per-site actor: it owns the site's store partition and
+// local treaty state and answers the peer protocol's typed messages.
+// Handlers run under the site runtime's execution right, never park, and
+// must therefore be fast and non-blocking.
+type Node interface {
+	// CollectState begins a round at the site: freeze the units (or
+	// refuse with ErrBusy) and reply with the site's delta values for the
+	// footprint.
+	CollectState(m CollectState) (StateReply, error)
+	// InstallState installs the folded consolidated state.
+	InstallState(m InstallState) error
+	// InstallTreaties installs the site's new local treaties and closes
+	// the round.
+	InstallTreaties(m InstallTreaties) error
+	// AbortRound releases a granted round without installing anything.
+	AbortRound(m AbortRound) error
+}
+
+// Transport ships the coordinator's messages to every site's Node and
+// charges the coordinating process the communication cost. All methods
+// are called from process context (the caller holds its runtime's
+// execution right); implementations that wait for real I/O park the
+// process while requests are in flight.
+type Transport interface {
+	// NSites reports the cluster width.
+	NSites() int
+
+	// Collect runs the round-1 scatter/gather: deliver the CollectState
+	// message to every site and gather the replies, indexed by site. The
+	// message is built by mkMsg when the round's membership is final:
+	// the Local transport materializes it at round completion (so
+	// violators that join the in-flight round are folded too), HTTP at
+	// send time. A failure is returned as a *SiteError naming the first
+	// failed site; ErrBusy from any site surfaces through it.
+	Collect(p rt.Proc, from int, mkMsg func() CollectState) ([]StateReply, error)
+
+	// Install delivers the folded state to every site as the closing
+	// half of round 1. Under the paper's model round 1 is an all-to-all
+	// state broadcast — every site holds the consolidated state when the
+	// round completes — so Local charges no additional latency here; HTTP
+	// pays real network time.
+	Install(p rt.Proc, from int, m InstallState) error
+
+	// Distribute runs round 2: deliver each site its InstallTreaties
+	// message (ms is indexed by site). One communication round is
+	// charged.
+	Distribute(p rt.Proc, from int, ms []InstallTreaties) error
+
+	// Abort releases a round at every site.
+	Abort(p rt.Proc, from int, m AbortRound) error
+}

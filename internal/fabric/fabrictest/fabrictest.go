@@ -1,0 +1,290 @@
+// Package fabrictest is a conformance suite for implementations of the
+// fabric.Transport contract, mirroring internal/rt/rttest. Both shipped
+// transports run it: fabric.Local (in-process, simulator) and fabric.HTTP
+// (real sockets, wall-clock runtime). The suite checks the behaviors the
+// coordinator depends on: scatter/gather delivery and reply ordering,
+// partial-failure surfacing with site attribution (busy refusals
+// included), per-site treaty distribution, and message round-trip
+// encoding (values, object names, treaty constraints).
+package fabrictest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/lang"
+	"repro/internal/lia"
+	"repro/internal/logic"
+	"repro/internal/rt"
+	"repro/internal/treaty"
+)
+
+// Harness is one transport under test.
+type Harness struct {
+	// Transport is the implementation under test, wired to Nodes.
+	Transport fabric.Transport
+	// Nodes are the stub site actors the transport delivers to, indexed
+	// by site.
+	Nodes []*StubNode
+	// Exec runs fn on a process of the transport's runtime and waits for
+	// it to finish (transport methods need process context).
+	Exec func(fn func(p rt.Proc))
+}
+
+// Factory builds a fresh n-site harness for one subtest.
+type Factory func(t *testing.T, n int) *Harness
+
+// StubNode is a scripted fabric.Node recording every message it handles.
+// It is self-synchronized, so harnesses may deliver from any goroutine.
+type StubNode struct {
+	Site int
+
+	mu       sync.Mutex
+	Collects []fabric.CollectState
+	Installs []fabric.InstallState
+	Treaties []fabric.InstallTreaties
+	Aborts   []fabric.AbortRound
+
+	// CollectErr, when set, makes CollectState fail with it.
+	CollectErr error
+}
+
+// CollectState implements fabric.Node: it replies with one delta value
+// per requested object, derived deterministically from the site and the
+// object name length (negative for odd sites, exercising sign encoding).
+func (s *StubNode) CollectState(m fabric.CollectState) (fabric.StateReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.CollectErr != nil {
+		return fabric.StateReply{}, s.CollectErr
+	}
+	s.Collects = append(s.Collects, m)
+	vals := lang.Database{}
+	for _, obj := range m.Objs {
+		v := int64(s.Site*100 + len(obj))
+		if s.Site%2 == 1 {
+			v = -v
+		}
+		vals[lang.DeltaObj(obj, s.Site)] = v
+	}
+	return fabric.StateReply{Clock: m.Clock + int64(s.Site) + 1, Values: vals}, nil
+}
+
+func (s *StubNode) InstallState(m fabric.InstallState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Installs = append(s.Installs, m)
+	return nil
+}
+
+func (s *StubNode) InstallTreaties(m fabric.InstallTreaties) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Treaties = append(s.Treaties, m)
+	return nil
+}
+
+func (s *StubNode) AbortRound(m fabric.AbortRound) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Aborts = append(s.Aborts, m)
+	return nil
+}
+
+// Snapshot returns copies of the recorded messages.
+func (s *StubNode) Snapshot() (c []fabric.CollectState, i []fabric.InstallState, t []fabric.InstallTreaties, a []fabric.AbortRound) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append(c, s.Collects...), append(i, s.Installs...), append(t, s.Treaties...), append(a, s.Aborts...)
+}
+
+var _ fabric.Node = (*StubNode)(nil)
+
+// Run executes the conformance suite against harnesses built by mk.
+func Run(t *testing.T, mk Factory) {
+	t.Run("CollectScatterGather", func(t *testing.T) { testCollect(t, mk(t, 3)) })
+	t.Run("CollectPartialFailure", func(t *testing.T) { testPartialFailure(t, mk(t, 3)) })
+	t.Run("CollectBusy", func(t *testing.T) { testBusy(t, mk(t, 3)) })
+	t.Run("InstallStateDelivery", func(t *testing.T) { testInstallState(t, mk(t, 3)) })
+	t.Run("DistributePerSite", func(t *testing.T) { testDistribute(t, mk(t, 3)) })
+	t.Run("AbortDelivery", func(t *testing.T) { testAbort(t, mk(t, 2)) })
+}
+
+func round(site int) fabric.RoundID { return fabric.RoundID{Site: site, Seq: 7} }
+
+// testCollect checks the round-1 scatter/gather: every site sees exactly
+// one CollectState carrying the full message, and the gathered replies
+// are indexed by site with values intact (round-trip encoding).
+func testCollect(t *testing.T, h *Harness) {
+	objs := []lang.ObjID{"stock_1", "s", "a_longer_object_name"}
+	var replies []fabric.StateReply
+	var err error
+	h.Exec(func(p rt.Proc) {
+		replies, err = h.Transport.Collect(p, 0, func() fabric.CollectState {
+			return fabric.CollectState{Round: round(0), Clock: 42, Units: []int{3, 5}, Objs: objs}
+		})
+	})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if len(replies) != len(h.Nodes) {
+		t.Fatalf("Collect returned %d replies, want %d", len(replies), len(h.Nodes))
+	}
+	for site, n := range h.Nodes {
+		cs, _, _, _ := n.Snapshot()
+		if len(cs) != 1 {
+			t.Fatalf("site %d handled %d collects, want 1", site, len(cs))
+		}
+		m := cs[0]
+		if m.Round != round(0) || m.Clock != 42 {
+			t.Errorf("site %d collect header = %+v", site, m)
+		}
+		if fmt.Sprint(m.Units) != fmt.Sprint([]int{3, 5}) || fmt.Sprint(m.Objs) != fmt.Sprint(objs) {
+			t.Errorf("site %d collect payload: units=%v objs=%v", site, m.Units, m.Objs)
+		}
+		// The reply at index `site` must be that site's values, verbatim
+		// (the stub's deterministic derivation, negatives included).
+		wantVals := lang.Database{}
+		for _, obj := range objs {
+			v := int64(site*100 + len(obj))
+			if site%2 == 1 {
+				v = -v
+			}
+			wantVals[lang.DeltaObj(obj, site)] = v
+		}
+		if !replies[site].Values.Equal(wantVals) {
+			t.Errorf("site %d reply values = %v, want %v", site, replies[site].Values, wantVals)
+		}
+		if want := int64(42 + site + 1); replies[site].Clock != want {
+			t.Errorf("site %d reply clock = %d, want %d", site, replies[site].Clock, want)
+		}
+	}
+}
+
+// testPartialFailure checks that one failing site surfaces as a
+// *fabric.SiteError naming it.
+func testPartialFailure(t *testing.T, h *Harness) {
+	h.Nodes[2].CollectErr = errors.New("disk on fire")
+	var err error
+	h.Exec(func(p rt.Proc) {
+		_, err = h.Transport.Collect(p, 0, func() fabric.CollectState {
+			return fabric.CollectState{Round: round(0), Objs: []lang.ObjID{"x"}}
+		})
+	})
+	if err == nil {
+		t.Fatal("Collect succeeded despite a failing site")
+	}
+	var se *fabric.SiteError
+	if !errors.As(err, &se) {
+		t.Fatalf("Collect error %v is not a *fabric.SiteError", err)
+	}
+	if se.Site != 2 {
+		t.Errorf("failure attributed to site %d, want 2", se.Site)
+	}
+}
+
+// testBusy checks that a busy refusal keeps its identity through the
+// transport (errors.Is must see fabric.ErrBusy) and wins over other
+// failures.
+func testBusy(t *testing.T, h *Harness) {
+	h.Nodes[1].CollectErr = fabric.ErrBusy
+	h.Nodes[2].CollectErr = errors.New("also broken")
+	var err error
+	h.Exec(func(p rt.Proc) {
+		_, err = h.Transport.Collect(p, 0, func() fabric.CollectState {
+			return fabric.CollectState{Round: round(0), Objs: []lang.ObjID{"x"}}
+		})
+	})
+	if !errors.Is(err, fabric.ErrBusy) {
+		t.Fatalf("Collect error %v does not unwrap to ErrBusy", err)
+	}
+	var se *fabric.SiteError
+	if errors.As(err, &se) && se.Site != 1 {
+		t.Errorf("busy attributed to site %d, want 1", se.Site)
+	}
+}
+
+// testInstallState checks folded-state delivery to every site.
+func testInstallState(t *testing.T, h *Harness) {
+	folded := lang.Database{"x": 41, "y": -7}
+	var err error
+	h.Exec(func(p rt.Proc) {
+		err = h.Transport.Install(p, 1, fabric.InstallState{
+			Round: round(1), Clock: 9, Objs: []lang.ObjID{"x", "y"}, Folded: folded,
+		})
+	})
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	for site, n := range h.Nodes {
+		_, is, _, _ := n.Snapshot()
+		if len(is) != 1 {
+			t.Fatalf("site %d handled %d installs, want 1", site, len(is))
+		}
+		if !is[0].Folded.Equal(folded) || is[0].Round != round(1) {
+			t.Errorf("site %d install = %+v", site, is[0])
+		}
+	}
+}
+
+// testDistribute checks round 2: each site receives exactly its own
+// message, and treaty constraints survive the trip intact.
+func testDistribute(t *testing.T, h *Harness) {
+	n := len(h.Nodes)
+	ms := make([]fabric.InstallTreaties, n)
+	for k := 0; k < n; k++ {
+		term := lia.NewTerm()
+		term.AddVar(logic.Obj(lang.ObjID(fmt.Sprintf("stock_%d", k))), 2)
+		term.AddVar(logic.Obj(lang.DeltaObj("stock_9", k)), -1)
+		term.Const = int64(-10 * (k + 1))
+		ms[k] = fabric.InstallTreaties{
+			Round: round(0), Clock: 5, Site: k,
+			Units: []fabric.UnitTreaty{{
+				Unit: 4, Version: 2,
+				Local: treaty.Local{Site: k, Constraints: []lia.Constraint{{Term: term, Op: lia.LE}}},
+			}},
+		}
+	}
+	var err error
+	h.Exec(func(p rt.Proc) { err = h.Transport.Distribute(p, 0, ms) })
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	for site, node := range h.Nodes {
+		_, _, ts, _ := node.Snapshot()
+		if len(ts) != 1 {
+			t.Fatalf("site %d handled %d treaty installs, want 1", site, len(ts))
+		}
+		got := ts[0]
+		if got.Site != site {
+			t.Errorf("site %d received a message addressed to site %d", site, got.Site)
+		}
+		if len(got.Units) != 1 || got.Units[0].Unit != 4 || got.Units[0].Version != 2 {
+			t.Fatalf("site %d unit payload = %+v", site, got.Units)
+		}
+		want := ms[site].Units[0].Local
+		if got.Units[0].Local.String() != want.String() {
+			t.Errorf("site %d treaty round-trip:\n got %s\nwant %s", site, got.Units[0].Local, want)
+		}
+	}
+}
+
+// testAbort checks abort delivery to every site.
+func testAbort(t *testing.T, h *Harness) {
+	var err error
+	h.Exec(func(p rt.Proc) {
+		err = h.Transport.Abort(p, 0, fabric.AbortRound{Round: round(0), Clock: 3})
+	})
+	if err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	for site, n := range h.Nodes {
+		_, _, _, as := n.Snapshot()
+		if len(as) != 1 || as[0].Round != round(0) {
+			t.Fatalf("site %d aborts = %+v", site, as)
+		}
+	}
+}

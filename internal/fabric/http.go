@@ -1,0 +1,516 @@
+package fabric
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/homeo/wire"
+	"repro/internal/lang"
+	"repro/internal/lia"
+	"repro/internal/logic"
+	"repro/internal/rt"
+	"repro/internal/treaty"
+)
+
+// HTTP is the multi-process transport: the local site's Node is called
+// directly, every other site is reached over real sockets with the JSON
+// peer messages of homeo/wire (served under /v1/peer/* by NewPeerHandler,
+// which homeo/httpapi mounts). Communication latency is whatever the
+// network charges.
+//
+// While remote requests are in flight the coordinating process parks, so
+// the site's runtime keeps executing local transactions — exactly the
+// disconnected execution the protocol promises.
+type HTTP struct {
+	rt    rt.Runtime
+	self  int
+	peers []string
+	node  Node
+	hc    *http.Client
+	token string
+
+	// Messages counts peer HTTP requests sent (an observability surface
+	// for "no peer traffic outside violations").
+	Messages atomic.Int64
+}
+
+// NewHTTP builds the multi-process transport. self is this process's
+// site, peers[k] is site k's base URL (peers[self] is unused), node is
+// the local site's actor, and hc optionally overrides the pooled HTTP
+// client.
+func NewHTTP(r rt.Runtime, self int, peers []string, node Node, hc *http.Client) *HTTP {
+	if hc == nil {
+		hc = &http.Client{
+			Timeout: 15 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	return &HTTP{rt: r, self: self, peers: peers, node: node, hc: hc}
+}
+
+// PeerTokenHeader carries the cluster's shared peer secret on every
+// fabric request. The peer endpoints mutate site state, so any
+// deployment beyond a trusted loopback should set a token.
+const PeerTokenHeader = "X-Homeo-Peer-Token"
+
+// SetToken makes every outgoing peer request carry the shared secret
+// (see NewPeerHandler's token parameter for the server half).
+func (t *HTTP) SetToken(token string) { t.token = token }
+
+// NSites reports the cluster width.
+func (t *HTTP) NSites() int { return len(t.peers) }
+
+// scatter delivers one request per site: the self site inline (the
+// caller holds the execution right; Node handlers never park), remote
+// sites on goroutines while the calling process parks. The wake is
+// scheduled through the runtime so it runs under the execution right; it
+// cannot fire before Park because the scheduler lock is held from
+// PrepPark until Park releases it.
+func (t *HTTP) scatter(p rt.Proc, do func(site int) error) error {
+	n := len(t.peers)
+	errs := make([]error, n)
+	remotes := int32(0)
+	for k := 0; k < n; k++ {
+		if k != t.self {
+			remotes++
+		}
+	}
+	if remotes > 0 {
+		token := p.PrepPark()
+		pending := remotes
+		for k := 0; k < n; k++ {
+			if k == t.self {
+				continue
+			}
+			k := k
+			go func() {
+				errs[k] = do(k)
+				if atomic.AddInt32(&pending, -1) == 0 {
+					t.rt.At(t.rt.Now(), func() { p.WakeIf(token) })
+				}
+			}()
+		}
+		if t.self >= 0 && t.self < n {
+			errs[t.self] = do(t.self)
+		}
+		p.Park()
+	} else if t.self >= 0 && t.self < n {
+		errs[t.self] = do(t.self)
+	}
+	// Surface a busy refusal first (it means "retry", and must win over
+	// secondary failures), then the first error in site order.
+	var firstErr error
+	for k, err := range errs {
+		if err == nil {
+			continue
+		}
+		se := &SiteError{Site: k, Err: err}
+		if errors.Is(err, ErrBusy) {
+			return se
+		}
+		if firstErr == nil {
+			firstErr = se
+		}
+	}
+	return firstErr
+}
+
+// Collect materializes the message, scatters it, and gathers the replies.
+func (t *HTTP) Collect(p rt.Proc, from int, mkMsg func() CollectState) ([]StateReply, error) {
+	m := mkMsg()
+	replies := make([]StateReply, len(t.peers))
+	err := t.scatter(p, func(k int) error {
+		if k == t.self {
+			rep, herr := t.node.CollectState(m)
+			replies[k] = rep
+			return herr
+		}
+		var out wire.PeerState
+		if perr := t.post(k, "collect", CollectToWire(m), &out); perr != nil {
+			return perr
+		}
+		replies[k] = StateReply{Clock: out.Clock, Values: dbFromWire(out.Values)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return replies, nil
+}
+
+// Install delivers the folded state everywhere.
+func (t *HTTP) Install(p rt.Proc, from int, m InstallState) error {
+	w := InstallStateToWire(m)
+	return t.scatter(p, func(k int) error {
+		if k == t.self {
+			return t.node.InstallState(m)
+		}
+		var ack wire.PeerAck
+		return t.post(k, "install-state", w, &ack)
+	})
+}
+
+// Distribute delivers each site its treaties.
+func (t *HTTP) Distribute(p rt.Proc, from int, ms []InstallTreaties) error {
+	// Encode up front so a non-serializable treaty surfaces before any
+	// site has been touched.
+	ws := make([]wire.PeerInstallTreaties, len(ms))
+	for k := range ms {
+		w, err := InstallTreatiesToWire(ms[k])
+		if err != nil {
+			return &SiteError{Site: k, Err: err}
+		}
+		ws[k] = w
+	}
+	return t.scatter(p, func(k int) error {
+		if k == t.self {
+			return t.node.InstallTreaties(ms[k])
+		}
+		var ack wire.PeerAck
+		return t.post(k, "install-treaties", ws[k], &ack)
+	})
+}
+
+// Abort releases the round everywhere.
+func (t *HTTP) Abort(p rt.Proc, from int, m AbortRound) error {
+	w := wire.PeerAbort{From: m.Round.Site, Round: m.Round.Seq, Clock: m.Clock}
+	return t.scatter(p, func(k int) error {
+		if k == t.self {
+			return t.node.AbortRound(m)
+		}
+		var ack wire.PeerAck
+		return t.post(k, "abort", w, &ack)
+	})
+}
+
+// post performs one JSON round trip to a peer endpoint.
+func (t *HTTP) post(site int, endpoint string, in, out any) error {
+	t.Messages.Add(1)
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, t.peers[site]+"/v1/peer/"+endpoint, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if t.token != "" {
+		req.Header.Set(PeerTokenHeader, t.token)
+	}
+	resp, err := t.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<10))
+	var envelope wire.ErrorResponse
+	if json.Unmarshal(body, &envelope) == nil && envelope.Error.Code == "busy" {
+		return ErrBusy
+	}
+	return fmt.Errorf("peer %s: HTTP %d: %s", endpoint, resp.StatusCode, bytes.TrimSpace(body))
+}
+
+var _ Transport = (*HTTP)(nil)
+
+// NewPeerHandler serves the peer protocol over a node: the server half
+// of the HTTP transport. The handler owns the full /v1/peer/* paths, so
+// it can be mounted on any mux (homeo/httpapi merges it into the /v1
+// surface) or serve standalone. exec runs each handler under the site
+// runtime's execution right (e.g. via rtlive.Runtime.Locked); nil calls
+// handlers directly, for nodes that synchronize themselves. A non-empty
+// token makes every request prove the shared secret (PeerTokenHeader)
+// before touching the node — these endpoints mutate site state, so set
+// one whenever peers talk over anything but a trusted loopback.
+func NewPeerHandler(node Node, exec func(func()), token string) http.Handler {
+	if exec == nil {
+		exec = func(fn func()) { fn() }
+	}
+	h := &peerHandler{node: node, exec: exec, token: token}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/peer/collect", h.collect)
+	mux.HandleFunc("/v1/peer/install-state", h.installState)
+	mux.HandleFunc("/v1/peer/install-treaties", h.installTreaties)
+	mux.HandleFunc("/v1/peer/abort", h.abort)
+	return mux
+}
+
+type peerHandler struct {
+	node  Node
+	exec  func(func())
+	token string
+}
+
+func peerJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	json.NewEncoder(rw).Encode(v)
+}
+
+func peerError(rw http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, "internal"
+	if errors.Is(err, ErrBusy) {
+		status, code = http.StatusConflict, "busy"
+	}
+	peerJSON(rw, status, wire.ErrorResponse{Error: wire.Error{Code: code, Message: err.Error()}})
+}
+
+func (h *peerHandler) decodePeer(rw http.ResponseWriter, req *http.Request, v any) bool {
+	if req.Method != http.MethodPost {
+		peerJSON(rw, http.StatusMethodNotAllowed, wire.ErrorResponse{Error: wire.Error{
+			Code: "method_not_allowed", Message: "POST only"}})
+		return false
+	}
+	if h.token != "" &&
+		subtle.ConstantTimeCompare([]byte(req.Header.Get(PeerTokenHeader)), []byte(h.token)) != 1 {
+		peerJSON(rw, http.StatusUnauthorized, wire.ErrorResponse{Error: wire.Error{
+			Code: "unauthorized", Message: "missing or wrong peer token"}})
+		return false
+	}
+	if err := json.NewDecoder(req.Body).Decode(v); err != nil {
+		peerJSON(rw, http.StatusBadRequest, wire.ErrorResponse{Error: wire.Error{
+			Code: "bad_request", Message: err.Error()}})
+		return false
+	}
+	return true
+}
+
+func (h *peerHandler) collect(rw http.ResponseWriter, req *http.Request) {
+	var in wire.PeerCollect
+	if !h.decodePeer(rw, req, &in) {
+		return
+	}
+	var (
+		rep StateReply
+		err error
+	)
+	h.exec(func() { rep, err = h.node.CollectState(CollectFromWire(in)) })
+	if err != nil {
+		peerError(rw, err)
+		return
+	}
+	peerJSON(rw, http.StatusOK, wire.PeerState{Clock: rep.Clock, Values: dbToWire(rep.Values)})
+}
+
+func (h *peerHandler) installState(rw http.ResponseWriter, req *http.Request) {
+	var in wire.PeerInstallState
+	if !h.decodePeer(rw, req, &in) {
+		return
+	}
+	var err error
+	h.exec(func() { err = h.node.InstallState(InstallStateFromWire(in)) })
+	if err != nil {
+		peerError(rw, err)
+		return
+	}
+	peerJSON(rw, http.StatusOK, wire.PeerAck{Clock: in.Clock})
+}
+
+func (h *peerHandler) installTreaties(rw http.ResponseWriter, req *http.Request) {
+	var in wire.PeerInstallTreaties
+	if !h.decodePeer(rw, req, &in) {
+		return
+	}
+	m, err := InstallTreatiesFromWire(in)
+	if err != nil {
+		peerError(rw, err)
+		return
+	}
+	h.exec(func() { err = h.node.InstallTreaties(m) })
+	if err != nil {
+		peerError(rw, err)
+		return
+	}
+	peerJSON(rw, http.StatusOK, wire.PeerAck{Clock: in.Clock})
+}
+
+func (h *peerHandler) abort(rw http.ResponseWriter, req *http.Request) {
+	var in wire.PeerAbort
+	if !h.decodePeer(rw, req, &in) {
+		return
+	}
+	var err error
+	h.exec(func() {
+		err = h.node.AbortRound(AbortRound{
+			Round: RoundID{Site: in.From, Seq: in.Round}, Clock: in.Clock})
+	})
+	if err != nil {
+		peerError(rw, err)
+		return
+	}
+	peerJSON(rw, http.StatusOK, wire.PeerAck{Clock: in.Clock})
+}
+
+// --- wire codecs ---------------------------------------------------------
+
+func dbToWire(d lang.Database) map[string]int64 {
+	out := make(map[string]int64, len(d))
+	for obj, v := range d {
+		out[string(obj)] = v
+	}
+	return out
+}
+
+func dbFromWire(m map[string]int64) lang.Database {
+	out := make(lang.Database, len(m))
+	for name, v := range m {
+		out[lang.ObjID(name)] = v
+	}
+	return out
+}
+
+func objsToWire(objs []lang.ObjID) []string {
+	out := make([]string, len(objs))
+	for i, o := range objs {
+		out[i] = string(o)
+	}
+	return out
+}
+
+func objsFromWire(names []string) []lang.ObjID {
+	out := make([]lang.ObjID, len(names))
+	for i, n := range names {
+		out[i] = lang.ObjID(n)
+	}
+	return out
+}
+
+// CollectToWire encodes a CollectState message.
+func CollectToWire(m CollectState) wire.PeerCollect {
+	return wire.PeerCollect{
+		From: m.Round.Site, Round: m.Round.Seq, Clock: m.Clock,
+		Units: m.Units, Objs: objsToWire(m.Objs),
+	}
+}
+
+// CollectFromWire decodes a CollectState message.
+func CollectFromWire(w wire.PeerCollect) CollectState {
+	return CollectState{
+		Round: RoundID{Site: w.From, Seq: w.Round}, Clock: w.Clock,
+		Units: w.Units, Objs: objsFromWire(w.Objs),
+	}
+}
+
+// InstallStateToWire encodes an InstallState message.
+func InstallStateToWire(m InstallState) wire.PeerInstallState {
+	return wire.PeerInstallState{
+		From: m.Round.Site, Round: m.Round.Seq, Clock: m.Clock,
+		Objs: objsToWire(m.Objs), Folded: dbToWire(m.Folded),
+	}
+}
+
+// InstallStateFromWire decodes an InstallState message.
+func InstallStateFromWire(w wire.PeerInstallState) InstallState {
+	return InstallState{
+		Round: RoundID{Site: w.From, Seq: w.Round}, Clock: w.Clock,
+		Objs: objsFromWire(w.Objs), Folded: dbFromWire(w.Folded),
+	}
+}
+
+func opToWire(op lia.RelOp) string {
+	switch op {
+	case lia.LE:
+		return "<="
+	case lia.LT:
+		return "<"
+	default:
+		return "=="
+	}
+}
+
+func opFromWire(s string) (lia.RelOp, error) {
+	switch s {
+	case "<=":
+		return lia.LE, nil
+	case "<":
+		return lia.LT, nil
+	case "==":
+		return lia.EQ, nil
+	}
+	return 0, fmt.Errorf("fabric: unknown constraint op %q", s)
+}
+
+// localToWire encodes a local treaty. Local treaties are fully
+// instantiated (configuration values folded into constants), so every
+// variable must be a database object; anything else is a protocol error
+// caught here rather than at the receiving site.
+func localToWire(l treaty.Local) ([]wire.PeerConstraint, error) {
+	out := make([]wire.PeerConstraint, 0, len(l.Constraints))
+	for _, c := range l.Constraints {
+		pc := wire.PeerConstraint{Const: c.Term.Const, Op: opToWire(c.Op)}
+		if len(c.Term.Coeffs) > 0 {
+			pc.Coeffs = make(map[string]int64, len(c.Term.Coeffs))
+		}
+		for v, coeff := range c.Term.Coeffs {
+			if v.Kind != logic.ObjVar {
+				return nil, fmt.Errorf("fabric: treaty constraint mentions non-object variable %s", v)
+			}
+			pc.Coeffs[v.Name] = coeff
+		}
+		out = append(out, pc)
+	}
+	return out, nil
+}
+
+func localFromWire(site int, cs []wire.PeerConstraint) (treaty.Local, error) {
+	out := treaty.Local{Site: site}
+	for _, pc := range cs {
+		term := lia.NewTerm()
+		term.Const = pc.Const
+		for name, coeff := range pc.Coeffs {
+			term.AddVar(logic.Obj(lang.ObjID(name)), coeff)
+		}
+		op, err := opFromWire(pc.Op)
+		if err != nil {
+			return treaty.Local{}, err
+		}
+		out.Constraints = append(out.Constraints, lia.Constraint{Term: term, Op: op})
+	}
+	return out, nil
+}
+
+// InstallTreatiesToWire encodes an InstallTreaties message.
+func InstallTreatiesToWire(m InstallTreaties) (wire.PeerInstallTreaties, error) {
+	out := wire.PeerInstallTreaties{
+		From: m.Round.Site, Round: m.Round.Seq, Clock: m.Clock, Site: m.Site,
+	}
+	for _, ut := range m.Units {
+		cs, err := localToWire(ut.Local)
+		if err != nil {
+			return out, fmt.Errorf("unit %d: %w", ut.Unit, err)
+		}
+		out.Units = append(out.Units, wire.PeerUnitTreaty{
+			Unit: ut.Unit, Version: ut.Version, Constraints: cs,
+		})
+	}
+	return out, nil
+}
+
+// InstallTreatiesFromWire decodes an InstallTreaties message.
+func InstallTreatiesFromWire(w wire.PeerInstallTreaties) (InstallTreaties, error) {
+	out := InstallTreaties{
+		Round: RoundID{Site: w.From, Seq: w.Round}, Clock: w.Clock, Site: w.Site,
+	}
+	for _, ut := range w.Units {
+		l, err := localFromWire(w.Site, ut.Constraints)
+		if err != nil {
+			return out, fmt.Errorf("unit %d: %w", ut.Unit, err)
+		}
+		out.Units = append(out.Units, UnitTreaty{Unit: ut.Unit, Version: ut.Version, Local: l})
+	}
+	return out, nil
+}

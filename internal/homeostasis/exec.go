@@ -1,8 +1,11 @@
 package homeostasis
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
+	"repro/internal/fabric"
 	"repro/internal/lang"
 	"repro/internal/rt"
 	"repro/internal/workload"
@@ -47,6 +50,29 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (ExecRes
 		cpu := sys.CPUs[site]
 		cpu.Acquire(p)
 		p.Sleep(sys.Opts.LocalExecTime)
+		// Multi-process only: a synchronization round may have frozen the
+		// units while this process was parked in the CPU queue or the
+		// service-time sleep above (its waitForUnit ran before the
+		// freeze). Executing now could check the round's freshly installed
+		// state against the not-yet-replaced treaties — the round-1/
+		// round-2 gap — and commit a write the round's fold never saw.
+		// Back out and re-wait. In-process the gap is closed by the
+		// runtime's execution atomicity at each round step, and the seed's
+		// simulator timeline (which the experiment goldens pin) is
+		// preserved by not re-checking there.
+		if sys.self >= 0 {
+			frozen := false
+			for _, u := range units {
+				if u.negotiating {
+					frozen = true
+					break
+				}
+			}
+			if frozen {
+				cpu.Release()
+				continue
+			}
+		}
 		// Demand snapshot: between here and the commit there are no park
 		// points, so the delta movement below is exactly this request's.
 		// Per object, not per unit sum — opposing movements of a unit's
@@ -60,7 +86,15 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (ExecRes
 		}
 		violIdx := -1
 		var commitLog []int64
+		for _, u := range units {
+			u.inflight++
+		}
 		committed, violated, checkErr := func() (bool, bool, error) {
+			defer func() {
+				for _, u := range units {
+					u.inflight--
+				}
+			}()
 			tx := sys.Stores[site].Begin(p)
 			defer tx.Abort()
 			view := &deltaView{tx: tx, site: site, nSites: sys.Opts.Topo.NSites()}
@@ -150,7 +184,24 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (ExecRes
 			}
 			continue
 		}
-		winLog := sys.negotiate(p, site, units, req)
+		winLog, negErr := sys.negotiate(p, site, units, req)
+		if negErr != nil {
+			if errors.Is(negErr, fabric.ErrBusy) {
+				// A coordinator in another process holds (some of) the
+				// units: the round never started here. Back off a jittered
+				// service time before retrying (multi-process only — the
+				// Local fabric cannot refuse). The backoff is asymmetric
+				// by site id: when two sites violate the same unit
+				// simultaneously and refuse each other, the lower site
+				// retries sooner and wins the duel instead of both
+				// re-colliding for many rounds.
+				sys.BusyRetries++
+				base := int64(sys.Opts.LocalExecTime)
+				p.Sleep(rt.Duration(base*int64(site+1) + sys.E.Rand().Int63n(base*4+1)))
+				continue
+			}
+			return ExecResult{}, fmt.Errorf("%w: request %s: %v", ErrProtocol, req.Name, negErr)
+		}
 		// T' was executed at every site during cleanup; done.
 		return ExecResult{Committed: true, Synced: true, Log: winLog}, nil
 	}
@@ -214,71 +265,115 @@ func (sys *System) wakeUnitWaiters(u *unitState) {
 }
 
 // negotiate is the cleanup phase (Section 3.3) scoped to the treaty units
-// the winning transaction touches:
+// the winning transaction touches, run as the coordinator of an explicit
+// site-fabric round (the violating site coordinates; in a multi-process
+// cluster the role therefore rotates to wherever the violation happened):
 //
-//  1. synchronize: every site broadcasts the unit objects it updated this
-//     round (one communication round); with batching enabled, violators
-//     queued behind these units register as co-winners meanwhile;
+//  1. synchronize: a CollectState scatter/gather ships every site's delta
+//     values for the round's footprint (one communication round); with
+//     batching enabled, violators queued behind these units register as
+//     co-winners meanwhile;
 //  2. execute the winning transaction T' — and every registered
-//     co-winner, in registration order — on the consolidated state at
-//     every site;
+//     co-winner, in registration order — on the consolidated state, and
+//     install it everywhere (InstallState closes the round's all-to-all
+//     state broadcast);
 //  3. generate new treaties for the next round (solver time) and
-//     distribute them (second communication round).
+//     distribute each site its locals (InstallTreaties, the second
+//     communication round).
 //
-// The whole batch therefore pays the two MaxRTTFrom rounds once. The
+// The whole batch therefore pays the two communication rounds once. The
 // commits performed here are unconditional: a treaty-generation failure
 // in step 3 no longer concerns them (they are already applied and logged
 // at every site), so it is surfaced as a protocol-degradation counter
 // with safe pin treaties installed, never as a request error.
 //
 // Returns the winning transaction's print log; co-winners receive theirs
-// through their joiner entries.
-func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req workload.Request) []int64 {
+// through their joiner entries. A fabric.ErrBusy error means a remote
+// coordinator holds some of the units and nothing was committed — the
+// caller backs off and retries.
+func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req workload.Request) ([]int64, error) {
 	var neg *negotiation
-	if sys.batching() {
+	if sys.batching() && sys.self < 0 {
+		// Batched renegotiation needs the joiners' footprints in the
+		// round-1 fold; in a multi-process cluster remote violators
+		// cannot join an in-flight round, so batching stays in-process.
 		neg = &negotiation{accepting: true}
 	}
 	for _, u := range units {
 		u.negotiating = true
 		u.neg = neg
 	}
+	rid := sys.newRound(site, units)
 	commStart := p.Now()
 
-	// Round 1: collect state from all sites (request out + replies back).
-	p.Sleep(sys.Opts.Topo.MaxRTTFrom(site))
-	// Joining closes when the round returns: later violators must not
-	// slip in after the fold below.
+	// Round 1: the state-synchronization scatter/gather. The message is
+	// materialized when the round's membership is final (the Local
+	// transport calls mkMsg at round completion), so violators that
+	// joined while the round was in flight are folded too; joining closes
+	// at that same instant — later violators must not slip in after the
+	// fold below.
 	var joiners []*joiner
-	if neg != nil {
-		neg.accepting = false
-		joiners = neg.joiners
-	}
-	// Fold the batch's entire logical footprint: the violated units'
-	// objects plus any objects outside them that T' or a co-winner
-	// touches (the paper's cleanup synchronizes everything updated in the
-	// round before running T').
-	objSet := make(map[lang.ObjID]bool)
-	for _, u := range units {
-		for _, obj := range u.objects {
+	var objs []lang.ObjID
+	mkMsg := func() fabric.CollectState {
+		if neg != nil {
+			neg.accepting = false
+			joiners = neg.joiners
+		}
+		// The batch's entire logical footprint: the violated units'
+		// objects plus any objects outside them that T' or a co-winner
+		// touches (the paper's cleanup synchronizes everything updated in
+		// the round before running T').
+		objSet := make(map[lang.ObjID]bool)
+		for _, u := range units {
+			for _, obj := range u.objects {
+				objSet[obj] = true
+			}
+		}
+		for _, obj := range req.Objects {
 			objSet[obj] = true
 		}
-	}
-	for _, obj := range req.Objects {
-		objSet[obj] = true
-	}
-	for _, j := range joiners {
-		for _, obj := range j.req.Objects {
-			objSet[obj] = true
+		for _, j := range joiners {
+			for _, obj := range j.req.Objects {
+				objSet[obj] = true
+			}
 		}
+		objs = make([]lang.ObjID, 0, len(objSet))
+		for obj := range objSet {
+			objs = append(objs, obj)
+		}
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+		ids := make([]int, len(units))
+		for i, u := range units {
+			ids[i] = u.id
+		}
+		return fabric.CollectState{Round: rid, Clock: sys.tickClock(), Units: ids, Objs: objs}
+	}
+	replies, err := sys.fab.Collect(p, site, mkMsg)
+	if err != nil {
+		// The round never synchronized (a peer was busy or unreachable):
+		// release everything and report to the caller. Nothing committed.
+		sys.abortRound(p, site, rid, units)
+		return nil, err
+	}
+
+	// Fold the footprint: the base value from the local replica
+	// (replicated, identical at every site between rounds) plus every
+	// site's own delta from its reply.
+	base := sys.Stores[0]
+	if sys.self >= 0 {
+		base = sys.Stores[sys.self]
 	}
 	n := sys.Opts.Topo.NSites()
 	folded := lang.Database{}
-	for obj := range objSet {
-		v := sys.Stores[0].Get(obj)
+	for _, obj := range objs {
+		v := base.Get(obj)
 		for k := 0; k < n; k++ {
-			v += sys.Stores[k].Get(lang.DeltaObj(obj, k))
+			v += replies[k].Values.Get(lang.DeltaObj(obj, k))
 		}
 		folded[obj] = v
+	}
+	for _, rep := range replies {
+		sys.observeClock(rep.Clock)
 	}
 
 	// Execute T' on the consolidated state, then the co-winners in
@@ -289,24 +384,36 @@ func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req worklo
 		joinerLogs[i] = j.req.Apply(folded)
 	}
 
-	// Install the consolidated post-batch state everywhere: base objects
-	// get the logical values, every delta object resets to zero. This
-	// step is atomic in virtual time (no park points), and homeostasis-
-	// mode local transactions never park mid-transaction, so no in-flight
-	// transaction can observe a half-installed state.
-	for obj := range objSet {
-		for s := 0; s < n; s++ {
-			sys.Stores[s].Apply(obj, folded[obj])
-			for k := 0; k < n; k++ {
-				sys.Stores[s].Apply(lang.DeltaObj(obj, k), 0)
-			}
+	// Install the consolidated post-batch state everywhere. In-process
+	// this step is atomic in virtual time (no park points), and
+	// homeostasis-mode local transactions never park mid-transaction, so
+	// no in-flight transaction can observe a half-installed state; across
+	// processes each site's actor installs atomically under its own
+	// execution right, preserving any delta drift since its report. The
+	// clock shipped here is T''s commit point, so every post-round commit
+	// at a peer orders after the batch in a merged log.
+	clk := sys.tickClock()
+	install := fabric.InstallState{Round: rid, Clock: clk, Objs: objs, Folded: folded}
+	if ierr := sys.fab.Install(p, site, install); ierr != nil {
+		// The fold is already computed and T' applied, so the batch must
+		// commit; over the network fabric, retry the scatter once (sites
+		// track per-round installs, so re-delivery to a site that already
+		// applied is a no-op). A peer that still misses the install has a
+		// diverged partition until its next successful round on these
+		// units consolidates it — the counter surfaces that a replay
+		// check may flag the window.
+		if sys.self >= 0 {
+			ierr = sys.fab.Install(p, site, install)
+		}
+		if ierr != nil {
+			sys.Col.RecordFabricError()
 		}
 	}
 	comm1 := rt.Duration(p.Now() - commStart)
 	// The batch is now committed at every site: log it before any further
 	// park point so a deadline cancellation cannot leave it applied-but-
 	// unlogged.
-	sys.logCommit(req, site, txnLog)
+	sys.logCommitClock(clk, req, site, txnLog)
 	for i, j := range joiners {
 		sys.logCommit(j.req, j.site, joinerLogs[i])
 		j.log = joinerLogs[i]
@@ -327,22 +434,37 @@ func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req worklo
 	}
 
 	// Treaty computation (solver time charged in virtual time; the actual
-	// computation runs for real to produce the real treaties).
+	// computation runs for real to produce the real treaties). The
+	// coordinator builds every site's local treaty; round 2 ships each
+	// site exactly its own.
 	solveStart := p.Now()
 	p.Sleep(sys.solverTime())
+	installs := make([]fabric.InstallTreaties, n)
+	for k := range installs {
+		installs[k] = fabric.InstallTreaties{Round: rid, Site: k}
+	}
 	for _, u := range units {
 		unitFolded := lang.Database{}
 		for _, obj := range u.objects {
 			unitFolded[obj] = folded[obj]
 		}
-		if err := sys.generateTreaties(u, unitFolded); err != nil {
+		locals, gerr := sys.buildTreaties(u, unitFolded)
+		if gerr != nil {
 			// The batch already committed: degrade this unit to safe pin
 			// treaties (every next write synchronizes and retries real
 			// generation) and surface the failure as a counter. If even
-			// the pin install fails the stale treaties stay — that path
+			// the pin build fails the stale treaties stay — that path
 			// has no failure mode short of a broken template builder.
 			sys.Col.RecordTreatyGenFailure()
-			_ = sys.installPinTreaties(u, unitFolded)
+			locals, gerr = sys.buildPinTreaties(u, unitFolded)
+		}
+		if gerr == nil {
+			v := u.version + 1
+			for k := 0; k < n; k++ {
+				installs[k].Units = append(installs[k].Units, fabric.UnitTreaty{
+					Unit: u.id, Version: v, Local: locals[k],
+				})
+			}
 		}
 		u.resetDemand()
 	}
@@ -350,9 +472,27 @@ func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req worklo
 
 	// Round 2: distribute the new treaties.
 	comm2Start := p.Now()
-	p.Sleep(sys.Opts.Topo.MaxRTTFrom(site))
+	c2 := sys.tickClock()
+	for k := range installs {
+		installs[k].Clock = c2
+	}
+	if derr := sys.fab.Distribute(p, site, installs); derr != nil {
+		// Over the network fabric, retry once: treaty installs are
+		// idempotent (version-guarded) and a remote close of an
+		// already-closed round is a no-op. A peer that still misses
+		// round 2 stays frozen until its grant expires, then degrades
+		// those units to local pin treaties (see scheduleGrantExpiry)
+		// instead of resuming on stale ones.
+		if sys.self >= 0 {
+			derr = sys.fab.Distribute(p, site, installs)
+		}
+		if derr != nil {
+			sys.Col.RecordFabricError()
+		}
+	}
 	comm2 := rt.Duration(p.Now() - comm2Start)
 
+	delete(sys.rounds, rid)
 	for _, u := range units {
 		u.negotiating = false
 		u.neg = nil
@@ -363,11 +503,35 @@ func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req worklo
 		// counted by the collector's CoWinnerCommits, not here, so the
 		// per-violation averages of Figure 24 keep their meaning.
 		sys.Col.ViolationBreakdown.Add(sys.Opts.LocalExecTime, solver, comm1+comm2)
+		sys.Col.RecordNegotiation(comm1 + comm2)
 	}
-	return txnLog
+	return txnLog, nil
+}
+
+// abortRound unwinds a locally coordinated round whose round-1 collect
+// failed: release every site's grant, unfreeze the units, and wake the
+// waiters. Nothing was folded or committed. Local state is released
+// before the abort messages go out (the scatter parks), so a competing
+// coordinator's retry is not refused busy for the whole abort round
+// trip.
+func (sys *System) abortRound(p rt.Proc, site int, rid fabric.RoundID, units []*unitState) {
+	delete(sys.rounds, rid)
+	for _, u := range units {
+		u.negotiating = false
+		u.neg = nil
+		sys.wakeUnitWaiters(u)
+	}
+	_ = sys.fab.Abort(p, site, fabric.AbortRound{Round: rid, Clock: sys.tickClock()})
 }
 
 func (sys *System) logCommit(req workload.Request, site int, log []int64) {
+	sys.logCommitClock(sys.tickClock(), req, site, log)
+}
+
+// logCommitClock records a commit at an explicit Lamport timestamp (the
+// cleanup phase stamps T' with the clock its InstallState shipped, so
+// post-round peer commits order after it).
+func (sys *System) logCommitClock(clk int64, req workload.Request, site int, log []int64) {
 	if !sys.Opts.EnableLog {
 		return
 	}
@@ -377,6 +541,7 @@ func (sys *System) logCommit(req workload.Request, site int, log []int64) {
 		Site:  site,
 		Units: req.Units,
 		Log:   log,
+		Clock: clk,
 		Apply: req.Apply,
 	})
 }

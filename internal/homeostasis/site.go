@@ -1,0 +1,310 @@
+package homeostasis
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/lang"
+	"repro/internal/lia"
+	"repro/internal/logic"
+	"repro/internal/rt"
+	"repro/internal/treaty"
+)
+
+// This file is the site-actor half of the fabric refactor: each site
+// owns its base+delta store partition behind a siteNode that answers the
+// peer protocol's typed messages (CollectState, InstallState,
+// InstallTreaties, AbortRound) instead of being reached through cross-
+// site memory access. The coordinator half lives in exec.go (negotiate).
+
+// roundGrant tracks one synchronization round this process participates
+// in: the units it freezes and, per local site, the delta values reported
+// in the round-1 reply. The install subtracts the reported values from
+// the current ones, so local commits to non-frozen objects that race a
+// remote round's network gap are preserved instead of overwritten (in
+// process, the round is atomic in virtual time and the drift is always
+// zero).
+type roundGrant struct {
+	units []int
+	// remote marks a round granted to a coordinator in another process;
+	// installing its treaties (or aborting) releases the units here. For
+	// locally coordinated rounds the coordinator releases them itself,
+	// after round 2's communication completes.
+	remote   bool
+	reported map[int]lang.Database
+	// installed records which local sites already applied the round's
+	// InstallState, making re-delivery a no-op so the coordinator can
+	// safely retry a partially failed install scatter.
+	installed map[int]bool
+}
+
+// grantTTL bounds how long a site stays frozen for a remote round whose
+// coordinator vanished mid-round (process crash, partition). On expiry
+// the units are released and the degradation is counted; the next
+// violation resynchronizes them.
+const grantTTL = 30 * rt.Second
+
+// tickClock advances the Lamport clock to a fresh timestamp.
+func (sys *System) tickClock() int64 {
+	sys.clock++
+	return sys.clock
+}
+
+// observeClock merges a received Lamport timestamp.
+func (sys *System) observeClock(c int64) {
+	if c > sys.clock {
+		sys.clock = c
+	}
+}
+
+// newRound registers a locally coordinated round and returns its id.
+func (sys *System) newRound(site int, units []*unitState) fabric.RoundID {
+	sys.roundSeq++
+	rid := fabric.RoundID{Site: site, Seq: sys.roundSeq}
+	ids := make([]int, len(units))
+	for i, u := range units {
+		ids[i] = u.id
+	}
+	sys.rounds[rid] = &roundGrant{
+		units:     ids,
+		reported:  make(map[int]lang.Database),
+		installed: make(map[int]bool),
+	}
+	return rid
+}
+
+// closeGrant releases a granted round: clear the units' negotiating flags
+// and wake their waiters.
+func (sys *System) closeGrant(rid fabric.RoundID, g *roundGrant) {
+	delete(sys.rounds, rid)
+	for _, id := range g.units {
+		if id < 0 || id >= len(sys.Units) {
+			continue
+		}
+		u := sys.Units[id]
+		u.negotiating = false
+		u.neg = nil
+		sys.wakeUnitWaiters(u)
+	}
+}
+
+// scheduleGrantExpiry arms the safety net for a remote grant. An expiry
+// means the coordinator vanished mid-round: the units must not resume
+// under treaties that may be inconsistent with a state the round
+// already installed, so each is degraded to a locally computed pin
+// treaty — every next local write violates and re-enters negotiation,
+// which regenerates real treaties from a fresh fold.
+func (sys *System) scheduleGrantExpiry(rid fabric.RoundID) {
+	sys.E.After(grantTTL, func() {
+		g := sys.rounds[rid]
+		if g == nil || !g.remote {
+			return
+		}
+		sys.Col.RecordFabricError()
+		if sys.self >= 0 {
+			for _, id := range g.units {
+				if id >= 0 && id < len(sys.Units) {
+					sys.degradeToLocalPin(sys.Units[id], sys.self)
+				}
+			}
+		}
+		sys.closeGrant(rid, g)
+	})
+}
+
+// degradeToLocalPin installs a pin treaty computed purely from the
+// site's own partition: the base (site 0 only — base objects are placed
+// there) and the site's own delta are pinned at their current values,
+// the Theorem 4.3 shape restricted to what one site can see without a
+// fold. It holds on the current state and any local write violates it.
+func (sys *System) degradeToLocalPin(u *unitState, site int) {
+	st := sys.Stores[site]
+	l := treaty.Local{Site: site}
+	for _, obj := range u.objects {
+		if site == 0 {
+			t0 := lia.NewTerm()
+			t0.AddVar(logic.Obj(obj), 1)
+			t0.Const = -st.Get(obj)
+			l.Constraints = append(l.Constraints, lia.Constraint{Term: t0, Op: lia.EQ})
+		}
+		d := lang.DeltaObj(obj, site)
+		td := lia.NewTerm()
+		td.AddVar(logic.Obj(d), 1)
+		td.Const = -st.Get(d)
+		l.Constraints = append(l.Constraints, lia.Constraint{Term: td, Op: lia.EQ})
+	}
+	_ = u.installSiteTreaty(site, l, u.version)
+}
+
+// Node returns the site's fabric actor. The actor shares the System's
+// state and must only be driven under the runtime's execution right (the
+// transports guarantee this).
+func (sys *System) Node(site int) fabric.Node { return &siteNode{sys: sys, site: site} }
+
+// SetFabric installs a transport and, for multi-process deployments, the
+// site this process owns (self < 0 keeps every site in-process). Call
+// before the system serves traffic.
+func (sys *System) SetFabric(t fabric.Transport, self int) {
+	sys.fab = t
+	sys.self = self
+}
+
+// SelfSite reports the site this process owns (-1: all sites are
+// in-process).
+func (sys *System) SelfSite() int { return sys.self }
+
+// siteNode is one site's actor: it answers the fabric's typed messages
+// against the site's store partition and treaty slots.
+type siteNode struct {
+	sys  *System
+	site int
+}
+
+// CollectState begins a round at this site. For a locally coordinated
+// round (the coordinator registered it before scattering) the units are
+// already frozen; for a remote coordinator the handler freezes them here
+// or refuses with ErrBusy. Either way the reply carries the site's own
+// delta values for the round's footprint, which are also remembered so
+// InstallState can preserve concurrent drift.
+func (n *siteNode) CollectState(m fabric.CollectState) (fabric.StateReply, error) {
+	sys := n.sys
+	sys.observeClock(m.Clock)
+	g := sys.rounds[m.Round]
+	if g == nil {
+		for _, id := range m.Units {
+			if id < 0 || id >= len(sys.Units) {
+				return fabric.StateReply{}, fmt.Errorf("homeostasis: collect names unknown unit %d", id)
+			}
+			if sys.Units[id].negotiating {
+				return fabric.StateReply{}, fabric.ErrBusy
+			}
+		}
+		g = &roundGrant{
+			units:     m.Units,
+			remote:    true,
+			reported:  make(map[int]lang.Database),
+			installed: make(map[int]bool),
+		}
+		for _, id := range m.Units {
+			sys.Units[id].negotiating = true
+		}
+		sys.rounds[m.Round] = g
+		sys.scheduleGrantExpiry(m.Round)
+	}
+	// Quiesce: the reply is a consistent cut of this site's partition. An
+	// execution already past its Begin on a frozen unit could still
+	// commit between this reply and the install, and the install would
+	// fold its write away — refuse until the unit is quiet (the
+	// coordinator aborts, backs off, and retries; new executions are
+	// parked by the negotiating flag above).
+	for _, id := range m.Units {
+		if id >= 0 && id < len(sys.Units) && sys.Units[id].inflight > 0 {
+			return fabric.StateReply{}, fabric.ErrBusy
+		}
+	}
+	st := sys.Stores[n.site]
+	vals := make(lang.Database, len(m.Objs))
+	for _, obj := range m.Objs {
+		d := lang.DeltaObj(obj, n.site)
+		vals[d] = st.Get(d)
+	}
+	g.reported[n.site] = vals
+	return fabric.StateReply{Clock: sys.tickClock(), Values: vals}, nil
+}
+
+// InstallState installs the folded consolidated state into the site's
+// partition: base objects take the folded logical values, every delta
+// snapshot resets to zero, and any drift the site's own delta accumulated
+// since its round-1 report (multi-process network gap only) is carried
+// over so concurrent local commits survive the install.
+func (n *siteNode) InstallState(m fabric.InstallState) error {
+	sys := n.sys
+	sys.observeClock(m.Clock)
+	var reported lang.Database
+	g := sys.rounds[m.Round]
+	if g != nil {
+		if g.installed[n.site] {
+			// Re-delivery (the coordinator retried a partially failed
+			// scatter): already applied, and applying the drift twice
+			// would corrupt the partition.
+			return nil
+		}
+		g.installed[n.site] = true
+		reported = g.reported[n.site]
+	}
+	st := sys.Stores[n.site]
+	nSites := sys.Opts.Topo.NSites()
+	for _, obj := range m.Objs {
+		own := lang.DeltaObj(obj, n.site)
+		cur := st.Get(own)
+		st.Apply(obj, m.Folded.Get(obj))
+		for k := 0; k < nSites; k++ {
+			st.Apply(lang.DeltaObj(obj, k), 0)
+		}
+		if reported != nil {
+			if drift := cur - reported.Get(own); drift != 0 {
+				st.Apply(own, drift)
+			}
+		}
+	}
+	return nil
+}
+
+// InstallTreaties installs this site's new local treaties for the
+// round's units; for a remote round it then releases the units (the
+// round is over from this site's point of view — the coordinator's ack
+// wait does not gate local progress).
+func (n *siteNode) InstallTreaties(m fabric.InstallTreaties) error {
+	sys := n.sys
+	sys.observeClock(m.Clock)
+	var firstErr error
+	for _, ut := range m.Units {
+		if ut.Unit < 0 || ut.Unit >= len(sys.Units) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("homeostasis: treaty install names unknown unit %d", ut.Unit)
+			}
+			continue
+		}
+		if err := sys.Units[ut.Unit].installSiteTreaty(n.site, ut.Local, ut.Version); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if g := sys.rounds[m.Round]; g != nil && g.remote {
+		sys.closeGrant(m.Round, g)
+	}
+	return firstErr
+}
+
+// AbortRound releases a remote grant without installing anything.
+// Locally coordinated rounds are unwound by their coordinator; unknown
+// rounds (already expired or never granted) are a no-op.
+func (n *siteNode) AbortRound(m fabric.AbortRound) error {
+	sys := n.sys
+	sys.observeClock(m.Clock)
+	if g := sys.rounds[m.Round]; g != nil && g.remote {
+		sys.closeGrant(m.Round, g)
+	}
+	return nil
+}
+
+// installSiteTreaty compiles and installs one site's local treaty slot.
+// Versions only move forward: a stale duplicate delivery cannot roll a
+// newer treaty back.
+func (u *unitState) installSiteTreaty(site int, l treaty.Local, version int64) error {
+	if site < 0 || site >= len(u.compiled) {
+		return fmt.Errorf("homeostasis: unit %d has no treaty slot for site %d", u.id, site)
+	}
+	if version < u.version {
+		return nil
+	}
+	c, err := treaty.Compile(l)
+	if err != nil {
+		return fmt.Errorf("homeostasis: unit %d site %d: %w", u.id, site, err)
+	}
+	u.locals[site] = l
+	u.compiled[site] = c
+	if version > u.version {
+		u.version = version
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/lang"
 	"repro/internal/lia"
 	"repro/internal/logic"
@@ -177,6 +178,11 @@ type Committed struct {
 	Site  int
 	Units []int
 	Log   []int64
+	// Clock is the commit's Lamport timestamp. Synchronization rounds
+	// propagate clocks between sites, so merging per-site logs of a
+	// multi-process cluster by (Clock, Site, position) yields an order
+	// consistent with the causality the rounds establish.
+	Clock int64
 	// Apply re-applies the logical effect (carried from the request).
 	Apply func(db lang.Database) []int64
 }
@@ -220,6 +226,15 @@ type unitState struct {
 	// evaluates these instead of interpreting the lia.Constraint trees.
 	compiled    []treaty.CompiledLocal
 	negotiating bool
+	// inflight counts executions currently between Begin and
+	// Commit/Abort on this unit. A site must not contribute a round-1
+	// state reply while one is in flight: the exec could commit between
+	// the reply and the install (a real window on live runtimes — on the
+	// simulator lock waits never span virtual instants, so this is
+	// always zero when a round collects), and its write would be folded
+	// away. CollectState answers ErrBusy instead; the coordinator backs
+	// off and retries.
+	inflight int
 	// neg is the in-flight cleanup round while negotiating (batching
 	// runs only; nil under AllocDefault).
 	neg     *negotiation
@@ -274,6 +289,20 @@ type System struct {
 	// renegotiating and fell back to the serial wait-and-retry path
 	// (the "loser" path; co-winner joins are counted on the Collector).
 	BusyRetries int64
+
+	// fab ships the cleanup phase's synchronization rounds between site
+	// actors; self is the one site this process owns in a multi-process
+	// deployment (-1: every site is in-process behind fabric.Local).
+	fab  fabric.Transport
+	self int
+
+	// clock is the system's Lamport clock: advanced on every commit and
+	// on every fabric message, merged from received messages. roundSeq
+	// numbers locally coordinated rounds; rounds tracks every granted
+	// round (local and remote) while it is in flight.
+	clock    int64
+	roundSeq uint64
+	rounds   map[fabric.RoundID]*roundGrant
 }
 
 // New builds the system: per-site stores initialized with the replicated
@@ -310,6 +339,8 @@ func New(e rt.Runtime, w workload.Workload, opts Options) (*System, error) {
 		Col:      &metrics.Collector{},
 		optRng:   rand.New(rand.NewSource(opts.Seed + 7919)),
 		cfgCache: make(map[string]treaty.Config),
+		self:     -1,
+		rounds:   make(map[fabric.RoundID]*roundGrant),
 	}
 	initial := w.InitialDB()
 	for i := 0; i < n; i++ {
@@ -318,6 +349,14 @@ func New(e rt.Runtime, w workload.Workload, opts Options) (*System, error) {
 		sys.Stores = append(sys.Stores, s)
 		sys.CPUs = append(sys.CPUs, e.NewResource(opts.CPUPerSite))
 	}
+	// Default fabric: every site in-process, latency charged per message
+	// from the topology. Multi-process deployments install fabric.HTTP via
+	// SetFabric after construction.
+	nodes := make([]fabric.Node, n)
+	for k := range nodes {
+		nodes[k] = sys.Node(k)
+	}
+	sys.fab = fabric.NewLocal(opts.Topo, nodes)
 	for u := 0; u < w.NumUnits(); u++ {
 		us := &unitState{id: u, objects: w.UnitObjects(u)}
 		if opts.Alloc != AllocDefault {
@@ -363,7 +402,28 @@ func (sys *System) AddUnits(install lang.Database) error {
 			u.demand = make([]siteDemand, n)
 		}
 		if sys.Opts.Mode != ModeTwoPC && sys.Opts.Mode != ModeLocal {
-			if err := sys.generateTreaties(u, sys.foldUnit(u)); err != nil {
+			var (
+				locals []treaty.Local
+				err    error
+			)
+			if sys.self >= 0 {
+				// Multi-process: every process registers the class
+				// independently, so the generated treaties must agree
+				// across processes. The shared optimizer stream and the
+				// configuration cache have both diverged by whatever
+				// rounds this process happened to coordinate — use a
+				// unit-seeded stream and bypass the cache so the
+				// allocation is a pure function of (seed, unit, folded
+				// state), identical everywhere.
+				rng := rand.New(rand.NewSource(sys.Opts.Seed*1_000_033 + int64(id)))
+				locals, err = sys.buildTreatiesWith(u, sys.foldUnit(u), rng, false)
+				if err == nil {
+					err = sys.installLocalTreaties(u, locals)
+				}
+			} else {
+				err = sys.generateTreaties(u, sys.foldUnit(u))
+			}
+			if err != nil {
 				return fmt.Errorf("homeostasis: registering unit %d: %w", id, err)
 			}
 		}
@@ -437,18 +497,56 @@ func isoKey(g treaty.Global, folded lang.Database) string {
 	return sb.String()
 }
 
-// generateTreaties derives the unit's global treaty from the folded
-// database, splits it into templates, instantiates a configuration per
-// the run mode, and installs the per-site local treaties. Returns the
-// number of Algorithm 1 samples used (for solver-time accounting).
+// generateTreaties derives and installs the unit's per-site local
+// treaties from the folded database — the offline path (system
+// construction, class registration), where every site's slot is written
+// directly. Online renegotiation instead builds the treaties at the
+// coordinator (buildTreaties) and ships each site its local through the
+// fabric's round-2 message.
 func (sys *System) generateTreaties(u *unitState, folded lang.Database) error {
-	g, err := sys.W.BuildGlobal(u.id, folded)
+	locals, err := sys.buildTreaties(u, folded)
 	if err != nil {
 		return err
 	}
+	return sys.installLocalTreaties(u, locals)
+}
+
+// installLocalTreaties compiles and installs a full per-site treaty set
+// on the unit.
+func (sys *System) installLocalTreaties(u *unitState, locals []treaty.Local) error {
+	// Compile once per round: the per-commit check runs orders of
+	// magnitude more often than negotiation. Compilation also validates
+	// the treaty (no stray non-object variables), so the commit-path
+	// evaluation cannot fail.
+	compiled, err := treaty.CompileLocals(locals)
+	if err != nil {
+		return fmt.Errorf("homeostasis: unit %d: %w", u.id, err)
+	}
+	u.locals = locals
+	u.compiled = compiled
+	u.version++
+	return nil
+}
+
+// buildTreaties derives the unit's global treaty from the folded
+// database, splits it into templates, and instantiates a configuration
+// per the run mode, returning the per-site local treaties without
+// installing them. It draws from the system's optimizer stream and the
+// configuration cache — fine for boot (every process runs the identical
+// sequence) and for online rounds (only the coordinator's output is
+// used; it ships each site its local).
+func (sys *System) buildTreaties(u *unitState, folded lang.Database) ([]treaty.Local, error) {
+	return sys.buildTreatiesWith(u, folded, sys.optRng, true)
+}
+
+func (sys *System) buildTreatiesWith(u *unitState, folded lang.Database, rng *rand.Rand, useCache bool) ([]treaty.Local, error) {
+	g, err := sys.W.BuildGlobal(u.id, folded)
+	if err != nil {
+		return nil, err
+	}
 	tmpl, err := treaty.BuildTemplate(g, sys.Opts.Topo.NSites(), placement)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// The store-shaped database: base objects at folded values, all delta
 	// objects zero (absent entries read as zero).
@@ -469,7 +567,7 @@ func (sys *System) generateTreaties(u *unitState, folded lang.Database) error {
 		key = fmt.Sprintf("%s!%v", key, weights)
 	}
 	var cfg treaty.Config
-	if cached, ok := sys.cfgCache[key]; ok {
+	if cached, ok := sys.cfgCache[key]; useCache && ok {
 		cfg = cached
 		sys.CacheHits++
 	} else {
@@ -479,27 +577,27 @@ func (sys *System) generateTreaties(u *unitState, folded lang.Database) error {
 				cfg, _ = treaty.Optimize(tmpl, folded, sys.W.Model(u.id), treaty.OptimizeOptions{
 					Lookahead:  sys.Opts.Lookahead,
 					CostFactor: sys.Opts.CostFactor,
-					Rng:        sys.optRng,
+					Rng:        rng,
 				})
 			case ModeOpt:
 				cfg = tmpl.EqualSplitConfig(folded)
 			case ModeHomeoDefault:
 				cfg = tmpl.DefaultConfig(folded)
 			default:
-				return fmt.Errorf("homeostasis: mode %v does not use treaties", sys.Opts.Mode)
+				return nil, fmt.Errorf("homeostasis: mode %v does not use treaties", sys.Opts.Mode)
 			}
 		} else {
 			switch sys.Opts.Mode {
 			case ModeHomeo, ModeOpt, ModeHomeoDefault:
 			default:
-				return fmt.Errorf("homeostasis: mode %v does not use treaties", sys.Opts.Mode)
+				return nil, fmt.Errorf("homeostasis: mode %v does not use treaties", sys.Opts.Mode)
 			}
 			switch alloc {
 			case AllocModel:
 				cfg, _ = treaty.Optimize(tmpl, folded, sys.W.Model(u.id), treaty.OptimizeOptions{
 					Lookahead:  sys.Opts.Lookahead,
 					CostFactor: sys.Opts.CostFactor,
-					Rng:        sys.optRng,
+					Rng:        rng,
 				})
 			case AllocEqualSplit:
 				cfg = tmpl.EqualSplitConfig(folded)
@@ -508,24 +606,11 @@ func (sys *System) generateTreaties(u *unitState, folded lang.Database) error {
 			}
 		}
 		sys.SolverInvocations++
-		sys.cfgCache[key] = cfg
+		if useCache {
+			sys.cfgCache[key] = cfg
+		}
 	}
-	locals, err := tmpl.LocalTreaties(cfg)
-	if err != nil {
-		return err
-	}
-	// Compile once per round: the per-commit check runs orders of
-	// magnitude more often than negotiation. Compilation also validates
-	// the treaty (no stray non-object variables), so the commit-path
-	// evaluation cannot fail.
-	compiled, err := treaty.CompileLocals(locals)
-	if err != nil {
-		return fmt.Errorf("homeostasis: unit %d: %w", u.id, err)
-	}
-	u.locals = locals
-	u.compiled = compiled
-	u.version++
-	return nil
+	return tmpl.LocalTreaties(cfg)
 }
 
 // effectiveAlloc resolves the allocation strategy actually in force: the
@@ -580,15 +665,15 @@ func quantizeDemand(demand []siteDemand) []int64 {
 	return weights
 }
 
-// installPinTreaties is the cleanup phase's safety net when treaty
-// generation fails after T' has already committed everywhere: it installs
+// buildPinTreaties is the cleanup phase's safety net when treaty
+// generation fails after T' has already committed everywhere: it derives
 // the always-valid pin treaties directly from the consolidated state
 // (site 0 pins base+delta at the folded value, every other site pins its
 // delta at zero — the Theorem 4.3 default for this shape). Any subsequent
 // write violates and re-enters negotiation, which retries real
 // generation, so the system degrades to sync-per-write instead of
 // executing against stale treaties.
-func (sys *System) installPinTreaties(u *unitState, folded lang.Database) error {
+func (sys *System) buildPinTreaties(u *unitState, folded lang.Database) ([]treaty.Local, error) {
 	var g treaty.Global
 	n := sys.Opts.Topo.NSites()
 	for _, obj := range u.objects {
@@ -602,20 +687,9 @@ func (sys *System) installPinTreaties(u *unitState, folded lang.Database) error 
 	}
 	tmpl, err := treaty.BuildTemplate(g, n, placement)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	locals, err := tmpl.LocalTreaties(tmpl.DefaultConfig(folded))
-	if err != nil {
-		return err
-	}
-	compiled, err := treaty.CompileLocals(locals)
-	if err != nil {
-		return err
-	}
-	u.locals = locals
-	u.compiled = compiled
-	u.version++
-	return nil
+	return tmpl.LocalTreaties(tmpl.DefaultConfig(folded))
 }
 
 // solverTime models the virtual time spent computing treaties during a
@@ -759,6 +833,39 @@ func (sys *System) StoreStats() StoreStats {
 		sum.add(s)
 	}
 	return sum
+}
+
+// AllUnitObjects lists every treaty unit's logical objects, deduplicated,
+// in deterministic order.
+func (sys *System) AllUnitObjects() []lang.ObjID {
+	seen := make(map[lang.ObjID]bool)
+	var out []lang.ObjID
+	for _, u := range sys.Units {
+		for _, obj := range u.objects {
+			if !seen[obj] {
+				seen[obj] = true
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// PartitionDB returns one site's authoritative share of the logical
+// database: every treaty-unit object's replicated base value plus the
+// site's own delta object value. In a multi-process cluster, folding the
+// per-site partitions (base from any site plus every site's own deltas)
+// reconstructs the consolidated database without any process seeing
+// another's memory.
+func (sys *System) PartitionDB(site int) lang.Database {
+	out := lang.Database{}
+	st := sys.Stores[site]
+	for _, obj := range sys.AllUnitObjects() {
+		out[obj] = st.Get(obj)
+		d := lang.DeltaObj(obj, site)
+		out[d] = st.Get(d)
+	}
+	return out
 }
 
 // FoldedDB consolidates the final logical database across all sites for

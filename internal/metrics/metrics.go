@@ -27,6 +27,16 @@ func (h *Histogram) Add(d rt.Duration) {
 // N returns the sample count.
 func (h *Histogram) N() int { return len(h.samples) }
 
+// AddAll merges another histogram's samples (used to aggregate per-cell
+// histograms across a sweep).
+func (h *Histogram) AddAll(o *Histogram) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	h.samples = append(h.samples, o.samples...)
+	h.sorted = false
+}
+
 func (h *Histogram) ensureSorted() {
 	if !h.sorted {
 		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
@@ -157,6 +167,16 @@ type Collector struct {
 	// folded into another winner's synchronization instead of paying
 	// their own two communication rounds.
 	CoWinnerCommits int64
+	// NegotiationLatency records each cleanup round's total communication
+	// time (state-synchronization round plus treaty-distribution round)
+	// as observed by the coordinating site — the per-negotiation
+	// round-trip cost the site fabric actually paid.
+	NegotiationLatency Histogram
+	// FabricErrors counts site-fabric degradations outside the request
+	// path: failed state/treaty installs at a peer and expired remote
+	// round grants. The protocol keeps running (the next violation
+	// resynchronizes); the counter surfaces that it happened.
+	FabricErrors int64
 	// ViolationBreakdown is the Figure 24 split for transactions that
 	// required synchronization.
 	ViolationBreakdown Breakdown
@@ -212,6 +232,21 @@ func (c *Collector) RecordTreatyGenFailure() {
 		return
 	}
 	c.TreatyGenFailures++
+}
+
+// RecordNegotiation records one cleanup round's communication latency.
+func (c *Collector) RecordNegotiation(d rt.Duration) {
+	if !c.Measuring {
+		return
+	}
+	c.NegotiationLatency.Add(d)
+}
+
+// RecordFabricError records a site-fabric degradation (failed peer
+// install, expired round grant). Not gated on Measuring: degradations are
+// operational signals, not workload measurements.
+func (c *Collector) RecordFabricError() {
+	c.FabricErrors++
 }
 
 // RecordCoWinner records a transaction committed by joining another
@@ -274,6 +309,13 @@ type Snapshot struct {
 	LatencyP99  rt.Duration
 	LatencyMax  rt.Duration
 	LatencyMean rt.Duration
+
+	// Negotiations is the number of cleanup rounds this collector timed;
+	// NegLatencyP50/P99 are percentiles of their communication cost.
+	Negotiations  int64
+	NegLatencyP50 rt.Duration
+	NegLatencyP99 rt.Duration
+	FabricErrors  int64
 }
 
 // SnapshotAt captures the collector's state with the throughput window
@@ -297,5 +339,9 @@ func (c *Collector) SnapshotAt(now rt.Time) Snapshot {
 		LatencyP99:        c.Latency.Percentile(99),
 		LatencyMax:        c.Latency.Max(),
 		LatencyMean:       c.Latency.Mean(),
+		Negotiations:      int64(c.NegotiationLatency.N()),
+		NegLatencyP50:     c.NegotiationLatency.Percentile(50),
+		NegLatencyP99:     c.NegotiationLatency.Percentile(99),
+		FabricErrors:      c.FabricErrors,
 	}
 }

@@ -177,3 +177,50 @@ func TestDistinctFailureCounters(t *testing.T) {
 			c.Livelocked, c.Dropped, c.TreatyGenFailures, c.CoWinnerCommits)
 	}
 }
+
+// TestHistogramAddAll: merged histograms report percentiles over the
+// union of samples.
+func TestHistogramAddAll(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 50; i++ {
+		a.Add(sim.Duration(i))
+	}
+	for i := 51; i <= 100; i++ {
+		b.Add(sim.Duration(i))
+	}
+	a.AddAll(&b)
+	a.AddAll(nil)
+	if a.N() != 100 {
+		t.Fatalf("N = %d, want 100", a.N())
+	}
+	if p := a.Percentile(50); p != sim.Duration(51) {
+		t.Fatalf("p50 = %v, want 51", p)
+	}
+	if m := a.Max(); m != sim.Duration(100) {
+		t.Fatalf("max = %v", m)
+	}
+}
+
+// TestNegotiationLatencyGatedAndSnapshot: negotiation samples respect the
+// measuring gate and surface in snapshots.
+func TestNegotiationLatencyGatedAndSnapshot(t *testing.T) {
+	var c Collector
+	c.RecordNegotiation(sim.Millisecond) // warm-up: dropped
+	c.Measuring = true
+	c.RecordNegotiation(100 * sim.Millisecond)
+	c.RecordNegotiation(300 * sim.Millisecond)
+	c.RecordFabricError()
+	snap := c.SnapshotAt(sim.Time(sim.Second))
+	if snap.Negotiations != 2 {
+		t.Fatalf("negotiations = %d, want 2", snap.Negotiations)
+	}
+	if snap.NegLatencyP50 != 300*sim.Millisecond && snap.NegLatencyP50 != 100*sim.Millisecond {
+		t.Fatalf("p50 = %v", snap.NegLatencyP50)
+	}
+	if snap.NegLatencyP99 != 300*sim.Millisecond {
+		t.Fatalf("p99 = %v, want 300ms", snap.NegLatencyP99)
+	}
+	if snap.FabricErrors != 1 {
+		t.Fatalf("fabric errors = %d, want 1", snap.FabricErrors)
+	}
+}
