@@ -113,8 +113,10 @@ func main() {
 		stock        = flag.Int("stock", 30, "tpcc: stock rows per warehouse")
 		seed         = flag.Int64("seed", 1, "seed for treaty optimization and request draws")
 		maxInflight  = flag.Int("max-inflight", 1024, "submissions in flight before 429 backpressure")
+		walDir       = flag.String("wal-dir", "", "durability: directory for per-site write-ahead logs (site-<k>.wal); boot replays it and rejoins the fabric")
+		walSync      = flag.Bool("wal-sync", false, "durability: fsync every WAL batch before acknowledging (survives power loss, slower)")
 		addr         = flag.String("addr", ":8080", "serving mode: HTTP listen address (drive mode: loopback default)")
-		drive        = flag.String("drive", "", "drive mode: clients=N,duration=5s[,class=Name] (closed-loop load over the wire protocol, then exit)")
+		drive        = flag.String("drive", "", "drive mode: clients=N,duration=5s[,class=Name][,procs=N][,kill=site@t] (closed-loop load over the wire protocol, then exit)")
 		warmup       = flag.Duration("warmup", 250*time.Millisecond, "drive mode: warm-up before measuring")
 		checkReplay  = flag.Bool("check-replay", true, "drive mode: verify serial-replay equivalence of the commit log")
 		verbose      = flag.Bool("v", false, "drive mode: also print per-site store counters")
@@ -148,6 +150,7 @@ func main() {
 		Seed:          *seed,
 		MaxInflight:   *maxInflight,
 		EnableLog:     *enableLog,
+		WAL:           homeo.WALOptions{Dir: *walDir, Sync: *walSync},
 	}
 	if *ec2 {
 		opts.Topology = homeo.EC2(*sites)
@@ -195,6 +198,9 @@ func main() {
 		cfg.verbose = *verbose
 		cfg.registers = registers
 		opts.EnableLog = cfg.checkReplay
+		if cfg.killSite > 0 && cfg.procs == 0 {
+			fatal(fmt.Errorf("drive: kill=%d needs procs=N (only spawned peer processes can be killed)", cfg.killSite))
+		}
 		if cfg.procs > 0 {
 			if *site >= 0 {
 				fatal(fmt.Errorf("-drive procs=N spawns its own peer processes; it cannot be combined with -site"))
@@ -202,8 +208,7 @@ func main() {
 			if strings.ToLower(*workloadName) != "none" || cfg.class == "" {
 				fatal(fmt.Errorf("drive: procs=N needs -workload none plus -register/class= (merged replay reconstructs commits through registered classes)"))
 			}
-			runDriveProcs(opts, cfg)
-			return
+			os.Exit(runDriveProcs(opts, cfg))
 		}
 		runDrive(opts, cfg)
 		return
@@ -274,19 +279,22 @@ type driveConfig struct {
 	duration    time.Duration
 	class       string
 	procs       int
+	killSite    int
+	killAt      time.Duration
 	warmup      time.Duration
 	checkReplay bool
 	verbose     bool
 	registers   classFiles
 }
 
-// parseDrive parses "clients=N,duration=5s[,class=Name][,procs=N]".
+// parseDrive parses
+// "clients=N,duration=5s[,class=Name][,procs=N][,kill=site@t]".
 func parseDrive(s string) (driveConfig, error) {
 	cfg := driveConfig{clients: 4, duration: 5 * time.Second}
 	for _, part := range strings.Split(s, ",") {
 		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
 		if len(kv) != 2 {
-			return cfg, fmt.Errorf("drive: bad option %q (want clients=N,duration=5s[,class=Name][,procs=N])", part)
+			return cfg, fmt.Errorf("drive: bad option %q (want clients=N,duration=5s[,class=Name][,procs=N][,kill=site@t])", part)
 		}
 		switch kv[0] {
 		case "clients":
@@ -309,6 +317,24 @@ func parseDrive(s string) (driveConfig, error) {
 				return cfg, fmt.Errorf("drive: bad procs %q (want >= 2)", kv[1])
 			}
 			cfg.procs = n
+		case "kill":
+			// kill=site[@when]: SIGKILL the spawned peer process serving
+			// that site mid-drive, restart it, and let it recover from its
+			// WAL. when is "mid" (the default — halfway through the drive)
+			// or a duration offset from the start of the drive.
+			v, at, _ := strings.Cut(kv[1], "@")
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return cfg, fmt.Errorf("drive: bad kill site %q (want a spawned peer site >= 1)", kv[1])
+			}
+			cfg.killSite = n
+			if at != "" && at != "mid" {
+				d, err := time.ParseDuration(at)
+				if err != nil || d <= 0 {
+					return cfg, fmt.Errorf("drive: bad kill time %q (want mid or a positive duration)", at)
+				}
+				cfg.killAt = d
+			}
 		default:
 			return cfg, fmt.Errorf("drive: unknown option %q", kv[0])
 		}
@@ -360,6 +386,13 @@ func runServe(opts homeo.Options, addr string, registers classFiles) {
 			fatal(err)
 		}
 		fmt.Printf("registered class %s(%s)\n", t.Name(), strings.Join(t.Params(), ", "))
+	}
+	// Durability: replay the WAL (if any) on top of the deterministic boot
+	// state and rejoin the fabric, before the listener opens.
+	if rec, err := c.Recover(); err != nil {
+		fatal(err)
+	} else if rec > 0 {
+		fmt.Printf("recovered %d WAL records\n", rec)
 	}
 
 	handler := httpapi.NewHandler(c)
@@ -447,6 +480,12 @@ func runDrive(opts homeo.Options, cfg driveConfig) {
 			}
 		}
 		driveBounds = spec.Bounds
+	}
+	// Durability: classes are registered, so WAL replay can land on top.
+	if rec, err := c.Recover(); err != nil {
+		fatal(err)
+	} else if rec > 0 {
+		fmt.Printf("recovered %d WAL records\n", rec)
 	}
 
 	fmt.Printf("driving %d clients/site for %v over %s (warmup %v)...\n",
@@ -548,12 +587,15 @@ func drawArgs(rng *rand.Rand, params []string, bounds map[string][2]int64) []int
 	return args
 }
 
-// childFlagSkip lists flags runDriveProcs must not forward to the peer
-// processes it spawns (they get their own -site/-peers/-addr, and must
-// not re-enter drive mode or re-register classes).
+// childFlagSkip lists flags runDriveProcs must not forward verbatim to
+// the peer processes it spawns (they get their own
+// -site/-peers/-addr/-wal-dir, and must not re-enter drive mode).
+// -register IS forwarded: every process registers the same class files in
+// the same order at boot, so a peer restarted by the kill= chaos knob
+// re-derives identical units before replaying its WAL.
 var childFlagSkip = map[string]bool{
 	"drive": true, "addr": true, "site": true, "peers": true,
-	"register": true, "enable-log": true, "warmup": true,
+	"enable-log": true, "warmup": true, "wal-dir": true,
 	"check-replay": true, "v": true, "peer-token": true,
 }
 
@@ -581,15 +623,36 @@ func reservePorts(n int) ([]string, error) {
 
 // runDriveProcs is the multi-process drive mode: spawn procs-1 peer
 // processes (this binary with -site k -peers ...), serve site 0 itself,
-// register the class files at every site over HTTP, run the closed-loop
-// driver against each site's own server, and verify the merged commit
-// log (ordered by Lamport clock across processes) is observationally
-// equivalent under serial replay.
-func runDriveProcs(opts homeo.Options, cfg driveConfig) {
+// run the closed-loop driver against each site's own server, and verify
+// the merged commit log (ordered by Lamport clock across processes) is
+// observationally equivalent under serial replay. Every process —
+// including the spawned peers — registers the same -register class files
+// in the same order at boot. With kill=site@t one peer is SIGKILLed
+// mid-drive and restarted; it replays its write-ahead log, rejoins the
+// fabric, and the replay check runs over the merged post-recovery logs.
+func runDriveProcs(opts homeo.Options, cfg driveConfig) (exit int) {
 	n := cfg.procs
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "homeostasis-serve:", err)
+		return 1
+	}
+	if cfg.killSite >= n {
+		return fail(fmt.Errorf("drive: kill=%d out of range (procs=%d spawns peer sites 1..%d)", cfg.killSite, n, n-1))
+	}
+	if cfg.killSite > 0 && opts.WAL.Dir == "" {
+		// A kill without durability would just lose the site's history;
+		// give the cluster a scratch WAL when the operator didn't.
+		dir, err := os.MkdirTemp("", "homeo-wal-")
+		if err != nil {
+			return fail(err)
+		}
+		defer os.RemoveAll(dir)
+		opts.WAL.Dir = dir
+		fmt.Printf("kill=%d: write-ahead logs in %s\n", cfg.killSite, dir)
+	}
 	addrs, err := reservePorts(n)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	peers := make([]string, n)
 	for k := range peers {
@@ -598,7 +661,7 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) {
 	// One shared secret for the whole spawned cluster, fresh per run.
 	tokenBytes := make([]byte, 16)
 	if _, err := cryptorand.Read(tokenBytes); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	token := hex.EncodeToString(tokenBytes)
 	opts.Sites = n
@@ -615,19 +678,9 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) {
 	})
 	self, err := os.Executable()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	var children []*exec.Cmd
-	// fail kills the spawned peers before exiting (fatal never returns,
-	// and os.Exit skips defers).
-	fail := func(err error) {
-		for _, ch := range children {
-			if ch.Process != nil {
-				ch.Process.Kill()
-			}
-		}
-		fatal(err)
-	}
+	childArgs := make([][]string, n)
 	for k := 1; k < n; k++ {
 		args := append([]string{}, inherited...)
 		args = append(args,
@@ -636,71 +689,107 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) {
 			"-addr", addrs[k],
 			"-peer-token", token,
 			"-enable-log")
-		ch := exec.Command(self, args...)
+		if opts.WAL.Dir != "" {
+			args = append(args, "-wal-dir", opts.WAL.Dir)
+		}
+		childArgs[k] = args
+	}
+	// Each child gets its own process group, and the deferred reaper
+	// SIGKILLs whatever is still running on any exit path — a driver
+	// failure must not leak orphan site processes.
+	children := make([]*exec.Cmd, n)
+	startChild := func(k int) (*exec.Cmd, error) {
+		ch := exec.Command(self, childArgs[k]...)
 		ch.Stdout = os.Stderr
 		ch.Stderr = os.Stderr
+		ch.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
 		if err := ch.Start(); err != nil {
-			fail(err)
+			return nil, err
 		}
-		children = append(children, ch)
+		return ch, nil
 	}
-
-	// Site 0 lives in this process, mounted on its reserved address.
-	c := boot(opts)
-	handler := httpapi.NewHandler(c)
-	ln, err := net.Listen("tcp", addrs[0])
-	if err != nil {
-		fail(err)
-	}
-	httpSrv := &http.Server{Handler: handler}
-	go httpSrv.Serve(ln)
-
-	ctx := context.Background()
-	clients := make([]*client.Client, n)
-	for k := range clients {
-		clients[k] = client.New(peers[k], client.Options{Seed: opts.Seed + int64(k), PeerToken: token})
-		deadline := time.Now().Add(15 * time.Second)
-		for {
-			if err := clients[k].Health(ctx); err == nil {
-				break
-			} else if time.Now().After(deadline) {
-				fail(fmt.Errorf("site %d (%s) never became healthy: %v", k, peers[k], err))
+	defer func() {
+		for _, ch := range children {
+			if ch != nil && ch.Process != nil && ch.ProcessState == nil {
+				syscall.Kill(-ch.Process.Pid, syscall.SIGKILL)
+				ch.Wait()
 			}
-			time.Sleep(100 * time.Millisecond)
 		}
+	}()
+	for k := 1; k < n; k++ {
+		ch, err := startChild(k)
+		if err != nil {
+			return fail(err)
+		}
+		children[k] = ch
 	}
-	fmt.Printf("site fabric up: %d processes (%s)\n", n, strings.Join(addrs, " "))
 
-	// Register every class file at every site, in the same order, so all
-	// processes assign identical unit ids and initial values.
+	// Site 0 lives in this process, mounted on its reserved address. It
+	// registers the class files locally in file order — the same order
+	// every child registers them at boot — then recovers its WAL (classes
+	// first: replay needs the derived units).
+	bootStart := time.Now()
+	c, err := homeo.New(opts)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("booted %s on %d sites in %v (mode %s, alloc %s)\n",
+		c.WorkloadName(), c.Sites(), time.Since(bootStart).Round(time.Millisecond),
+		opts.Mode, opts.Alloc)
 	var driveParams []string
 	var driveBounds map[string][2]int64
 	for _, path := range cfg.registers {
 		spec, err := loadClassRequest(path)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		for k, cl := range clients {
-			info, rerr := cl.RegisterClass(ctx, spec)
-			if rerr != nil {
-				fail(fmt.Errorf("registering %s at site %d: %v", path, k, rerr))
-			}
-			if k == 0 && info.Name == cfg.class {
-				driveParams = info.Params
-				driveBounds = spec.Bounds
-			}
+		t, err := c.Register(homeo.ClassSpec{
+			Name: spec.Name, L: spec.L, SQL: spec.SQL,
+			Bounds: spec.Bounds, Initial: spec.Initial, Rows: spec.Rows,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("registering %s: %v", path, err))
 		}
-		fmt.Printf("registered %s at %d sites\n", path, n)
+		if t.Name() == cfg.class {
+			driveParams = t.Params()
+			driveBounds = spec.Bounds
+		}
 	}
 	if driveParams == nil {
-		if t, err := clients[0].ListClasses(ctx); err == nil {
-			for _, ci := range t {
-				if ci.Name == cfg.class {
-					driveParams = ci.Params
-				}
+		return fail(fmt.Errorf("drive: class %q was not registered via -register", cfg.class))
+	}
+	if _, err := c.Recover(); err != nil {
+		return fail(err)
+	}
+	handler := httpapi.NewHandler(c)
+	ln, err := net.Listen("tcp", addrs[0])
+	if err != nil {
+		return fail(err)
+	}
+	httpSrv := &http.Server{Handler: handler}
+	go httpSrv.Serve(ln)
+
+	ctx := context.Background()
+	waitHealthy := func(k int, cl *client.Client, budget time.Duration) error {
+		deadline := time.Now().Add(budget)
+		for {
+			if err := cl.Health(ctx); err == nil {
+				return nil
+			} else if time.Now().After(deadline) {
+				return fmt.Errorf("site %d (%s) never became healthy: %v", k, peers[k], err)
 			}
+			time.Sleep(100 * time.Millisecond)
 		}
 	}
+	clients := make([]*client.Client, n)
+	for k := range clients {
+		clients[k] = client.New(peers[k], client.Options{Seed: opts.Seed + int64(k), PeerToken: token})
+		if err := waitHealthy(k, clients[k], 15*time.Second); err != nil {
+			return fail(err)
+		}
+	}
+	fmt.Printf("site fabric up: %d processes (%s), %d class files registered at every site\n",
+		n, strings.Join(addrs, " "), len(cfg.registers))
 
 	fmt.Printf("driving %d clients/site against %d site processes for %v...\n",
 		cfg.clients, n, cfg.duration)
@@ -727,7 +816,34 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) {
 			}()
 		}
 	}
-	time.Sleep(cfg.duration)
+	if cfg.killSite > 0 {
+		at := cfg.killAt
+		if at <= 0 || at >= cfg.duration {
+			at = cfg.duration / 2
+		}
+		time.Sleep(at)
+		k := cfg.killSite
+		pid := children[k].Process.Pid
+		fmt.Printf("chaos: SIGKILL site %d (pid %d) %v into the drive\n", k, pid, at)
+		syscall.Kill(-pid, syscall.SIGKILL)
+		children[k].Wait()
+		ch, err := startChild(k)
+		if err != nil {
+			stop.Store(true)
+			wg.Wait()
+			return fail(fmt.Errorf("restarting site %d: %v", k, err))
+		}
+		children[k] = ch
+		if err := waitHealthy(k, clients[k], 30*time.Second); err != nil {
+			stop.Store(true)
+			wg.Wait()
+			return fail(fmt.Errorf("site %d did not recover: %v", k, err))
+		}
+		fmt.Printf("chaos: site %d restarted, recovered, and rejoined\n", k)
+		time.Sleep(cfg.duration - at)
+	} else {
+		time.Sleep(cfg.duration)
+	}
 	stop.Store(true)
 	wg.Wait()
 
@@ -738,21 +854,25 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) {
 	for k, cl := range clients {
 		st, err := cl.Stats(ctx)
 		if err != nil {
-			fail(fmt.Errorf("stats from site %d: %v", k, err))
+			return fail(fmt.Errorf("stats from site %d: %v", k, err))
 		}
 		totalCommitted += st.Committed
 		totalSynced += st.Synced
 		totalNeg += st.Negotiations
 		fmt.Printf("site %d: committed=%d synced=%d negotiations=%d neg-p50=%.3fms neg-p99=%.3fms fabric-errors=%d\n",
 			k, st.Committed, st.Synced, st.Negotiations, st.NegLatencyP50MS, st.NegLatencyP99MS, st.FabricErrors)
+		if st.RecoveredWALRecords > 0 || st.RoundsAdopted > 0 || st.RoundsAborted > 0 {
+			fmt.Printf("site %d: recovered %d WAL records, failover rounds adopted=%d aborted=%d\n",
+				k, st.RecoveredWALRecords, st.RoundsAdopted, st.RoundsAborted)
+		}
 		lr, err := cl.PeerLog(ctx)
 		if err != nil {
-			fail(fmt.Errorf("commit log from site %d: %v", k, err))
+			return fail(fmt.Errorf("commit log from site %d: %v", k, err))
 		}
 		logs[k] = lr.Entries
 		pt, err := cl.PeerDB(ctx)
 		if err != nil {
-			fail(fmt.Errorf("partition from site %d: %v", k, err))
+			return fail(fmt.Errorf("partition from site %d: %v", k, err))
 		}
 		parts[k] = pt
 	}
@@ -761,7 +881,6 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) {
 		totalCommitted, n, float64(totalCommitted)/cfg.duration.Seconds())
 	fmt.Printf("sync rounds:      %d (each = 2 peer message rounds over the HTTP fabric)\n", totalNeg)
 
-	exit := 0
 	if totalCommitted == 0 {
 		fmt.Println("FAIL: no transactions committed")
 		exit = 1
@@ -781,16 +900,20 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) {
 	}
 
 	// Graceful teardown: children first (they may still hold peer
-	// connections to us), then our own server.
+	// connections to us), then our own server. The deferred reaper skips
+	// anything already waited on here.
 	for _, ch := range children {
-		ch.Process.Signal(syscall.SIGTERM)
+		if ch != nil {
+			ch.Process.Signal(syscall.SIGTERM)
+		}
 	}
 	for _, ch := range children {
-		ch.Wait()
+		if ch != nil {
+			ch.Wait()
+		}
 	}
-	children = nil
 	handler.Drain()
 	httpSrv.Close()
 	c.Close()
-	os.Exit(exit)
+	return exit
 }

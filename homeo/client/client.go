@@ -38,6 +38,7 @@ type APIError struct {
 	RetryAfter time.Duration
 }
 
+// Error renders the HTTP status and the server-reported message.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("homeo api: %d %s: %s", e.Status, e.Code, e.Message)
 }

@@ -52,6 +52,7 @@ import (
 	"repro/internal/rt"
 	"repro/internal/rtlive"
 	"repro/internal/sim"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -142,6 +143,7 @@ const (
 	RuntimeLive
 )
 
+// String names the runtime kind ("sim" or "live").
 func (k RuntimeKind) String() string {
 	if k == RuntimeLive {
 		return "live"
@@ -193,6 +195,13 @@ type Options struct {
 	Warmup         time.Duration
 	Measure        time.Duration
 
+	// WAL, when Dir is set, makes this process's sites durable: committed
+	// transactions, synchronization-round installs, and treaty generations
+	// append to per-site write-ahead logs under Dir, and Recover replays
+	// them after a restart. Logging is invisible to the virtual timeline,
+	// so simulated runs stay byte-identical with or without a WAL.
+	WAL WALOptions
+
 	// Fabric, when set, runs the cluster as one OS process per site over
 	// the HTTP site fabric: this process owns exactly Fabric.Site, and
 	// the cleanup phase's synchronization rounds travel as JSON peer
@@ -201,6 +210,17 @@ type Options struct {
 	// workload, seed, and protocol options, and classes must be
 	// registered at every site (the multi-process driver does both).
 	Fabric *FabricOptions
+}
+
+// WALOptions configures site durability (see internal/wal).
+type WALOptions struct {
+	// Dir is the directory holding the per-site log files
+	// (site-<k>.wal). Empty disables the WAL entirely.
+	Dir string
+	// Sync fsyncs every flushed batch before acknowledging. Without it a
+	// flush is an ordinary write(2): durable across process crashes
+	// (SIGKILL), not across machine/power loss.
+	Sync bool
 }
 
 // FabricOptions configures a multi-process deployment.
@@ -308,6 +328,8 @@ func New(opts Options) (*Cluster, error) {
 		Measure:        rt.Duration(opts.Measure),
 		Seed:           opts.Seed,
 		EnableLog:      opts.EnableLog,
+		WALDir:         opts.WAL.Dir,
+		WALSync:        opts.WAL.Sync,
 	}
 	switch opts.Runtime {
 	case RuntimeSim:
@@ -407,6 +429,64 @@ func (c *Cluster) PeerToken() string {
 // (experiments, direct rt access). Most callers never need it.
 func (c *Cluster) System() *homeostasis.System { return c.sys }
 
+// Recover opens the write-ahead logs under Options.WAL.Dir, replays any
+// records found (a restarted process recovers its pre-crash state:
+// deterministic reboot plus the logged commits, installs, and treaty
+// generations on top), and — on a multi-process cluster — rejoins the
+// site fabric: peers fail over any synchronization round the previous
+// incarnation was coordinating, and units whose treaty generation moved
+// on while this process was down are repaired from the peers' replicated
+// state. Returns the number of WAL records recovered.
+//
+// Call exactly once, after every transaction class is registered and
+// before serving traffic; a no-op returning (0, nil) when no WAL is
+// configured.
+func (c *Cluster) Recover() (int, error) {
+	if c.opts.WAL.Dir == "" {
+		return 0, nil
+	}
+	var (
+		n   int
+		err error
+	)
+	c.locked(func() {
+		n, err = c.sys.OpenWAL(c.opts.WAL.Dir, wal.Options{Sync: c.opts.WAL.Sync})
+	})
+	if err != nil {
+		return n, err
+	}
+	if n == 0 {
+		// Fresh (empty) logs mean a first boot: the deterministic boot
+		// state is already correct, and on a cluster whose processes boot
+		// in parallel the peers may not even be listening yet.
+		return 0, nil
+	}
+	// The rejoin handshake parks on peer replies, so it needs a process.
+	var rerr error
+	done := make(chan struct{})
+	body := func(p rt.Proc) {
+		defer close(done)
+		rerr = c.sys.RejoinFabric(p)
+	}
+	if c.sim != nil {
+		c.mu.Lock()
+		c.sim.SetDeadline(0)
+		c.sim.Spawn(int(c.nextID.Add(1)), body)
+		c.sim.Run()
+		c.mu.Unlock()
+	} else if !c.live.SpawnOK(int(c.nextID.Add(1)), body) {
+		return n, fmt.Errorf("homeo: cluster is draining")
+	} else {
+		<-done
+	}
+	select {
+	case <-done:
+	default:
+		return n, fmt.Errorf("homeo: rejoin handshake parked with no pending event")
+	}
+	return n, rerr
+}
+
 // Drive runs the closed-loop load driver: Options.ClientsPerSite clients
 // per site issue requests from the base workload's mix (or the registered
 // classes, when there is no base workload) through warm-up plus
@@ -471,4 +551,7 @@ func (c *Cluster) Close() {
 	} else {
 		c.sim.Drain()
 	}
+	// Flush and close the write-ahead logs last: every process that could
+	// have appended has drained by now.
+	c.locked(func() { _ = c.sys.CloseWAL() })
 }

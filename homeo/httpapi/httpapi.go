@@ -115,31 +115,34 @@ func writeError(rw http.ResponseWriter, status int, code, format string, args ..
 func wireStats(s homeo.Stats) wire.Stats {
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	out := wire.Stats{
-		Workload:          s.Workload,
-		Mode:              s.Mode,
-		Alloc:             s.Alloc,
-		Runtime:           s.Runtime,
-		Sites:             s.Sites,
-		Classes:           s.Classes,
-		UptimeSec:         s.Uptime.Seconds(),
-		Committed:         s.Committed,
-		Synced:            s.Synced,
-		ConflictAborts:    s.ConflictAborts,
-		Dropped:           s.Dropped,
-		Livelocked:        s.Livelocked,
-		TreatyGenFailures: s.TreatyGenFailures,
-		CoWinnerCommits:   s.CoWinnerCommits,
-		SyncRatioPct:      s.SyncRatioPct,
-		ThroughputTxnS:    s.Throughput,
-		LatencyP50MS:      ms(s.LatencyP50),
-		LatencyP90MS:      ms(s.LatencyP90),
-		LatencyP99MS:      ms(s.LatencyP99),
-		LatencyMaxMS:      ms(s.LatencyMax),
-		LatencyMeanMS:     ms(s.LatencyMean),
-		Negotiations:      s.Negotiations,
-		NegLatencyP50MS:   ms(s.NegotiationP50),
-		NegLatencyP99MS:   ms(s.NegotiationP99),
-		FabricErrors:      s.FabricErrors,
+		Workload:            s.Workload,
+		Mode:                s.Mode,
+		Alloc:               s.Alloc,
+		Runtime:             s.Runtime,
+		Sites:               s.Sites,
+		Classes:             s.Classes,
+		UptimeSec:           s.Uptime.Seconds(),
+		Committed:           s.Committed,
+		Synced:              s.Synced,
+		ConflictAborts:      s.ConflictAborts,
+		Dropped:             s.Dropped,
+		Livelocked:          s.Livelocked,
+		TreatyGenFailures:   s.TreatyGenFailures,
+		CoWinnerCommits:     s.CoWinnerCommits,
+		SyncRatioPct:        s.SyncRatioPct,
+		ThroughputTxnS:      s.Throughput,
+		LatencyP50MS:        ms(s.LatencyP50),
+		LatencyP90MS:        ms(s.LatencyP90),
+		LatencyP99MS:        ms(s.LatencyP99),
+		LatencyMaxMS:        ms(s.LatencyMax),
+		LatencyMeanMS:       ms(s.LatencyMean),
+		Negotiations:        s.Negotiations,
+		NegLatencyP50MS:     ms(s.NegotiationP50),
+		NegLatencyP99MS:     ms(s.NegotiationP99),
+		FabricErrors:        s.FabricErrors,
+		RoundsAdopted:       s.RoundsAdopted,
+		RoundsAborted:       s.RoundsAborted,
+		RecoveredWALRecords: s.RecoveredWALRecords,
 		StoreCluster: wire.StoreStats{Commits: s.Store.Commits, Aborts: s.Store.Aborts,
 			Deadlocks: s.Store.Deadlocks, Timeouts: s.Store.Timeouts},
 	}

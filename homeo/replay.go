@@ -22,13 +22,17 @@ func (c *Cluster) WireLog() []wire.LogEntry {
 	var out []wire.LogEntry
 	c.locked(func() {
 		for i, e := range c.sys.CommitLog {
-			out = append(out, wire.LogEntry{
+			en := wire.LogEntry{
 				Class: e.Name,
 				Args:  e.Args,
 				Site:  e.Site,
 				Clock: e.Clock,
 				Seq:   i,
-			})
+			}
+			if e.Round != nil {
+				en.Round = &wire.LogRound{Site: e.Round.Site, Seq: e.Round.Seq}
+			}
+			out = append(out, en)
 		}
 	})
 	return out
@@ -55,7 +59,10 @@ func (c *Cluster) Partition() wire.PartitionResponse {
 // (Lamport clock, site, local sequence). Commits causally ordered by a
 // synchronization round keep their order; concurrent commits (which the
 // treaties guarantee stay within their sites' slack) tie-break
-// deterministically.
+// deterministically. A synchronization round's winner can legitimately
+// appear in more than one log — the coordinator's, plus any site that
+// adopted the round during coordinator failover — so entries tagged with
+// a round id are deduplicated, keeping the first in merge order.
 func MergeLogs(logs [][]wire.LogEntry) []wire.LogEntry {
 	var out []wire.LogEntry
 	for _, l := range logs {
@@ -71,7 +78,18 @@ func MergeLogs(logs [][]wire.LogEntry) []wire.LogEntry {
 		}
 		return a.Seq < b.Seq
 	})
-	return out
+	seen := make(map[wire.LogRound]bool)
+	dst := out[:0]
+	for _, e := range out {
+		if e.Round != nil {
+			if seen[*e.Round] {
+				continue
+			}
+			seen[*e.Round] = true
+		}
+		dst = append(dst, e)
+	}
+	return dst
 }
 
 // CheckMergedReplay verifies observational equivalence across a

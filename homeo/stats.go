@@ -63,6 +63,15 @@ type Stats struct {
 	NegotiationP99 time.Duration
 	FabricErrors   int64
 
+	// RoundsAdopted and RoundsAborted count coordinator-failover outcomes:
+	// synchronization rounds whose coordinator died mid-round and whose
+	// grant this process resolved by adopting the decided winner or by
+	// aborting the round. RecoveredWALRecords is the number of
+	// write-ahead-log records replayed by Recover at boot.
+	RoundsAdopted       int64
+	RoundsAborted       int64
+	RecoveredWALRecords int64
+
 	// Store aggregates the per-site counters; PerSite lists them.
 	Store   StoreStats
 	PerSite []StoreStats
@@ -105,6 +114,9 @@ func (c *Cluster) Stats() Stats {
 		st.NegotiationP50 = time.Duration(snap.NegLatencyP50)
 		st.NegotiationP99 = time.Duration(snap.NegLatencyP99)
 		st.FabricErrors = snap.FabricErrors
+		st.RoundsAdopted = snap.RoundsAdopted
+		st.RoundsAborted = snap.RoundsAborted
+		st.RecoveredWALRecords = c.sys.RecoveredRecords
 		st.Store = fromStoreStats(c.sys.StoreStats())
 		for _, s := range c.sys.SiteStats() {
 			st.PerSite = append(st.PerSite, fromStoreStats(s))

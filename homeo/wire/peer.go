@@ -14,6 +14,11 @@ package wire
 //	POST /v1/peer/install-treaties  round 2: install the site's new local
 //	                                treaties and release the units
 //	POST /v1/peer/abort             release a round that will not complete
+//	POST /v1/peer/rejoin            recovery handshake: a site restarted
+//	                                from its write-ahead log announces its
+//	                                recovered treaty versions; peers fail
+//	                                over its orphaned rounds and report the
+//	                                units it must repair
 //	GET  /v1/peer/log               the site's commit log (Lamport-clocked)
 //	GET  /v1/peer/db                the site's authoritative partition of
 //	                                the logical database
@@ -57,6 +62,20 @@ type PeerInstallState struct {
 	Clock  int64            `json:"clock"`
 	Objs   []string         `json:"objs"`
 	Folded map[string]int64 `json:"folded"`
+	// Winner identifies the round's winning transaction (already applied
+	// inside Folded), so the granted site can adopt the commit if the
+	// coordinator dies before round 2.
+	Winner *PeerWinner `json:"winner,omitempty"`
+}
+
+// PeerWinner is the winning transaction's identity carried by
+// PeerInstallState for coordinator-failover adoption.
+type PeerWinner struct {
+	Class string  `json:"class"`
+	Args  []int64 `json:"args,omitempty"`
+	Site  int     `json:"site"`
+	Units []int   `json:"units,omitempty"`
+	Log   []int64 `json:"log,omitempty"`
 }
 
 // PeerConstraint is one linear constraint of a local treaty in canonical
@@ -100,6 +119,42 @@ type PeerAck struct {
 	Clock int64 `json:"clock"`
 }
 
+// PeerUnitVersion pairs a treaty unit with a treaty version.
+type PeerUnitVersion struct {
+	Unit    int   `json:"unit"`
+	Version int64 `json:"version"`
+}
+
+// PeerRejoin is the POST /v1/peer/rejoin body: a site restarted from its
+// write-ahead log announces itself and the treaty versions it recovered.
+// Receivers fail over any round the sender's dead incarnation was
+// coordinating and reply with the units the sender must repair.
+type PeerRejoin struct {
+	Site  int               `json:"site"`
+	Clock int64             `json:"clock"`
+	Units []PeerUnitVersion `json:"units,omitempty"`
+}
+
+// PeerRejoinUnit is one unit the rejoining site must repair: the
+// answering peer's treaty version and the unit objects' replicated base
+// values there.
+type PeerRejoinUnit struct {
+	Unit    int   `json:"unit"`
+	Version int64 `json:"version"`
+	// Force marks repair info from a round the rejoiner itself coordinated
+	// whose state install completed at the peer: the base moved without a
+	// new treaty generation, so the rejoiner must adopt it regardless of
+	// version comparison.
+	Force bool             `json:"force,omitempty"`
+	Base  map[string]int64 `json:"base,omitempty"`
+}
+
+// PeerRejoinReply is the rejoin response.
+type PeerRejoinReply struct {
+	Clock int64            `json:"clock"`
+	Units []PeerRejoinUnit `json:"units,omitempty"`
+}
+
 // LogEntry is one commit-log entry (GET /v1/peer/log): enough to replay
 // the transaction through its registered class and to merge per-site logs
 // into a causally consistent order.
@@ -111,6 +166,16 @@ type LogEntry struct {
 	// site's local log.
 	Clock int64 `json:"clock"`
 	Seq   int   `json:"seq"`
+	// Round names the cleanup round for cleanup-phase commits. It is the
+	// cluster-wide dedup key under coordinator failover: an adopted winner
+	// may appear in several sites' logs, and a merge keeps one copy.
+	Round *LogRound `json:"round,omitempty"`
+}
+
+// LogRound names a cleanup round in a commit-log entry.
+type LogRound struct {
+	Site int    `json:"site"`
+	Seq  uint64 `json:"seq"`
 }
 
 // LogResponse is the GET /v1/peer/log body.

@@ -159,6 +159,11 @@ type Stats struct {
 	NegLatencyP99MS float64 `json:"neg_latency_p99_ms"`
 	FabricErrors    int64   `json:"fabric_errors"`
 
+	// Coordinator-failover outcomes and WAL recovery (durable sites).
+	RoundsAdopted       int64 `json:"rounds_adopted,omitempty"`
+	RoundsAborted       int64 `json:"rounds_aborted,omitempty"`
+	RecoveredWALRecords int64 `json:"recovered_wal_records,omitempty"`
+
 	StoreCluster StoreStats   `json:"store_cluster"`
 	StorePerSite []StoreStats `json:"store_per_site,omitempty"`
 }

@@ -36,6 +36,7 @@ type RoundID struct {
 	Seq  uint64
 }
 
+// String renders the round id as "round <site>.<seq>".
 func (r RoundID) String() string { return fmt.Sprintf("round %d.%d", r.Site, r.Seq) }
 
 // CollectState is the round-1 scatter message: freeze the units and
@@ -65,6 +66,23 @@ type InstallState struct {
 	Clock  int64
 	Objs   []lang.ObjID
 	Folded lang.Database
+	// Winner identifies the round's winning transaction, already applied
+	// inside Folded. Sites remember it with the round grant: if the
+	// coordinator dies between this message and round 2, the granted site
+	// adopts the commit into its own log (instead of losing it) when the
+	// grant fails over.
+	Winner *WinnerCommit
+}
+
+// WinnerCommit is the winning transaction's identity, carried by
+// InstallState so a site can adopt the commit if the coordinator vanishes
+// after round 1 completed.
+type WinnerCommit struct {
+	Class string
+	Args  []int64
+	Site  int
+	Units []int
+	Log   []int64
 }
 
 // UnitTreaty is one unit's new local treaty for the destination site.
@@ -91,6 +109,40 @@ type AbortRound struct {
 	Clock int64
 }
 
+// Rejoin is the recovery handshake: a site that restarted from its WAL
+// announces itself and the treaty versions it recovered, so peers can
+// (a) fail over any round the dead incarnation was coordinating and
+// (b) report units whose treaty generation moved past the rejoiner.
+type Rejoin struct {
+	// Site is the rejoining site.
+	Site  int
+	Clock int64
+	// Versions maps unit id to the treaty version the rejoining site
+	// holds after replay.
+	Versions map[int]int64
+}
+
+// RejoinUnit is one unit the rejoining site must repair before serving:
+// the peer's treaty version and the unit objects' replicated base values.
+type RejoinUnit struct {
+	Unit    int
+	Version int64
+	// Base holds the unit objects' base values at the answering peer.
+	Base lang.Database
+	// Force marks repair info from a round the rejoining site itself
+	// coordinated whose state install completed at the peer: the base
+	// moved even though no new treaty generation was distributed, so the
+	// rejoiner must adopt the base regardless of version comparison.
+	Force bool
+}
+
+// RejoinReply answers a Rejoin: the units the rejoining site must repair
+// (empty when its recovered state is already current).
+type RejoinReply struct {
+	Clock int64
+	Units []RejoinUnit
+}
+
 // ErrBusy is returned by a Node refusing CollectState because one of the
 // round's units is already negotiating. The coordinator aborts the round,
 // backs off, and retries.
@@ -104,7 +156,10 @@ type SiteError struct {
 	Err  error
 }
 
+// Error renders the failing site and the underlying error.
 func (e *SiteError) Error() string { return fmt.Sprintf("fabric: site %d: %v", e.Site, e.Err) }
+
+// Unwrap exposes the underlying error for errors.Is / errors.As.
 func (e *SiteError) Unwrap() error { return e.Err }
 
 // Node is the per-site actor: it owns the site's store partition and
@@ -123,6 +178,9 @@ type Node interface {
 	InstallTreaties(m InstallTreaties) error
 	// AbortRound releases a granted round without installing anything.
 	AbortRound(m AbortRound) error
+	// Rejoin answers a restarted site's recovery handshake: fail over any
+	// round it was coordinating and report the units it must repair.
+	Rejoin(m Rejoin) (RejoinReply, error)
 }
 
 // Transport ships the coordinator's messages to every site's Node and
@@ -157,4 +215,10 @@ type Transport interface {
 
 	// Abort releases a round at every site.
 	Abort(p rt.Proc, from int, m AbortRound) error
+
+	// Rejoin delivers the recovery handshake to every peer of the
+	// rejoining site (the from site itself is skipped — it is the
+	// sender) and gathers the replies, indexed by site; the rejoiner's
+	// own entry is the zero RejoinReply.
+	Rejoin(p rt.Proc, from int, m Rejoin) ([]RejoinReply, error)
 }

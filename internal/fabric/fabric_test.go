@@ -80,6 +80,9 @@ func (chargeNode) CollectState(fabric.CollectState) (fabric.StateReply, error) {
 func (chargeNode) InstallState(fabric.InstallState) error       { return nil }
 func (chargeNode) InstallTreaties(fabric.InstallTreaties) error { return nil }
 func (chargeNode) AbortRound(fabric.AbortRound) error           { return nil }
+func (chargeNode) Rejoin(fabric.Rejoin) (fabric.RejoinReply, error) {
+	return fabric.RejoinReply{}, nil
+}
 
 // TestLocalLatencyMatchesTopology pins the Local transport's virtual-time
 // charges — the property the experiment goldens depend on: Collect and

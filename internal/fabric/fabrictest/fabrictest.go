@@ -47,6 +47,7 @@ type StubNode struct {
 	Installs []fabric.InstallState
 	Treaties []fabric.InstallTreaties
 	Aborts   []fabric.AbortRound
+	Rejoins  []fabric.Rejoin
 
 	// CollectErr, when set, makes CollectState fail with it.
 	CollectErr error
@@ -94,6 +95,24 @@ func (s *StubNode) AbortRound(m fabric.AbortRound) error {
 	return nil
 }
 
+// Rejoin implements fabric.Node: it records the handshake and answers
+// with one deterministically-derived repair unit, exercising the reply's
+// full round-trip encoding (version, force flag, base values).
+func (s *StubNode) Rejoin(m fabric.Rejoin) (fabric.RejoinReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Rejoins = append(s.Rejoins, m)
+	return fabric.RejoinReply{
+		Clock: m.Clock + int64(s.Site) + 1,
+		Units: []fabric.RejoinUnit{{
+			Unit:    s.Site,
+			Version: int64(10 + s.Site),
+			Force:   s.Site%2 == 1,
+			Base:    lang.Database{lang.ObjID(fmt.Sprintf("stock_%d", s.Site)): int64(-5 * s.Site)},
+		}},
+	}, nil
+}
+
 // Snapshot returns copies of the recorded messages.
 func (s *StubNode) Snapshot() (c []fabric.CollectState, i []fabric.InstallState, t []fabric.InstallTreaties, a []fabric.AbortRound) {
 	s.mu.Lock()
@@ -111,6 +130,7 @@ func Run(t *testing.T, mk Factory) {
 	t.Run("InstallStateDelivery", func(t *testing.T) { testInstallState(t, mk(t, 3)) })
 	t.Run("DistributePerSite", func(t *testing.T) { testDistribute(t, mk(t, 3)) })
 	t.Run("AbortDelivery", func(t *testing.T) { testAbort(t, mk(t, 2)) })
+	t.Run("RejoinHandshake", func(t *testing.T) { testRejoin(t, mk(t, 3)) })
 }
 
 func round(site int) fabric.RoundID { return fabric.RoundID{Site: site, Seq: 7} }
@@ -269,6 +289,55 @@ func testDistribute(t *testing.T, h *Harness) {
 		if got.Units[0].Local.String() != want.String() {
 			t.Errorf("site %d treaty round-trip:\n got %s\nwant %s", site, got.Units[0].Local, want)
 		}
+	}
+}
+
+// testRejoin checks the recovery handshake: every peer of the rejoining
+// site receives the message (the sender itself is skipped), and the
+// gathered replies are indexed by site with payloads intact.
+func testRejoin(t *testing.T, h *Harness) {
+	m := fabric.Rejoin{Site: 1, Clock: 17, Versions: map[int]int64{0: 3, 4: 9}}
+	var replies []fabric.RejoinReply
+	var err error
+	h.Exec(func(p rt.Proc) { replies, err = h.Transport.Rejoin(p, 1, m) })
+	if err != nil {
+		t.Fatalf("Rejoin: %v", err)
+	}
+	if len(replies) != len(h.Nodes) {
+		t.Fatalf("Rejoin returned %d replies, want %d", len(replies), len(h.Nodes))
+	}
+	for site, n := range h.Nodes {
+		n.mu.Lock()
+		rs := append([]fabric.Rejoin(nil), n.Rejoins...)
+		n.mu.Unlock()
+		if site == 1 {
+			if len(rs) != 0 {
+				t.Errorf("the rejoining site handled its own handshake (%d messages)", len(rs))
+			}
+			continue
+		}
+		if len(rs) != 1 {
+			t.Fatalf("site %d handled %d rejoins, want 1", site, len(rs))
+		}
+		got := rs[0]
+		if got.Site != 1 || got.Clock != 17 || len(got.Versions) != 2 || got.Versions[0] != 3 || got.Versions[4] != 9 {
+			t.Errorf("site %d rejoin payload = %+v", site, got)
+		}
+		rep := replies[site]
+		if want := int64(17 + site + 1); rep.Clock != want {
+			t.Errorf("site %d reply clock = %d, want %d", site, rep.Clock, want)
+		}
+		if len(rep.Units) != 1 {
+			t.Fatalf("site %d reply units = %+v", site, rep.Units)
+		}
+		u := rep.Units[0]
+		wantBase := lang.Database{lang.ObjID(fmt.Sprintf("stock_%d", site)): int64(-5 * site)}
+		if u.Unit != site || u.Version != int64(10+site) || u.Force != (site%2 == 1) || !u.Base.Equal(wantBase) {
+			t.Errorf("site %d reply unit = %+v", site, u)
+		}
+	}
+	if replies[1].Clock != 0 || len(replies[1].Units) != 0 {
+		t.Errorf("the rejoiner's own reply slot is non-zero: %+v", replies[1])
 	}
 }
 

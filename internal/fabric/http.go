@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -182,6 +183,36 @@ func (t *HTTP) Distribute(p rt.Proc, from int, ms []InstallTreaties) error {
 	})
 }
 
+// Rejoin delivers the recovery handshake to every peer of the rejoining
+// site (the from site is the sender, so it is skipped).
+func (t *HTTP) Rejoin(p rt.Proc, from int, m Rejoin) ([]RejoinReply, error) {
+	w := RejoinToWire(m)
+	replies := make([]RejoinReply, len(t.peers))
+	err := t.scatter(p, func(k int) error {
+		if k == from {
+			return nil
+		}
+		if k == t.self {
+			rep, herr := t.node.Rejoin(m)
+			if herr != nil {
+				return herr
+			}
+			replies[k] = rep
+			return nil
+		}
+		var out wire.PeerRejoinReply
+		if perr := t.post(k, "rejoin", w, &out); perr != nil {
+			return perr
+		}
+		replies[k] = RejoinReplyFromWire(out)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return replies, nil
+}
+
 // Abort releases the round everywhere.
 func (t *HTTP) Abort(p rt.Proc, from int, m AbortRound) error {
 	w := wire.PeerAbort{From: m.Round.Site, Round: m.Round.Seq, Clock: m.Clock}
@@ -246,6 +277,7 @@ func NewPeerHandler(node Node, exec func(func()), token string) http.Handler {
 	mux.HandleFunc("/v1/peer/install-state", h.installState)
 	mux.HandleFunc("/v1/peer/install-treaties", h.installTreaties)
 	mux.HandleFunc("/v1/peer/abort", h.abort)
+	mux.HandleFunc("/v1/peer/rejoin", h.rejoin)
 	return mux
 }
 
@@ -355,6 +387,23 @@ func (h *peerHandler) abort(rw http.ResponseWriter, req *http.Request) {
 	peerJSON(rw, http.StatusOK, wire.PeerAck{Clock: in.Clock})
 }
 
+func (h *peerHandler) rejoin(rw http.ResponseWriter, req *http.Request) {
+	var in wire.PeerRejoin
+	if !h.decodePeer(rw, req, &in) {
+		return
+	}
+	var (
+		rep RejoinReply
+		err error
+	)
+	h.exec(func() { rep, err = h.node.Rejoin(RejoinFromWire(in)) })
+	if err != nil {
+		peerError(rw, err)
+		return
+	}
+	peerJSON(rw, http.StatusOK, RejoinReplyToWire(rep))
+}
+
 // --- wire codecs ---------------------------------------------------------
 
 func dbToWire(d lang.Database) map[string]int64 {
@@ -407,18 +456,73 @@ func CollectFromWire(w wire.PeerCollect) CollectState {
 
 // InstallStateToWire encodes an InstallState message.
 func InstallStateToWire(m InstallState) wire.PeerInstallState {
-	return wire.PeerInstallState{
+	out := wire.PeerInstallState{
 		From: m.Round.Site, Round: m.Round.Seq, Clock: m.Clock,
 		Objs: objsToWire(m.Objs), Folded: dbToWire(m.Folded),
 	}
+	if m.Winner != nil {
+		out.Winner = &wire.PeerWinner{
+			Class: m.Winner.Class, Args: m.Winner.Args, Site: m.Winner.Site,
+			Units: m.Winner.Units, Log: m.Winner.Log,
+		}
+	}
+	return out
 }
 
 // InstallStateFromWire decodes an InstallState message.
 func InstallStateFromWire(w wire.PeerInstallState) InstallState {
-	return InstallState{
+	out := InstallState{
 		Round: RoundID{Site: w.From, Seq: w.Round}, Clock: w.Clock,
 		Objs: objsFromWire(w.Objs), Folded: dbFromWire(w.Folded),
 	}
+	if w.Winner != nil {
+		out.Winner = &WinnerCommit{
+			Class: w.Winner.Class, Args: w.Winner.Args, Site: w.Winner.Site,
+			Units: w.Winner.Units, Log: w.Winner.Log,
+		}
+	}
+	return out
+}
+
+// RejoinToWire encodes a Rejoin handshake.
+func RejoinToWire(m Rejoin) wire.PeerRejoin {
+	out := wire.PeerRejoin{Site: m.Site, Clock: m.Clock}
+	for unit, v := range m.Versions {
+		out.Units = append(out.Units, wire.PeerUnitVersion{Unit: unit, Version: v})
+	}
+	sort.Slice(out.Units, func(i, j int) bool { return out.Units[i].Unit < out.Units[j].Unit })
+	return out
+}
+
+// RejoinFromWire decodes a Rejoin handshake.
+func RejoinFromWire(w wire.PeerRejoin) Rejoin {
+	out := Rejoin{Site: w.Site, Clock: w.Clock, Versions: make(map[int]int64, len(w.Units))}
+	for _, uv := range w.Units {
+		out.Versions[uv.Unit] = uv.Version
+	}
+	return out
+}
+
+// RejoinReplyToWire encodes a Rejoin reply.
+func RejoinReplyToWire(m RejoinReply) wire.PeerRejoinReply {
+	out := wire.PeerRejoinReply{Clock: m.Clock}
+	for _, ru := range m.Units {
+		out.Units = append(out.Units, wire.PeerRejoinUnit{
+			Unit: ru.Unit, Version: ru.Version, Force: ru.Force, Base: dbToWire(ru.Base),
+		})
+	}
+	return out
+}
+
+// RejoinReplyFromWire decodes a Rejoin reply.
+func RejoinReplyFromWire(w wire.PeerRejoinReply) RejoinReply {
+	out := RejoinReply{Clock: w.Clock}
+	for _, ru := range w.Units {
+		out.Units = append(out.Units, RejoinUnit{
+			Unit: ru.Unit, Version: ru.Version, Force: ru.Force, Base: dbFromWire(ru.Base),
+		})
+	}
+	return out
 }
 
 func opToWire(op lia.RelOp) string {
@@ -464,6 +568,17 @@ func localToWire(l treaty.Local) ([]wire.PeerConstraint, error) {
 		out = append(out, pc)
 	}
 	return out, nil
+}
+
+// ConstraintsToWire encodes a local treaty's constraint list in the peer
+// protocol's wire form. Exported for the WAL's treaty records, which
+// persist the same encoding.
+func ConstraintsToWire(l treaty.Local) ([]wire.PeerConstraint, error) { return localToWire(l) }
+
+// ConstraintsFromWire decodes a wire constraint list back into a local
+// treaty for the given site (the inverse of ConstraintsToWire).
+func ConstraintsFromWire(site int, cs []wire.PeerConstraint) (treaty.Local, error) {
+	return localFromWire(site, cs)
 }
 
 func localFromWire(site int, cs []wire.PeerConstraint) (treaty.Local, error) {

@@ -78,6 +78,25 @@ func (l *Local) Distribute(p rt.Proc, from int, ms []InstallTreaties) error {
 	return firstErr
 }
 
+// Rejoin delivers the recovery handshake to every other site and charges
+// one communication round (in-process this only runs in tests — a crash
+// cannot take down a single site of a one-process cluster).
+func (l *Local) Rejoin(p rt.Proc, from int, m Rejoin) ([]RejoinReply, error) {
+	p.Sleep(l.topo.RoundLatency(from))
+	replies := make([]RejoinReply, len(l.nodes))
+	for k, n := range l.nodes {
+		if k == from {
+			continue
+		}
+		rep, err := n.Rejoin(m)
+		if err != nil {
+			return nil, &SiteError{Site: k, Err: err}
+		}
+		replies[k] = rep
+	}
+	return replies, nil
+}
+
 // Abort releases the round everywhere. In-process rounds only abort on a
 // coordinator bug (the Local transport cannot fail mid-round), so no
 // latency is modeled.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/lang"
 	"repro/internal/rt"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -393,7 +394,12 @@ func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req worklo
 	// clock shipped here is T''s commit point, so every post-round commit
 	// at a peer orders after the batch in a merged log.
 	clk := sys.tickClock()
-	install := fabric.InstallState{Round: rid, Clock: clk, Objs: objs, Folded: folded}
+	install := fabric.InstallState{
+		Round: rid, Clock: clk, Objs: objs, Folded: folded,
+		Winner: &fabric.WinnerCommit{
+			Class: req.Name, Args: req.Args, Site: site, Units: req.Units, Log: txnLog,
+		},
+	}
 	if ierr := sys.fab.Install(p, site, install); ierr != nil {
 		// The fold is already computed and T' applied, so the batch must
 		// commit; over the network fabric, retry the scatter once (sites
@@ -413,12 +419,16 @@ func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req worklo
 	// The batch is now committed at every site: log it before any further
 	// park point so a deadline cancellation cannot leave it applied-but-
 	// unlogged.
-	sys.logCommitClock(clk, req, site, txnLog)
+	sys.logCommitClock(clk, req, site, txnLog, &rid)
 	for i, j := range joiners {
 		sys.logCommit(j.req, j.site, joinerLogs[i])
 		j.log = joinerLogs[i]
 		j.committed = true
 	}
+	// Durability point: once Distribute closes the peers' grants they will
+	// never adopt this round's winner, so the coordinator's own WAL copy
+	// must be on disk before round 2 ships.
+	sys.walFlush(site)
 
 	// Execution charge for the batch (Options.CleanupExec, live
 	// runtimes): T' and every co-winner occupy a CPU slot for their
@@ -525,17 +535,53 @@ func (sys *System) abortRound(p rt.Proc, site int, rid fabric.RoundID, units []*
 }
 
 func (sys *System) logCommit(req workload.Request, site int, log []int64) {
-	sys.logCommitClock(sys.tickClock(), req, site, log)
+	sys.logCommitClock(sys.tickClock(), req, site, log, nil)
 }
 
 // logCommitClock records a commit at an explicit Lamport timestamp (the
 // cleanup phase stamps T' with the clock its InstallState shipped, so
-// post-round peer commits order after it).
-func (sys *System) logCommitClock(clk int64, req workload.Request, site int, log []int64) {
+// post-round peer commits order after it). rid names the cleanup round
+// for round commits — they carry no write watermark (the round's install
+// record holds the state) but do carry the round id as the merged-log
+// dedup key; local commits are the reverse.
+func (sys *System) logCommitClock(clk int64, req workload.Request, site int, log []int64, rid *fabric.RoundID) {
+	if l := sys.walFor(site); l != nil {
+		rec := wal.CommitRecord{
+			Class: req.Name, Args: req.Args, Site: site,
+			Units: req.Units, Log: log, Clock: clk,
+		}
+		if rid != nil {
+			rec.Round = &wal.RoundID{Site: rid.Site, Seq: rid.Seq}
+		} else {
+			// Own-delta watermark: the absolute post-commit value of every
+			// delta object the request could have written (its own objects
+			// plus its units'). Replaying records in file order then
+			// reproduces the partition without re-executing the class.
+			st := sys.Stores[site]
+			rec.Writes = make(map[string]int64)
+			mark := func(obj lang.ObjID) {
+				d := string(lang.DeltaObj(obj, site))
+				if _, ok := rec.Writes[d]; !ok {
+					rec.Writes[d] = st.Get(lang.DeltaObj(obj, site))
+				}
+			}
+			for _, obj := range req.Objects {
+				mark(obj)
+			}
+			for _, id := range req.Units {
+				if id >= 0 && id < len(sys.Units) {
+					for _, obj := range sys.Units[id].objects {
+						mark(obj)
+					}
+				}
+			}
+		}
+		_ = l.AppendCommit(rec)
+	}
 	if !sys.Opts.EnableLog {
 		return
 	}
-	sys.CommitLog = append(sys.CommitLog, Committed{
+	entry := Committed{
 		Name:  req.Name,
 		Args:  req.Args,
 		Site:  site,
@@ -543,5 +589,10 @@ func (sys *System) logCommitClock(clk int64, req workload.Request, site int, log
 		Log:   log,
 		Clock: clk,
 		Apply: req.Apply,
-	})
+	}
+	if rid != nil {
+		r := *rid
+		entry.Round = &r
+	}
+	sys.CommitLog = append(sys.CommitLog, entry)
 }

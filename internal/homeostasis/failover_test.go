@@ -1,0 +1,195 @@
+package homeostasis
+
+// White-box tests for coordinator failover (see failoverGrant): a remote
+// round whose coordinator dies is aborted if its state install never
+// arrived here, and adopted — winner logged, units pinned — if it did.
+// External behavior (kill-and-recover over the real fabric) is covered by
+// the serve binary's chaos drive; these tests pin the per-grant state
+// machine deterministically on the simulator.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/lang"
+	"repro/internal/micro"
+	"repro/internal/rt"
+	"repro/internal/sim"
+	"repro/internal/treaty"
+)
+
+// failoverSystem builds a 3-site simulated System that owns site 1 of a
+// notionally multi-process cluster, so remote-round grants and the
+// failover paths can be driven directly through the site actor.
+func failoverSystem(t *testing.T) (*System, *sim.Engine, fabric.Node) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	w, err := micro.New(micro.Config{Items: 4, Refill: 40, NSites: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(eng, w, Options{
+		Topo:      cluster.Uniform(3, 2*rt.Millisecond),
+		Seed:      1,
+		EnableLog: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]fabric.Node, 3)
+	for k := range nodes {
+		nodes[k] = sys.Node(k)
+	}
+	sys.SetFabric(fabric.NewLocal(sys.Opts.Topo, nodes), 1)
+	return sys, eng, nodes[1]
+}
+
+// snapshotUnit captures a unit's base and delta values at one site.
+func snapshotUnit(sys *System, site int, u *unitState) lang.Database {
+	st := sys.Stores[site]
+	out := lang.Database{}
+	for _, obj := range u.objects {
+		out[obj] = st.Get(obj)
+		for k := 0; k < sys.Opts.Topo.NSites(); k++ {
+			d := lang.DeltaObj(obj, k)
+			out[d] = st.Get(d)
+		}
+	}
+	return out
+}
+
+// TestGrantExpiryAbortsUninstalledRound: the coordinator granted round 1
+// (collect) and vanished before installing anything. On grant expiry the
+// round is aborted: state, treaties, and commit log untouched, the unit
+// unfrozen, and the abort counted.
+func TestGrantExpiryAbortsUninstalledRound(t *testing.T) {
+	sys, eng, node := failoverSystem(t)
+	u := sys.Units[0]
+	rid := fabric.RoundID{Site: 0, Seq: 7}
+	if _, err := node.CollectState(fabric.CollectState{
+		Round: rid, Clock: 3, Units: []int{u.id}, Objs: u.objects,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !u.negotiating {
+		t.Fatal("remote collect did not freeze the unit")
+	}
+	before := snapshotUnit(sys, 1, u)
+	beforeVersion := u.version
+	beforeLocal := u.locals[1]
+
+	eng.Run() // virtual time runs past the grant TTL
+
+	if got, want := sys.Col.RoundsAborted, int64(1); got != want {
+		t.Fatalf("RoundsAborted = %d, want %d", got, want)
+	}
+	if sys.Col.RoundsAdopted != 0 {
+		t.Fatalf("RoundsAdopted = %d, want 0", sys.Col.RoundsAdopted)
+	}
+	if u.negotiating {
+		t.Fatal("unit still frozen after failover")
+	}
+	if len(sys.rounds) != 0 {
+		t.Fatalf("%d rounds still granted after failover", len(sys.rounds))
+	}
+	if len(sys.CommitLog) != 0 {
+		t.Fatalf("abort path appended %d commit-log entries", len(sys.CommitLog))
+	}
+	if got := snapshotUnit(sys, 1, u); !reflect.DeepEqual(got, before) {
+		t.Fatalf("abort path changed state: %v -> %v", before, got)
+	}
+	if u.version != beforeVersion || !reflect.DeepEqual(u.locals[1], beforeLocal) {
+		t.Fatal("abort path touched the unit's treaties; it must resume under the current generation")
+	}
+}
+
+// TestRejoinAdoptsInstalledRound: the coordinator's InstallState landed
+// (round 1 complete, winner known) and then its restarted incarnation
+// rejoins. The orphaned round fails over immediately: the winner is
+// adopted into the commit log keyed by round id, the unit degrades to a
+// pin treaty (never resumes on the dead round's generation), and the
+// rejoin reply forces the coordinator to repair the unit.
+func TestRejoinAdoptsInstalledRound(t *testing.T) {
+	sys, _, node := failoverSystem(t)
+	u := sys.Units[0]
+	rid := fabric.RoundID{Site: 0, Seq: 9}
+	if _, err := node.CollectState(fabric.CollectState{
+		Round: rid, Clock: 3, Units: []int{u.id}, Objs: u.objects,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	folded := lang.Database{}
+	for _, obj := range u.objects {
+		folded[obj] = 77
+	}
+	winner := &fabric.WinnerCommit{
+		Class: "order", Args: []int64{2}, Site: 0, Units: []int{u.id}, Log: []int64{5},
+	}
+	if err := node.InstallState(fabric.InstallState{
+		Round: rid, Clock: 40, Objs: u.objects, Folded: folded, Winner: winner,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	versions := make(map[int]int64, len(sys.Units))
+	for _, uu := range sys.Units {
+		versions[uu.id] = uu.version
+	}
+	rep, err := node.Rejoin(fabric.Rejoin{Site: 0, Clock: 41, Versions: versions})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if sys.Col.RoundsAdopted != 1 || sys.Col.RoundsAborted != 0 {
+		t.Fatalf("adopted=%d aborted=%d, want 1/0", sys.Col.RoundsAdopted, sys.Col.RoundsAborted)
+	}
+	if len(sys.CommitLog) != 1 {
+		t.Fatalf("commit log has %d entries, want the adopted winner", len(sys.CommitLog))
+	}
+	e := sys.CommitLog[0]
+	if e.Name != winner.Class || e.Site != winner.Site || e.Clock != 40 {
+		t.Fatalf("adopted entry = %+v", e)
+	}
+	if e.Round == nil || *e.Round != rid {
+		t.Fatalf("adopted entry's round key = %v, want %v (the merged-log dedup key)", e.Round, rid)
+	}
+	if e.Apply != nil {
+		t.Fatal("adopted entry must carry no Apply closure (it replays through the class registry)")
+	}
+	if u.negotiating || len(sys.rounds) != 0 {
+		t.Fatal("round not fully released after adoption")
+	}
+
+	// The rejoin reply must force the repair even though the treaty
+	// version never moved (the base moved without a version bump).
+	var repaired *fabric.RejoinUnit
+	for i := range rep.Units {
+		if rep.Units[i].Unit == u.id {
+			repaired = &rep.Units[i]
+		}
+	}
+	if repaired == nil {
+		t.Fatal("rejoin reply did not name the installed round's unit for repair")
+	}
+	if !repaired.Force {
+		t.Fatal("repair not forced; version comparison alone would miss the moved base")
+	}
+	if got := repaired.Base.Get(u.objects[0]); got != 77 {
+		t.Fatalf("repair base = %d, want the installed fold (77)", got)
+	}
+
+	// No stale-treaty resume: a late round-2 install from the dead
+	// coordinator's generation is version-guarded into a no-op.
+	pinned := u.locals[1]
+	if err := node.InstallTreaties(fabric.InstallTreaties{
+		Round: rid, Clock: 42,
+		Units: []fabric.UnitTreaty{{Unit: u.id, Local: treaty.Local{Site: 1}, Version: u.version - 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(u.locals[1], pinned) {
+		t.Fatal("late stale-generation treaty replaced the failover pin")
+	}
+}

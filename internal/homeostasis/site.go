@@ -2,6 +2,7 @@ package homeostasis
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/fabric"
 	"repro/internal/lang"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/rt"
 	"repro/internal/treaty"
+	"repro/internal/wal"
 )
 
 // This file is the site-actor half of the fabric refactor: each site
@@ -36,6 +38,12 @@ type roundGrant struct {
 	// InstallState, making re-delivery a no-op so the coordinator can
 	// safely retry a partially failed install scatter.
 	installed map[int]bool
+	// winner is the round's winning transaction (carried by InstallState)
+	// and winnerClock its commit timestamp: if the coordinator dies after
+	// round 1 completed here, the failover adopts the commit into this
+	// site's log instead of losing it.
+	winner      *fabric.WinnerCommit
+	winnerClock int64
 }
 
 // grantTTL bounds how long a site stays frozen for a remote round whose
@@ -88,12 +96,11 @@ func (sys *System) closeGrant(rid fabric.RoundID, g *roundGrant) {
 	}
 }
 
-// scheduleGrantExpiry arms the safety net for a remote grant. An expiry
-// means the coordinator vanished mid-round: the units must not resume
-// under treaties that may be inconsistent with a state the round
-// already installed, so each is degraded to a locally computed pin
-// treaty — every next local write violates and re-enters negotiation,
-// which regenerates real treaties from a fresh fold.
+// scheduleGrantExpiry arms the safety net for a remote grant: if the
+// coordinator neither closes nor aborts the round within the TTL, it is
+// presumed dead and the grant fails over (see failoverGrant). A rejoin
+// handshake from a restarted coordinator triggers the same failover
+// immediately.
 func (sys *System) scheduleGrantExpiry(rid fabric.RoundID) {
 	sys.E.After(grantTTL, func() {
 		g := sys.rounds[rid]
@@ -101,15 +108,67 @@ func (sys *System) scheduleGrantExpiry(rid fabric.RoundID) {
 			return
 		}
 		sys.Col.RecordFabricError()
-		if sys.self >= 0 {
-			for _, id := range g.units {
-				if id >= 0 && id < len(sys.Units) {
-					sys.degradeToLocalPin(sys.Units[id], sys.self)
-				}
+		sys.failoverGrant(rid, g)
+	})
+}
+
+// failoverGrant resolves a remote round whose coordinator vanished.
+// Two cases, by how far the round got at this site:
+//
+//   - Round 1 never closed here (no InstallState): nothing was folded or
+//     committed locally, so the grant is simply released — state and
+//     treaties are untouched and execution resumes under the current
+//     generation.
+//   - The state install completed: the base already moved to the round's
+//     consolidated values with the winning transaction applied, but round
+//     2's treaties never arrived. The winner is adopted into this site's
+//     commit log (keyed by round id, so a merged log dedups it against
+//     other adopters and the coordinator's own WAL), and only then — as
+//     the last resort the degradation is — the units are pinned at their
+//     current local values: every next write violates and re-enters
+//     negotiation, which regenerates real treaties from a fresh fold.
+func (sys *System) failoverGrant(rid fabric.RoundID, g *roundGrant) {
+	site := sys.self
+	if site >= 0 && g.installed[site] && g.winner != nil {
+		sys.adoptWinner(site, rid, g)
+		sys.Col.RecordRoundAdopted()
+		for _, id := range g.units {
+			if id >= 0 && id < len(sys.Units) {
+				sys.degradeToLocalPin(sys.Units[id], site)
 			}
 		}
-		sys.closeGrant(rid, g)
-	})
+	} else {
+		sys.Col.RecordRoundAborted()
+	}
+	sys.closeGrant(rid, g)
+}
+
+// adoptWinner appends the failed-over round's winning commit to the
+// site's log and WAL. Apply stays nil: the entry replays through the
+// class registry (the state itself is already installed and durable via
+// the round's install record).
+func (sys *System) adoptWinner(site int, rid fabric.RoundID, g *roundGrant) {
+	w := g.winner
+	ridCopy := rid
+	if sys.Opts.EnableLog {
+		sys.CommitLog = append(sys.CommitLog, Committed{
+			Name:  w.Class,
+			Args:  w.Args,
+			Site:  w.Site,
+			Units: w.Units,
+			Log:   w.Log,
+			Clock: g.winnerClock,
+			Round: &ridCopy,
+		})
+	}
+	if l := sys.walFor(site); l != nil {
+		_ = l.AppendCommit(wal.CommitRecord{
+			Class: w.Class, Args: w.Args, Site: w.Site, Units: w.Units,
+			Log: w.Log, Clock: g.winnerClock,
+			Round: &wal.RoundID{Site: rid.Site, Seq: rid.Seq},
+		})
+		_ = l.Flush()
+	}
 }
 
 // degradeToLocalPin installs a pin treaty computed purely from the
@@ -133,7 +192,10 @@ func (sys *System) degradeToLocalPin(u *unitState, site int) {
 		td.Const = -st.Get(d)
 		l.Constraints = append(l.Constraints, lia.Constraint{Term: td, Op: lia.EQ})
 	}
-	_ = u.installSiteTreaty(site, l, u.version)
+	if applied, err := u.installSiteTreaty(site, l, u.version); err == nil && applied {
+		sys.logTreaty(site, u.id, l, u.version, sys.clock, nil)
+		sys.walFlush(site)
+	}
 }
 
 // Node returns the site's fabric actor. The actor shares the System's
@@ -209,6 +271,10 @@ func (n *siteNode) CollectState(m fabric.CollectState) (fabric.StateReply, error
 		vals[d] = st.Get(d)
 	}
 	g.reported[n.site] = vals
+	// The reply externalizes this site's delta values: flush the WAL so a
+	// crash after the reply cannot lose a commit the round's fold depends
+	// on (flush-before-externalize, see internal/wal).
+	sys.walFlush(n.site)
 	return fabric.StateReply{Clock: sys.tickClock(), Values: vals}, nil
 }
 
@@ -223,6 +289,8 @@ func (n *siteNode) InstallState(m fabric.InstallState) error {
 	var reported lang.Database
 	g := sys.rounds[m.Round]
 	if g != nil {
+		g.winner = m.Winner
+		g.winnerClock = m.Clock
 		if g.installed[n.site] {
 			// Re-delivery (the coordinator retried a partially failed
 			// scatter): already applied, and applying the drift twice
@@ -234,6 +302,7 @@ func (n *siteNode) InstallState(m fabric.InstallState) error {
 	}
 	st := sys.Stores[n.site]
 	nSites := sys.Opts.Topo.NSites()
+	var drifts map[string]int64
 	for _, obj := range m.Objs {
 		own := lang.DeltaObj(obj, n.site)
 		cur := st.Get(own)
@@ -244,8 +313,28 @@ func (n *siteNode) InstallState(m fabric.InstallState) error {
 		if reported != nil {
 			if drift := cur - reported.Get(own); drift != 0 {
 				st.Apply(own, drift)
+				if drifts == nil {
+					drifts = make(map[string]int64)
+				}
+				drifts[string(own)] = drift
 			}
 		}
+	}
+	if l := sys.walFor(n.site); l != nil {
+		rec := wal.InstallRecord{
+			Round: wal.RoundID{Site: m.Round.Site, Seq: m.Round.Seq},
+			Clock: m.Clock, Sites: nSites, Drift: drifts,
+			Objs: make([]string, 0, len(m.Objs)),
+			Base: make(map[string]int64, len(m.Objs)),
+		}
+		for _, obj := range m.Objs {
+			rec.Objs = append(rec.Objs, string(obj))
+			rec.Base[string(obj)] = m.Folded.Get(obj)
+		}
+		_ = l.AppendInstall(rec)
+		// The ack externalizes the install: the coordinator proceeds to
+		// round 2 (or the client is told T' committed) on its strength.
+		_ = l.Flush()
 	}
 	return nil
 }
@@ -265,10 +354,17 @@ func (n *siteNode) InstallTreaties(m fabric.InstallTreaties) error {
 			}
 			continue
 		}
-		if err := sys.Units[ut.Unit].installSiteTreaty(n.site, ut.Local, ut.Version); err != nil && firstErr == nil {
+		applied, err := sys.Units[ut.Unit].installSiteTreaty(n.site, ut.Local, ut.Version)
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
+		if applied {
+			sys.logTreaty(n.site, ut.Unit, ut.Local, ut.Version, m.Clock, &m.Round)
+		}
 	}
+	// The ack closes the round at the coordinator: flush so a recovered
+	// incarnation of this site resumes under the generation it acked.
+	sys.walFlush(n.site)
 	if g := sys.rounds[m.Round]; g != nil && g.remote {
 		sys.closeGrant(m.Round, g)
 	}
@@ -287,24 +383,82 @@ func (n *siteNode) AbortRound(m fabric.AbortRound) error {
 	return nil
 }
 
-// installSiteTreaty compiles and installs one site's local treaty slot.
-// Versions only move forward: a stale duplicate delivery cannot roll a
-// newer treaty back.
-func (u *unitState) installSiteTreaty(site int, l treaty.Local, version int64) error {
+// Rejoin answers a restarted site's recovery handshake. The sender's
+// previous incarnation is dead, so every round it was coordinating here
+// fails over immediately (no need to wait out the grant TTL). The reply
+// lists the units the rejoiner must repair before serving: those whose
+// treaty generation moved past its recovered version, plus — forced —
+// the units of its own just-failed-over rounds whose state install
+// completed here (the base moved without a version bump, so version
+// comparison alone would miss them).
+func (n *siteNode) Rejoin(m fabric.Rejoin) (fabric.RejoinReply, error) {
+	sys := n.sys
+	sys.observeClock(m.Clock)
+	var orphaned []fabric.RoundID
+	for rid, g := range sys.rounds {
+		if g.remote && rid.Site == m.Site {
+			orphaned = append(orphaned, rid)
+		}
+	}
+	sort.Slice(orphaned, func(i, j int) bool { return orphaned[i].Seq < orphaned[j].Seq })
+	forced := make(map[int]bool)
+	for _, rid := range orphaned {
+		g := sys.rounds[rid]
+		if sys.self >= 0 && g.installed[sys.self] {
+			for _, id := range g.units {
+				forced[id] = true
+			}
+		}
+		sys.failoverGrant(rid, g)
+	}
+	units := make([]int, 0, len(m.Versions))
+	for id := range m.Versions {
+		units = append(units, id)
+	}
+	sort.Ints(units)
+	st := sys.Stores[n.site]
+	rep := fabric.RejoinReply{}
+	for _, id := range units {
+		if id < 0 || id >= len(sys.Units) {
+			continue
+		}
+		u := sys.Units[id]
+		if u.version <= m.Versions[id] && !forced[id] {
+			continue
+		}
+		base := make(lang.Database, len(u.objects))
+		for _, obj := range u.objects {
+			base[obj] = st.Get(obj)
+		}
+		rep.Units = append(rep.Units, fabric.RejoinUnit{
+			Unit: id, Version: u.version, Base: base, Force: forced[id],
+		})
+	}
+	// Adoption may have appended to the WAL; the reply externalizes it.
+	sys.walFlush(n.site)
+	rep.Clock = sys.tickClock()
+	return rep, nil
+}
+
+// installSiteTreaty compiles and installs one site's local treaty slot,
+// reporting whether the install was applied. Versions only move forward:
+// a stale duplicate delivery cannot roll a newer treaty back (it reports
+// applied=false).
+func (u *unitState) installSiteTreaty(site int, l treaty.Local, version int64) (bool, error) {
 	if site < 0 || site >= len(u.compiled) {
-		return fmt.Errorf("homeostasis: unit %d has no treaty slot for site %d", u.id, site)
+		return false, fmt.Errorf("homeostasis: unit %d has no treaty slot for site %d", u.id, site)
 	}
 	if version < u.version {
-		return nil
+		return false, nil
 	}
 	c, err := treaty.Compile(l)
 	if err != nil {
-		return fmt.Errorf("homeostasis: unit %d site %d: %w", u.id, site, err)
+		return false, fmt.Errorf("homeostasis: unit %d site %d: %w", u.id, site, err)
 	}
 	u.locals[site] = l
 	u.compiled[site] = c
 	if version > u.version {
 		u.version = version
 	}
-	return nil
+	return true, nil
 }

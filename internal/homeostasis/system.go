@@ -27,6 +27,7 @@ import (
 	"repro/internal/rt"
 	"repro/internal/store"
 	"repro/internal/treaty"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -168,6 +169,14 @@ type Options struct {
 	// MeasureName restricts metrics to one transaction type; the paper's
 	// TPC-C experiments report only New Order measurements.
 	MeasureName string
+	// WALDir, when set, makes each in-process site durable: commits,
+	// state installs, and treaty generations are appended to a per-site
+	// write-ahead log under this directory (opened and replayed by
+	// OpenWAL). Logging never charges virtual time, so simulator
+	// timelines are unchanged. WALSync fsyncs every flushed batch (see
+	// wal.Options.Sync for the durability trade-off).
+	WALDir  string
+	WALSync bool
 }
 
 // Committed is one entry of the commit log (for replay-based
@@ -183,7 +192,13 @@ type Committed struct {
 	// multi-process cluster by (Clock, Site, position) yields an order
 	// consistent with the causality the rounds establish.
 	Clock int64
-	// Apply re-applies the logical effect (carried from the request).
+	// Round names the cleanup round for cleanup-phase commits. It is the
+	// cluster-wide dedup key under coordinator failover: an adopted
+	// winner may be logged at several sites, and a merge keeps one copy.
+	Round *fabric.RoundID
+	// Apply re-applies the logical effect (carried from the request; nil
+	// on entries recovered from a WAL or adopted from a failed-over
+	// round, which replay through the class registry instead).
 	Apply func(db lang.Database) []int64
 }
 
@@ -303,6 +318,12 @@ type System struct {
 	clock    int64
 	roundSeq uint64
 	rounds   map[fabric.RoundID]*roundGrant
+
+	// wals holds each in-process site's write-ahead log (nil entries for
+	// sites this process does not own); RecoveredRecords counts the
+	// records OpenWAL replayed at boot.
+	wals             []*wal.Log
+	RecoveredRecords int64
 }
 
 // New builds the system: per-site stores initialized with the replicated
@@ -898,6 +919,11 @@ func (sys *System) CheckReplayEquivalence() error {
 	}
 	replay := sys.W.InitialDB()
 	for _, c := range sys.CommitLog {
+		if c.Apply == nil {
+			// Recovered and adopted entries carry no replay closure; the
+			// class-registry replay (homeo.CheckMergedReplay) covers them.
+			return fmt.Errorf("homeostasis: replay check cannot re-execute recovered entry %s (use the class-registry replay)", c.Name)
+		}
 		c.Apply(replay)
 	}
 	for obj, v := range sys.FoldedDB() {

@@ -177,6 +177,14 @@ type Collector struct {
 	// round grants. The protocol keeps running (the next violation
 	// resynchronizes); the counter surfaces that it happened.
 	FabricErrors int64
+	// RoundsAdopted counts remote rounds whose coordinator vanished after
+	// their state install completed here: the granted site adopted the
+	// winning commit into its own log and degraded the units to pin
+	// treaties. RoundsAborted counts coordinator-failover releases where
+	// round 1 never closed locally — nothing was committed, so the grant
+	// was dropped with state and treaties untouched.
+	RoundsAdopted int64
+	RoundsAborted int64
 	// ViolationBreakdown is the Figure 24 split for transactions that
 	// required synchronization.
 	ViolationBreakdown Breakdown
@@ -249,6 +257,20 @@ func (c *Collector) RecordFabricError() {
 	c.FabricErrors++
 }
 
+// RecordRoundAdopted records a coordinator failover that adopted the
+// round's winning commit (its state install had completed locally). Not
+// gated on Measuring: failovers are operational signals.
+func (c *Collector) RecordRoundAdopted() {
+	c.RoundsAdopted++
+}
+
+// RecordRoundAborted records a coordinator failover that released the
+// round without effects (its state install never arrived). Not gated on
+// Measuring: failovers are operational signals.
+func (c *Collector) RecordRoundAborted() {
+	c.RoundsAborted++
+}
+
 // RecordCoWinner records a transaction committed by joining another
 // violator's cleanup round instead of running its own.
 func (c *Collector) RecordCoWinner() {
@@ -316,6 +338,11 @@ type Snapshot struct {
 	NegLatencyP50 rt.Duration
 	NegLatencyP99 rt.Duration
 	FabricErrors  int64
+
+	// RoundsAdopted/RoundsAborted count coordinator failovers resolved by
+	// adopting the round's winner vs. releasing the grant untouched.
+	RoundsAdopted int64
+	RoundsAborted int64
 }
 
 // SnapshotAt captures the collector's state with the throughput window
@@ -343,5 +370,7 @@ func (c *Collector) SnapshotAt(now rt.Time) Snapshot {
 		NegLatencyP50:     c.NegotiationLatency.Percentile(50),
 		NegLatencyP99:     c.NegotiationLatency.Percentile(99),
 		FabricErrors:      c.FabricErrors,
+		RoundsAdopted:     c.RoundsAdopted,
+		RoundsAborted:     c.RoundsAborted,
 	}
 }

@@ -1,0 +1,347 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+)
+
+// Kind tags a record's payload type.
+type Kind byte
+
+// The record kinds a site logs.
+const (
+	// KindCommit is a committed transaction: its identity, Lamport clock,
+	// and the site's own-delta watermark after the commit.
+	KindCommit Kind = 1
+	// KindInstall is a synchronization round's state install: the folded
+	// base values and the own-delta drift carried over, keyed by round.
+	KindInstall Kind = 2
+	// KindTreaty is one installed local treaty generation for a unit.
+	KindTreaty Kind = 3
+)
+
+// String names the record kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindCommit:
+		return "commit"
+	case KindInstall:
+		return "install"
+	case KindTreaty:
+		return "treaty"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// Record is one decoded log record: a kind tag and its JSON payload.
+type Record struct {
+	Kind    Kind
+	Payload []byte
+}
+
+// RoundID names a synchronization round (mirrors fabric.RoundID without
+// importing it: the WAL is below the fabric in the dependency order).
+type RoundID struct {
+	Site int    `json:"site"`
+	Seq  uint64 `json:"seq"`
+}
+
+// CommitRecord is a KindCommit payload: enough to rebuild the commit-log
+// entry and to restore the site's own delta objects by replay. Writes is
+// the own-delta watermark — the absolute post-commit value of every delta
+// object in the transaction's footprint — so replaying records in order
+// reproduces the partition without re-executing transaction logic.
+type CommitRecord struct {
+	Class string  `json:"class"`
+	Args  []int64 `json:"args,omitempty"`
+	Site  int     `json:"site"`
+	Units []int   `json:"units,omitempty"`
+	Log   []int64 `json:"log,omitempty"`
+	Clock int64   `json:"clock"`
+	// Round is set for cleanup-phase commits (the winning transaction and
+	// adopted rounds): it is the cluster-wide dedup key when per-site logs
+	// merge, because an adopted commit may be logged at several sites.
+	Round *RoundID `json:"round,omitempty"`
+	// Writes maps delta object names to their post-commit values.
+	Writes map[string]int64 `json:"writes,omitempty"`
+}
+
+// InstallRecord is a KindInstall payload: one synchronization round's
+// state install at this site. Replay sets each object's base to the
+// folded value, zeroes every site's delta snapshot for it, then applies
+// Drift (the site's own-delta values preserved across the install).
+type InstallRecord struct {
+	Round RoundID `json:"round"`
+	Clock int64   `json:"clock"`
+	// Objs is the round's object footprint; Base the folded values.
+	Objs []string         `json:"objs"`
+	Base map[string]int64 `json:"base"`
+	// Drift maps own-delta object names to the values they keep through
+	// the install (local commits that raced the round's network gap).
+	Drift map[string]int64 `json:"drift,omitempty"`
+	// Sites is the cluster width at log time (how many delta snapshots to
+	// zero per object on replay).
+	Sites int `json:"sites"`
+}
+
+// TreatyRecord is a KindTreaty payload: one installed local treaty
+// generation. Constraints is the wire-encoded constraint list
+// ([]wire.PeerConstraint JSON — the same encoding the peer protocol
+// ships), kept opaque here so the WAL stays below the fabric.
+type TreatyRecord struct {
+	Unit        int             `json:"unit"`
+	Site        int             `json:"site"`
+	Version     int64           `json:"version"`
+	Clock       int64           `json:"clock"`
+	Round       *RoundID        `json:"round,omitempty"`
+	Constraints json.RawMessage `json:"constraints,omitempty"`
+}
+
+// Commit decodes a KindCommit record.
+func (r Record) Commit() (CommitRecord, error) {
+	var c CommitRecord
+	if r.Kind != KindCommit {
+		return c, fmt.Errorf("wal: %v record is not a commit", r.Kind)
+	}
+	err := json.Unmarshal(r.Payload, &c)
+	return c, err
+}
+
+// Install decodes a KindInstall record.
+func (r Record) Install() (InstallRecord, error) {
+	var c InstallRecord
+	if r.Kind != KindInstall {
+		return c, fmt.Errorf("wal: %v record is not an install", r.Kind)
+	}
+	err := json.Unmarshal(r.Payload, &c)
+	return c, err
+}
+
+// Treaty decodes a KindTreaty record.
+func (r Record) Treaty() (TreatyRecord, error) {
+	var c TreatyRecord
+	if r.Kind != KindTreaty {
+		return c, fmt.Errorf("wal: %v record is not a treaty", r.Kind)
+	}
+	err := json.Unmarshal(r.Payload, &c)
+	return c, err
+}
+
+// Options configures a log.
+type Options struct {
+	// Sync fsyncs every flushed batch. Off, a flush is a plain write(2):
+	// the batch survives a process kill (the kernel holds the pages) but
+	// not a host power loss. The experiment goldens and simulator
+	// timelines are unaffected either way — logging never charges virtual
+	// time — but fsync costs real latency, so it is opt-in.
+	Sync bool
+	// GroupWindow bounds how long an appended record may sit in the
+	// in-memory batch before a background flush writes it (group commit).
+	// Zero means the 2ms default; negative flushes inline on every append.
+	GroupWindow time.Duration
+}
+
+// DefaultGroupWindow is the group-commit batching window when
+// Options.GroupWindow is zero.
+const DefaultGroupWindow = 2 * time.Millisecond
+
+// maxRecord bounds a record's encoded payload; a length prefix beyond it
+// is treated as a torn tail, not an allocation request.
+const maxRecord = 16 << 20
+
+// headerSize is the per-record frame overhead: a 4-byte big-endian
+// payload length and a 4-byte IEEE CRC32 of the payload.
+const headerSize = 8
+
+// ErrClosed is returned by appends to a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Log is one site's append-only write-ahead log. Appends accumulate in
+// an in-memory batch flushed by a background group-commit timer, by size,
+// or by an explicit Flush at externalization points (a site flushes
+// before any state escapes to a peer, so a crash can never lose a record
+// another site's state depends on). All methods are safe for concurrent
+// use.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	opts   Options
+	buf    []byte
+	armed  bool
+	closed bool
+	err    error
+	n      int64
+}
+
+// Open opens (or creates) the log at path, scans any existing content,
+// repairs a torn tail by truncating to the last valid record, and returns
+// the log positioned for appends plus the valid records found. A torn
+// tail is expected after a crash (the final batch may have been half
+// written) and is not an error.
+func Open(path string, opts Options) (*Log, []Record, error) {
+	if opts.GroupWindow == 0 {
+		opts.GroupWindow = DefaultGroupWindow
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	recs, valid := Scan(data)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Log{f: f, opts: opts}, recs, nil
+}
+
+// Scan decodes the longest valid record prefix of data, returning the
+// records and the byte offset where the valid prefix ends. Decoding stops
+// cleanly at the first torn frame: a short header, an impossible length,
+// a short payload, or a checksum mismatch.
+func Scan(data []byte) ([]Record, int) {
+	var recs []Record
+	off := 0
+	for {
+		if len(data)-off < headerSize {
+			return recs, off
+		}
+		length := binary.BigEndian.Uint32(data[off:])
+		sum := binary.BigEndian.Uint32(data[off+4:])
+		if length < 1 || length > maxRecord {
+			return recs, off
+		}
+		end := off + headerSize + int(length)
+		if end > len(data) {
+			return recs, off
+		}
+		payload := data[off+headerSize : end]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off
+		}
+		recs = append(recs, Record{Kind: Kind(payload[0]), Payload: append([]byte(nil), payload[1:]...)})
+		off = end
+	}
+}
+
+// appendFrame encodes one record frame onto buf.
+func appendFrame(buf []byte, kind Kind, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(1+len(payload)))
+	start := len(buf)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, byte(kind))
+	buf = append(buf, payload...)
+	binary.BigEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(buf[start+headerSize:]))
+	return buf
+}
+
+// Append adds one record to the batch. The record is durable after the
+// next flush (group-commit timer, size threshold, or explicit Flush).
+func (l *Log) Append(kind Kind, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	l.buf = appendFrame(l.buf, kind, payload)
+	l.n++
+	if l.opts.GroupWindow < 0 || len(l.buf) >= 1<<20 {
+		return l.flushLocked()
+	}
+	if !l.armed {
+		l.armed = true
+		time.AfterFunc(l.opts.GroupWindow, func() { l.Flush() })
+	}
+	return nil
+}
+
+// AppendCommit appends a commit record.
+func (l *Log) AppendCommit(c CommitRecord) error { return l.appendJSON(KindCommit, c) }
+
+// AppendInstall appends a state-install record.
+func (l *Log) AppendInstall(c InstallRecord) error { return l.appendJSON(KindInstall, c) }
+
+// AppendTreaty appends a treaty-generation record.
+func (l *Log) AppendTreaty(c TreatyRecord) error { return l.appendJSON(KindTreaty, c) }
+
+func (l *Log) appendJSON(kind Kind, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wal: encoding %v record: %w", kind, err)
+	}
+	return l.Append(kind, b)
+}
+
+// Flush writes the batch to the file (and fsyncs it under Options.Sync).
+// Call before externalizing state that depends on batched records.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+func (l *Log) flushLocked() error {
+	l.armed = false
+	if l.err != nil {
+		return l.err
+	}
+	if len(l.buf) == 0 || l.f == nil {
+		return nil
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		l.err = fmt.Errorf("wal: %w", err)
+		return l.err
+	}
+	l.buf = l.buf[:0]
+	if l.opts.Sync {
+		if err := l.f.Sync(); err != nil {
+			l.err = fmt.Errorf("wal: %w", err)
+			return l.err
+		}
+	}
+	return nil
+}
+
+// Records reports how many records were appended in this session.
+func (l *Log) Records() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Close flushes the batch and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	ferr := l.flushLocked()
+	l.closed = true
+	if l.f != nil {
+		if cerr := l.f.Close(); ferr == nil && cerr != nil {
+			ferr = fmt.Errorf("wal: %w", cerr)
+		}
+		l.f = nil
+	}
+	return ferr
+}

@@ -1,0 +1,271 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, path string) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(path, Options{GroupWindow: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, recs
+}
+
+// TestRoundTrip appends typed records through a close/reopen cycle and
+// checks they replay intact.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site-0.wal")
+	l, recs := openT(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	commit := CommitRecord{
+		Class: "Withdraw", Args: []int64{7, -3}, Site: 1, Units: []int{0, 2},
+		Log: []int64{42}, Clock: 9,
+		Round:  &RoundID{Site: 1, Seq: 4},
+		Writes: map[string]int64{"d0_x": -3, "d0_y": 12},
+	}
+	install := InstallRecord{
+		Round: RoundID{Site: 2, Seq: 1}, Clock: 11, Sites: 3,
+		Objs: []string{"x"}, Base: map[string]int64{"x": 100},
+		Drift: map[string]int64{"d1_x": 5},
+	}
+	tr := TreatyRecord{Unit: 3, Site: 1, Version: 2, Clock: 12, Constraints: []byte(`[{"const":-1,"op":"<="}]`)}
+	if err := l.AppendCommit(commit); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendInstall(install); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendTreaty(tr); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.Records(); n != 3 {
+		t.Fatalf("Records() = %d, want 3", n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, recs := openT(t, path)
+	defer l2.Close()
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(recs))
+	}
+	gotC, err := recs[0].Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotC.Class != "Withdraw" || gotC.Clock != 9 || gotC.Round == nil || *gotC.Round != (RoundID{Site: 1, Seq: 4}) ||
+		gotC.Writes["d0_y"] != 12 {
+		t.Errorf("commit round-trip = %+v", gotC)
+	}
+	gotI, err := recs[1].Install()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotI.Round != (RoundID{Site: 2, Seq: 1}) || gotI.Base["x"] != 100 || gotI.Drift["d1_x"] != 5 || gotI.Sites != 3 {
+		t.Errorf("install round-trip = %+v", gotI)
+	}
+	gotT, err := recs[2].Treaty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs []struct {
+		Const int64  `json:"const"`
+		Op    string `json:"op"`
+	}
+	if err := json.Unmarshal(gotT.Constraints, &cs); err != nil {
+		t.Fatal(err)
+	}
+	if gotT.Unit != 3 || gotT.Version != 2 || len(cs) != 1 || cs[0].Const != -1 || cs[0].Op != "<=" {
+		t.Errorf("treaty round-trip = %+v (constraints %+v)", gotT, cs)
+	}
+	// Kind mismatch surfaces as an error, not a zero-valued decode.
+	if _, err := recs[0].Install(); err == nil {
+		t.Error("decoding a commit as an install succeeded")
+	}
+}
+
+// TestTornTail builds a valid log and then corrupts its tail every way a
+// crash can: truncation mid-frame, a flipped payload byte, a flipped
+// length, appended garbage. Replay must stop cleanly at the last valid
+// record, and Open must repair the file so subsequent appends extend the
+// valid prefix.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.wal")
+	l, _ := openT(t, base)
+	for i := 0; i < 5; i++ {
+		if err := l.AppendCommit(CommitRecord{Class: "C", Clock: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, valid := Scan(data)
+	if len(recs) != 5 || valid != len(data) {
+		t.Fatalf("clean scan: %d records, %d/%d bytes", len(recs), valid, len(data))
+	}
+	// Frame boundaries, for surgical corruption: bounds[i] is the byte
+	// offset just past record i's frame.
+	var bounds []int
+	off := 0
+	for off < len(data) {
+		length := int(binary.BigEndian.Uint32(data[off:]))
+		off += headerSize + length
+		bounds = append(bounds, off)
+	}
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+		want    int // records surviving replay
+	}{
+		{"TruncateMidPayload", func(b []byte) []byte { return b[:bounds[3]+headerSize+2] }, 4},
+		{"TruncateMidHeader", func(b []byte) []byte { return b[:bounds[2]+3] }, 3},
+		{"FlipPayloadByte", func(b []byte) []byte {
+			b = append([]byte(nil), b...)
+			b[bounds[1]+headerSize+1] ^= 0xff
+			return b
+		}, 2},
+		{"FlipLength", func(b []byte) []byte {
+			b = append([]byte(nil), b...)
+			b[bounds[0]] = 0xff // length prefix now impossible
+			return b
+		}, 1},
+		{"AppendGarbage", func(b []byte) []byte {
+			return append(append([]byte(nil), b...), 0, 0, 0, 9, 1, 2, 3, 4)
+		}, 5},
+		{"Empty", func(b []byte) []byte { return nil }, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			corrupted := tc.corrupt(data)
+			recs, _ := Scan(corrupted)
+			if len(recs) != tc.want {
+				t.Fatalf("replay survived %d records, want %d", len(recs), tc.want)
+			}
+			for i, r := range recs {
+				c, err := r.Commit()
+				if err != nil || c.Clock != int64(i) {
+					t.Fatalf("record %d decoded to %+v (%v)", i, c, err)
+				}
+			}
+			// Open must truncate to the valid prefix and take appends.
+			path := filepath.Join(dir, tc.name+".wal")
+			if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, replayed := openT(t, path)
+			if len(replayed) != tc.want {
+				t.Fatalf("Open replayed %d records, want %d", len(replayed), tc.want)
+			}
+			if err := l.AppendCommit(CommitRecord{Class: "after", Clock: 99}); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			after, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs2, valid2 := Scan(after)
+			if len(recs2) != tc.want+1 || valid2 != len(after) {
+				t.Fatalf("after repair+append: %d records, %d/%d bytes valid", len(recs2), valid2, len(after))
+			}
+			if c, _ := recs2[len(recs2)-1].Commit(); c.Class != "after" {
+				t.Fatalf("appended record = %+v", c)
+			}
+		})
+	}
+}
+
+// TestGroupCommitFlush checks that batched appends reach the file only on
+// flush, and that Flush makes them durable without closing.
+func TestGroupCommitFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.wal")
+	l, _, err := Open(path, Options{GroupWindow: time.Hour}) // never auto-fires
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.AppendCommit(CommitRecord{Class: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if len(data) != 0 {
+		t.Fatalf("batch hit the file before flush (%d bytes)", len(data))
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	recs, _ := Scan(data)
+	if len(recs) != 1 {
+		t.Fatalf("after flush: %d records", len(recs))
+	}
+}
+
+// FuzzScan throws arbitrary bytes at the replay path: it must never
+// panic, must report a valid prefix no longer than the input, and
+// re-encoding the surviving records must reproduce that prefix exactly.
+func FuzzScan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 2, 0, 0, 0, 0, 1, 2})
+	valid := appendFrame(nil, KindCommit, []byte(`{"class":"x"}`))
+	f.Add(valid)
+	f.Add(append(append([]byte(nil), valid...), 0xff, 0x00))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid := Scan(data)
+		if valid > len(data) {
+			t.Fatalf("valid prefix %d exceeds input %d", valid, len(data))
+		}
+		var re []byte
+		for _, r := range recs {
+			re = appendFrame(re, r.Kind, r.Payload)
+		}
+		if !bytes.Equal(re, data[:valid]) {
+			t.Fatalf("re-encoding %d records diverges from the valid prefix", len(recs))
+		}
+	})
+}
+
+// FuzzRecordRoundTrip appends an arbitrary payload and replays it back.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add(byte(1), []byte(`{"class":"Withdraw","clock":3}`))
+	f.Add(byte(3), []byte{})
+	f.Add(byte(200), []byte{0xff, 0x00, 0x7f})
+	f.Fuzz(func(t *testing.T, kind byte, payload []byte) {
+		path := filepath.Join(t.TempDir(), "f.wal")
+		l, _, err := Open(path, Options{GroupWindow: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(Kind(kind), payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, recs, err := Open(path, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].Kind != Kind(kind) || !bytes.Equal(recs[0].Payload, payload) {
+			t.Fatalf("round trip: got %d records, first %+v", len(recs), recs)
+		}
+	})
+}
