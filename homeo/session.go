@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/rt"
@@ -124,6 +125,69 @@ func (s *Session) submit(ctx context.Context, req workload.Request) (Result, err
 	return s.submitAt(ctx, s.pickSite(), req)
 }
 
+// pendingSub is one in-flight submission's state, pooled so the steady
+// Submit path reuses the completion channel, the spawned body closure
+// (a method value bound once), and the result scratch. A sub returns to
+// the pool only on paths where the body has fully finished (the done
+// signal is sent after every other field write); abandoned bodies
+// (context timeout, sim deadlock drain) keep their sub and leave it to
+// the garbage collector.
+type pendingSub struct {
+	c        *Cluster
+	site     int
+	req      workload.Request
+	res      Result
+	execErr  error
+	done     chan struct{} // buffered(1): body sends, waiter receives
+	released atomic.Bool
+	bodyFn   func(rt.Proc)
+}
+
+var subPool = sync.Pool{New: func() any {
+	sub := &pendingSub{done: make(chan struct{}, 1)}
+	sub.bodyFn = sub.body
+	return sub
+}}
+
+// release frees the cluster's inflight slot exactly once: normally from
+// the process body, but also from the sim deadlock path (whose abandoned
+// process may still run its deferred release when Close drains it).
+func (sub *pendingSub) release() {
+	if sub.released.CompareAndSwap(false, true) {
+		sub.c.inflight.Add(-1)
+	}
+}
+
+func (sub *pendingSub) body(p rt.Proc) {
+	defer func() { sub.done <- struct{}{} }()
+	defer sub.release()
+	c := sub.c
+	start := p.Now()
+	out, err := c.sys.ExecRequest(p, sub.site, sub.req)
+	sub.res.Latency = time.Duration(p.Now() - start)
+	if err != nil {
+		sub.execErr = classifyExec(err)
+		c.sys.Col.RecordDropped()
+		return
+	}
+	sub.res.Committed = out.Committed
+	sub.res.Synced = out.Synced
+	sub.res.Log = out.Log
+	if out.Committed {
+		c.sys.Col.RecordCommit(rt.Duration(sub.res.Latency), out.Synced)
+	}
+}
+
+// recycle returns a sub whose body has fully finished to the pool,
+// dropping references the next submission must not retain.
+func (sub *pendingSub) recycle() {
+	sub.c = nil
+	sub.req = workload.Request{}
+	sub.res = Result{}
+	sub.execErr = nil
+	subPool.Put(sub)
+}
+
 // submitAt runs the request at the given site under the cluster's
 // runtime, recording the outcome in the metrics collector exactly like
 // the closed-loop client path.
@@ -141,33 +205,12 @@ func (s *Session) submitAt(ctx context.Context, site int, req workload.Request) 
 			ErrDropped, n-1, c.opts.MaxInflight)
 	}
 
-	res := Result{Class: req.Name, Args: req.Args, Site: site}
-	var execErr error
-	done := make(chan struct{})
+	sub := subPool.Get().(*pendingSub)
+	sub.c, sub.site, sub.req = c, site, req
+	sub.res = Result{Class: req.Name, Args: req.Args, Site: site}
+	sub.execErr = nil
+	sub.released.Store(false)
 	id := int(c.nextID.Add(1))
-	// The slot is released exactly once: normally by the process body,
-	// but also by the sim deadlock path below (whose abandoned process
-	// may still run its deferred release when Close drains it).
-	var relOnce sync.Once
-	release := func() { relOnce.Do(func() { c.inflight.Add(-1) }) }
-	body := func(p rt.Proc) {
-		defer close(done)
-		defer release()
-		start := p.Now()
-		out, err := c.sys.ExecRequest(p, site, req)
-		res.Latency = time.Duration(p.Now() - start)
-		if err != nil {
-			execErr = classifyExec(err)
-			c.sys.Col.RecordDropped()
-			return
-		}
-		res.Committed = out.Committed
-		res.Synced = out.Synced
-		res.Log = out.Log
-		if out.Committed {
-			c.sys.Col.RecordCommit(rt.Duration(res.Latency), out.Synced)
-		}
-	}
 
 	if c.sim != nil {
 		// Deterministic path: run the submission to completion in virtual
@@ -175,27 +218,34 @@ func (s *Session) submitAt(ctx context.Context, site int, req workload.Request) 
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		c.sim.SetDeadline(0)
-		c.sim.Spawn(id, body)
+		c.sim.Spawn(id, sub.bodyFn)
 		c.sim.Run()
 		select {
-		case <-done:
+		case <-sub.done:
 		default:
-			release()
+			sub.release()
+			// The parked body still references sub: do not recycle.
 			return Result{}, fmt.Errorf("%w: submission parked with no pending event (deadlocked request)", ErrAborted)
 		}
+		res, execErr := sub.res, sub.execErr
+		sub.recycle()
 		return res, execErr
 	}
 
-	if !c.live.SpawnOK(id, body) {
-		release()
+	if !c.live.SpawnOK(id, sub.bodyFn) {
+		sub.release()
+		sub.recycle() // never spawned: nothing references sub
 		return Result{}, fmt.Errorf("%w: cluster is draining", ErrDropped)
 	}
 	select {
-	case <-done:
+	case <-sub.done:
+		res, execErr := sub.res, sub.execErr
+		sub.recycle()
 		return res, execErr
 	case <-ctx.Done():
 		// The process keeps running (and keeps its metrics accounting);
-		// only this caller stops waiting.
+		// only this caller stops waiting. It still holds sub: do not
+		// recycle.
 		return Result{}, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
 	}
 }

@@ -1,0 +1,356 @@
+// Package codec is the length-prefixed binary encoding shared by the
+// site-fabric peer protocol (/v1/peer/* bodies, negotiated via content
+// type with a JSON fallback) and the write-ahead log's record payloads.
+//
+// Every encoded value starts with a three-byte header — magic, format
+// version, message kind — followed by the kind's fields in a fixed
+// order. Integers are varints (zigzag for signed), strings and byte
+// blobs are length-prefixed, and maps are written as sorted key/value
+// runs so encoding is deterministic: the same value always produces the
+// same bytes, which the WAL's CRC framing and the golden tests rely on.
+//
+// The magic byte (0xB5) never collides with '{' or a space, so a
+// decoder can sniff binary versus legacy JSON from the first payload
+// byte; that is how mixed-version clusters and old WAL files keep
+// working.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+const (
+	// Magic is the first byte of every binary-encoded value.
+	Magic = 0xB5
+	// Version is the encoding format version.
+	Version = 1
+	// ContentType negotiates the binary encoding on the peer surface.
+	ContentType = "application/x-homeo-peer"
+)
+
+// ErrNotBinary reports a payload that does not start with the codec
+// magic (a legacy JSON body, typically).
+var ErrNotBinary = errors.New("codec: payload is not binary-encoded")
+
+// IsBinary reports whether a payload starts with the codec magic.
+func IsBinary(b []byte) bool { return len(b) > 0 && b[0] == Magic }
+
+// AppendHeader appends the three-byte header for a message kind.
+func AppendHeader(dst []byte, kind byte) []byte {
+	return append(dst, Magic, Version, kind)
+}
+
+// AppendUvarint appends an unsigned varint.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendVarint appends a zigzag-encoded signed varint.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// AppendInt appends a signed int as a varint.
+func AppendInt(dst []byte, v int) []byte {
+	return binary.AppendVarint(dst, int64(v))
+}
+
+// AppendBool appends a bool as one byte.
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends a length-prefixed byte blob.
+func AppendBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendInt64s appends a count-prefixed slice of signed varints.
+func AppendInt64s(dst []byte, vs []int64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = binary.AppendVarint(dst, v)
+	}
+	return dst
+}
+
+// AppendInts appends a count-prefixed slice of signed varints.
+func AppendInts(dst []byte, vs []int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	return dst
+}
+
+// AppendStrings appends a count-prefixed slice of strings.
+func AppendStrings(dst []byte, ss []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = AppendString(dst, s)
+	}
+	return dst
+}
+
+// keyScratch pools the sorted-key scratch AppendStringMap uses, so the
+// encode path does not allocate a fresh slice per map.
+var keyScratch = sync.Pool{New: func() any { s := make([]string, 0, 64); return &s }}
+
+// AppendStringMap appends a map[string]int64 as a count prefix followed
+// by key-sorted (string, varint) pairs. The sort makes the encoding
+// deterministic.
+func AppendStringMap(dst []byte, m map[string]int64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m)))
+	if len(m) == 0 {
+		return dst
+	}
+	kp := keyScratch.Get().(*[]string)
+	keys := (*kp)[:0]
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst = AppendString(dst, k)
+		dst = binary.AppendVarint(dst, m[k])
+	}
+	*kp = keys
+	keyScratch.Put(kp)
+	return dst
+}
+
+// Reader decodes codec-encoded bytes. Methods are sticky on error: the
+// first malformed field poisons the reader and every later read returns
+// a zero value, so call sites can decode a whole message and check Err
+// once at the end.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.b) - r.off }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("codec: "+format, args...)
+	}
+}
+
+// Header consumes the three-byte header and returns the message kind.
+func (r *Reader) Header() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.Len() < 3 {
+		r.fail("short header (%d bytes)", r.Len())
+		return 0
+	}
+	if r.b[r.off] != Magic {
+		r.err = ErrNotBinary
+		return 0
+	}
+	if r.b[r.off+1] != Version {
+		r.fail("unsupported version %d", r.b[r.off+1])
+		return 0
+	}
+	kind := r.b[r.off+2]
+	r.off += 3
+	return kind
+}
+
+// Byte consumes one byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.Len() < 1 {
+		r.fail("unexpected end of input")
+		return 0
+	}
+	b := r.b[r.off]
+	r.off++
+	return b
+}
+
+// Bool consumes one byte as a bool.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// Uvarint consumes an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint consumes a zigzag-encoded signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int consumes a signed varint as an int.
+func (r *Reader) Int() int { return int(r.Varint()) }
+
+// Count consumes a collection count and bounds it by the remaining
+// input (every element takes at least one byte), so corrupt lengths
+// cannot drive huge allocations.
+func (r *Reader) Count() int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.Len()) {
+		r.fail("count %d exceeds %d remaining bytes", n, r.Len())
+		return 0
+	}
+	return int(n)
+}
+
+// String consumes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.Len()) {
+		r.fail("string length %d exceeds %d remaining bytes", n, r.Len())
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Bytes consumes a length-prefixed byte blob (copied out of the input).
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Len()) {
+		r.fail("blob length %d exceeds %d remaining bytes", n, r.Len())
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.b[r.off:])
+	r.off += int(n)
+	return b
+}
+
+// Int64s consumes a count-prefixed slice of signed varints.
+func (r *Reader) Int64s() []int64 {
+	n := r.Count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]int64, n)
+	for i := range vs {
+		vs[i] = r.Varint()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return vs
+}
+
+// Ints consumes a count-prefixed slice of signed varints as ints.
+func (r *Reader) Ints() []int {
+	n := r.Count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = int(r.Varint())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return vs
+}
+
+// Strings consumes a count-prefixed slice of strings.
+func (r *Reader) Strings() []string {
+	n := r.Count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	ss := make([]string, n)
+	for i := range ss {
+		ss[i] = r.String()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return ss
+}
+
+// StringMap consumes a map encoded by AppendStringMap. An empty map
+// decodes as nil, matching the JSON round trip of omitted fields.
+func (r *Reader) StringMap() map[string]int64 {
+	n := r.Count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	m := make(map[string]int64, n)
+	for i := 0; i < n; i++ {
+		k := r.String()
+		v := r.Varint()
+		if r.err != nil {
+			return nil
+		}
+		m[k] = v
+	}
+	return m
+}
+
+// Close checks that the input was consumed exactly.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("codec: %d trailing bytes", r.Len())
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/homeo/wire"
+)
+
+// Message kinds of the peer protocol. The kind byte in the header is
+// checked against the expected type on decode, so a request body posted
+// to the wrong endpoint fails loudly instead of misparsing.
+const (
+	KindCollect byte = iota + 1
+	KindState
+	KindInstallState
+	KindInstallTreaties
+	KindAbort
+	KindAck
+	KindRejoin
+	KindRejoinReply
+)
+
+// Constraint op bytes ("<=", "<", "==" in the JSON encoding).
+const (
+	opLE byte = iota
+	opLT
+	opEQ
+)
+
+func appendOp(dst []byte, op string) ([]byte, error) {
+	switch op {
+	case "<=":
+		return append(dst, opLE), nil
+	case "<":
+		return append(dst, opLT), nil
+	case "==":
+		return append(dst, opEQ), nil
+	}
+	return nil, fmt.Errorf("codec: unknown constraint op %q", op)
+}
+
+func (r *Reader) op() string {
+	switch b := r.Byte(); b {
+	case opLE:
+		return "<="
+	case opLT:
+		return "<"
+	case opEQ:
+		return "=="
+	default:
+		if r.err == nil {
+			r.fail("unknown constraint op byte %d", b)
+		}
+		return ""
+	}
+}
+
+// AppendMessage appends the binary encoding of a peer message. The
+// concrete type selects the kind; unknown types are an error.
+func AppendMessage(dst []byte, m any) ([]byte, error) {
+	switch m := m.(type) {
+	case *wire.PeerCollect:
+		dst = AppendHeader(dst, KindCollect)
+		dst = AppendInt(dst, m.From)
+		dst = AppendUvarint(dst, m.Round)
+		dst = AppendVarint(dst, m.Clock)
+		dst = AppendInts(dst, m.Units)
+		return AppendStrings(dst, m.Objs), nil
+	case *wire.PeerState:
+		dst = AppendHeader(dst, KindState)
+		dst = AppendVarint(dst, m.Clock)
+		return AppendStringMap(dst, m.Values), nil
+	case *wire.PeerInstallState:
+		dst = AppendHeader(dst, KindInstallState)
+		dst = AppendInt(dst, m.From)
+		dst = AppendUvarint(dst, m.Round)
+		dst = AppendVarint(dst, m.Clock)
+		dst = AppendStrings(dst, m.Objs)
+		dst = AppendStringMap(dst, m.Folded)
+		if m.Winner == nil {
+			return AppendBool(dst, false), nil
+		}
+		dst = AppendBool(dst, true)
+		dst = AppendString(dst, m.Winner.Class)
+		dst = AppendInt64s(dst, m.Winner.Args)
+		dst = AppendInt(dst, m.Winner.Site)
+		dst = AppendInts(dst, m.Winner.Units)
+		return AppendInt64s(dst, m.Winner.Log), nil
+	case *wire.PeerInstallTreaties:
+		dst = AppendHeader(dst, KindInstallTreaties)
+		dst = AppendInt(dst, m.From)
+		dst = AppendUvarint(dst, m.Round)
+		dst = AppendVarint(dst, m.Clock)
+		dst = AppendInt(dst, m.Site)
+		dst = AppendUvarint(dst, uint64(len(m.Units)))
+		for _, u := range m.Units {
+			dst = AppendInt(dst, u.Unit)
+			dst = AppendVarint(dst, u.Version)
+			dst = AppendUvarint(dst, uint64(len(u.Constraints)))
+			for _, c := range u.Constraints {
+				dst = AppendStringMap(dst, c.Coeffs)
+				dst = AppendVarint(dst, c.Const)
+				var err error
+				if dst, err = appendOp(dst, c.Op); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return dst, nil
+	case *wire.PeerAbort:
+		dst = AppendHeader(dst, KindAbort)
+		dst = AppendInt(dst, m.From)
+		dst = AppendUvarint(dst, m.Round)
+		return AppendVarint(dst, m.Clock), nil
+	case *wire.PeerAck:
+		dst = AppendHeader(dst, KindAck)
+		return AppendVarint(dst, m.Clock), nil
+	case *wire.PeerRejoin:
+		dst = AppendHeader(dst, KindRejoin)
+		dst = AppendInt(dst, m.Site)
+		dst = AppendVarint(dst, m.Clock)
+		dst = AppendUvarint(dst, uint64(len(m.Units)))
+		for _, u := range m.Units {
+			dst = AppendInt(dst, u.Unit)
+			dst = AppendVarint(dst, u.Version)
+		}
+		return dst, nil
+	case *wire.PeerRejoinReply:
+		dst = AppendHeader(dst, KindRejoinReply)
+		dst = AppendVarint(dst, m.Clock)
+		dst = AppendUvarint(dst, uint64(len(m.Units)))
+		for _, u := range m.Units {
+			dst = AppendInt(dst, u.Unit)
+			dst = AppendVarint(dst, u.Version)
+			dst = AppendBool(dst, u.Force)
+			dst = AppendStringMap(dst, u.Base)
+		}
+		return dst, nil
+	}
+	return nil, fmt.Errorf("codec: cannot encode %T", m)
+}
+
+// DecodeMessage decodes a binary peer message into m, whose concrete
+// type must match the encoded kind. Returns ErrNotBinary when the
+// payload is not codec-encoded (a JSON fallback body).
+func DecodeMessage(data []byte, m any) error {
+	r := NewReader(data)
+	kind := r.Header()
+	if r.err != nil {
+		return r.err
+	}
+	want := func(k byte) bool {
+		if kind != k {
+			r.fail("message kind %d decoded as %T", kind, m)
+			return false
+		}
+		return true
+	}
+	switch m := m.(type) {
+	case *wire.PeerCollect:
+		if want(KindCollect) {
+			m.From = r.Int()
+			m.Round = r.Uvarint()
+			m.Clock = r.Varint()
+			m.Units = r.Ints()
+			m.Objs = r.Strings()
+		}
+	case *wire.PeerState:
+		if want(KindState) {
+			m.Clock = r.Varint()
+			m.Values = r.StringMap()
+		}
+	case *wire.PeerInstallState:
+		if want(KindInstallState) {
+			m.From = r.Int()
+			m.Round = r.Uvarint()
+			m.Clock = r.Varint()
+			m.Objs = r.Strings()
+			m.Folded = r.StringMap()
+			if r.Bool() {
+				m.Winner = &wire.PeerWinner{
+					Class: r.String(),
+					Args:  r.Int64s(),
+					Site:  r.Int(),
+					Units: r.Ints(),
+					Log:   r.Int64s(),
+				}
+			} else {
+				m.Winner = nil
+			}
+		}
+	case *wire.PeerInstallTreaties:
+		if want(KindInstallTreaties) {
+			m.From = r.Int()
+			m.Round = r.Uvarint()
+			m.Clock = r.Varint()
+			m.Site = r.Int()
+			if n := r.Count(); r.err == nil && n > 0 {
+				m.Units = make([]wire.PeerUnitTreaty, n)
+				for i := range m.Units {
+					u := &m.Units[i]
+					u.Unit = r.Int()
+					u.Version = r.Varint()
+					if nc := r.Count(); r.err == nil && nc > 0 {
+						u.Constraints = make([]wire.PeerConstraint, nc)
+						for j := range u.Constraints {
+							u.Constraints[j] = wire.PeerConstraint{
+								Coeffs: r.StringMap(),
+								Const:  r.Varint(),
+								Op:     r.op(),
+							}
+						}
+					}
+				}
+			}
+		}
+	case *wire.PeerAbort:
+		if want(KindAbort) {
+			m.From = r.Int()
+			m.Round = r.Uvarint()
+			m.Clock = r.Varint()
+		}
+	case *wire.PeerAck:
+		if want(KindAck) {
+			m.Clock = r.Varint()
+		}
+	case *wire.PeerRejoin:
+		if want(KindRejoin) {
+			m.Site = r.Int()
+			m.Clock = r.Varint()
+			if n := r.Count(); r.err == nil && n > 0 {
+				m.Units = make([]wire.PeerUnitVersion, n)
+				for i := range m.Units {
+					m.Units[i] = wire.PeerUnitVersion{Unit: r.Int(), Version: r.Varint()}
+				}
+			}
+		}
+	case *wire.PeerRejoinReply:
+		if want(KindRejoinReply) {
+			m.Clock = r.Varint()
+			if n := r.Count(); r.err == nil && n > 0 {
+				m.Units = make([]wire.PeerRejoinUnit, n)
+				for i := range m.Units {
+					m.Units[i] = wire.PeerRejoinUnit{
+						Unit:    r.Int(),
+						Version: r.Varint(),
+						Force:   r.Bool(),
+						Base:    r.StringMap(),
+					}
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("codec: cannot decode into %T", m)
+	}
+	return r.Close()
+}

@@ -4,10 +4,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/fabric"
+	"repro/internal/fabric/codec"
 	"repro/internal/fabric/fabrictest"
 	"repro/internal/lang"
 	"repro/internal/rt"
@@ -38,10 +40,13 @@ func TestLocalConformance(t *testing.T) {
 	})
 }
 
-// TestHTTPConformance runs the same suite against the multi-process
-// transport: site 0 is local, every other site is a real HTTP server
-// mounting the peer handler — so the whole JSON round trip is exercised.
-func TestHTTPConformance(t *testing.T) {
+// runHTTPConformance runs the conformance suite against the
+// multi-process transport: site 0 is local, every other site is a real
+// HTTP server mounting the peer handler — so the whole round trip is
+// exercised. cfg tweaks the transport (e.g. DisableBinary) and wrap
+// interposes middleware on each peer server (e.g. an old build refusing
+// the binary content type).
+func runHTTPConformance(t *testing.T, cfg func(*fabric.HTTP), wrap func(http.Handler) http.Handler) {
 	fabrictest.Run(t, func(t *testing.T, n int) *fabrictest.Harness {
 		live := rtlive.New(1)
 		nodes := make([]*fabrictest.StubNode, n)
@@ -50,12 +55,19 @@ func TestHTTPConformance(t *testing.T) {
 			nodes[k] = &fabrictest.StubNode{Site: k}
 		}
 		for k := 1; k < n; k++ {
-			srv := httptest.NewServer(fabric.NewPeerHandler(nodes[k], nil, ""))
+			var h http.Handler = fabric.NewPeerHandler(nodes[k], nil, "")
+			if wrap != nil {
+				h = wrap(h)
+			}
+			srv := httptest.NewServer(h)
 			t.Cleanup(srv.Close)
 			peers[k] = srv.URL
 		}
 		peers[0] = "http://invalid.localhost:0" // self: never dialed
 		tr := fabric.NewHTTP(live, 0, peers, nodes[0], nil)
+		if cfg != nil {
+			cfg(tr)
+		}
 		return &fabrictest.Harness{
 			Transport: tr,
 			Nodes:     nodes,
@@ -69,6 +81,37 @@ func TestHTTPConformance(t *testing.T) {
 			},
 		}
 	})
+}
+
+// TestHTTPConformance: default negotiation, so every peer body rides the
+// binary codec.
+func TestHTTPConformance(t *testing.T) { runHTTPConformance(t, nil, nil) }
+
+// TestHTTPConformanceJSON forces the JSON encoding end to end — the
+// legacy wire format must keep passing the same suite.
+func TestHTTPConformanceJSON(t *testing.T) {
+	runHTTPConformance(t, func(tr *fabric.HTTP) { tr.DisableBinary() }, nil)
+}
+
+// TestHTTPConformanceFallback simulates a mixed-version cluster: every
+// peer refuses the binary content type with 415, the way a build that
+// predates the codec fails. The transport must notice, remember each
+// peer as JSON-only, and pass the whole suite over the fallback.
+func TestHTTPConformanceFallback(t *testing.T) {
+	var refused atomic.Int64
+	runHTTPConformance(t, nil, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+			if req.Header.Get("Content-Type") == codec.ContentType {
+				refused.Add(1)
+				http.Error(rw, "unsupported media type", http.StatusUnsupportedMediaType)
+				return
+			}
+			next.ServeHTTP(rw, req)
+		})
+	})
+	if refused.Load() == 0 {
+		t.Fatal("no binary request was refused: the fallback path never ran")
+	}
 }
 
 // chargeNode answers collects with empty values (latency test only).

@@ -9,10 +9,12 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/homeo/wire"
+	"repro/internal/fabric/codec"
 	"repro/internal/lang"
 	"repro/internal/lia"
 	"repro/internal/logic"
@@ -21,10 +23,17 @@ import (
 )
 
 // HTTP is the multi-process transport: the local site's Node is called
-// directly, every other site is reached over real sockets with the JSON
-// peer messages of homeo/wire (served under /v1/peer/* by NewPeerHandler,
+// directly, every other site is reached over real sockets with the peer
+// messages of homeo/wire (served under /v1/peer/* by NewPeerHandler,
 // which homeo/httpapi mounts). Communication latency is whatever the
 // network charges.
+//
+// Bodies are sent in the length-prefixed binary codec by default,
+// negotiated per peer via content type: a peer that rejects the binary
+// content type (an older build answering 400 or 415) is remembered as
+// JSON-only and every later message to it is JSON, so mixed-version
+// clusters keep working. Servers answer in the request's content type;
+// error envelopes are always JSON.
 //
 // While remote requests are in flight the coordinating process parks, so
 // the site's runtime keeps executing local transactions — exactly the
@@ -36,6 +45,10 @@ type HTTP struct {
 	node  Node
 	hc    *http.Client
 	token string
+	noBin bool
+	// jsonOnly[k] is set once peer k rejects the binary content type;
+	// later requests to it skip straight to JSON.
+	jsonOnly []atomic.Bool
 
 	// Messages counts peer HTTP requests sent (an observability surface
 	// for "no peer traffic outside violations").
@@ -57,8 +70,13 @@ func NewHTTP(r rt.Runtime, self int, peers []string, node Node, hc *http.Client)
 			},
 		}
 	}
-	return &HTTP{rt: r, self: self, peers: peers, node: node, hc: hc}
+	return &HTTP{rt: r, self: self, peers: peers, node: node, hc: hc,
+		jsonOnly: make([]atomic.Bool, len(peers))}
 }
+
+// DisableBinary forces every outgoing request to the JSON encoding (the
+// fabrictest conformance suite runs the transport both ways).
+func (t *HTTP) DisableBinary() { t.noBin = true }
 
 // PeerTokenHeader carries the cluster's shared peer secret on every
 // fabric request. The peer endpoints mutate site state, so any
@@ -130,6 +148,7 @@ func (t *HTTP) scatter(p rt.Proc, do func(site int) error) error {
 // Collect materializes the message, scatters it, and gathers the replies.
 func (t *HTTP) Collect(p rt.Proc, from int, mkMsg func() CollectState) ([]StateReply, error) {
 	m := mkMsg()
+	w := CollectToWire(m)
 	replies := make([]StateReply, len(t.peers))
 	err := t.scatter(p, func(k int) error {
 		if k == t.self {
@@ -138,7 +157,7 @@ func (t *HTTP) Collect(p rt.Proc, from int, mkMsg func() CollectState) ([]StateR
 			return herr
 		}
 		var out wire.PeerState
-		if perr := t.post(k, "collect", CollectToWire(m), &out); perr != nil {
+		if perr := t.post(k, "collect", &w, &out); perr != nil {
 			return perr
 		}
 		replies[k] = StateReply{Clock: out.Clock, Values: dbFromWire(out.Values)}
@@ -158,7 +177,7 @@ func (t *HTTP) Install(p rt.Proc, from int, m InstallState) error {
 			return t.node.InstallState(m)
 		}
 		var ack wire.PeerAck
-		return t.post(k, "install-state", w, &ack)
+		return t.post(k, "install-state", &w, &ack)
 	})
 }
 
@@ -179,7 +198,7 @@ func (t *HTTP) Distribute(p rt.Proc, from int, ms []InstallTreaties) error {
 			return t.node.InstallTreaties(ms[k])
 		}
 		var ack wire.PeerAck
-		return t.post(k, "install-treaties", ws[k], &ack)
+		return t.post(k, "install-treaties", &ws[k], &ack)
 	})
 }
 
@@ -201,7 +220,7 @@ func (t *HTTP) Rejoin(p rt.Proc, from int, m Rejoin) ([]RejoinReply, error) {
 			return nil
 		}
 		var out wire.PeerRejoinReply
-		if perr := t.post(k, "rejoin", w, &out); perr != nil {
+		if perr := t.post(k, "rejoin", &w, &out); perr != nil {
 			return perr
 		}
 		replies[k] = RejoinReplyFromWire(out)
@@ -221,22 +240,75 @@ func (t *HTTP) Abort(p rt.Proc, from int, m AbortRound) error {
 			return t.node.AbortRound(m)
 		}
 		var ack wire.PeerAck
-		return t.post(k, "abort", w, &ack)
+		return t.post(k, "abort", &w, &ack)
 	})
 }
 
-// post performs one JSON round trip to a peer endpoint.
+// bufPool recycles the request/response buffers of the peer surface, so
+// a round trip does not allocate a body per message.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+func putBuf(b *bytes.Buffer) {
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// peerStatusError is a non-200, non-busy peer reply. post inspects the
+// status to decide whether a binary request should fall back to JSON.
+type peerStatusError struct {
+	endpoint string
+	status   int
+	body     string
+}
+
+func (e *peerStatusError) Error() string {
+	return fmt.Sprintf("peer %s: HTTP %d: %s", e.endpoint, e.status, e.body)
+}
+
+// binaryRejected reports a reply that means "this peer does not speak
+// the binary content type" — an older build's decoder choking on the
+// body (400) or an explicit unsupported-media-type refusal (415).
+func binaryRejected(err error) bool {
+	var se *peerStatusError
+	return errors.As(err, &se) &&
+		(se.status == http.StatusBadRequest || se.status == http.StatusUnsupportedMediaType)
+}
+
+// post performs one round trip to a peer endpoint: binary codec by
+// default, falling back to JSON — and remembering the peer as JSON-only
+// — when the peer rejects the binary content type.
 func (t *HTTP) post(site int, endpoint string, in, out any) error {
+	bin := !t.noBin && !t.jsonOnly[site].Load()
+	err := t.postOnce(site, endpoint, in, out, bin)
+	if bin && binaryRejected(err) {
+		t.jsonOnly[site].Store(true)
+		return t.postOnce(site, endpoint, in, out, false)
+	}
+	return err
+}
+
+func (t *HTTP) postOnce(site int, endpoint string, in, out any, bin bool) error {
 	t.Messages.Add(1)
-	payload, err := json.Marshal(in)
+	body := getBuf()
+	defer putBuf(body)
+	contentType := "application/json"
+	if bin {
+		contentType = codec.ContentType
+		b, err := codec.AppendMessage(body.AvailableBuffer(), in)
+		if err != nil {
+			return err
+		}
+		body.Write(b)
+	} else if err := json.NewEncoder(body).Encode(in); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, t.peers[site]+"/v1/peer/"+endpoint, bytes.NewReader(body.Bytes()))
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, t.peers[site]+"/v1/peer/"+endpoint, bytes.NewReader(payload))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	if t.token != "" {
 		req.Header.Set(PeerTokenHeader, t.token)
 	}
@@ -245,15 +317,28 @@ func (t *HTTP) post(site int, endpoint string, in, out any) error {
 		return err
 	}
 	defer resp.Body.Close()
+	reply := getBuf()
+	defer putBuf(reply)
 	if resp.StatusCode == http.StatusOK {
-		return json.NewDecoder(resp.Body).Decode(out)
+		if _, err := reply.ReadFrom(resp.Body); err != nil {
+			return err
+		}
+		if resp.Header.Get("Content-Type") == codec.ContentType {
+			return codec.DecodeMessage(reply.Bytes(), out)
+		}
+		return json.Unmarshal(reply.Bytes(), out)
 	}
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<10))
+	if _, err := reply.ReadFrom(io.LimitReader(resp.Body, 16<<10)); err != nil {
+		return err
+	}
 	var envelope wire.ErrorResponse
-	if json.Unmarshal(body, &envelope) == nil && envelope.Error.Code == "busy" {
+	if json.Unmarshal(reply.Bytes(), &envelope) == nil && envelope.Error.Code == "busy" {
 		return ErrBusy
 	}
-	return fmt.Errorf("peer %s: HTTP %d: %s", endpoint, resp.StatusCode, bytes.TrimSpace(body))
+	return &peerStatusError{
+		endpoint: endpoint, status: resp.StatusCode,
+		body: string(bytes.TrimSpace(reply.Bytes())),
+	}
 }
 
 var _ Transport = (*HTTP)(nil)
@@ -287,12 +372,49 @@ type peerHandler struct {
 	token string
 }
 
+// peerJSON writes a JSON response. The body is encoded into a pooled
+// buffer first so an encode failure can still become a 500 instead of a
+// half-written 200 with the status already on the wire.
 func peerJSON(rw http.ResponseWriter, status int, v any) {
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(rw, `{"error":{"code":"internal","message":"response encoding failed"}}`,
+			http.StatusInternalServerError)
+		return
+	}
 	rw.Header().Set("Content-Type", "application/json")
 	rw.WriteHeader(status)
-	json.NewEncoder(rw).Encode(v)
+	// A short write here means the client hung up; there is no channel
+	// left to report it on.
+	_, _ = rw.Write(buf.Bytes())
 }
 
+// peerReply answers a successful handler call in the request's content
+// type: binary when the request was binary, JSON otherwise. v must be a
+// pointer to a wire message. Encode failures degrade to the JSON path,
+// which can still report them.
+func peerReply(rw http.ResponseWriter, bin bool, v any) {
+	if !bin {
+		peerJSON(rw, http.StatusOK, v)
+		return
+	}
+	buf := getBuf()
+	defer putBuf(buf)
+	b, err := codec.AppendMessage(buf.AvailableBuffer(), v)
+	if err != nil {
+		peerError(rw, err)
+		return
+	}
+	buf.Write(b)
+	rw.Header().Set("Content-Type", codec.ContentType)
+	rw.WriteHeader(http.StatusOK)
+	_, _ = rw.Write(buf.Bytes())
+}
+
+// peerError answers a failed handler call. Errors are always JSON, in
+// every negotiation mode, so the busy envelope stays recognizable to
+// clients of any version.
 func peerError(rw http.ResponseWriter, err error) {
 	status, code := http.StatusInternalServerError, "internal"
 	if errors.Is(err, ErrBusy) {
@@ -301,29 +423,50 @@ func peerError(rw http.ResponseWriter, err error) {
 	peerJSON(rw, status, wire.ErrorResponse{Error: wire.Error{Code: code, Message: err.Error()}})
 }
 
-func (h *peerHandler) decodePeer(rw http.ResponseWriter, req *http.Request, v any) bool {
+// decodePeer authenticates and decodes a peer request into v, branching
+// on the content type: the binary codec when the client negotiated it,
+// JSON otherwise. The returned bin flag tells the handler which encoding
+// to answer in.
+func (h *peerHandler) decodePeer(rw http.ResponseWriter, req *http.Request, v any) (bin, ok bool) {
 	if req.Method != http.MethodPost {
 		peerJSON(rw, http.StatusMethodNotAllowed, wire.ErrorResponse{Error: wire.Error{
 			Code: "method_not_allowed", Message: "POST only"}})
-		return false
+		return false, false
 	}
 	if h.token != "" &&
 		subtle.ConstantTimeCompare([]byte(req.Header.Get(PeerTokenHeader)), []byte(h.token)) != 1 {
 		peerJSON(rw, http.StatusUnauthorized, wire.ErrorResponse{Error: wire.Error{
 			Code: "unauthorized", Message: "missing or wrong peer token"}})
-		return false
+		return false, false
 	}
-	if err := json.NewDecoder(req.Body).Decode(v); err != nil {
+	badRequest := func(err error) {
 		peerJSON(rw, http.StatusBadRequest, wire.ErrorResponse{Error: wire.Error{
 			Code: "bad_request", Message: err.Error()}})
-		return false
 	}
-	return true
+	if req.Header.Get("Content-Type") == codec.ContentType {
+		buf := getBuf()
+		defer putBuf(buf)
+		if _, err := buf.ReadFrom(req.Body); err != nil {
+			badRequest(err)
+			return false, false
+		}
+		if err := codec.DecodeMessage(buf.Bytes(), v); err != nil {
+			badRequest(err)
+			return false, false
+		}
+		return true, true
+	}
+	if err := json.NewDecoder(req.Body).Decode(v); err != nil {
+		badRequest(err)
+		return false, false
+	}
+	return false, true
 }
 
 func (h *peerHandler) collect(rw http.ResponseWriter, req *http.Request) {
 	var in wire.PeerCollect
-	if !h.decodePeer(rw, req, &in) {
+	bin, ok := h.decodePeer(rw, req, &in)
+	if !ok {
 		return
 	}
 	var (
@@ -335,12 +478,13 @@ func (h *peerHandler) collect(rw http.ResponseWriter, req *http.Request) {
 		peerError(rw, err)
 		return
 	}
-	peerJSON(rw, http.StatusOK, wire.PeerState{Clock: rep.Clock, Values: dbToWire(rep.Values)})
+	peerReply(rw, bin, &wire.PeerState{Clock: rep.Clock, Values: dbToWire(rep.Values)})
 }
 
 func (h *peerHandler) installState(rw http.ResponseWriter, req *http.Request) {
 	var in wire.PeerInstallState
-	if !h.decodePeer(rw, req, &in) {
+	bin, ok := h.decodePeer(rw, req, &in)
+	if !ok {
 		return
 	}
 	var err error
@@ -349,12 +493,13 @@ func (h *peerHandler) installState(rw http.ResponseWriter, req *http.Request) {
 		peerError(rw, err)
 		return
 	}
-	peerJSON(rw, http.StatusOK, wire.PeerAck{Clock: in.Clock})
+	peerReply(rw, bin, &wire.PeerAck{Clock: in.Clock})
 }
 
 func (h *peerHandler) installTreaties(rw http.ResponseWriter, req *http.Request) {
 	var in wire.PeerInstallTreaties
-	if !h.decodePeer(rw, req, &in) {
+	bin, ok := h.decodePeer(rw, req, &in)
+	if !ok {
 		return
 	}
 	m, err := InstallTreatiesFromWire(in)
@@ -367,12 +512,13 @@ func (h *peerHandler) installTreaties(rw http.ResponseWriter, req *http.Request)
 		peerError(rw, err)
 		return
 	}
-	peerJSON(rw, http.StatusOK, wire.PeerAck{Clock: in.Clock})
+	peerReply(rw, bin, &wire.PeerAck{Clock: in.Clock})
 }
 
 func (h *peerHandler) abort(rw http.ResponseWriter, req *http.Request) {
 	var in wire.PeerAbort
-	if !h.decodePeer(rw, req, &in) {
+	bin, ok := h.decodePeer(rw, req, &in)
+	if !ok {
 		return
 	}
 	var err error
@@ -384,12 +530,13 @@ func (h *peerHandler) abort(rw http.ResponseWriter, req *http.Request) {
 		peerError(rw, err)
 		return
 	}
-	peerJSON(rw, http.StatusOK, wire.PeerAck{Clock: in.Clock})
+	peerReply(rw, bin, &wire.PeerAck{Clock: in.Clock})
 }
 
 func (h *peerHandler) rejoin(rw http.ResponseWriter, req *http.Request) {
 	var in wire.PeerRejoin
-	if !h.decodePeer(rw, req, &in) {
+	bin, ok := h.decodePeer(rw, req, &in)
+	if !ok {
 		return
 	}
 	var (
@@ -401,7 +548,8 @@ func (h *peerHandler) rejoin(rw http.ResponseWriter, req *http.Request) {
 		peerError(rw, err)
 		return
 	}
-	peerJSON(rw, http.StatusOK, RejoinReplyToWire(rep))
+	w := RejoinReplyToWire(rep)
+	peerReply(rw, bin, &w)
 }
 
 // --- wire codecs ---------------------------------------------------------

@@ -12,24 +12,76 @@ import (
 	"repro/internal/workload"
 )
 
+// execFrame is the pooled per-request execution scratch: the resolved
+// unit slice, the demand snapshot matrix, and the delta view with its
+// print-log buffer. Frames are checked out for the whole of execHomeo —
+// they survive park points — and recycled on exit; the free list lives
+// on the System and is only touched under the execution right.
+type execFrame struct {
+	units  []*unitState
+	before [][]int64
+	view   deltaView
+}
+
+func (sys *System) getFrame() *execFrame {
+	if n := len(sys.frames); n > 0 {
+		f := sys.frames[n-1]
+		sys.frames[n-1] = nil
+		sys.frames = sys.frames[:n-1]
+		return f
+	}
+	return &execFrame{}
+}
+
+func (sys *System) putFrame(f *execFrame) {
+	f.units = f.units[:0]
+	f.view.tx = nil
+	f.view.log = f.view.log[:0]
+	sys.frames = append(sys.frames, f)
+}
+
+// deltaName returns lang.DeltaObj(obj, site) through a per-object cache:
+// the hot path reads and writes delta objects on every logical access,
+// and formatting the name each time is an allocation per access. Only
+// called under the execution right.
+func (sys *System) deltaName(obj lang.ObjID, site int) lang.ObjID {
+	names := sys.deltaNames[obj]
+	if names == nil {
+		names = make([]lang.ObjID, sys.Opts.Topo.NSites())
+		for k := range names {
+			names[k] = lang.DeltaObj(obj, k)
+		}
+		sys.deltaNames[obj] = names
+	}
+	return names[site]
+}
+
 // execHomeo runs one request under the homeostasis protocol (also used by
 // OPT and the default-config ablation, which differ only in treaty
 // generation): disconnected local execution, pre-commit local treaty
 // check, and on violation the cleanup phase of Section 3.3.
 func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (ExecResult, error) {
-	units := make([]*unitState, len(req.Units))
-	for i, id := range req.Units {
+	f := sys.getFrame()
+	defer sys.putFrame(f)
+	for _, id := range req.Units {
 		if id < 0 || id >= len(sys.Units) {
 			return ExecResult{}, fmt.Errorf("%w: request %s names unknown unit %d", ErrProtocol, req.Name, id)
 		}
-		units[i] = sys.Units[id]
+		f.units = append(f.units, sys.Units[id])
 	}
+	units := f.units
 	track := sys.Opts.Alloc != AllocDefault
 	var before [][]int64
 	if track {
-		before = make([][]int64, len(units))
+		for len(f.before) < len(units) {
+			f.before = append(f.before, nil)
+		}
+		before = f.before[:len(units)]
 		for i, u := range units {
-			before[i] = make([]int64, len(u.objects))
+			if cap(before[i]) < len(u.objects) {
+				before[i] = make([]int64, len(u.objects))
+			}
+			before[i] = before[i][:len(u.objects)]
 		}
 	}
 	for attempt := 0; ; attempt++ {
@@ -81,56 +133,19 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (ExecRes
 		if track {
 			for i, u := range units {
 				for k, obj := range u.objects {
-					before[i][k] = sys.Stores[site].Get(lang.DeltaObj(obj, site))
+					before[i][k] = sys.Stores[site].Get(sys.deltaName(obj, site))
 				}
 			}
 		}
-		violIdx := -1
-		var commitLog []int64
-		for _, u := range units {
-			u.inflight++
-		}
-		committed, violated, checkErr := func() (bool, bool, error) {
-			defer func() {
-				for _, u := range units {
-					u.inflight--
-				}
-			}()
-			tx := sys.Stores[site].Begin(p)
-			defer tx.Abort()
-			view := &deltaView{tx: tx, site: site, nSites: sys.Opts.Topo.NSites()}
-			if execErr := req.Exec(view); execErr != nil {
-				return false, false, nil
-			}
-			// Pre-commit check: would committing leave the site's state
-			// inside its local treaties? The store already reflects the
-			// tentative writes.
-			for i, u := range units {
-				holds, err := sys.localTreatyHolds(u, site)
-				if err != nil {
-					// A treaty that cannot be evaluated is a protocol
-					// error, not a violation: it must not trigger a
-					// synchronization round.
-					return false, false, err
-				}
-				if !holds {
-					violIdx = i
-					return false, true, nil
-				}
-			}
-			tx.Commit()
-			sys.logCommit(req, site, view.log)
-			commitLog = view.log
-			return true, false, nil
-		}()
+		committed, violated, violIdx, commitLog, checkErr := sys.execAttempt(p, site, req, f)
 		if committed && track {
 			for i, u := range units {
 				for k, obj := range u.objects {
-					d := sys.Stores[site].Get(lang.DeltaObj(obj, site)) - before[i][k]
+					d := sys.Stores[site].Get(sys.deltaName(obj, site)) - before[i][k]
 					if d < 0 {
 						d = -d
 					}
-					u.demand[site].burn += d
+					u.demand[site].burn.Add(d)
 				}
 			}
 		}
@@ -147,7 +162,7 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (ExecRes
 			continue
 		}
 		if track {
-			units[violIdx].demand[site].violations++
+			units[violIdx].demand[site].violations.Add(1)
 		}
 
 		// Treaty violation: the write was rolled back (it must not commit
@@ -206,6 +221,62 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (ExecRes
 		// T' was executed at every site during cleanup; done.
 		return ExecResult{Committed: true, Synced: true, Log: winLog}, nil
 	}
+}
+
+// execAttempt is one local execution attempt: run the stored procedure
+// in a pooled transaction against the frame's delta view, then check the
+// local treaties before committing. Returns the violated unit's index in
+// f.units (when violated) and a copy of the print log (when committed —
+// the frame's buffer is recycled, so the log must not escape by
+// reference). A (false, false, ...) return with a nil error is a lock
+// failure during execution; the caller retries.
+func (sys *System) execAttempt(p rt.Proc, site int, req workload.Request, f *execFrame) (committed, violated bool, violIdx int, commitLog []int64, err error) {
+	for _, u := range f.units {
+		u.inflight++
+	}
+	defer func() {
+		for _, u := range f.units {
+			u.inflight--
+		}
+	}()
+	st := sys.Stores[site]
+	tx := st.Begin(p)
+	defer func() {
+		// No-op after a commit; rolls back tentative writes when the
+		// process is cancelled at the deadline mid-execution. The
+		// transaction is finished either way, so it goes back to the
+		// store's free list.
+		tx.Abort()
+		st.Recycle(tx)
+	}()
+	f.view.tx = tx
+	f.view.sys = sys
+	f.view.site = site
+	f.view.nSites = sys.Opts.Topo.NSites()
+	f.view.log = f.view.log[:0]
+	if execErr := req.Exec(&f.view); execErr != nil {
+		return false, false, -1, nil, nil
+	}
+	// Pre-commit check: would committing leave the site's state inside
+	// its local treaties? The store already reflects the tentative
+	// writes.
+	for i, u := range f.units {
+		holds, herr := sys.localTreatyHolds(u, site)
+		if herr != nil {
+			// A treaty that cannot be evaluated is a protocol error, not
+			// a violation: it must not trigger a synchronization round.
+			return false, false, -1, nil, herr
+		}
+		if !holds {
+			return false, true, i, nil, nil
+		}
+	}
+	tx.Commit()
+	if len(f.view.log) > 0 {
+		commitLog = append([]int64(nil), f.view.log...)
+	}
+	sys.logCommit(req, site, commitLog)
+	return true, false, -1, commitLog, nil
 }
 
 // localTreatyHolds evaluates the site's local treaty for the unit against
@@ -369,7 +440,7 @@ func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req worklo
 	for _, obj := range objs {
 		v := base.Get(obj)
 		for k := 0; k < n; k++ {
-			v += replies[k].Values.Get(lang.DeltaObj(obj, k))
+			v += replies[k].Values.Get(sys.deltaName(obj, k))
 		}
 		folded[obj] = v
 	}
@@ -560,9 +631,9 @@ func (sys *System) logCommitClock(clk int64, req workload.Request, site int, log
 			st := sys.Stores[site]
 			rec.Writes = make(map[string]int64)
 			mark := func(obj lang.ObjID) {
-				d := string(lang.DeltaObj(obj, site))
-				if _, ok := rec.Writes[d]; !ok {
-					rec.Writes[d] = st.Get(lang.DeltaObj(obj, site))
+				name := sys.deltaName(obj, site)
+				if _, ok := rec.Writes[string(name)]; !ok {
+					rec.Writes[string(name)] = st.Get(name)
 				}
 			}
 			for _, obj := range req.Objects {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/fabric"
@@ -205,10 +206,14 @@ type Committed struct {
 // siteDemand is one site's observed demand for a unit since the unit's
 // last negotiation round: the absolute delta consumption (burn) of local
 // commits and the violation count. The adaptive allocator splits the next
-// round's slack proportionally to burn.
+// round's slack proportionally to burn. The counters are sharded per
+// site and atomic: committers bump only their own site's entry without
+// touching the scheduler lock, and the padding keeps adjacent sites'
+// counters off one cache line so concurrent bumps do not false-share.
 type siteDemand struct {
-	burn       int64
-	violations int64
+	burn       atomic.Int64
+	violations atomic.Int64
+	_          [48]byte
 }
 
 // negotiation is one in-flight cleanup round. With batching enabled
@@ -264,7 +269,8 @@ type unitState struct {
 // negotiation installs fresh treaties).
 func (u *unitState) resetDemand() {
 	for i := range u.demand {
-		u.demand[i] = siteDemand{}
+		u.demand[i].burn.Store(0)
+		u.demand[i].violations.Store(0)
 	}
 }
 
@@ -324,6 +330,14 @@ type System struct {
 	// records OpenWAL replayed at boot.
 	wals             []*wal.Log
 	RecoveredRecords int64
+
+	// frames recycles per-request execution scratch (unit slice, delta
+	// view, print-log buffer) across ExecRequest calls; deltaNames
+	// memoizes lang.DeltaObj strings per (object, site), which the hot
+	// path otherwise re-formats on every logical read and write. Both
+	// are accessed only under the runtime's execution right.
+	frames     []*execFrame
+	deltaNames map[lang.ObjID][]lang.ObjID
 }
 
 // New builds the system: per-site stores initialized with the replicated
@@ -354,14 +368,15 @@ func New(e rt.Runtime, w workload.Workload, opts Options) (*System, error) {
 	}
 	n := opts.Topo.NSites()
 	sys := &System{
-		E:        e,
-		Opts:     opts,
-		W:        w,
-		Col:      &metrics.Collector{},
-		optRng:   rand.New(rand.NewSource(opts.Seed + 7919)),
-		cfgCache: make(map[string]treaty.Config),
-		self:     -1,
-		rounds:   make(map[fabric.RoundID]*roundGrant),
+		E:          e,
+		Opts:       opts,
+		W:          w,
+		Col:        &metrics.Collector{},
+		optRng:     rand.New(rand.NewSource(opts.Seed + 7919)),
+		cfgCache:   make(map[string]treaty.Config),
+		self:       -1,
+		rounds:     make(map[fabric.RoundID]*roundGrant),
+		deltaNames: make(map[lang.ObjID][]lang.ObjID),
 	}
 	initial := w.InitialDB()
 	for i := 0; i < n; i++ {
@@ -663,25 +678,25 @@ func (sys *System) batching() bool { return sys.Opts.Alloc != AllocDefault }
 func quantizeDemand(demand []siteDemand) []int64 {
 	weights := make([]int64, len(demand))
 	total := int64(0)
-	for _, d := range demand {
-		total += d.burn
+	for i := range demand {
+		total += demand[i].burn.Load()
 	}
 	if total == 0 {
 		// No burn observed (e.g. only violations): fall back to violation
 		// counts so a violation-heavy site still attracts slack.
-		for _, d := range demand {
-			total += d.violations
+		for i := range demand {
+			total += demand[i].violations.Load()
 		}
 		if total == 0 {
 			return weights
 		}
-		for i, d := range demand {
-			weights[i] = (d.violations*16/total + 1) / 2
+		for i := range demand {
+			weights[i] = (demand[i].violations.Load()*16/total + 1) / 2
 		}
 		return weights
 	}
-	for i, d := range demand {
-		weights[i] = (d.burn*16/total + 1) / 2
+	for i := range demand {
+		weights[i] = (demand[i].burn.Load()*16/total + 1) / 2
 	}
 	return weights
 }

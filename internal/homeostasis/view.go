@@ -12,6 +12,7 @@ import (
 // 3.1 (all writes are local) holds.
 type deltaView struct {
 	tx     *store.Txn
+	sys    *System // delta-name cache access (see System.deltaName)
 	site   int
 	nSites int
 	log    []int64
@@ -28,7 +29,7 @@ func (v *deltaView) ReadLogical(obj lang.ObjID) (int64, error) {
 	// Remote deltas were zeroed at the last synchronization; the local
 	// store's copies of them are authoritative snapshots (zero). Only the
 	// site's own delta can be nonzero locally.
-	d, err := v.tx.Read(lang.DeltaObj(obj, v.site))
+	d, err := v.tx.Read(v.sys.deltaName(obj, v.site))
 	if err != nil {
 		return 0, err
 	}
@@ -48,13 +49,13 @@ func (v *deltaView) WriteLogical(obj lang.ObjID, val int64) error {
 		if j == v.site {
 			continue
 		}
-		d, err := v.tx.Read(lang.DeltaObj(obj, j))
+		d, err := v.tx.Read(v.sys.deltaName(obj, j))
 		if err != nil {
 			return err
 		}
 		rest += d
 	}
-	return v.tx.Write(lang.DeltaObj(obj, v.site), val-base-rest)
+	return v.tx.Write(v.sys.deltaName(obj, v.site), val-base-rest)
 }
 
 func (v *deltaView) Print(x int64) { v.log = append(v.log, x) }

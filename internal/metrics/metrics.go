@@ -12,74 +12,110 @@ import (
 	"repro/internal/rt"
 )
 
+// histChunk is the fixed sample-chunk size. Chunks make the record path
+// allocation-free in steady state: Add writes into the current chunk's
+// preallocated capacity, and growing never copies existing samples (the
+// old flat-slice design re-copied the whole run's samples on every
+// doubling). A fresh chunk is allocated only once per histChunk samples.
+const histChunk = 8192
+
 // Histogram records latency samples and reports percentiles.
 type Histogram struct {
-	samples []rt.Duration
-	sorted  bool
+	chunks [][]rt.Duration // all full except possibly the last
+	n      int
+	// flat is the reused sort scratch for the read side (percentiles are
+	// computed over a flattened copy). Valid while sorted is true; any Add
+	// invalidates it. Readers hold the runtime's execution right, so the
+	// shared scratch is not a race.
+	flat   []rt.Duration
+	sorted bool
 }
 
 // Add records a sample.
 func (h *Histogram) Add(d rt.Duration) {
-	h.samples = append(h.samples, d)
+	if k := len(h.chunks); k == 0 || len(h.chunks[k-1]) == cap(h.chunks[k-1]) {
+		h.chunks = append(h.chunks, make([]rt.Duration, 0, histChunk))
+	}
+	k := len(h.chunks) - 1
+	h.chunks[k] = append(h.chunks[k], d)
+	h.n++
 	h.sorted = false
 }
 
 // N returns the sample count.
-func (h *Histogram) N() int { return len(h.samples) }
+func (h *Histogram) N() int { return h.n }
 
 // AddAll merges another histogram's samples (used to aggregate per-cell
 // histograms across a sweep).
 func (h *Histogram) AddAll(o *Histogram) {
-	if o == nil || len(o.samples) == 0 {
+	if o == nil || o.n == 0 {
 		return
 	}
-	h.samples = append(h.samples, o.samples...)
-	h.sorted = false
+	for _, c := range o.chunks {
+		for _, d := range c {
+			h.Add(d)
+		}
+	}
 }
 
+// ensureSorted (re)builds the flat sorted view of all samples.
 func (h *Histogram) ensureSorted() {
-	if !h.sorted {
-		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
-		h.sorted = true
+	if h.sorted {
+		return
 	}
+	if cap(h.flat) < h.n {
+		h.flat = make([]rt.Duration, 0, h.n)
+	}
+	h.flat = h.flat[:0]
+	for _, c := range h.chunks {
+		h.flat = append(h.flat, c...)
+	}
+	sort.Slice(h.flat, func(i, j int) bool { return h.flat[i] < h.flat[j] })
+	h.sorted = true
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using
 // nearest-rank; zero when empty.
 func (h *Histogram) Percentile(p float64) rt.Duration {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
 	h.ensureSorted()
-	rank := int(p / 100 * float64(len(h.samples)))
-	if rank >= len(h.samples) {
-		rank = len(h.samples) - 1
+	rank := int(p / 100 * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
 	}
 	if rank < 0 {
 		rank = 0
 	}
-	return h.samples[rank]
+	return h.flat[rank]
 }
 
 // Mean returns the arithmetic mean.
 func (h *Histogram) Mean() rt.Duration {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
 	var sum rt.Duration
-	for _, s := range h.samples {
-		sum += s
+	for _, c := range h.chunks {
+		for _, s := range c {
+			sum += s
+		}
 	}
-	return sum / rt.Duration(len(h.samples))
+	return sum / rt.Duration(h.n)
 }
 
 // Max returns the largest sample.
 func (h *Histogram) Max() rt.Duration {
-	if len(h.samples) == 0 {
-		return 0
+	var max rt.Duration
+	for _, c := range h.chunks {
+		for _, s := range c {
+			if s > max {
+				max = s
+			}
+		}
 	}
-	h.ensureSorted()
-	return h.samples[len(h.samples)-1]
+	return max
 }
 
 // ProfileString renders the percentile profile used in the paper's
@@ -100,14 +136,14 @@ func (h *Histogram) CDF(points int) [][2]float64 {
 	out := make([][2]float64, 0, points)
 	for i := 1; i <= points; i++ {
 		q := float64(i) / float64(points)
-		idx := int(q*float64(len(h.samples))) - 1
+		idx := int(q*float64(h.n)) - 1
 		if idx < 0 {
 			idx = 0
 		}
-		if idx >= len(h.samples) {
-			idx = len(h.samples) - 1
+		if idx >= h.n {
+			idx = h.n - 1
 		}
-		ms := float64(h.samples[idx]) / float64(rt.Millisecond)
+		ms := float64(h.flat[idx]) / float64(rt.Millisecond)
 		out = append(out, [2]float64{ms, q})
 	}
 	return out

@@ -260,8 +260,8 @@ func (w *Workload) MakeRequest(items []int) workload.Request {
 		Units:   units,
 		Objects: objs,
 		Exec: func(v workload.SiteView) error {
-			for _, it := range items {
-				obj := ItemObj(it)
+			for i := range items {
+				obj := objs[i] // precomputed: ItemObj formats a fresh string per call
 				qty, err := v.ReadLogical(obj)
 				if err != nil {
 					return err
@@ -279,8 +279,8 @@ func (w *Workload) MakeRequest(items []int) workload.Request {
 			return nil
 		},
 		Apply: func(db lang.Database) []int64 {
-			for _, it := range items {
-				obj := ItemObj(it)
+			for i := range items {
+				obj := objs[i]
 				qty := db.Get(obj)
 				if qty > 1 {
 					db.Set(obj, qty-1)

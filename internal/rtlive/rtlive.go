@@ -202,6 +202,14 @@ type Proc struct {
 	parked bool
 	killed bool
 	token  int64
+
+	// sleepTimer is the process's reusable Sleep timer; sleepToken is
+	// the park token of the sleep that armed it. Both are accessed only
+	// under the scheduler lock (Sleep runs holding it, and the timer
+	// callback takes it), so the steady-state Sleep cycle is a timer
+	// Reset instead of a fresh timer + closure per call.
+	sleepTimer *time.Timer
+	sleepToken int64
 }
 
 // Spawn starts a new process goroutine running fn. If the runtime is
@@ -324,8 +332,30 @@ func (p *Proc) WakeIf(token int64) bool {
 // Sleep suspends the process for d of real time.
 func (p *Proc) Sleep(d rt.Duration) {
 	token := p.PrepPark()
-	p.r.After(d, func() { p.WakeIf(token) })
+	p.sleepToken = token
+	wait := time.Duration(d)
+	if wait < 0 {
+		wait = 0
+	}
+	if p.sleepTimer == nil {
+		p.sleepTimer = time.AfterFunc(wait, p.sleepWake)
+	} else {
+		// The previous wake ran to completion before this process could
+		// re-enter Sleep (the callback releases the scheduler lock only
+		// after WakeIf, and Park reacquires it), so Reset never races a
+		// pending callback.
+		p.sleepTimer.Reset(wait)
+	}
 	p.Park()
+}
+
+// sleepWake is the reusable timer callback for Sleep: like every timer it
+// runs under the scheduler lock and wakes the process if it is still
+// parked on the sleep that armed the timer.
+func (p *Proc) sleepWake() {
+	p.r.mu.Lock()
+	defer p.r.mu.Unlock()
+	p.WakeIf(p.sleepToken)
 }
 
 // resource is a counting semaphore whose waiters really block; its

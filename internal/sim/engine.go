@@ -42,10 +42,14 @@ var (
 	_ rt.Proc    = (*Proc)(nil)
 )
 
+// event is one scheduled occurrence: either a callback (fn) or, for the
+// allocation-free Sleep wake path, a direct (proc, token) wake target.
 type event struct {
-	t   Time
-	seq int64
-	fn  func()
+	t     Time
+	seq   int64
+	fn    func()
+	proc  *Proc
+	token int64
 }
 
 type eventHeap []*event
@@ -85,6 +89,10 @@ type Engine struct {
 	live   int // processes started and not finished
 	procs  []*Proc
 
+	// free recycles fired events so the steady-state schedule/fire cycle
+	// (one wake per Sleep) does not allocate.
+	free []*event
+
 	// Deadline, when nonzero, stops Run once virtual time would pass it.
 	Deadline Time
 }
@@ -104,13 +112,38 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random stream.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// alloc pops a recycled event or allocates a fresh one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
 // At schedules fn to run at the given virtual time (clamped to now).
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+	ev := e.alloc()
+	ev.t, ev.seq, ev.fn = t, e.seq, fn
+	heap.Push(&e.events, ev)
+}
+
+// wakeAt schedules a direct process wake — Sleep's path, which carries no
+// closure so a recycled event makes it allocation-free.
+func (e *Engine) wakeAt(t Time, p *Proc, token int64) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := e.alloc()
+	ev.t, ev.seq, ev.proc, ev.token = t, e.seq, p, token
+	heap.Push(&e.events, ev)
 }
 
 // After schedules fn to run after d elapses.
@@ -233,7 +266,7 @@ func (p *Proc) wakeIf(token int64) bool {
 // Sleep suspends the process for d of virtual time.
 func (p *Proc) Sleep(d Duration) {
 	token := p.prepPark()
-	p.e.After(d, func() { p.wakeIf(token) })
+	p.e.wakeAt(p.e.now+Time(d), p, token)
 	p.park()
 }
 
@@ -272,7 +305,14 @@ func (e *Engine) Run() Time {
 			return e.now
 		}
 		e.now = ev.t
-		ev.fn()
+		fn, proc, token := ev.fn, ev.proc, ev.token
+		ev.fn, ev.proc = nil, nil
+		e.free = append(e.free, ev)
+		if fn != nil {
+			fn()
+		} else if proc != nil {
+			proc.wakeIf(token)
+		}
 	}
 	return e.now
 }

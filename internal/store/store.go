@@ -57,6 +57,11 @@ type Store struct {
 	// the last ResetDirty (i.e. since the current round began).
 	dirty map[lang.ObjID]bool
 
+	// freeTxns recycles finished transactions (see Recycle) so the
+	// commit fast path does not allocate a Txn per request. Accessed
+	// only under the runtime's execution right, like all store state.
+	freeTxns []*Txn
+
 	// LockTimeout bounds lock waits; zero means wait forever.
 	LockTimeout rt.Duration
 
@@ -103,7 +108,11 @@ func (s *Store) DirtySet() []ObjValue {
 }
 
 // ResetDirty clears the dirty set (start of a new round).
-func (s *Store) ResetDirty() { s.dirty = make(map[lang.ObjID]bool) }
+func (s *Store) ResetDirty() {
+	for obj := range s.dirty {
+		delete(s.dirty, obj)
+	}
+}
 
 // ObjValue is an (object, value) pair used in synchronization messages.
 type ObjValue struct {
@@ -114,23 +123,49 @@ type ObjValue struct {
 // Txn is an open transaction holding locks. All methods must be called
 // from the owning process.
 type Txn struct {
-	s      *Store
-	p      rt.Proc
-	id     int
-	undo   []ObjValue
-	wrote  map[lang.ObjID]bool
-	closed bool
+	s    *Store
+	p    rt.Proc
+	id   int
+	undo []ObjValue
+	// held lists the objects this transaction holds granted locks on,
+	// in grant order; releaseAll walks it instead of a per-txn map.
+	held []lang.ObjID
+	// waitObj/waiting name the single lock wait in progress (a process
+	// waits on at most one lock at a time). releaseAll uses them to
+	// clear the pending queue entry a cancelled wait leaves behind.
+	waitObj lang.ObjID
+	waiting bool
+	closed  bool
 }
 
-// Begin opens a transaction.
+// Begin opens a transaction, reusing a recycled one when available.
 func (s *Store) Begin(p rt.Proc) *Txn {
 	s.nextTxnID++
-	return &Txn{
-		s:     s,
-		p:     p,
-		id:    s.nextTxnID,
-		wrote: make(map[lang.ObjID]bool),
+	var t *Txn
+	if n := len(s.freeTxns); n > 0 {
+		t = s.freeTxns[n-1]
+		s.freeTxns[n-1] = nil
+		s.freeTxns = s.freeTxns[:n-1]
+		t.undo = t.undo[:0]
+		t.held = t.held[:0]
+		t.waiting = false
+		t.closed = false
+	} else {
+		t = &Txn{s: s}
 	}
+	t.p = p
+	t.id = s.nextTxnID
+	return t
+}
+
+// Recycle returns a finished (committed or aborted) transaction to the
+// store's free list for reuse by a later Begin. The caller must hold no
+// further references; recycling an open transaction is a no-op.
+func (s *Store) Recycle(t *Txn) {
+	if t == nil || !t.closed {
+		return
+	}
+	s.freeTxns = append(s.freeTxns, t)
 }
 
 // ID returns the transaction's store-local identifier.
@@ -156,12 +191,23 @@ func (t *Txn) Write(obj lang.ObjID, v int64) error {
 	if err := t.s.locks.acquire(t.p, t, obj, LockX, t.s.LockTimeout); err != nil {
 		return err
 	}
-	if !t.wrote[obj] {
+	if !t.wroteObj(obj) {
 		t.undo = append(t.undo, ObjValue{Obj: obj, Value: t.s.db.Get(obj)})
-		t.wrote[obj] = true
 	}
 	t.s.db.Set(obj, v)
 	return nil
+}
+
+// wroteObj reports whether the transaction already wrote obj (one undo
+// entry per object). Transactions touch a handful of objects, so a
+// linear scan beats a per-txn map.
+func (t *Txn) wroteObj(obj lang.ObjID) bool {
+	for i := range t.undo {
+		if t.undo[i].Obj == obj {
+			return true
+		}
+	}
+	return false
 }
 
 // Commit makes the transaction's writes durable in the dirty set and
@@ -171,8 +217,8 @@ func (t *Txn) Commit() {
 		return
 	}
 	t.closed = true
-	for obj := range t.wrote {
-		t.s.dirty[obj] = true
+	for i := range t.undo {
+		t.s.dirty[t.undo[i].Obj] = true
 	}
 	t.s.Commits++
 	t.s.locks.releaseAll(t)
@@ -202,21 +248,46 @@ type lockReq struct {
 	// timedOut is set by the timeout event so the waiter can distinguish
 	// wake reasons.
 	timedOut bool
+	// waited marks a request whose wait armed a timeout event. The
+	// event's closure retains the request past its removal from the
+	// queue, so waited requests must not return to the free list.
+	waited bool
 }
 
 type lockTable struct {
 	e      rt.Runtime
 	queues map[lang.ObjID][]*lockReq
-	// held maps txn id -> objects it holds locks on (for release).
-	held map[int]map[lang.ObjID]bool
+	// freeReqs and freeQs recycle queue entries and emptied queue
+	// slices so the uncontended acquire/release cycle does not allocate.
+	freeReqs []*lockReq
+	freeQs   [][]*lockReq
 }
 
 func newLockTable(e rt.Runtime) *lockTable {
 	return &lockTable{
 		e:      e,
 		queues: make(map[lang.ObjID][]*lockReq),
-		held:   make(map[int]map[lang.ObjID]bool),
 	}
+}
+
+func (lt *lockTable) newReq() *lockReq {
+	if n := len(lt.freeReqs); n > 0 {
+		r := lt.freeReqs[n-1]
+		lt.freeReqs[n-1] = nil
+		lt.freeReqs = lt.freeReqs[:n-1]
+		return r
+	}
+	return &lockReq{}
+}
+
+func (lt *lockTable) freeReq(r *lockReq) {
+	if r.waited {
+		// A pending timeout closure may still hold this request; let the
+		// GC reclaim it instead of risking a reused entry being mutated.
+		return
+	}
+	*r = lockReq{}
+	lt.freeReqs = append(lt.freeReqs, r)
 }
 
 func compatible(a, b LockMode) bool { return a == LockS && b == LockS }
@@ -274,29 +345,29 @@ func (lt *lockTable) acquire(p rt.Proc, txn *Txn, obj lang.ObjID, mode LockMode,
 		}
 		return lt.wait(p, txn, obj, existing, timeout)
 	}
-	req := &lockReq{txn: txn, proc: p, mode: mode}
-	lt.queues[obj] = append(lt.queues[obj], req)
+	req := lt.newReq()
+	req.txn, req.proc, req.mode = txn, p, mode
+	if q == nil {
+		if n := len(lt.freeQs); n > 0 {
+			q = lt.freeQs[n-1]
+			lt.freeQs[n-1] = nil
+			lt.freeQs = lt.freeQs[:n-1]
+		}
+	}
+	lt.queues[obj] = append(q, req)
 	if canGrant(lt.queues[obj], req) {
 		req.granted = true
-		lt.noteHeld(txn, obj)
+		txn.held = append(txn.held, obj)
 		return nil
 	}
 	return lt.wait(p, txn, obj, req, timeout)
-}
-
-func (lt *lockTable) noteHeld(txn *Txn, obj lang.ObjID) {
-	m, ok := lt.held[txn.id]
-	if !ok {
-		m = make(map[lang.ObjID]bool)
-		lt.held[txn.id] = m
-	}
-	m[obj] = true
 }
 
 // wait parks until the request is granted, times out, or would deadlock.
 func (lt *lockTable) wait(p rt.Proc, txn *Txn, obj lang.ObjID, req *lockReq, timeout rt.Duration) error {
 	if lt.wouldDeadlock(txn, obj) {
 		lt.removeReq(obj, req)
+		lt.freeReq(req)
 		txn.s.Deadlocks++
 		return ErrDeadlock
 	}
@@ -304,9 +375,12 @@ func (lt *lockTable) wait(p rt.Proc, txn *Txn, obj lang.ObjID, req *lockReq, tim
 	if timeout > 0 {
 		deadline = lt.e.Now() + rt.Time(timeout)
 	}
+	txn.waitObj, txn.waiting = obj, true
+	defer func() { txn.waiting = false }()
 	for {
 		token := p.PrepPark()
 		if deadline >= 0 {
+			req.waited = true
 			lt.e.At(deadline, func() {
 				if !req.granted {
 					req.timedOut = true
@@ -316,7 +390,7 @@ func (lt *lockTable) wait(p rt.Proc, txn *Txn, obj lang.ObjID, req *lockReq, tim
 		}
 		p.Park()
 		if req.granted && !req.upgrade {
-			lt.noteHeld(txn, obj)
+			txn.held = append(txn.held, obj)
 			return nil
 		}
 		if req.granted && req.upgrade {
@@ -392,52 +466,56 @@ func (lt *lockTable) removeReq(obj lang.ObjID, req *lockReq) {
 	lt.grantWaiters(obj)
 }
 
-// releaseAll frees every lock txn holds and re-evaluates waiters.
+// releaseAll frees every lock txn holds and re-evaluates waiters. The
+// transaction's held list replaces the old table-wide scan: release cost
+// is proportional to the locks the transaction took, not to the number
+// of live lock queues.
 func (lt *lockTable) releaseAll(txn *Txn) {
-	objs := lt.held[txn.id]
-	delete(lt.held, txn.id)
-	// Also remove any pending (ungranted) requests.
-	var pendingObjs []lang.ObjID
-	for o, q := range lt.queues {
-		for _, r := range q {
-			if r.txn.id == txn.id && !r.granted {
-				pendingObjs = append(pendingObjs, o)
-			}
-		}
-	}
-	for _, o := range pendingObjs {
-		q := lt.queues[o]
+	// A cancelled wait (process killed while parked) leaves one pending
+	// request behind; wait() never returned to remove it.
+	pendingObj := lang.ObjID("")
+	hasPending := false
+	if txn.waiting {
+		txn.waiting = false
+		pendingObj, hasPending = txn.waitObj, true
+		q := lt.queues[pendingObj]
 		out := q[:0]
 		for _, r := range q {
 			if r.txn.id != txn.id || r.granted {
 				out = append(out, r)
+			} else {
+				lt.freeReq(r)
 			}
 		}
-		lt.queues[o] = out
+		lt.queues[pendingObj] = out
 	}
-	for o := range objs {
-		q := lt.queues[o]
+	for _, o := range txn.held {
+		q, ok := lt.queues[o]
+		if !ok {
+			// The entry was already removed (e.g. a timed-out upgrade
+			// dropped the grant and the queue emptied meanwhile).
+			continue
+		}
 		out := q[:0]
 		for _, r := range q {
 			if r.txn.id != txn.id {
 				out = append(out, r)
+			} else {
+				lt.freeReq(r)
 			}
 		}
 		if len(out) == 0 {
 			delete(lt.queues, o)
+			lt.freeQs = append(lt.freeQs, out)
 		} else {
 			lt.queues[o] = out
 		}
 		lt.grantWaiters(o)
 	}
-	sortObjs(pendingObjs)
-	for _, o := range pendingObjs {
-		lt.grantWaiters(o)
+	txn.held = txn.held[:0]
+	if hasPending {
+		lt.grantWaiters(pendingObj)
 	}
-}
-
-func sortObjs(objs []lang.ObjID) {
-	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
 }
 
 // grantWaiters grants every request that has become grantable and wakes
@@ -450,11 +528,9 @@ func (lt *lockTable) grantWaiters(obj lang.ObjID) {
 		}
 		if canGrant(q, r) {
 			r.granted = true
-			if r.upgrade {
-				// Leave r.upgrade set; wait() clears it on wake so the
-				// waiter can distinguish upgrade completion.
-				lt.noteHeld(r.txn, obj)
-			}
+			// An upgrade keeps r.upgrade set; wait() clears it on wake so
+			// the waiter can distinguish upgrade completion. The object is
+			// already on the transaction's held list from the S grant.
 			proc := r.proc
 			token := proc != nil
 			if token {

@@ -1,0 +1,130 @@
+package wal
+
+import (
+	"sync"
+
+	"repro/internal/fabric/codec"
+)
+
+// This file is the binary payload encoding for WAL records. New records
+// are written with the fabric codec (varints, length-prefixed strings,
+// sorted maps) instead of kind+JSON; the frame layer — length, CRC,
+// torn-tail repair — is untouched. Decoding sniffs the payload's first
+// byte: the codec magic means binary, anything else (a '{' in practice)
+// falls back to JSON, so logs written by older versions replay
+// unchanged and a log may mix both encodings across restarts.
+
+// payloadScratch pools the encode buffer so the append path does not
+// allocate a payload per record.
+var payloadScratch = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+func (l *Log) appendBinary(kind Kind, enc func([]byte) []byte) error {
+	bp := payloadScratch.Get().(*[]byte)
+	payload := enc((*bp)[:0])
+	err := l.Append(kind, payload)
+	*bp = payload[:0]
+	payloadScratch.Put(bp)
+	return err
+}
+
+func appendRound(dst []byte, r *RoundID) []byte {
+	if r == nil {
+		return codec.AppendBool(dst, false)
+	}
+	dst = codec.AppendBool(dst, true)
+	dst = codec.AppendInt(dst, r.Site)
+	return codec.AppendUvarint(dst, r.Seq)
+}
+
+func decodeRound(r *codec.Reader) *RoundID {
+	if !r.Bool() {
+		return nil
+	}
+	return &RoundID{Site: r.Int(), Seq: r.Uvarint()}
+}
+
+func appendCommitPayload(dst []byte, c *CommitRecord) []byte {
+	dst = codec.AppendHeader(dst, byte(KindCommit))
+	dst = codec.AppendString(dst, c.Class)
+	dst = codec.AppendInt64s(dst, c.Args)
+	dst = codec.AppendInt(dst, c.Site)
+	dst = codec.AppendInts(dst, c.Units)
+	dst = codec.AppendInt64s(dst, c.Log)
+	dst = codec.AppendVarint(dst, c.Clock)
+	dst = appendRound(dst, c.Round)
+	return codec.AppendStringMap(dst, c.Writes)
+}
+
+func decodeCommitPayload(payload []byte) (CommitRecord, error) {
+	r := codec.NewReader(payload)
+	if _ = r.Header(); r.Err() != nil {
+		return CommitRecord{}, r.Err()
+	}
+	c := CommitRecord{
+		Class: r.String(),
+		Args:  r.Int64s(),
+		Site:  r.Int(),
+		Units: r.Ints(),
+		Log:   r.Int64s(),
+		Clock: r.Varint(),
+		Round: decodeRound(r),
+	}
+	c.Writes = r.StringMap()
+	return c, r.Close()
+}
+
+func appendInstallPayload(dst []byte, c *InstallRecord) []byte {
+	dst = codec.AppendHeader(dst, byte(KindInstall))
+	dst = codec.AppendInt(dst, c.Round.Site)
+	dst = codec.AppendUvarint(dst, c.Round.Seq)
+	dst = codec.AppendVarint(dst, c.Clock)
+	dst = codec.AppendStrings(dst, c.Objs)
+	dst = codec.AppendStringMap(dst, c.Base)
+	dst = codec.AppendStringMap(dst, c.Drift)
+	return codec.AppendInt(dst, c.Sites)
+}
+
+func decodeInstallPayload(payload []byte) (InstallRecord, error) {
+	r := codec.NewReader(payload)
+	if _ = r.Header(); r.Err() != nil {
+		return InstallRecord{}, r.Err()
+	}
+	c := InstallRecord{
+		Round: RoundID{Site: r.Int(), Seq: r.Uvarint()},
+		Clock: r.Varint(),
+		Objs:  r.Strings(),
+		Base:  r.StringMap(),
+		Drift: r.StringMap(),
+		Sites: r.Int(),
+	}
+	return c, r.Close()
+}
+
+func appendTreatyPayload(dst []byte, c *TreatyRecord) []byte {
+	dst = codec.AppendHeader(dst, byte(KindTreaty))
+	dst = codec.AppendInt(dst, c.Unit)
+	dst = codec.AppendInt(dst, c.Site)
+	dst = codec.AppendVarint(dst, c.Version)
+	dst = codec.AppendVarint(dst, c.Clock)
+	dst = appendRound(dst, c.Round)
+	// Constraints stay opaque wire-JSON bytes inside the binary record:
+	// the WAL remains below the fabric in the dependency order and the
+	// replay path keeps one constraint decoder.
+	return codec.AppendBytes(dst, c.Constraints)
+}
+
+func decodeTreatyPayload(payload []byte) (TreatyRecord, error) {
+	r := codec.NewReader(payload)
+	if _ = r.Header(); r.Err() != nil {
+		return TreatyRecord{}, r.Err()
+	}
+	c := TreatyRecord{
+		Unit:    r.Int(),
+		Site:    r.Int(),
+		Version: r.Varint(),
+		Clock:   r.Varint(),
+		Round:   decodeRound(r),
+	}
+	c.Constraints = r.Bytes()
+	return c, r.Close()
+}

@@ -9,6 +9,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/fabric/codec"
 )
 
 // Kind tags a record's payload type.
@@ -103,31 +105,41 @@ type TreatyRecord struct {
 	Constraints json.RawMessage `json:"constraints,omitempty"`
 }
 
-// Commit decodes a KindCommit record.
+// Commit decodes a KindCommit record (binary codec, or JSON from a log
+// written by an older version).
 func (r Record) Commit() (CommitRecord, error) {
 	var c CommitRecord
 	if r.Kind != KindCommit {
 		return c, fmt.Errorf("wal: %v record is not a commit", r.Kind)
 	}
-	err := json.Unmarshal(r.Payload, &c)
-	return c, err
-}
-
-// Install decodes a KindInstall record.
-func (r Record) Install() (InstallRecord, error) {
-	var c InstallRecord
-	if r.Kind != KindInstall {
-		return c, fmt.Errorf("wal: %v record is not an install", r.Kind)
+	if codec.IsBinary(r.Payload) {
+		return decodeCommitPayload(r.Payload)
 	}
 	err := json.Unmarshal(r.Payload, &c)
 	return c, err
 }
 
-// Treaty decodes a KindTreaty record.
+// Install decodes a KindInstall record (binary codec or legacy JSON).
+func (r Record) Install() (InstallRecord, error) {
+	var c InstallRecord
+	if r.Kind != KindInstall {
+		return c, fmt.Errorf("wal: %v record is not an install", r.Kind)
+	}
+	if codec.IsBinary(r.Payload) {
+		return decodeInstallPayload(r.Payload)
+	}
+	err := json.Unmarshal(r.Payload, &c)
+	return c, err
+}
+
+// Treaty decodes a KindTreaty record (binary codec or legacy JSON).
 func (r Record) Treaty() (TreatyRecord, error) {
 	var c TreatyRecord
 	if r.Kind != KindTreaty {
 		return c, fmt.Errorf("wal: %v record is not a treaty", r.Kind)
+	}
+	if codec.IsBinary(r.Payload) {
+		return decodeTreatyPayload(r.Payload)
 	}
 	err := json.Unmarshal(r.Payload, &c)
 	return c, err
@@ -274,21 +286,19 @@ func (l *Log) Append(kind Kind, payload []byte) error {
 	return nil
 }
 
-// AppendCommit appends a commit record.
-func (l *Log) AppendCommit(c CommitRecord) error { return l.appendJSON(KindCommit, c) }
+// AppendCommit appends a commit record (binary payload encoding).
+func (l *Log) AppendCommit(c CommitRecord) error {
+	return l.appendBinary(KindCommit, func(dst []byte) []byte { return appendCommitPayload(dst, &c) })
+}
 
 // AppendInstall appends a state-install record.
-func (l *Log) AppendInstall(c InstallRecord) error { return l.appendJSON(KindInstall, c) }
+func (l *Log) AppendInstall(c InstallRecord) error {
+	return l.appendBinary(KindInstall, func(dst []byte) []byte { return appendInstallPayload(dst, &c) })
+}
 
 // AppendTreaty appends a treaty-generation record.
-func (l *Log) AppendTreaty(c TreatyRecord) error { return l.appendJSON(KindTreaty, c) }
-
-func (l *Log) appendJSON(kind Kind, v any) error {
-	b, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("wal: encoding %v record: %w", kind, err)
-	}
-	return l.Append(kind, b)
+func (l *Log) AppendTreaty(c TreatyRecord) error {
+	return l.appendBinary(KindTreaty, func(dst []byte) []byte { return appendTreatyPayload(dst, &c) })
 }
 
 // Flush writes the batch to the file (and fsyncs it under Options.Sync).

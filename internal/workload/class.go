@@ -58,6 +58,17 @@ type Class struct {
 	pinReason string
 
 	unit int // assigned by the Registry
+
+	// cachedUnits/cachedGen memoize the registry's unitsFor result for the
+	// registry generation cachedGen (see Registry.gen).
+	cachedUnits []int
+	cachedGen   int
+
+	// envs is a free-list of pooled execution environments. Guarded by the
+	// runtime's execution contract (exec only runs while holding the
+	// execution right); entries checked out survive park points because
+	// each executing proc owns its own classEnv.
+	envs []*classEnv
 }
 
 // NewClass analyzes an already-parsed transaction into a registrable
@@ -288,11 +299,63 @@ func (c *Class) randArgs(rng *rand.Rand) []int64 {
 // error channel in its read/write hooks.
 type execAbort struct{ err error }
 
+// classEnv is a reusable execution environment: the lang.Env and its
+// read/write hook closures are built once and recycled through the
+// class's free-list, so the exec hot path allocates nothing. The hooks
+// are bound to the classEnv and dispatch through its current view.
+type classEnv struct {
+	v   SiteView
+	env lang.Env
+}
+
+func (ce *classEnv) read(obj lang.ObjID) int64 {
+	x, err := ce.v.ReadLogical(obj)
+	if err != nil {
+		panic(execAbort{err})
+	}
+	return x
+}
+
+func (ce *classEnv) write(obj lang.ObjID, val int64) {
+	if err := ce.v.WriteLogical(obj, val); err != nil {
+		panic(execAbort{err})
+	}
+}
+
+// getEnv checks out a pooled environment targeting v. Params and Arrays
+// are left as-is (EvalIn fully overwrites them for this class); Temps and
+// the print log are cleared so no state leaks between invocations.
+func (c *Class) getEnv(v SiteView) *classEnv {
+	var ce *classEnv
+	if n := len(c.envs); n > 0 {
+		ce = c.envs[n-1]
+		c.envs[n-1] = nil
+		c.envs = c.envs[:n-1]
+		for k := range ce.env.Temps {
+			delete(ce.env.Temps, k)
+		}
+		ce.env.Log = ce.env.Log[:0]
+	} else {
+		ce = &classEnv{}
+		ce.env.ReadFn = ce.read
+		ce.env.WriteFn = ce.write
+	}
+	ce.v = v
+	return ce
+}
+
+func (c *Class) putEnv(ce *classEnv) {
+	ce.v = nil
+	c.envs = append(c.envs, ce)
+}
+
 // exec runs the lowered transaction against a site view: every database
 // read and write goes through the view's logical accessors (the delta
 // encoding under homeostasis, direct access under 2PC/local), and the
 // print log is forwarded after successful evaluation.
 func (c *Class) exec(v SiteView, args []int64) (err error) {
+	ce := c.getEnv(v)
+	defer c.putEnv(ce)
 	defer func() {
 		if r := recover(); r != nil {
 			a, ok := r.(execAbort)
@@ -302,24 +365,10 @@ func (c *Class) exec(v SiteView, args []int64) (err error) {
 			err = a.err
 		}
 	}()
-	env := &lang.Env{
-		ReadFn: func(obj lang.ObjID) int64 {
-			x, rerr := v.ReadLogical(obj)
-			if rerr != nil {
-				panic(execAbort{rerr})
-			}
-			return x
-		},
-		WriteFn: func(obj lang.ObjID, val int64) {
-			if werr := v.WriteLogical(obj, val); werr != nil {
-				panic(execAbort{werr})
-			}
-		},
-	}
-	if err := lang.EvalIn(c.Lowered, env, args...); err != nil {
+	if err := lang.EvalIn(c.Lowered, &ce.env, args...); err != nil {
 		return err
 	}
-	for _, x := range env.Log {
+	for _, x := range ce.env.Log {
 		v.Print(x)
 	}
 	return nil

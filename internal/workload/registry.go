@@ -39,6 +39,10 @@ type Registry struct {
 	// extra accumulates the initial values installed by registrations, so
 	// InitialDB reflects them for serial replay.
 	extra lang.Database
+	// gen counts registrations and unregistrations; each class caches its
+	// governing unit set keyed by gen, so steady-state request construction
+	// (no class churn) rebuilds nothing.
+	gen int
 }
 
 // NewRegistry wraps base (which may be nil for a cluster serving only
@@ -100,6 +104,7 @@ func (r *Registry) Register(c *Class, initial lang.Database) error {
 		}
 	}
 	c.unit = r.baseUnits + len(r.classes)
+	c.cachedUnits, c.cachedGen = nil, -1 // gen is never negative: forces a rebuild
 	r.classes = append(r.classes, c)
 	r.byName[c.Name] = c
 	for _, obj := range c.footprint {
@@ -108,6 +113,7 @@ func (r *Registry) Register(c *Class, initial lang.Database) error {
 	for obj, v := range initial {
 		r.extra[obj] = v
 	}
+	r.gen++
 	return nil
 }
 
@@ -134,6 +140,7 @@ func (r *Registry) Unregister(c *Class) error {
 	// Initial values stay in extra: the objects were already installed in
 	// the stores when the rollback happens, and re-registering under the
 	// same name re-validates them.
+	r.gen++
 	return nil
 }
 
@@ -161,14 +168,25 @@ func (r *Registry) Request(c *Class, args []int64) (Request, error) {
 
 // unitsFor collects the deduplicated, ascending unit set sharing any of
 // the class's footprint objects. The class's own unit is always included
-// (its footprint objects index it).
+// (its footprint objects index it). The result is cached on the class
+// until the registered-class set changes; a fresh slice is built on each
+// cache miss (never rewriting the old backing array) because in-flight
+// requests hold the previous slice across park points.
 func (r *Registry) unitsFor(c *Class) []int {
-	seen := make(map[int]bool)
+	if c.cachedGen == r.gen {
+		return c.cachedUnits
+	}
 	var units []int
 	for _, obj := range c.footprint {
 		for _, u := range r.objUnits[obj] {
-			if !seen[u] {
-				seen[u] = true
+			dup := false
+			for _, have := range units {
+				if have == u {
+					dup = true
+					break
+				}
+			}
+			if !dup {
 				units = append(units, u)
 			}
 		}
@@ -178,6 +196,7 @@ func (r *Registry) unitsFor(c *Class) []int {
 			units[j], units[j-1] = units[j-1], units[j]
 		}
 	}
+	c.cachedUnits, c.cachedGen = units, r.gen
 	return units
 }
 
