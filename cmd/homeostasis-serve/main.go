@@ -50,6 +50,22 @@
 // spawns N-1 peer processes, drives all N, then verifies the merged
 // commit log (ordered by Lamport clock across processes) is
 // observationally equivalent under serial replay.
+//
+// Elastic topology: a running multi-process cluster accepts new sites
+// online. -join seeds a fresh process from any serving member — it
+// fetches the member's topology, boots one site wider, streams the
+// quiesced partition cut through the two-phase join handshake, and
+// serves as a full member (treaty configurations include it from the
+// next synchronization round on):
+//
+//	homeostasis-serve -workload none -register class.json -join h0:8080 -addr h3:8080 -enable-log
+//
+// POST /v1/topology/drain retires a site (its deltas are absorbed into
+// the replicated base, then the slot is fenced), and POST
+// /v1/topology/migrate re-homes one treaty unit's slack. The drive
+// mode's join=1[@when] and drain=site[@when] knobs exercise both
+// mid-drive and replay-check the merged commit log across the epoch
+// change.
 package main
 
 import (
@@ -66,6 +82,7 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -116,7 +133,8 @@ func main() {
 		walDir       = flag.String("wal-dir", "", "durability: directory for per-site write-ahead logs (site-<k>.wal); boot replays it and rejoins the fabric")
 		walSync      = flag.Bool("wal-sync", false, "durability: fsync every WAL batch before acknowledging (survives power loss, slower)")
 		addr         = flag.String("addr", ":8080", "serving mode: HTTP listen address (drive mode: loopback default)")
-		drive        = flag.String("drive", "", "drive mode: clients=N,duration=5s[,class=Name][,procs=N][,kill=site@t] (closed-loop load over the wire protocol, then exit)")
+		joinSeed     = flag.String("join", "", "elastic join: base URL of any serving member of a running multi-process cluster; this process boots one site wider, is admitted through the two-phase join handshake, and serves (requires -workload none plus the cluster's -register files and protocol flags)")
+		drive        = flag.String("drive", "", "drive mode: clients=N,duration=5s[,class=Name][,procs=N][,kill=site@t][,join=1@t][,drain=site@t] (closed-loop load over the wire protocol, then exit)")
 		warmup       = flag.Duration("warmup", 250*time.Millisecond, "drive mode: warm-up before measuring")
 		checkReplay  = flag.Bool("check-replay", true, "drive mode: verify serial-replay equivalence of the commit log")
 		verbose      = flag.Bool("v", false, "drive mode: also print per-site store counters")
@@ -188,6 +206,22 @@ func main() {
 		}
 	}
 
+	if *joinSeed != "" {
+		// Elastic join: derive the peer list and our own site index from
+		// the seed member's topology; -site/-peers/-sites don't apply.
+		if *site >= 0 || *peersFlag != "" {
+			fatal(fmt.Errorf("-join derives -site and -peers from the seed's topology; don't pass them"))
+		}
+		if *drive != "" {
+			fatal(fmt.Errorf("-join cannot be combined with -drive (the drive mode's join=1 knob spawns its own joiner)"))
+		}
+		if opts.Workload != nil {
+			fatal(fmt.Errorf("-join requires -workload none: the joiner receives its state from the cluster's partition cut, and transaction classes must match via -register"))
+		}
+		runJoin(opts, *joinSeed, listenAddr, *peerToken, *ec2, registers)
+		return
+	}
+
 	if *drive != "" {
 		cfg, err := parseDrive(*drive)
 		if err != nil {
@@ -200,6 +234,9 @@ func main() {
 		opts.EnableLog = cfg.checkReplay
 		if cfg.killSite > 0 && cfg.procs == 0 {
 			fatal(fmt.Errorf("drive: kill=%d needs procs=N (only spawned peer processes can be killed)", cfg.killSite))
+		}
+		if (cfg.joinProcs > 0 || cfg.drainSet) && cfg.procs == 0 {
+			fatal(fmt.Errorf("drive: join=/drain= need procs=N (elastic chaos runs over the multi-process fabric)"))
 		}
 		if cfg.procs > 0 {
 			if *site >= 0 {
@@ -281,20 +318,39 @@ type driveConfig struct {
 	procs       int
 	killSite    int
 	killAt      time.Duration
+	joinProcs   int
+	joinAt      time.Duration
+	drainSite   int
+	drainSet    bool
+	drainAt     time.Duration
 	warmup      time.Duration
 	checkReplay bool
 	verbose     bool
 	registers   classFiles
 }
 
+// parseChaosAt parses the optional "@when" suffix of a chaos knob: ""
+// and "mid" mean the knob's default offset (reported as 0), anything
+// else is a positive duration from the start of the drive.
+func parseChaosAt(at string) (time.Duration, error) {
+	if at == "" || at == "mid" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(at)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("drive: bad chaos time %q (want mid or a positive duration)", at)
+	}
+	return d, nil
+}
+
 // parseDrive parses
-// "clients=N,duration=5s[,class=Name][,procs=N][,kill=site@t]".
+// "clients=N,duration=5s[,class=Name][,procs=N][,kill=site@t][,join=1@t][,drain=site@t]".
 func parseDrive(s string) (driveConfig, error) {
 	cfg := driveConfig{clients: 4, duration: 5 * time.Second}
 	for _, part := range strings.Split(s, ",") {
 		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
 		if len(kv) != 2 {
-			return cfg, fmt.Errorf("drive: bad option %q (want clients=N,duration=5s[,class=Name][,procs=N][,kill=site@t])", part)
+			return cfg, fmt.Errorf("drive: bad option %q (want clients=N,duration=5s[,class=Name][,procs=N][,kill=site@t][,join=1@t][,drain=site@t])", part)
 		}
 		switch kv[0] {
 		case "clients":
@@ -328,12 +384,36 @@ func parseDrive(s string) (driveConfig, error) {
 				return cfg, fmt.Errorf("drive: bad kill site %q (want a spawned peer site >= 1)", kv[1])
 			}
 			cfg.killSite = n
-			if at != "" && at != "mid" {
-				d, err := time.ParseDuration(at)
-				if err != nil || d <= 0 {
-					return cfg, fmt.Errorf("drive: bad kill time %q (want mid or a positive duration)", at)
-				}
-				cfg.killAt = d
+			if cfg.killAt, err = parseChaosAt(at); err != nil {
+				return cfg, err
+			}
+		case "join":
+			// join=1[@when]: spawn a fresh joiner process mid-drive; it is
+			// admitted through the two-phase join handshake and starts
+			// taking client traffic as the new highest site. when is "mid"
+			// (the default) or a duration offset from the drive's start.
+			v, at, _ := strings.Cut(kv[1], "@")
+			n, err := strconv.Atoi(v)
+			if err != nil || n != 1 {
+				return cfg, fmt.Errorf("drive: bad join %q (only join=1 is supported)", kv[1])
+			}
+			cfg.joinProcs = 1
+			if cfg.joinAt, err = parseChaosAt(at); err != nil {
+				return cfg, err
+			}
+		case "drain":
+			// drain=site[@when]: drain the given original site mid-drive —
+			// its deltas are absorbed into the replicated base, the slot is
+			// fenced, and its clients stop. when defaults to 3/4 through the
+			// drive (after a join=1@mid has landed).
+			v, at, _ := strings.Cut(kv[1], "@")
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return cfg, fmt.Errorf("drive: bad drain site %q", kv[1])
+			}
+			cfg.drainSite, cfg.drainSet = n, true
+			if cfg.drainAt, err = parseChaosAt(at); err != nil {
+				return cfg, err
 			}
 		default:
 			return cfg, fmt.Errorf("drive: unknown option %q", kv[0])
@@ -368,11 +448,9 @@ func boot(opts homeo.Options) *homeo.Cluster {
 	return c
 }
 
-// runServe serves the wire protocol until SIGINT/SIGTERM, then shuts down
-// gracefully: stop admitting, drain in-flight transactions, print final
-// stats, exit 0.
-func runServe(opts homeo.Options, addr string, registers classFiles) {
-	c := boot(opts)
+// registerLocal registers -register class files directly on the cluster
+// (the boot path; drive mode registers over HTTP instead).
+func registerLocal(c *homeo.Cluster, registers classFiles) {
 	for _, path := range registers {
 		spec, err := loadClassRequest(path)
 		if err != nil {
@@ -387,6 +465,26 @@ func runServe(opts homeo.Options, addr string, registers classFiles) {
 		}
 		fmt.Printf("registered class %s(%s)\n", t.Name(), strings.Join(t.Params(), ", "))
 	}
+}
+
+// advertiseURL normalizes a listen address or base URL into an
+// advertised peer base URL.
+func advertiseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return strings.TrimSuffix(addr, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + strings.TrimSuffix(addr, "/")
+}
+
+// runServe serves the wire protocol until SIGINT/SIGTERM, then shuts down
+// gracefully: stop admitting, drain in-flight transactions, print final
+// stats, exit 0.
+func runServe(opts homeo.Options, addr string, registers classFiles) {
+	c := boot(opts)
+	registerLocal(c, registers)
 	// Durability: replay the WAL (if any) on top of the deterministic boot
 	// state and rejoin the fabric, before the listener opens.
 	if rec, err := c.Recover(); err != nil {
@@ -394,7 +492,88 @@ func runServe(opts homeo.Options, addr string, registers classFiles) {
 	} else if rec > 0 {
 		fmt.Printf("recovered %d WAL records\n", rec)
 	}
+	serveCluster(c, addr)
+}
 
+// runJoin boots this process as a fresh site of a running multi-process
+// cluster: fetch the seed member's topology (with backoff — the seed may
+// itself still be booting), boot one site wider with the peers' address
+// list plus our own, run the two-phase join handshake, then serve as a
+// full member. The listener opens only after the join completes, so
+// "healthy" implies "admitted".
+func runJoin(opts homeo.Options, seed, listenAddr, token string, useEC2 bool, registers classFiles) {
+	seedURL := advertiseURL(seed)
+	ownURL := advertiseURL(listenAddr)
+	ctx := context.Background()
+	seedCl := client.New(seedURL, client.Options{PeerToken: token})
+
+	var topo wire.TopologyResponse
+	var terr error
+	deadline := time.Now().Add(60 * time.Second)
+	for wait := 100 * time.Millisecond; ; {
+		if topo, terr = seedCl.Topology(ctx); terr == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("join: seed %s never answered the topology query: %v", seedURL, terr))
+		}
+		time.Sleep(wait)
+		if wait *= 2; wait > 2*time.Second {
+			wait = 2 * time.Second
+		}
+	}
+	if topo.Sites < 1 || len(topo.SiteAddrs) != topo.Sites || len(topo.SiteStatus) != topo.Sites {
+		fatal(fmt.Errorf("join: seed %s reported an incomplete topology (%d sites, %d addresses): every member of a joinable cluster needs an advertised peer base URL",
+			seedURL, topo.Sites, len(topo.SiteAddrs)))
+	}
+	selfSite := topo.Sites
+	peers := make([]string, selfSite+1)
+	for k, a := range topo.SiteAddrs {
+		if a == "" && topo.SiteStatus[k] == "active" {
+			fatal(fmt.Errorf("join: seed %s has no advertised address for active site %d (an in-process cluster cannot admit process joins)", seedURL, k))
+		}
+		peers[k] = a // "" only for gone slots, fenced before any scatter
+	}
+	peers[selfSite] = ownURL
+	opts.Sites = selfSite + 1
+	opts.Fabric = &homeo.FabricOptions{Site: selfSite, Peers: peers, Token: token}
+	if useEC2 {
+		opts.Topology = homeo.EC2(opts.Sites)
+	}
+
+	c := boot(opts)
+	registerLocal(c, registers)
+	// Fence slots that drained before we existed: they are excluded from
+	// scatters and get zero treaty slack, exactly as if we had watched
+	// the drain.
+	for k, st := range topo.SiteStatus {
+		if st == "gone" {
+			c.MarkSiteGone(k)
+		}
+	}
+	if rec, err := c.Recover(); err != nil {
+		fatal(err)
+	} else if rec > 0 {
+		fmt.Printf("recovered %d WAL records\n", rec)
+	}
+	joinStart := time.Now()
+	idx, err := c.Join(ownURL)
+	if err != nil {
+		fatal(fmt.Errorf("join via %s: %v", seedURL, err))
+	}
+	fmt.Printf("joined as site %d in %v (epoch %d, %d sites, %d active)\n",
+		idx, time.Since(joinStart).Round(time.Millisecond), c.TopologyEpoch(), c.Sites(), c.ActiveSites())
+
+	addr := listenAddr
+	if u, perr := url.Parse(ownURL); perr == nil && u.Host != "" {
+		addr = u.Host
+	}
+	serveCluster(c, addr)
+}
+
+// serveCluster mounts the HTTP API on a booted (and, for joiners,
+// admitted) cluster and serves until SIGINT/SIGTERM.
+func serveCluster(c *homeo.Cluster, addr string) {
 	handler := httpapi.NewHandler(c)
 	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	fmt.Printf("serving on %s  (POST /v1/classes, POST /v1/txn, GET /v1/stats, GET /healthz)\n", addr)
@@ -596,7 +775,7 @@ func drawArgs(rng *rand.Rand, params []string, bounds map[string][2]int64) []int
 var childFlagSkip = map[string]bool{
 	"drive": true, "addr": true, "site": true, "peers": true,
 	"enable-log": true, "warmup": true, "wal-dir": true,
-	"check-replay": true, "v": true, "peer-token": true,
+	"check-replay": true, "v": true, "peer-token": true, "join": true,
 }
 
 // reservePorts picks n distinct free loopback ports by binding and
@@ -632,12 +811,21 @@ func reservePorts(n int) ([]string, error) {
 // fabric, and the replay check runs over the merged post-recovery logs.
 func runDriveProcs(opts homeo.Options, cfg driveConfig) (exit int) {
 	n := cfg.procs
+	total := n + cfg.joinProcs // joiner (if any) becomes site n
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "homeostasis-serve:", err)
 		return 1
 	}
 	if cfg.killSite >= n {
 		return fail(fmt.Errorf("drive: kill=%d out of range (procs=%d spawns peer sites 1..%d)", cfg.killSite, n, n-1))
+	}
+	if cfg.drainSet {
+		if cfg.drainSite >= n {
+			return fail(fmt.Errorf("drive: drain=%d out of range (procs=%d runs original sites 0..%d)", cfg.drainSite, n, n-1))
+		}
+		if cfg.drainSite == cfg.killSite && cfg.killSite > 0 {
+			return fail(fmt.Errorf("drive: drain=%d and kill=%d name the same site", cfg.drainSite, cfg.killSite))
+		}
 	}
 	if cfg.killSite > 0 && opts.WAL.Dir == "" {
 		// A kill without durability would just lose the site's history;
@@ -650,14 +838,17 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) (exit int) {
 		opts.WAL.Dir = dir
 		fmt.Printf("kill=%d: write-ahead logs in %s\n", cfg.killSite, dir)
 	}
-	addrs, err := reservePorts(n)
+	// Reserve one port per original site, plus the joiner's (assigned up
+	// front so its advertised URL is stable across the whole run).
+	addrs, err := reservePorts(total)
 	if err != nil {
 		return fail(err)
 	}
-	peers := make([]string, n)
-	for k := range peers {
-		peers[k] = "http://" + addrs[k]
+	allPeers := make([]string, total)
+	for k := range allPeers {
+		allPeers[k] = "http://" + addrs[k]
 	}
+	peers := allPeers[:n] // the boot membership; the joiner announces itself
 	// One shared secret for the whole spawned cluster, fresh per run.
 	tokenBytes := make([]byte, 16)
 	if _, err := cryptorand.Read(tokenBytes); err != nil {
@@ -680,12 +871,12 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) (exit int) {
 	if err != nil {
 		return fail(err)
 	}
-	childArgs := make([][]string, n)
+	childArgs := make([][]string, total)
 	for k := 1; k < n; k++ {
 		args := append([]string{}, inherited...)
 		args = append(args,
 			"-site", strconv.Itoa(k),
-			"-peers", strings.Join(addrs, ","),
+			"-peers", strings.Join(addrs[:n], ","),
 			"-addr", addrs[k],
 			"-peer-token", token,
 			"-enable-log")
@@ -694,10 +885,24 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) (exit int) {
 		}
 		childArgs[k] = args
 	}
+	if cfg.joinProcs > 0 {
+		// The joiner derives its own -site/-peers from the seed's topology
+		// (site 0, this process) at spawn time.
+		args := append([]string{}, inherited...)
+		args = append(args,
+			"-join", allPeers[0],
+			"-addr", addrs[n],
+			"-peer-token", token,
+			"-enable-log")
+		if opts.WAL.Dir != "" {
+			args = append(args, "-wal-dir", opts.WAL.Dir)
+		}
+		childArgs[n] = args
+	}
 	// Each child gets its own process group, and the deferred reaper
 	// SIGKILLs whatever is still running on any exit path — a driver
 	// failure must not leak orphan site processes.
-	children := make([]*exec.Cmd, n)
+	children := make([]*exec.Cmd, total)
 	startChild := func(k int) (*exec.Cmd, error) {
 		ch := exec.Command(self, childArgs[k]...)
 		ch.Stdout = os.Stderr
@@ -770,42 +975,51 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) (exit int) {
 	go httpSrv.Serve(ln)
 
 	ctx := context.Background()
+	// Health polling backs off exponentially: on a loaded 1-core box the
+	// siblings boot serially, so a late-started process is normal, not an
+	// error — keep retrying within the budget instead of fataling early.
 	waitHealthy := func(k int, cl *client.Client, budget time.Duration) error {
 		deadline := time.Now().Add(budget)
+		wait := 25 * time.Millisecond
 		for {
 			if err := cl.Health(ctx); err == nil {
 				return nil
 			} else if time.Now().After(deadline) {
-				return fmt.Errorf("site %d (%s) never became healthy: %v", k, peers[k], err)
+				return fmt.Errorf("site %d (%s) never became healthy: %v", k, allPeers[k], err)
 			}
-			time.Sleep(100 * time.Millisecond)
+			time.Sleep(wait)
+			if wait *= 2; wait > 500*time.Millisecond {
+				wait = 500 * time.Millisecond
+			}
 		}
 	}
-	clients := make([]*client.Client, n)
-	for k := range clients {
-		clients[k] = client.New(peers[k], client.Options{Seed: opts.Seed + int64(k), PeerToken: token})
-		if err := waitHealthy(k, clients[k], 15*time.Second); err != nil {
+	clients := make([]*client.Client, total)
+	for k := 0; k < n; k++ {
+		clients[k] = client.New(allPeers[k], client.Options{Seed: opts.Seed + int64(k), PeerToken: token})
+		if err := waitHealthy(k, clients[k], 30*time.Second); err != nil {
 			return fail(err)
 		}
 	}
 	fmt.Printf("site fabric up: %d processes (%s), %d class files registered at every site\n",
-		n, strings.Join(addrs, " "), len(cfg.registers))
+		n, strings.Join(addrs[:n], " "), len(cfg.registers))
 
 	fmt.Printf("driving %d clients/site against %d site processes for %v...\n",
 		cfg.clients, n, cfg.duration)
 	fmt.Println("(note: per-site stats windows start at process boot — -warmup does not apply across processes)")
 	var stop atomic.Bool
+	stopSite := make([]atomic.Bool, total) // drained sites stop their clients
 	var submitted, failed atomic.Int64
 	var wg sync.WaitGroup
-	for siteIdx := 0; siteIdx < n; siteIdx++ {
+	startClients := func(siteIdx int) {
 		for kk := 0; kk < cfg.clients; kk++ {
 			cl := clients[siteIdx]
 			id := siteIdx*cfg.clients + kk
+			halt := &stopSite[siteIdx]
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(opts.Seed*1_000_003 + int64(id)))
-				for !stop.Load() {
+				for !stop.Load() && !halt.Load() {
 					req := wire.TxnRequest{Class: cfg.class, Args: drawArgs(rng, driveParams, driveBounds)}
 					res, err := cl.Submit(ctx, req)
 					submitted.Add(1)
@@ -816,42 +1030,118 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) (exit int) {
 			}()
 		}
 	}
-	if cfg.killSite > 0 {
-		at := cfg.killAt
+	for siteIdx := 0; siteIdx < n; siteIdx++ {
+		startClients(siteIdx)
+	}
+
+	// Chaos timeline: each knob is one event at an offset into the drive,
+	// run in order on this goroutine while the clients hammer away.
+	type chaosEvent struct {
+		at  time.Duration
+		run func(at time.Duration) error
+	}
+	clampAt := func(at, dflt time.Duration) time.Duration {
 		if at <= 0 || at >= cfg.duration {
-			at = cfg.duration / 2
+			return dflt
 		}
-		time.Sleep(at)
-		k := cfg.killSite
-		pid := children[k].Process.Pid
-		fmt.Printf("chaos: SIGKILL site %d (pid %d) %v into the drive\n", k, pid, at)
-		syscall.Kill(-pid, syscall.SIGKILL)
-		children[k].Wait()
-		ch, err := startChild(k)
-		if err != nil {
+		return at
+	}
+	var events []chaosEvent
+	if cfg.killSite > 0 {
+		events = append(events, chaosEvent{clampAt(cfg.killAt, cfg.duration/2), func(at time.Duration) error {
+			k := cfg.killSite
+			pid := children[k].Process.Pid
+			fmt.Printf("chaos: SIGKILL site %d (pid %d) %v into the drive\n", k, pid, at)
+			syscall.Kill(-pid, syscall.SIGKILL)
+			children[k].Wait()
+			ch, err := startChild(k)
+			if err != nil {
+				return fmt.Errorf("restarting site %d: %v", k, err)
+			}
+			children[k] = ch
+			if err := waitHealthy(k, clients[k], 30*time.Second); err != nil {
+				return fmt.Errorf("site %d did not recover: %v", k, err)
+			}
+			fmt.Printf("chaos: site %d restarted, recovered, and rejoined\n", k)
+			return nil
+		}})
+	}
+	if cfg.joinProcs > 0 {
+		events = append(events, chaosEvent{clampAt(cfg.joinAt, cfg.duration/2), func(at time.Duration) error {
+			k := n
+			fmt.Printf("chaos: spawning joiner site %d (%s) %v into the drive\n", k, addrs[k], at)
+			ch, err := startChild(k)
+			if err != nil {
+				return fmt.Errorf("starting joiner: %v", err)
+			}
+			children[k] = ch
+			clients[k] = client.New(allPeers[k], client.Options{Seed: opts.Seed + int64(k), PeerToken: token})
+			// The joiner's listener opens only after the join handshake
+			// completes, so healthy implies admitted.
+			if err := waitHealthy(k, clients[k], 60*time.Second); err != nil {
+				return fmt.Errorf("joiner never became healthy: %v", err)
+			}
+			st, serr := clients[k].Stats(ctx)
+			if serr != nil {
+				return fmt.Errorf("joiner stats: %v", serr)
+			}
+			fmt.Printf("chaos: site %d joined (epoch %d, %d sites) — starting its clients\n", k, st.TopologyEpoch, st.Sites)
+			startClients(k)
+			return nil
+		}})
+	}
+	if cfg.drainSet {
+		events = append(events, chaosEvent{clampAt(cfg.drainAt, 3*cfg.duration/4), func(at time.Duration) error {
+			s := cfg.drainSite
+			fmt.Printf("chaos: draining site %d %v into the drive\n", s, at)
+			var derr error
+			if s == 0 {
+				// Site 0 is this process: drain it directly.
+				derr = c.Drain(0)
+			} else {
+				dctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+				_, derr = clients[s].DrainSite(dctx, s)
+				cancel()
+			}
+			if derr != nil {
+				return fmt.Errorf("draining site %d: %v", s, derr)
+			}
+			stopSite[s].Store(true)
+			fmt.Printf("chaos: site %d drained (deltas absorbed into the base, slot fenced)\n", s)
+			return nil
+		}})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+	elapsed := time.Duration(0)
+	for _, ev := range events {
+		if ev.at > elapsed {
+			time.Sleep(ev.at - elapsed)
+			elapsed = ev.at
+		}
+		if err := ev.run(ev.at); err != nil {
 			stop.Store(true)
 			wg.Wait()
-			return fail(fmt.Errorf("restarting site %d: %v", k, err))
+			return fail(err)
 		}
-		children[k] = ch
-		if err := waitHealthy(k, clients[k], 30*time.Second); err != nil {
-			stop.Store(true)
-			wg.Wait()
-			return fail(fmt.Errorf("site %d did not recover: %v", k, err))
-		}
-		fmt.Printf("chaos: site %d restarted, recovered, and rejoined\n", k)
-		time.Sleep(cfg.duration - at)
-	} else {
-		time.Sleep(cfg.duration)
+	}
+	if cfg.duration > elapsed {
+		time.Sleep(cfg.duration - elapsed)
 	}
 	stop.Store(true)
 	wg.Wait()
 
-	// Gather per-process stats, logs, and partitions over the wire.
+	// Gather per-process stats, logs, and partitions over the wire — from
+	// every process that ran, including a drained site (its partition is
+	// the absorbed base) and a mid-drive joiner.
+	procsRan := 0
 	var totalCommitted, totalSynced, totalNeg int64
-	logs := make([][]wire.LogEntry, n)
-	parts := make([]wire.PartitionResponse, n)
+	logs := make([][]wire.LogEntry, total)
+	parts := make([]wire.PartitionResponse, 0, total)
 	for k, cl := range clients {
+		if cl == nil {
+			continue // joiner slot when the join event never fired
+		}
+		procsRan++
 		st, err := cl.Stats(ctx)
 		if err != nil {
 			return fail(fmt.Errorf("stats from site %d: %v", k, err))
@@ -874,11 +1164,11 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) (exit int) {
 		if err != nil {
 			return fail(fmt.Errorf("partition from site %d: %v", k, err))
 		}
-		parts[k] = pt
+		parts = append(parts, pt)
 	}
 	fmt.Printf("\nsubmitted:        %d (%d failed client-side)\n", submitted.Load(), failed.Load())
 	fmt.Printf("committed:        %d across %d processes (%.1f txn/s)\n",
-		totalCommitted, n, float64(totalCommitted)/cfg.duration.Seconds())
+		totalCommitted, procsRan, float64(totalCommitted)/cfg.duration.Seconds())
 	fmt.Printf("sync rounds:      %d (each = 2 peer message rounds over the HTTP fabric)\n", totalNeg)
 
 	if totalCommitted == 0 {
@@ -890,12 +1180,12 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) (exit int) {
 			fmt.Println("FAIL: merged replay equivalence:", err)
 			exit = 1
 		} else {
-			total := 0
+			committedEntries := 0
 			for _, l := range logs {
-				total += len(l)
+				committedEntries += len(l)
 			}
 			fmt.Printf("replay check:     OK (%d commits from %d processes observationally equivalent under serial replay)\n",
-				total, n)
+				committedEntries, procsRan)
 		}
 	}
 

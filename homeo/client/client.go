@@ -298,6 +298,33 @@ func (c *Client) PeerDB(ctx context.Context) (wire.PartitionResponse, error) {
 	return resp, err
 }
 
+// Topology fetches the server process's membership view (GET
+// /v1/topology): epoch, per-site status, and peer addresses.
+func (c *Client) Topology(ctx context.Context) (wire.TopologyResponse, error) {
+	var resp wire.TopologyResponse
+	err := c.do(ctx, http.MethodGet, "/v1/topology", nil, &resp)
+	return resp, err
+}
+
+// DrainSite asks the server process to drain the given site (POST
+// /v1/topology/drain) — on a multi-process cluster, its own site. The
+// call returns when the drain completes (deltas absorbed, membership
+// broadcast done).
+func (c *Client) DrainSite(ctx context.Context, site int) (wire.TopologyAck, error) {
+	var ack wire.TopologyAck
+	err := c.do(ctx, http.MethodPost, "/v1/topology/drain", wire.DrainRequest{Site: site}, &ack)
+	return ack, err
+}
+
+// MigrateUnit asks the server process to move one treaty unit's demand
+// home (POST /v1/topology/migrate). to = -1 lets the adaptive
+// allocator's burn vector pick the target.
+func (c *Client) MigrateUnit(ctx context.Context, unit, to int) (wire.TopologyAck, error) {
+	var ack wire.TopologyAck
+	err := c.do(ctx, http.MethodPost, "/v1/topology/migrate", wire.MigrateRequest{Unit: unit, To: to}, &ack)
+	return ack, err
+}
+
 // Stats fetches a snapshot (GET /v1/stats).
 func (c *Client) Stats(ctx context.Context) (wire.Stats, error) {
 	var st wire.Stats

@@ -1,0 +1,244 @@
+package homeo_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/homeo"
+)
+
+// TestJoinSim: an in-process cluster admits a fresh site mid-run; the
+// new site serves traffic, the epoch bumps, and replay equivalence holds
+// across the membership change.
+func TestJoinSim(t *testing.T) {
+	c := simCluster(t, homeo.Options{Sites: 2, EnableLog: true})
+	cls, err := c.Register(homeo.ClassSpec{
+		L:       depositSrc,
+		Bounds:  map[string][2]int64{"n": {1, 5}},
+		Initial: map[string]int64{"acct": 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Session()
+	for i := 0; i < 10; i++ {
+		if _, err := s.Submit(context.Background(), cls, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Sites(); got != 2 {
+		t.Fatalf("Sites before join = %d, want 2", got)
+	}
+	epoch0 := c.TopologyEpoch()
+
+	joined, err := c.Join("")
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if joined != 2 {
+		t.Fatalf("joined site index = %d, want 2", joined)
+	}
+	if got := c.Sites(); got != 3 {
+		t.Fatalf("Sites after join = %d, want 3", got)
+	}
+	if c.TopologyEpoch() <= epoch0 {
+		t.Fatalf("epoch did not advance: %d -> %d", epoch0, c.TopologyEpoch())
+	}
+	st := c.Stats()
+	if st.Sites != 3 || st.ActiveSites != 3 {
+		t.Fatalf("stats topology = %d sites / %d active, want 3/3", st.Sites, st.ActiveSites)
+	}
+
+	// The new site serves traffic, including synchronization rounds that
+	// must now include it in the treaty configuration.
+	at2, err := c.SessionAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := at2.Submit(context.Background(), cls, 5); err != nil {
+			t.Fatalf("submit at joined site: %v", err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Submit(context.Background(), cls, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CheckReplayEquivalence(); err != nil {
+		t.Fatalf("replay equivalence across join: %v", err)
+	}
+}
+
+// TestDrainSim: draining a site absorbs its deltas, fences it from new
+// submissions, and keeps replay equivalence on the survivors.
+func TestDrainSim(t *testing.T) {
+	c := simCluster(t, homeo.Options{Sites: 3, EnableLog: true})
+	cls, err := c.Register(homeo.ClassSpec{
+		L:       depositSrc,
+		Bounds:  map[string][2]int64{"n": {1, 5}},
+		Initial: map[string]int64{"acct": 90},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit at the doomed site so the drain has deltas to absorb.
+	at2, err := c.SessionAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		if _, err := at2.Submit(context.Background(), cls, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch0 := c.TopologyEpoch()
+	if err := c.Drain(2); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if c.TopologyEpoch() <= epoch0 {
+		t.Fatal("epoch did not advance on drain")
+	}
+	st := c.Stats()
+	if st.Sites != 3 || st.ActiveSites != 2 {
+		t.Fatalf("stats topology = %d sites / %d active, want 3/2", st.Sites, st.ActiveSites)
+	}
+	if st.SiteStatus[2] != "gone" {
+		t.Fatalf("site 2 status = %q, want gone", st.SiteStatus[2])
+	}
+
+	// The drained site refuses new work with the taxonomy error.
+	if _, err := at2.Submit(context.Background(), cls, 1); !errors.Is(err, homeo.ErrSiteGone) {
+		t.Fatalf("submit at drained site: %v, want ErrSiteGone", err)
+	}
+	if code := homeo.ErrorCode(err); code != "" {
+		// (ErrorCode of the submit error checked below.)
+		_ = code
+	}
+	_, serr := at2.Submit(context.Background(), cls, 1)
+	if homeo.ErrorCode(serr) != "site_gone" {
+		t.Fatalf("ErrorCode = %q, want site_gone", homeo.ErrorCode(serr))
+	}
+
+	// Survivors keep committing; round-robin routes around the hole.
+	s := c.Session()
+	for i := 0; i < 12; i++ {
+		res, err := s.Submit(context.Background(), cls, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Site == 2 {
+			t.Fatal("round-robin routed to the drained site")
+		}
+	}
+	if err := c.CheckReplayEquivalence(); err != nil {
+		t.Fatalf("replay equivalence across drain: %v", err)
+	}
+
+	// Draining the same site again is an error (already gone).
+	if err := c.Drain(2); err == nil {
+		t.Fatal("second drain of the same site succeeded")
+	}
+}
+
+// TestMigrateSim: migrating a unit's demand home repairs the treaty
+// configuration toward the target and preserves replay equivalence.
+func TestMigrateSim(t *testing.T) {
+	c := simCluster(t, homeo.Options{Sites: 2, EnableLog: true, Alloc: homeo.AllocAdaptive})
+	cls, err := c.Register(homeo.ClassSpec{
+		L:       depositSrc,
+		Bounds:  map[string][2]int64{"n": {1, 5}},
+		Initial: map[string]int64{"acct": 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn slack at site 1 only: the demand vector should point there.
+	at1, err := c.SessionAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := at1.Submit(context.Background(), cls, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	unit := 0
+	home := c.DemandHome(unit)
+	if home != 1 {
+		t.Logf("demand home = %d (burn accounting may lag); migrating to 1 anyway", home)
+	}
+	if err := c.MigrateUnit(unit, 1); err != nil {
+		t.Fatalf("MigrateUnit: %v", err)
+	}
+	// Work keeps flowing at both sites after the migration.
+	s := c.Session()
+	for i := 0; i < 10; i++ {
+		if _, err := s.Submit(context.Background(), cls, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CheckReplayEquivalence(); err != nil {
+		t.Fatalf("replay equivalence across migration: %v", err)
+	}
+
+	// Migrating to a bogus site fails fast.
+	if err := c.MigrateUnit(unit, 9); err == nil {
+		t.Fatal("migration to a nonexistent site succeeded")
+	}
+}
+
+// TestJoinThenDrainSim: the full elastic lifecycle — grow by one, drain
+// an original site, keep serving — in one deterministic run.
+func TestJoinThenDrainSim(t *testing.T) {
+	c := simCluster(t, homeo.Options{Sites: 2, EnableLog: true})
+	cls, err := c.Register(homeo.ClassSpec{
+		L:       depositSrc,
+		Bounds:  map[string][2]int64{"n": {1, 5}},
+		Initial: map[string]int64{"acct": 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Session()
+	submit := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if _, err := s.Submit(context.Background(), cls, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	submit(8)
+	if _, err := c.Join(""); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	submit(8)
+	if err := c.Drain(0); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	submit(8)
+	st := c.Stats()
+	if st.Sites != 3 || st.ActiveSites != 2 || st.SiteStatus[0] != "gone" {
+		t.Fatalf("topology = %+v", st.SiteStatus)
+	}
+	if err := c.CheckReplayEquivalence(); err != nil {
+		t.Fatalf("replay equivalence across join+drain: %v", err)
+	}
+}
+
+// TestWatchStatsTopology: WatchStats surfaces the topology fields (smoke
+// for the streaming path after the membership additions).
+func TestWatchStatsTopology(t *testing.T) {
+	c := simCluster(t, homeo.Options{Sites: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	for st := range c.WatchStats(ctx, 50*time.Millisecond) {
+		if st.Sites != 2 || len(st.SiteStatus) != 2 {
+			t.Fatalf("stats topology = %+v", st)
+		}
+		cancel()
+	}
+}

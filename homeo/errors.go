@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fabric"
 	"repro/internal/homeostasis"
 	"repro/internal/workload"
 )
@@ -30,12 +31,19 @@ var (
 	// the in-flight limit (Options.MaxInflight) is reached. The
 	// transaction never started; safe to retry with backoff.
 	ErrDropped = errors.New("homeo: request dropped")
+	// ErrSiteGone: the addressed site has been drained from the cluster
+	// membership (or is draining). The transaction never started; retry
+	// against a surviving site after refreshing the topology.
+	ErrSiteGone = errors.New("homeo: site drained from membership")
 )
 
 // classifyExec maps an internal execution error onto the taxonomy.
 func classifyExec(err error) error {
 	if errors.Is(err, homeostasis.ErrLivelocked) {
 		return fmt.Errorf("%w: %v", ErrLivelocked, err)
+	}
+	if errors.Is(err, fabric.ErrSiteGone) {
+		return fmt.Errorf("%w: %v", ErrSiteGone, err)
 	}
 	return fmt.Errorf("%w: %v", ErrAborted, err)
 }
@@ -53,6 +61,8 @@ func ErrorCode(err error) string {
 		return "timeout"
 	case errors.Is(err, ErrDropped):
 		return "dropped"
+	case errors.Is(err, ErrSiteGone):
+		return "site_gone"
 	case errors.Is(err, ErrAborted):
 		return "aborted"
 	}

@@ -265,6 +265,11 @@ type Cluster struct {
 	nextID   atomic.Int64
 	nextSite atomic.Int64
 	start    time.Time
+
+	// topo is the lock-free membership snapshot the submission path
+	// routes by; refreshed after every membership operation (see
+	// elastic.go).
+	topo atomic.Pointer[topoView]
 }
 
 // New builds and boots a cluster: per-site stores, CPU resources, and —
@@ -358,6 +363,9 @@ func New(opts Options) (*Cluster, error) {
 		ht := fabric.NewHTTP(c.live, f.Site, f.Peers, sys.Node(f.Site), f.Client)
 		ht.SetToken(f.Token)
 		sys.SetFabric(ht, f.Site)
+		// Record the initial membership's addresses so membership WAL
+		// records and join admissions can rebuild peer transports.
+		sys.SetSiteAddrs(f.Peers)
 	}
 	if opts.ClientsPerSite == 0 {
 		// No closed-loop drive planned: measure from the start (Drive
@@ -384,8 +392,23 @@ func (c *Cluster) locked(fn func()) {
 // Runtime reports the cluster's runtime kind.
 func (c *Cluster) Runtime() RuntimeKind { return c.opts.Runtime }
 
-// Sites returns the number of replica sites.
-func (c *Cluster) Sites() int { return c.opts.Sites }
+// Sites returns the current membership width: boot sites plus admitted
+// joins. Drained sites keep their slots (indexes are never reused), so
+// the width only grows; ActiveSites counts the sites accepting work.
+// The read is authoritative (under the cluster lock), so on a
+// multi-process cluster it reflects joins admitted through the peer
+// fabric, not just operations this process initiated.
+func (c *Cluster) Sites() (n int) {
+	c.locked(func() { n = c.sys.NSites() })
+	return n
+}
+
+// ActiveSites counts the membership slots currently accepting
+// submissions (joined sites included, draining and drained excluded).
+func (c *Cluster) ActiveSites() (n int) {
+	c.locked(func() { n = c.sys.ActiveSites() })
+	return n
+}
 
 // Mode returns the execution protocol.
 func (c *Cluster) Mode() Mode { return c.opts.Mode }
@@ -462,28 +485,22 @@ func (c *Cluster) Recover() (int, error) {
 		return 0, nil
 	}
 	// The rejoin handshake parks on peer replies, so it needs a process.
-	var rerr error
-	done := make(chan struct{})
-	body := func(p rt.Proc) {
-		defer close(done)
-		rerr = c.sys.RejoinFabric(p)
+	// Recovery may also have replayed membership records (grown width,
+	// drained slots), so refresh the routing snapshot after it.
+	rejoin := func() error {
+		return c.runProc("rejoin handshake", func(p rt.Proc) error {
+			return c.sys.RejoinFabric(p)
+		})
 	}
-	if c.sim != nil {
-		c.mu.Lock()
-		c.sim.SetDeadline(0)
-		c.sim.Spawn(int(c.nextID.Add(1)), body)
-		c.sim.Run()
-		c.mu.Unlock()
-	} else if !c.live.SpawnOK(int(c.nextID.Add(1)), body) {
-		return n, fmt.Errorf("homeo: cluster is draining")
-	} else {
-		<-done
+	rerr := rejoin()
+	// On a cluster whose processes restart together, a sibling may not be
+	// listening yet when this process announces itself — retry the
+	// handshake with backoff instead of failing the boot.
+	for wait := 250 * time.Millisecond; rerr != nil && c.live != nil && wait <= 4*time.Second; wait *= 2 {
+		time.Sleep(wait)
+		rerr = rejoin()
 	}
-	select {
-	case <-done:
-	default:
-		return n, fmt.Errorf("homeo: rejoin handshake parked with no pending event")
-	}
+	c.refreshTopo()
 	return n, rerr
 }
 

@@ -50,6 +50,9 @@ func NewHandler(c *homeo.Cluster) *Handler {
 	h.mux.HandleFunc("/v1/classes", h.handleClasses)
 	h.mux.HandleFunc("/v1/txn", h.handleTxn)
 	h.mux.HandleFunc("/v1/stats", h.handleStats)
+	h.mux.HandleFunc("/v1/topology", h.handleTopology)
+	h.mux.HandleFunc("/v1/topology/drain", h.handleTopologyDrain)
+	h.mux.HandleFunc("/v1/topology/migrate", h.handleTopologyMigrate)
 	h.mux.HandleFunc("/healthz", h.handleHealthz)
 	h.mux.HandleFunc("/txn", gone("/v1/txn"))
 	h.mux.HandleFunc("/stats", gone("/v1/stats"))
@@ -145,6 +148,10 @@ func wireStats(s homeo.Stats) wire.Stats {
 		RecoveredWALRecords: s.RecoveredWALRecords,
 		StoreCluster: wire.StoreStats{Commits: s.Store.Commits, Aborts: s.Store.Aborts,
 			Deadlocks: s.Store.Deadlocks, Timeouts: s.Store.Timeouts},
+		TopologyEpoch: s.TopologyEpoch,
+		ActiveSites:   s.ActiveSites,
+		SiteStatus:    s.SiteStatus,
+		SiteAddrs:     s.SiteAddrs,
 	}
 	for _, p := range s.PerSite {
 		out.StorePerSite = append(out.StorePerSite, wire.StoreStats{
@@ -205,6 +212,93 @@ func (h *Handler) handlePeerDB(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(rw, http.StatusOK, h.c.Partition())
+}
+
+// handleTopology serves the process's membership view (GET /v1/topology).
+// Read-only, but it exposes the peer addresses — same trust domain as the
+// peer introspection endpoints, so the peer token applies.
+func (h *Handler) handleTopology(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(rw, http.StatusMethodNotAllowed, "method_not_allowed", "%s: GET only", req.URL.Path)
+		return
+	}
+	if !h.peerAuthorized(rw, req) {
+		return
+	}
+	writeJSON(rw, http.StatusOK, wire.TopologyResponse{
+		Epoch:       h.c.TopologyEpoch(),
+		Sites:       h.c.Sites(),
+		ActiveSites: h.c.ActiveSites(),
+		SiteStatus:  h.c.SiteStatuses(),
+		SiteAddrs:   h.c.SiteAddrs(),
+		SelfSite:    h.c.SelfSite(),
+	})
+}
+
+// topologyAck renders the post-mutation membership view.
+func (h *Handler) topologyAck(rw http.ResponseWriter) {
+	writeJSON(rw, http.StatusOK, wire.TopologyAck{
+		Epoch:       h.c.TopologyEpoch(),
+		Sites:       h.c.Sites(),
+		ActiveSites: h.c.ActiveSites(),
+	})
+}
+
+// handleTopologyDrain triggers a drain of this process's site (POST
+// /v1/topology/drain). Unlike the fabric-internal /v1/peer/drain — which
+// merely records a completed drain announced by a peer — this runs the
+// full orchestration: fence, absorb every unit's deltas into the
+// replicated base, broadcast the membership change. Peer-token guarded:
+// it is a cluster mutation.
+func (h *Handler) handleTopologyDrain(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, "method_not_allowed", "%s: POST only", req.URL.Path)
+		return
+	}
+	if !h.peerAuthorized(rw, req) {
+		return
+	}
+	var body wire.DrainRequest
+	if err := decodeBody(req, &body); err != nil {
+		writeError(rw, http.StatusBadRequest, "bad_request", "request body: %v", err)
+		return
+	}
+	if err := h.c.Drain(body.Site); err != nil {
+		writeError(rw, http.StatusConflict, "conflict", "drain site %d: %v", body.Site, err)
+		return
+	}
+	h.topologyAck(rw)
+}
+
+// handleTopologyMigrate moves one treaty unit's demand home (POST
+// /v1/topology/migrate). To = -1 asks the adaptive allocator's burn
+// vector for the target. Peer-token guarded.
+func (h *Handler) handleTopologyMigrate(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, "method_not_allowed", "%s: POST only", req.URL.Path)
+		return
+	}
+	if !h.peerAuthorized(rw, req) {
+		return
+	}
+	var body wire.MigrateRequest
+	if err := decodeBody(req, &body); err != nil {
+		writeError(rw, http.StatusBadRequest, "bad_request", "request body: %v", err)
+		return
+	}
+	to := body.To
+	if to < 0 {
+		if to = h.c.DemandHome(body.Unit); to < 0 {
+			writeError(rw, http.StatusConflict, "conflict",
+				"unit %d has no recorded demand (pass an explicit target)", body.Unit)
+			return
+		}
+	}
+	if err := h.c.MigrateUnit(body.Unit, to); err != nil {
+		writeError(rw, http.StatusConflict, "conflict", "migrate unit %d to site %d: %v", body.Unit, to, err)
+		return
+	}
+	h.topologyAck(rw)
 }
 
 func (h *Handler) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
@@ -358,6 +452,10 @@ func (h *Handler) handleTxn(rw http.ResponseWriter, req *http.Request) {
 		case res.Error.Code == "dropped":
 			// Queue overflow backpressure: the transaction never started.
 			writeError(rw, http.StatusTooManyRequests, "dropped", "%s", res.Error.Message)
+		case res.Error.Code == "site_gone":
+			// The addressed site was drained from the membership: 410 so
+			// clients refresh their topology and fail over to a survivor.
+			writeError(rw, http.StatusGone, "site_gone", "%s", res.Error.Message)
 		case res.Error.Code == "bad_request", res.Error.Code == "not_found":
 			status := http.StatusBadRequest
 			if res.Error.Code == "not_found" {

@@ -339,6 +339,113 @@ func TestSSEStream(t *testing.T) {
 	}
 }
 
+// TestTopologyEndpointsOverHTTP drives the elastic-topology surface over
+// the wire: the membership view, a drain (fence + absorb + epoch bump),
+// the site_gone refusal for submissions pinned to the drained slot, and
+// unit migration with its error matrix.
+func TestTopologyEndpointsOverHTTP(t *testing.T) {
+	_, _, srv, cl := newServer(t, homeo.Options{EnableLog: true})
+	ctx := context.Background()
+	if _, err := cl.RegisterClass(ctx, wire.ClassRequest{
+		L:       depositSrc,
+		Bounds:  map[string][2]int64{"n": {1, 5}},
+		Initial: map[string]int64{"acct": 40},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := cl.Submit(ctx, wire.TxnRequest{Class: "Deposit", Args: []int64{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	topo, err := cl.Topology(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Epoch != 0 || topo.Sites != 2 || topo.ActiveSites != 2 || topo.SelfSite != -1 {
+		t.Fatalf("fresh topology = %+v", topo)
+	}
+	for k, s := range topo.SiteStatus {
+		if s != "active" {
+			t.Fatalf("site %d status = %q before any membership change", k, s)
+		}
+	}
+
+	ack, err := cl.DrainSite(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Sites != 2 || ack.ActiveSites != 1 || ack.Epoch == 0 {
+		t.Fatalf("drain ack = %+v", ack)
+	}
+	topo, err = cl.Topology(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Epoch != ack.Epoch || topo.ActiveSites != 1 || topo.SiteStatus[1] != "gone" {
+		t.Fatalf("post-drain topology = %+v", topo)
+	}
+
+	// A submission pinned to the drained slot refuses with HTTP 410 and
+	// the structured site_gone code (the pool's failover cue).
+	noRetry := client.New(srv.URL, client.Options{MaxAttempts: 1, Seed: 1})
+	gone := 1
+	_, err = noRetry.Submit(ctx, wire.TxnRequest{Class: "Deposit", Args: []int64{1}, Site: &gone})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusGone || ae.Code != "site_gone" {
+		t.Fatalf("pinned submit to drained site: %v, want 410 site_gone", err)
+	}
+	// Unpinned submissions route around the drained slot and keep
+	// committing.
+	res, err := cl.Submit(ctx, wire.TxnRequest{Class: "Deposit", Args: []int64{1}})
+	if err != nil || !res.Committed || res.Site != 0 {
+		t.Fatalf("post-drain submit = (%+v, %v)", res, err)
+	}
+	// Draining an already-gone slot is a conflict, not a crash.
+	if _, err := cl.DrainSite(ctx, 1); homeoCode(err) != "conflict" {
+		t.Fatalf("double drain: %v, want conflict", err)
+	}
+
+	// Migration: an explicit active target succeeds and reports the
+	// (unchanged) membership...
+	mack, err := cl.MigrateUnit(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mack.Epoch != ack.Epoch || mack.ActiveSites != 1 {
+		t.Fatalf("migrate ack = %+v (migration must not move the epoch)", mack)
+	}
+	// ...a drained target is a conflict, and to = -1 without demand
+	// tracking (AllocDefault records none) is a conflict naming the gap.
+	if _, err := cl.MigrateUnit(ctx, 0, 1); homeoCode(err) != "conflict" {
+		t.Fatalf("migrate to drained site: %v, want conflict", err)
+	}
+	if _, err := cl.MigrateUnit(ctx, 0, -1); homeoCode(err) != "conflict" {
+		t.Fatalf("demand-driven migrate with no demand: %v, want conflict", err)
+	}
+
+	// Stats carry the same topology fields the pool refreshes from.
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TopologyEpoch != ack.Epoch || st.ActiveSites != 1 || len(st.SiteStatus) != 2 || st.SiteStatus[1] != "gone" {
+		t.Fatalf("stats topology fields = epoch %d active %d status %v",
+			st.TopologyEpoch, st.ActiveSites, st.SiteStatus)
+	}
+}
+
+// homeoCode extracts the structured code from a client APIError ("" for
+// nil or non-API errors).
+func homeoCode(err error) string {
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	return ""
+}
+
 // TestClientRetriesWithBackoff: 429s are retried with jittered backoff
 // until the server yields.
 func TestClientRetriesWithBackoff(t *testing.T) {

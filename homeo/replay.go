@@ -102,27 +102,40 @@ func MergeLogs(logs [][]wire.LogEntry) []wire.LogEntry {
 // workload draws are not reconstructible from the wire log. parts must
 // hold one partition per site.
 func (c *Cluster) CheckMergedReplay(logs [][]wire.LogEntry, parts []wire.PartitionResponse) error {
-	if len(parts) != c.Sites() {
-		return fmt.Errorf("homeo: merged replay needs %d partitions, got %d", c.Sites(), len(parts))
-	}
+	width := c.Sites()
 	merged := MergeLogs(logs)
 	if len(merged) == 0 {
 		return fmt.Errorf("homeo: merged replay with empty commit log")
 	}
-	bySite := make([]map[string]int64, c.Sites())
+	bySite := make([]map[string]int64, width)
 	for _, p := range parts {
-		if p.Site < 0 || p.Site >= c.Sites() {
-			return fmt.Errorf("homeo: partition names site %d outside [0,%d)", p.Site, c.Sites())
+		if p.Site < 0 || p.Site >= width {
+			return fmt.Errorf("homeo: partition names site %d outside [0,%d)", p.Site, width)
 		}
 		if bySite[p.Site] != nil {
 			return fmt.Errorf("homeo: duplicate partition for site %d", p.Site)
 		}
 		bySite[p.Site] = p.Values
 	}
+	// A drained site's partition may be absent: its deltas were absorbed
+	// into the replicated base by the drain's winnerless rounds, so the
+	// surviving sites' partitions carry its contribution. Every site still
+	// in the membership must report.
+	statuses := c.SiteStatuses()
+	ref := -1 // lowest-indexed site with a partition: the base reference
 	for site, vals := range bySite {
 		if vals == nil {
-			return fmt.Errorf("homeo: missing partition for site %d", site)
+			if statuses[site] == "gone" {
+				continue
+			}
+			return fmt.Errorf("homeo: missing partition for site %d (status %s)", site, statuses[site])
 		}
+		if ref < 0 {
+			ref = site
+		}
+	}
+	if ref < 0 {
+		return fmt.Errorf("homeo: merged replay with no partitions")
 	}
 
 	var replay lang.Database
@@ -144,20 +157,24 @@ func (c *Cluster) CheckMergedReplay(logs [][]wire.LogEntry, parts []wire.Partiti
 	}
 
 	// Fold the final database from the partitions: the base value from
-	// site 0 (replicated — verify the others agree) plus every site's own
-	// delta.
+	// the reference site (replicated — verify the others agree) plus
+	// every reporting site's own delta. Absent (drained) sites
+	// contribute zero delta by construction.
 	var objs []lang.ObjID
 	c.locked(func() { objs = c.sys.AllUnitObjects() })
 	for _, obj := range objs {
-		base, ok := bySite[0][string(obj)]
+		base, ok := bySite[ref][string(obj)]
 		if !ok {
-			return fmt.Errorf("homeo: merged replay: site 0 partition is missing %s", obj)
+			return fmt.Errorf("homeo: merged replay: site %d partition is missing %s", ref, obj)
 		}
 		v := base
-		for site := 0; site < c.Sites(); site++ {
+		for site := 0; site < width; site++ {
+			if bySite[site] == nil {
+				continue
+			}
 			if b, ok := bySite[site][string(obj)]; ok && b != base {
-				return fmt.Errorf("homeo: merged replay: base %s diverged: site 0 has %d, site %d has %d",
-					obj, base, site, b)
+				return fmt.Errorf("homeo: merged replay: base %s diverged: site %d has %d, site %d has %d",
+					obj, ref, base, site, b)
 			}
 			v += bySite[site][string(lang.DeltaObj(obj, site))]
 		}

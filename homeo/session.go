@@ -27,8 +27,8 @@ func (c *Cluster) Session() *Session { return &Session{c: c, site: -1} }
 // accepts submissions — clients reach other sites through their own
 // processes.
 func (c *Cluster) SessionAt(site int) (*Session, error) {
-	if site < 0 || site >= c.opts.Sites {
-		return nil, fmt.Errorf("homeo: site %d out of range [0,%d)", site, c.opts.Sites)
+	if n := c.Sites(); site < 0 || site >= n {
+		return nil, fmt.Errorf("homeo: site %d out of range [0,%d)", site, n)
 	}
 	if self := c.SelfSite(); self >= 0 && site != self {
 		return nil, fmt.Errorf("homeo: site %d is served by another process (this process owns site %d)", site, self)
@@ -118,7 +118,18 @@ func (s *Session) pickSite() int {
 		// Multi-process: this process executes only its own site.
 		return self
 	}
-	return int(s.c.nextSite.Add(1)-1) % s.c.opts.Sites
+	// Round-robin over the current membership, skipping drained sites
+	// (the lock-free topology snapshot is refreshed by every membership
+	// operation). If every slot is inactive, fall through and let the
+	// protocol layer refuse with its fence error.
+	v := s.c.topoSnapshot()
+	for try := 0; try < v.width; try++ {
+		site := int(s.c.nextSite.Add(1)-1) % v.width
+		if v.active[site] {
+			return site
+		}
+	}
+	return int(s.c.nextSite.Add(1)-1) % v.width
 }
 
 func (s *Session) submit(ctx context.Context, req workload.Request) (Result, error) {

@@ -75,6 +75,17 @@ type Stats struct {
 	// Store aggregates the per-site counters; PerSite lists them.
 	Store   StoreStats
 	PerSite []StoreStats
+
+	// TopologyEpoch is this process's membership epoch: bumped on every
+	// join admission and drain completion it observes. Clients use a bump
+	// as a cue to refresh their site list. ActiveSites counts membership
+	// slots accepting submissions; SiteStatus lists every slot's status
+	// ("active", "draining", "gone") indexed by site, and SiteAddrs the
+	// known peer base URLs ("" in-process).
+	TopologyEpoch int64
+	ActiveSites   int
+	SiteStatus    []string
+	SiteAddrs     []string
 }
 
 // Stats snapshots the cluster's measurements. It is strictly read-only —
@@ -85,11 +96,18 @@ func (c *Cluster) Stats() Stats {
 		Mode:     c.opts.Mode.String(),
 		Alloc:    c.opts.Alloc.String(),
 		Runtime:  c.opts.Runtime.String(),
-		Sites:    c.opts.Sites,
 		Classes:  c.Classes(),
 		Uptime:   time.Since(c.start),
 	}
 	c.locked(func() {
+		st.Sites = c.sys.NSites()
+		st.TopologyEpoch = c.sys.Epoch()
+		st.ActiveSites = c.sys.ActiveSites()
+		st.SiteStatus = make([]string, st.Sites)
+		for k := 0; k < st.Sites; k++ {
+			st.SiteStatus[k] = c.sys.SiteStatusName(k)
+		}
+		st.SiteAddrs = c.sys.SiteAddrs()
 		snap := c.sys.Col.SnapshotAt(c.eng.Now())
 		st.Committed = snap.Committed
 		st.Synced = snap.Synced

@@ -19,6 +19,19 @@ package wire
 //	                                recovered treaty versions; peers fail
 //	                                over its orphaned rounds and report the
 //	                                units it must repair
+//	POST /v1/peer/join              membership handshake from a joining
+//	                                site: phase 1 quiesces the peer and
+//	                                streams back a consistent partition
+//	                                cut, phase 2 admits the joiner into
+//	                                the epoch and releases the quiesce
+//	POST /v1/peer/drain             a drained site announces itself: the
+//	                                peer marks it gone and bumps its
+//	                                membership epoch (at the drained site
+//	                                itself, the operator's drain trigger)
+//	POST /v1/peer/migrate           install a migrating unit's folded
+//	                                state and new demand home (at the
+//	                                target with a zero round, the
+//	                                operator's migration trigger)
 //	GET  /v1/peer/log               the site's commit log (Lamport-clocked)
 //	GET  /v1/peer/db                the site's authoritative partition of
 //	                                the logical database
@@ -153,6 +166,78 @@ type PeerRejoinUnit struct {
 type PeerRejoinReply struct {
 	Clock int64            `json:"clock"`
 	Units []PeerRejoinUnit `json:"units,omitempty"`
+}
+
+// PeerJoin is the POST /v1/peer/join body: one phase of a joining site's
+// membership handshake. Phase 1 (prepare) quiesces every unit at the
+// receiver under a round grant and streams back the partition cut; phase
+// 2 (activate) grows the receiver's membership table, bumps its epoch,
+// and releases the quiesce. Both phases carry the same round, which keys
+// the quiesce in the grant table — a joiner that dies between phases is
+// failed over by ordinary grant expiry.
+type PeerJoin struct {
+	// Site is the joining site's index (the pre-join cluster width); From
+	// mirrors it as the round coordinator.
+	Site  int    `json:"site"`
+	Round uint64 `json:"round"`
+	Clock int64  `json:"clock"`
+	// Addr is the joining site's peer base URL.
+	Addr string `json:"addr,omitempty"`
+	// Phase is 1 (prepare) or 2 (activate).
+	Phase int `json:"phase"`
+}
+
+// PeerJoinUnit is one treaty unit's slice of the partition cut streamed
+// to a joining site.
+type PeerJoinUnit struct {
+	Unit    int              `json:"unit"`
+	Version int64            `json:"version"`
+	Base    map[string]int64 `json:"base,omitempty"`
+}
+
+// PeerJoinReply answers a join phase: the receiver's membership epoch,
+// plus the partition cut on phase-1 replies.
+type PeerJoinReply struct {
+	Clock int64          `json:"clock"`
+	Epoch int64          `json:"epoch"`
+	Units []PeerJoinUnit `json:"units,omitempty"`
+}
+
+// PeerDrain is the POST /v1/peer/drain body: the named site has drained
+// (its deltas are absorbed into the replicated base and it commits
+// nothing further). The receiver marks it gone and bumps its epoch; the
+// site's index is never reused.
+type PeerDrain struct {
+	Site  int   `json:"site"`
+	Clock int64 `json:"clock"`
+}
+
+// PeerDrainReply acknowledges a drain with the receiver's new epoch.
+type PeerDrainReply struct {
+	Clock int64 `json:"clock"`
+	Epoch int64 `json:"epoch"`
+}
+
+// PeerMigrate is the POST /v1/peer/migrate body: install a migrating
+// unit's folded state (exactly-once under the round grant, mirroring
+// install-state) and record the unit's new demand home.
+type PeerMigrate struct {
+	From  int    `json:"from"`
+	Round uint64 `json:"round"`
+	Clock int64  `json:"clock"`
+	Unit  int    `json:"unit"`
+	// To is the site the unit's repaired treaty configuration
+	// concentrates slack on.
+	To     int              `json:"to"`
+	Objs   []string         `json:"objs,omitempty"`
+	Folded map[string]int64 `json:"folded,omitempty"`
+}
+
+// PeerMigrateReply acknowledges a migration install with the receiver's
+// epoch.
+type PeerMigrateReply struct {
+	Clock int64 `json:"clock"`
+	Epoch int64 `json:"epoch"`
 }
 
 // LogEntry is one commit-log entry (GET /v1/peer/log): enough to replay

@@ -23,7 +23,7 @@ package wire
 type Error struct {
 	// Code is a stable machine-readable identifier: bad_request,
 	// method_not_allowed, not_found, conflict, gone, dropped, draining,
-	// aborted, timeout, livelocked, or internal.
+	// site_gone, aborted, timeout, livelocked, or internal.
 	Code string `json:"code"`
 	// Message is human-readable detail.
 	Message string `json:"message"`
@@ -166,4 +166,52 @@ type Stats struct {
 
 	StoreCluster StoreStats   `json:"store_cluster"`
 	StorePerSite []StoreStats `json:"store_per_site,omitempty"`
+
+	// Elastic topology: TopologyEpoch is the serving process's membership
+	// epoch (bumped on every join admission and drain completion it
+	// observes — a refresh cue for clients, not a consensus value).
+	// SiteStatus lists every membership slot's status ("active",
+	// "draining", "gone") indexed by site; SiteAddrs the known peer base
+	// URLs ("" in-process).
+	TopologyEpoch int64    `json:"topology_epoch"`
+	ActiveSites   int      `json:"active_sites,omitempty"`
+	SiteStatus    []string `json:"site_status,omitempty"`
+	SiteAddrs     []string `json:"site_addrs,omitempty"`
+}
+
+// TopologyResponse is the GET /v1/topology body: the serving process's
+// view of the cluster membership.
+type TopologyResponse struct {
+	Epoch       int64    `json:"epoch"`
+	Sites       int      `json:"sites"`
+	ActiveSites int      `json:"active_sites"`
+	SiteStatus  []string `json:"site_status"`
+	SiteAddrs   []string `json:"site_addrs,omitempty"`
+	// SelfSite is the one site the process owns (-1 when every site is
+	// in-process).
+	SelfSite int `json:"self_site"`
+}
+
+// DrainRequest is the POST /v1/topology/drain body. On a multi-process
+// cluster Site must be the serving process's own site (the drain's
+// absorb rounds need its local state); peers learn of the drain through
+// the fabric broadcast.
+type DrainRequest struct {
+	Site int `json:"site"`
+}
+
+// MigrateRequest is the POST /v1/topology/migrate body: move one treaty
+// unit's demand home to another active site. To = -1 picks the site the
+// adaptive allocator's burn vector names.
+type MigrateRequest struct {
+	Unit int `json:"unit"`
+	To   int `json:"to"`
+}
+
+// TopologyAck acknowledges a topology mutation with the process's
+// post-mutation membership view.
+type TopologyAck struct {
+	Epoch       int64 `json:"epoch"`
+	Sites       int   `json:"sites"`
+	ActiveSites int   `json:"active_sites"`
 }

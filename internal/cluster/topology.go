@@ -59,6 +59,35 @@ func (t *Topology) RoundLatency(from int) rt.Duration {
 	return t.MaxRTTFrom(from)
 }
 
+// Grow widens the topology by one site in place. The new site takes site
+// 0's latency profile: its one-way latency to each existing site k != 0
+// copies oneWay[0][k], and its latency to site 0 copies site 0's nearest
+// peer distance oneWay[0][1] (for a one-site topology, zero). Growing in
+// place lets every holder of the shared *Topology — transports, the
+// homeostasis system — see the new width at once. Returns the new site's
+// index.
+func (t *Topology) Grow(name string) int {
+	site := t.n
+	row := make([]rt.Duration, t.n+1)
+	for k := 0; k < t.n; k++ {
+		if k != 0 {
+			row[k] = t.oneWay[0][k]
+		} else if t.n > 1 {
+			row[0] = t.oneWay[0][1]
+		}
+		t.oneWay[k] = append(t.oneWay[k], row[k])
+	}
+	t.oneWay = append(t.oneWay, row)
+	if t.names != nil {
+		if name == "" {
+			name = fmt.Sprintf("site%d", site)
+		}
+		t.names = append(append([]string(nil), t.names...), name)
+	}
+	t.n++
+	return site
+}
+
 // Uniform builds a topology of n sites with identical pairwise RTT, as in
 // the microbenchmark experiments (Section 6.1, simulated RTTs).
 func Uniform(n int, rtt rt.Duration) *Topology {

@@ -18,6 +18,12 @@ const (
 	KindAck
 	KindRejoin
 	KindRejoinReply
+	KindJoin
+	KindJoinReply
+	KindDrain
+	KindDrainReply
+	KindMigrate
+	KindMigrateReply
 )
 
 // Constraint op bytes ("<=", "<", "==" in the JSON encoding).
@@ -136,6 +142,45 @@ func AppendMessage(dst []byte, m any) ([]byte, error) {
 			dst = AppendStringMap(dst, u.Base)
 		}
 		return dst, nil
+	case *wire.PeerJoin:
+		dst = AppendHeader(dst, KindJoin)
+		dst = AppendInt(dst, m.Site)
+		dst = AppendUvarint(dst, m.Round)
+		dst = AppendVarint(dst, m.Clock)
+		dst = AppendString(dst, m.Addr)
+		return AppendInt(dst, m.Phase), nil
+	case *wire.PeerJoinReply:
+		dst = AppendHeader(dst, KindJoinReply)
+		dst = AppendVarint(dst, m.Clock)
+		dst = AppendVarint(dst, m.Epoch)
+		dst = AppendUvarint(dst, uint64(len(m.Units)))
+		for _, u := range m.Units {
+			dst = AppendInt(dst, u.Unit)
+			dst = AppendVarint(dst, u.Version)
+			dst = AppendStringMap(dst, u.Base)
+		}
+		return dst, nil
+	case *wire.PeerDrain:
+		dst = AppendHeader(dst, KindDrain)
+		dst = AppendInt(dst, m.Site)
+		return AppendVarint(dst, m.Clock), nil
+	case *wire.PeerDrainReply:
+		dst = AppendHeader(dst, KindDrainReply)
+		dst = AppendVarint(dst, m.Clock)
+		return AppendVarint(dst, m.Epoch), nil
+	case *wire.PeerMigrate:
+		dst = AppendHeader(dst, KindMigrate)
+		dst = AppendInt(dst, m.From)
+		dst = AppendUvarint(dst, m.Round)
+		dst = AppendVarint(dst, m.Clock)
+		dst = AppendInt(dst, m.Unit)
+		dst = AppendInt(dst, m.To)
+		dst = AppendStrings(dst, m.Objs)
+		return AppendStringMap(dst, m.Folded), nil
+	case *wire.PeerMigrateReply:
+		dst = AppendHeader(dst, KindMigrateReply)
+		dst = AppendVarint(dst, m.Clock)
+		return AppendVarint(dst, m.Epoch), nil
 	}
 	return nil, fmt.Errorf("codec: cannot encode %T", m)
 }
@@ -249,6 +294,54 @@ func DecodeMessage(data []byte, m any) error {
 					}
 				}
 			}
+		}
+	case *wire.PeerJoin:
+		if want(KindJoin) {
+			m.Site = r.Int()
+			m.Round = r.Uvarint()
+			m.Clock = r.Varint()
+			m.Addr = r.String()
+			m.Phase = r.Int()
+		}
+	case *wire.PeerJoinReply:
+		if want(KindJoinReply) {
+			m.Clock = r.Varint()
+			m.Epoch = r.Varint()
+			if n := r.Count(); r.err == nil && n > 0 {
+				m.Units = make([]wire.PeerJoinUnit, n)
+				for i := range m.Units {
+					m.Units[i] = wire.PeerJoinUnit{
+						Unit:    r.Int(),
+						Version: r.Varint(),
+						Base:    r.StringMap(),
+					}
+				}
+			}
+		}
+	case *wire.PeerDrain:
+		if want(KindDrain) {
+			m.Site = r.Int()
+			m.Clock = r.Varint()
+		}
+	case *wire.PeerDrainReply:
+		if want(KindDrainReply) {
+			m.Clock = r.Varint()
+			m.Epoch = r.Varint()
+		}
+	case *wire.PeerMigrate:
+		if want(KindMigrate) {
+			m.From = r.Int()
+			m.Round = r.Uvarint()
+			m.Clock = r.Varint()
+			m.Unit = r.Int()
+			m.To = r.Int()
+			m.Objs = r.Strings()
+			m.Folded = r.StringMap()
+		}
+	case *wire.PeerMigrateReply:
+		if want(KindMigrateReply) {
+			m.Clock = r.Varint()
+			m.Epoch = r.Varint()
 		}
 	default:
 		return fmt.Errorf("codec: cannot decode into %T", m)

@@ -143,10 +143,104 @@ type RejoinReply struct {
 	Units []RejoinUnit
 }
 
+// JoinSite phases. A join is a two-phase handshake coordinated by the
+// joining site: prepare quiesces every unit at the peer and streams back
+// a consistent partition cut; activate grows the peer's membership table
+// and releases the quiesce. The quiesce is held under the peer's round
+// grant table, so a joiner that dies between the phases is failed over by
+// the ordinary grant expiry (the units unfreeze, the join aborts).
+const (
+	// JoinPrepare freezes the peer's units and returns the partition cut.
+	JoinPrepare = 1
+	// JoinActivate admits the joiner into the membership epoch and
+	// releases the prepare quiesce.
+	JoinActivate = 2
+)
+
+// JoinSite is the membership handshake from a joining site to one
+// existing peer. Sent twice per join (JoinPrepare then JoinActivate),
+// both under the same Round, which keys the prepare quiesce in the
+// peer's grant table.
+type JoinSite struct {
+	Round RoundID
+	Clock int64
+	// Site is the joining site's index: the cluster width before the join.
+	Site int
+	// Addr is the joining site's peer base URL ("" on in-process fabrics).
+	Addr string
+	// Phase is JoinPrepare or JoinActivate.
+	Phase int
+}
+
+// JoinUnit is one treaty unit's slice of the partition cut streamed to a
+// joining site: the unit's treaty generation and its objects' replicated
+// base values at the answering peer.
+type JoinUnit struct {
+	Unit    int
+	Version int64
+	Base    lang.Database
+}
+
+// JoinReply answers a JoinSite. The prepare reply carries the quiesced
+// partition cut; the activate reply carries the peer's new membership
+// epoch.
+type JoinReply struct {
+	Clock int64
+	// Epoch is the peer's membership epoch after handling the message.
+	Epoch int64
+	// Units is the partition cut (JoinPrepare replies only).
+	Units []JoinUnit
+}
+
+// DrainSite announces that a site has drained: its deltas are absorbed
+// into the replicated base and it commits nothing further. Peers mark the
+// site gone, bump their membership epoch, and exclude it from future
+// rounds. The site keeps its index (membership slots are never reused, so
+// per-site state and the merged log stay stably indexed).
+type DrainSite struct {
+	// Site is the drained site.
+	Site  int
+	Clock int64
+}
+
+// DrainReply acknowledges a DrainSite with the peer's new epoch.
+type DrainReply struct {
+	Clock int64
+	Epoch int64
+}
+
+// MigrateUnit ships one unit's folded state during a demand-driven
+// migration round: the coordinator froze the unit via CollectState,
+// folded the cut, and installs it at every site with the unit's new
+// demand home. Handling mirrors InstallState (exactly-once under the
+// round grant), so a coordinator death mid-migration aborts or repairs
+// like any round.
+type MigrateUnit struct {
+	Round RoundID
+	Clock int64
+	// Unit is the migrating unit.
+	Unit int
+	// To is the unit's new demand home: the site the repaired treaty
+	// configuration concentrates slack on.
+	To     int
+	Objs   []lang.ObjID
+	Folded lang.Database
+}
+
+// MigrateReply acknowledges a MigrateUnit with the peer's epoch.
+type MigrateReply struct {
+	Clock int64
+	Epoch int64
+}
+
 // ErrBusy is returned by a Node refusing CollectState because one of the
 // round's units is already negotiating. The coordinator aborts the round,
 // backs off, and retries.
 var ErrBusy = errors.New("fabric: unit busy in another round")
+
+// ErrSiteGone is returned by a Node refusing a message because the
+// addressed site has been drained from the membership.
+var ErrSiteGone = errors.New("fabric: site drained from membership")
 
 // SiteError attributes a transport or handler failure to one site, so
 // partial scatter failures surface with their origin. Unwrap exposes the
@@ -181,6 +275,14 @@ type Node interface {
 	// Rejoin answers a restarted site's recovery handshake: fail over any
 	// round it was coordinating and report the units it must repair.
 	Rejoin(m Rejoin) (RejoinReply, error)
+	// JoinSite handles one phase of a joining site's membership handshake
+	// (quiesce + cut on JoinPrepare, admit + release on JoinActivate).
+	JoinSite(m JoinSite) (JoinReply, error)
+	// DrainSite marks the drained site gone and bumps the epoch.
+	DrainSite(m DrainSite) (DrainReply, error)
+	// MigrateUnit installs a migrating unit's folded state (exactly-once
+	// under the round grant, like InstallState).
+	MigrateUnit(m MigrateUnit) (MigrateReply, error)
 }
 
 // Transport ships the coordinator's messages to every site's Node and
@@ -221,4 +323,27 @@ type Transport interface {
 	// sender) and gathers the replies, indexed by site; the rejoiner's
 	// own entry is the zero RejoinReply.
 	Rejoin(p rt.Proc, from int, m Rejoin) ([]RejoinReply, error)
+
+	// Join delivers a join-handshake phase to every member site except
+	// from (the joining site itself) and gathers the replies, indexed by
+	// site; the joiner's own entry is the zero JoinReply.
+	Join(p rt.Proc, from int, m JoinSite) ([]JoinReply, error)
+
+	// Drain announces a drained site to every member except from (the
+	// drained site itself) and gathers the acks, indexed by site.
+	Drain(p rt.Proc, from int, m DrainSite) ([]DrainReply, error)
+
+	// Migrate delivers a migrating unit's folded state to every member
+	// site (from included, handled locally) and gathers the acks,
+	// indexed by site.
+	Migrate(p rt.Proc, from int, m MigrateUnit) ([]MigrateReply, error)
+
+	// AddSite grows the transport by one site at the next index: Local
+	// gains the node, HTTP gains the peer address. Call under the site
+	// runtime's execution right, never mid-scatter.
+	AddSite(addr string, node Node)
+
+	// MarkGone excludes a drained site from every future scatter (its
+	// reply slots stay present and zero, keeping site indexing stable).
+	MarkGone(site int)
 }

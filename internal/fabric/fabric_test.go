@@ -126,6 +126,15 @@ func (chargeNode) AbortRound(fabric.AbortRound) error           { return nil }
 func (chargeNode) Rejoin(fabric.Rejoin) (fabric.RejoinReply, error) {
 	return fabric.RejoinReply{}, nil
 }
+func (chargeNode) JoinSite(fabric.JoinSite) (fabric.JoinReply, error) {
+	return fabric.JoinReply{}, nil
+}
+func (chargeNode) DrainSite(fabric.DrainSite) (fabric.DrainReply, error) {
+	return fabric.DrainReply{}, nil
+}
+func (chargeNode) MigrateUnit(fabric.MigrateUnit) (fabric.MigrateReply, error) {
+	return fabric.MigrateReply{}, nil
+}
 
 // TestLocalLatencyMatchesTopology pins the Local transport's virtual-time
 // charges — the property the experiment goldens depend on: Collect and

@@ -48,9 +48,14 @@ type StubNode struct {
 	Treaties []fabric.InstallTreaties
 	Aborts   []fabric.AbortRound
 	Rejoins  []fabric.Rejoin
+	Joins    []fabric.JoinSite
+	Drains   []fabric.DrainSite
+	Migrates []fabric.MigrateUnit
 
 	// CollectErr, when set, makes CollectState fail with it.
 	CollectErr error
+	// JoinErr, when set, makes JoinSite fail with it.
+	JoinErr error
 }
 
 // CollectState implements fabric.Node: it replies with one delta value
@@ -113,6 +118,45 @@ func (s *StubNode) Rejoin(m fabric.Rejoin) (fabric.RejoinReply, error) {
 	}, nil
 }
 
+// JoinSite implements fabric.Node: it records the handshake and answers
+// with a deterministic partition cut on the prepare phase (exercising the
+// reply's unit/version/base round-trip) and an epoch on activate.
+func (s *StubNode) JoinSite(m fabric.JoinSite) (fabric.JoinReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.JoinErr != nil {
+		return fabric.JoinReply{}, s.JoinErr
+	}
+	s.Joins = append(s.Joins, m)
+	rep := fabric.JoinReply{Clock: m.Clock + int64(s.Site) + 1, Epoch: int64(100 + s.Site)}
+	if m.Phase == fabric.JoinPrepare {
+		rep.Units = []fabric.JoinUnit{{
+			Unit:    s.Site,
+			Version: int64(20 + s.Site),
+			Base:    lang.Database{lang.ObjID(fmt.Sprintf("stock_%d", s.Site)): int64(7 * s.Site)},
+		}}
+	}
+	return rep, nil
+}
+
+// DrainSite implements fabric.Node: it records the announcement and
+// replies with a deterministic epoch.
+func (s *StubNode) DrainSite(m fabric.DrainSite) (fabric.DrainReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Drains = append(s.Drains, m)
+	return fabric.DrainReply{Clock: m.Clock + int64(s.Site) + 1, Epoch: int64(200 + s.Site)}, nil
+}
+
+// MigrateUnit implements fabric.Node: it records the install and replies
+// with a deterministic epoch.
+func (s *StubNode) MigrateUnit(m fabric.MigrateUnit) (fabric.MigrateReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Migrates = append(s.Migrates, m)
+	return fabric.MigrateReply{Clock: m.Clock + int64(s.Site) + 1, Epoch: int64(300 + s.Site)}, nil
+}
+
 // Snapshot returns copies of the recorded messages.
 func (s *StubNode) Snapshot() (c []fabric.CollectState, i []fabric.InstallState, t []fabric.InstallTreaties, a []fabric.AbortRound) {
 	s.mu.Lock()
@@ -131,6 +175,9 @@ func Run(t *testing.T, mk Factory) {
 	t.Run("DistributePerSite", func(t *testing.T) { testDistribute(t, mk(t, 3)) })
 	t.Run("AbortDelivery", func(t *testing.T) { testAbort(t, mk(t, 2)) })
 	t.Run("RejoinHandshake", func(t *testing.T) { testRejoin(t, mk(t, 3)) })
+	t.Run("JoinHandshake", func(t *testing.T) { testJoin(t, mk(t, 3)) })
+	t.Run("DrainBroadcast", func(t *testing.T) { testDrain(t, mk(t, 3)) })
+	t.Run("MigrateDelivery", func(t *testing.T) { testMigrate(t, mk(t, 3)) })
 }
 
 func round(site int) fabric.RoundID { return fabric.RoundID{Site: site, Seq: 7} }
@@ -338,6 +385,143 @@ func testRejoin(t *testing.T, h *Harness) {
 	}
 	if replies[1].Clock != 0 || len(replies[1].Units) != 0 {
 		t.Errorf("the rejoiner's own reply slot is non-zero: %+v", replies[1])
+	}
+}
+
+// testJoin checks the membership handshake: each phase reaches every
+// member except the joiner itself, the phase and address survive the
+// trip, and the prepare replies carry the partition cut intact.
+func testJoin(t *testing.T, h *Harness) {
+	for _, phase := range []int{fabric.JoinPrepare, fabric.JoinActivate} {
+		m := fabric.JoinSite{Round: round(1), Clock: 23, Site: 1, Addr: "http://joiner:7", Phase: phase}
+		var replies []fabric.JoinReply
+		var err error
+		h.Exec(func(p rt.Proc) { replies, err = h.Transport.Join(p, 1, m) })
+		if err != nil {
+			t.Fatalf("Join phase %d: %v", phase, err)
+		}
+		if len(replies) != len(h.Nodes) {
+			t.Fatalf("Join phase %d returned %d replies, want %d", phase, len(replies), len(h.Nodes))
+		}
+		for site, n := range h.Nodes {
+			n.mu.Lock()
+			js := append([]fabric.JoinSite(nil), n.Joins...)
+			n.mu.Unlock()
+			if site == 1 {
+				if len(js) != 0 {
+					t.Errorf("the joining site handled its own handshake (%d messages)", len(js))
+				}
+				continue
+			}
+			// One message per completed phase so far.
+			if len(js) != phase {
+				t.Fatalf("site %d handled %d joins after phase %d", site, len(js), phase)
+			}
+			got := js[phase-1]
+			if got.Round != round(1) || got.Clock != 23 || got.Site != 1 || got.Addr != "http://joiner:7" || got.Phase != phase {
+				t.Errorf("site %d join payload = %+v", site, got)
+			}
+			rep := replies[site]
+			if want := int64(23 + site + 1); rep.Clock != want {
+				t.Errorf("site %d reply clock = %d, want %d", site, rep.Clock, want)
+			}
+			if want := int64(100 + site); rep.Epoch != want {
+				t.Errorf("site %d reply epoch = %d, want %d", site, rep.Epoch, want)
+			}
+			if phase == fabric.JoinPrepare {
+				if len(rep.Units) != 1 {
+					t.Fatalf("site %d prepare cut = %+v", site, rep.Units)
+				}
+				u := rep.Units[0]
+				wantBase := lang.Database{lang.ObjID(fmt.Sprintf("stock_%d", site)): int64(7 * site)}
+				if u.Unit != site || u.Version != int64(20+site) || !u.Base.Equal(wantBase) {
+					t.Errorf("site %d cut unit = %+v", site, u)
+				}
+			} else if len(rep.Units) != 0 {
+				t.Errorf("site %d activate reply carries a cut: %+v", site, rep.Units)
+			}
+		}
+		if replies[1].Clock != 0 || replies[1].Epoch != 0 || len(replies[1].Units) != 0 {
+			t.Errorf("the joiner's own reply slot is non-zero: %+v", replies[1])
+		}
+	}
+}
+
+// testDrain checks the drain announcement: every member except the
+// drained site receives it, and the epoch acks are indexed by site.
+func testDrain(t *testing.T, h *Harness) {
+	m := fabric.DrainSite{Site: 2, Clock: 31}
+	var replies []fabric.DrainReply
+	var err error
+	h.Exec(func(p rt.Proc) { replies, err = h.Transport.Drain(p, 2, m) })
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(replies) != len(h.Nodes) {
+		t.Fatalf("Drain returned %d replies, want %d", len(replies), len(h.Nodes))
+	}
+	for site, n := range h.Nodes {
+		n.mu.Lock()
+		ds := append([]fabric.DrainSite(nil), n.Drains...)
+		n.mu.Unlock()
+		if site == 2 {
+			if len(ds) != 0 {
+				t.Errorf("the drained site handled its own announcement (%d messages)", len(ds))
+			}
+			continue
+		}
+		if len(ds) != 1 {
+			t.Fatalf("site %d handled %d drains, want 1", site, len(ds))
+		}
+		if ds[0].Site != 2 || ds[0].Clock != 31 {
+			t.Errorf("site %d drain payload = %+v", site, ds[0])
+		}
+		rep := replies[site]
+		if rep.Clock != int64(31+site+1) || rep.Epoch != int64(200+site) {
+			t.Errorf("site %d drain ack = %+v", site, rep)
+		}
+	}
+	if replies[2].Clock != 0 || replies[2].Epoch != 0 {
+		t.Errorf("the drained site's own reply slot is non-zero: %+v", replies[2])
+	}
+}
+
+// testMigrate checks migration delivery: every member site (the
+// coordinator included) receives the folded cut with the new demand home
+// intact, and the epoch acks are indexed by site.
+func testMigrate(t *testing.T, h *Harness) {
+	folded := lang.Database{"stock_1": 19, "stock_2": -4}
+	m := fabric.MigrateUnit{
+		Round: round(0), Clock: 11, Unit: 5, To: 2,
+		Objs: []lang.ObjID{"stock_1", "stock_2"}, Folded: folded,
+	}
+	var replies []fabric.MigrateReply
+	var err error
+	h.Exec(func(p rt.Proc) { replies, err = h.Transport.Migrate(p, 0, m) })
+	if err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if len(replies) != len(h.Nodes) {
+		t.Fatalf("Migrate returned %d replies, want %d", len(replies), len(h.Nodes))
+	}
+	for site, n := range h.Nodes {
+		n.mu.Lock()
+		ms := append([]fabric.MigrateUnit(nil), n.Migrates...)
+		n.mu.Unlock()
+		if len(ms) != 1 {
+			t.Fatalf("site %d handled %d migrates, want 1", site, len(ms))
+		}
+		got := ms[0]
+		if got.Round != round(0) || got.Clock != 11 || got.Unit != 5 || got.To != 2 {
+			t.Errorf("site %d migrate header = %+v", site, got)
+		}
+		if fmt.Sprint(got.Objs) != fmt.Sprint(m.Objs) || !got.Folded.Equal(folded) {
+			t.Errorf("site %d migrate payload: objs=%v folded=%v", site, got.Objs, got.Folded)
+		}
+		rep := replies[site]
+		if rep.Clock != int64(11+site+1) || rep.Epoch != int64(300+site) {
+			t.Errorf("site %d migrate ack = %+v", site, rep)
+		}
 	}
 }
 

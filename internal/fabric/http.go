@@ -41,18 +41,44 @@ import (
 type HTTP struct {
 	rt    rt.Runtime
 	self  int
-	peers []string
 	node  Node
 	hc    *http.Client
 	token string
 	noBin bool
-	// jsonOnly[k] is set once peer k rejects the binary content type;
-	// later requests to it skip straight to JSON.
-	jsonOnly []atomic.Bool
+	// ps is the current membership snapshot. Scatters load it once per
+	// round, so AddSite/MarkGone (which publish a fresh snapshot) never
+	// race the goroutines of an in-flight scatter.
+	ps atomic.Pointer[peerSet]
 
 	// Messages counts peer HTTP requests sent (an observability surface
 	// for "no peer traffic outside violations").
 	Messages atomic.Int64
+}
+
+// peerSet is one immutable membership snapshot: peer addresses plus the
+// per-peer flags. The flag cells are pointers shared across snapshots,
+// so a peer remembered as JSON-only (or marked gone) stays that way when
+// the membership grows.
+type peerSet struct {
+	addrs []string
+	// jsonOnly[k] is set once peer k rejects the binary content type;
+	// later requests to it skip straight to JSON.
+	jsonOnly []*atomic.Bool
+	// gone[k] is set when site k drains; scatters skip it.
+	gone []*atomic.Bool
+}
+
+func newPeerSet(addrs []string) *peerSet {
+	ps := &peerSet{
+		addrs:    append([]string(nil), addrs...),
+		jsonOnly: make([]*atomic.Bool, len(addrs)),
+		gone:     make([]*atomic.Bool, len(addrs)),
+	}
+	for k := range addrs {
+		ps.jsonOnly[k] = new(atomic.Bool)
+		ps.gone[k] = new(atomic.Bool)
+	}
+	return ps
 }
 
 // NewHTTP builds the multi-process transport. self is this process's
@@ -70,8 +96,31 @@ func NewHTTP(r rt.Runtime, self int, peers []string, node Node, hc *http.Client)
 			},
 		}
 	}
-	return &HTTP{rt: r, self: self, peers: peers, node: node, hc: hc,
-		jsonOnly: make([]atomic.Bool, len(peers))}
+	t := &HTTP{rt: r, self: self, node: node, hc: hc}
+	t.ps.Store(newPeerSet(peers))
+	return t
+}
+
+// AddSite grows the membership by one peer at the next index (node is
+// unused — this process's own site is fixed). Existing per-peer flags
+// carry over; in-flight scatters keep their own snapshot.
+func (t *HTTP) AddSite(addr string, node Node) {
+	_ = node
+	old := t.ps.Load()
+	ps := &peerSet{
+		addrs:    append(append([]string(nil), old.addrs...), addr),
+		jsonOnly: append(append([]*atomic.Bool(nil), old.jsonOnly...), new(atomic.Bool)),
+		gone:     append(append([]*atomic.Bool(nil), old.gone...), new(atomic.Bool)),
+	}
+	t.ps.Store(ps)
+}
+
+// MarkGone excludes a drained site from every future scatter.
+func (t *HTTP) MarkGone(site int) {
+	ps := t.ps.Load()
+	if site >= 0 && site < len(ps.gone) {
+		ps.gone[site].Store(true)
+	}
 }
 
 // DisableBinary forces every outgoing request to the JSON encoding (the
@@ -88,28 +137,30 @@ const PeerTokenHeader = "X-Homeo-Peer-Token"
 func (t *HTTP) SetToken(token string) { t.token = token }
 
 // NSites reports the cluster width.
-func (t *HTTP) NSites() int { return len(t.peers) }
+func (t *HTTP) NSites() int { return len(t.ps.Load().addrs) }
 
-// scatter delivers one request per site: the self site inline (the
-// caller holds the execution right; Node handlers never park), remote
-// sites on goroutines while the calling process parks. The wake is
+// scatter delivers one request per site of the ps snapshot: the self
+// site inline (the caller holds the execution right; Node handlers never
+// park), remote sites on goroutines while the calling process parks.
+// Drained sites are skipped; their error slots stay nil. The wake is
 // scheduled through the runtime so it runs under the execution right; it
 // cannot fire before Park because the scheduler lock is held from
 // PrepPark until Park releases it.
-func (t *HTTP) scatter(p rt.Proc, do func(site int) error) error {
-	n := len(t.peers)
+func (t *HTTP) scatter(p rt.Proc, ps *peerSet, do func(site int) error) error {
+	n := len(ps.addrs)
 	errs := make([]error, n)
 	remotes := int32(0)
 	for k := 0; k < n; k++ {
-		if k != t.self {
+		if k != t.self && !ps.gone[k].Load() {
 			remotes++
 		}
 	}
+	selfLive := t.self >= 0 && t.self < n && !ps.gone[t.self].Load()
 	if remotes > 0 {
 		token := p.PrepPark()
 		pending := remotes
 		for k := 0; k < n; k++ {
-			if k == t.self {
+			if k == t.self || ps.gone[k].Load() {
 				continue
 			}
 			k := k
@@ -120,11 +171,11 @@ func (t *HTTP) scatter(p rt.Proc, do func(site int) error) error {
 				}
 			}()
 		}
-		if t.self >= 0 && t.self < n {
+		if selfLive {
 			errs[t.self] = do(t.self)
 		}
 		p.Park()
-	} else if t.self >= 0 && t.self < n {
+	} else if selfLive {
 		errs[t.self] = do(t.self)
 	}
 	// Surface a busy refusal first (it means "retry", and must win over
@@ -149,15 +200,16 @@ func (t *HTTP) scatter(p rt.Proc, do func(site int) error) error {
 func (t *HTTP) Collect(p rt.Proc, from int, mkMsg func() CollectState) ([]StateReply, error) {
 	m := mkMsg()
 	w := CollectToWire(m)
-	replies := make([]StateReply, len(t.peers))
-	err := t.scatter(p, func(k int) error {
+	ps := t.ps.Load()
+	replies := make([]StateReply, len(ps.addrs))
+	err := t.scatter(p, ps, func(k int) error {
 		if k == t.self {
 			rep, herr := t.node.CollectState(m)
 			replies[k] = rep
 			return herr
 		}
 		var out wire.PeerState
-		if perr := t.post(k, "collect", &w, &out); perr != nil {
+		if perr := t.post(ps, k, "collect", &w, &out); perr != nil {
 			return perr
 		}
 		replies[k] = StateReply{Clock: out.Clock, Values: dbFromWire(out.Values)}
@@ -172,12 +224,13 @@ func (t *HTTP) Collect(p rt.Proc, from int, mkMsg func() CollectState) ([]StateR
 // Install delivers the folded state everywhere.
 func (t *HTTP) Install(p rt.Proc, from int, m InstallState) error {
 	w := InstallStateToWire(m)
-	return t.scatter(p, func(k int) error {
+	ps := t.ps.Load()
+	return t.scatter(p, ps, func(k int) error {
 		if k == t.self {
 			return t.node.InstallState(m)
 		}
 		var ack wire.PeerAck
-		return t.post(k, "install-state", &w, &ack)
+		return t.post(ps, k, "install-state", &w, &ack)
 	})
 }
 
@@ -193,12 +246,13 @@ func (t *HTTP) Distribute(p rt.Proc, from int, ms []InstallTreaties) error {
 		}
 		ws[k] = w
 	}
-	return t.scatter(p, func(k int) error {
+	ps := t.ps.Load()
+	return t.scatter(p, ps, func(k int) error {
 		if k == t.self {
 			return t.node.InstallTreaties(ms[k])
 		}
 		var ack wire.PeerAck
-		return t.post(k, "install-treaties", &ws[k], &ack)
+		return t.post(ps, k, "install-treaties", &ws[k], &ack)
 	})
 }
 
@@ -206,8 +260,9 @@ func (t *HTTP) Distribute(p rt.Proc, from int, ms []InstallTreaties) error {
 // site (the from site is the sender, so it is skipped).
 func (t *HTTP) Rejoin(p rt.Proc, from int, m Rejoin) ([]RejoinReply, error) {
 	w := RejoinToWire(m)
-	replies := make([]RejoinReply, len(t.peers))
-	err := t.scatter(p, func(k int) error {
+	ps := t.ps.Load()
+	replies := make([]RejoinReply, len(ps.addrs))
+	err := t.scatter(p, ps, func(k int) error {
 		if k == from {
 			return nil
 		}
@@ -220,7 +275,7 @@ func (t *HTTP) Rejoin(p rt.Proc, from int, m Rejoin) ([]RejoinReply, error) {
 			return nil
 		}
 		var out wire.PeerRejoinReply
-		if perr := t.post(k, "rejoin", &w, &out); perr != nil {
+		if perr := t.post(ps, k, "rejoin", &w, &out); perr != nil {
 			return perr
 		}
 		replies[k] = RejoinReplyFromWire(out)
@@ -232,15 +287,106 @@ func (t *HTTP) Rejoin(p rt.Proc, from int, m Rejoin) ([]RejoinReply, error) {
 	return replies, nil
 }
 
+// Join delivers a join-handshake phase to every member except the
+// joining site (the sender) and gathers the replies.
+func (t *HTTP) Join(p rt.Proc, from int, m JoinSite) ([]JoinReply, error) {
+	w := JoinToWire(m)
+	ps := t.ps.Load()
+	replies := make([]JoinReply, len(ps.addrs))
+	err := t.scatter(p, ps, func(k int) error {
+		if k == from {
+			return nil
+		}
+		if k == t.self {
+			rep, herr := t.node.JoinSite(m)
+			if herr != nil {
+				return herr
+			}
+			replies[k] = rep
+			return nil
+		}
+		var out wire.PeerJoinReply
+		if perr := t.post(ps, k, "join", &w, &out); perr != nil {
+			return perr
+		}
+		replies[k] = JoinReplyFromWire(out)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return replies, nil
+}
+
+// Drain announces the drained site to every other member and gathers
+// the acks.
+func (t *HTTP) Drain(p rt.Proc, from int, m DrainSite) ([]DrainReply, error) {
+	w := DrainToWire(m)
+	ps := t.ps.Load()
+	replies := make([]DrainReply, len(ps.addrs))
+	err := t.scatter(p, ps, func(k int) error {
+		if k == from {
+			return nil
+		}
+		if k == t.self {
+			rep, herr := t.node.DrainSite(m)
+			if herr != nil {
+				return herr
+			}
+			replies[k] = rep
+			return nil
+		}
+		var out wire.PeerDrainReply
+		if perr := t.post(ps, k, "drain", &w, &out); perr != nil {
+			return perr
+		}
+		replies[k] = DrainReply{Clock: out.Clock, Epoch: out.Epoch}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return replies, nil
+}
+
+// Migrate delivers a migrating unit's folded state to every member site
+// and gathers the acks.
+func (t *HTTP) Migrate(p rt.Proc, from int, m MigrateUnit) ([]MigrateReply, error) {
+	w := MigrateToWire(m)
+	ps := t.ps.Load()
+	replies := make([]MigrateReply, len(ps.addrs))
+	err := t.scatter(p, ps, func(k int) error {
+		if k == t.self {
+			rep, herr := t.node.MigrateUnit(m)
+			if herr != nil {
+				return herr
+			}
+			replies[k] = rep
+			return nil
+		}
+		var out wire.PeerMigrateReply
+		if perr := t.post(ps, k, "migrate", &w, &out); perr != nil {
+			return perr
+		}
+		replies[k] = MigrateReply{Clock: out.Clock, Epoch: out.Epoch}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return replies, nil
+}
+
 // Abort releases the round everywhere.
 func (t *HTTP) Abort(p rt.Proc, from int, m AbortRound) error {
 	w := wire.PeerAbort{From: m.Round.Site, Round: m.Round.Seq, Clock: m.Clock}
-	return t.scatter(p, func(k int) error {
+	ps := t.ps.Load()
+	return t.scatter(p, ps, func(k int) error {
 		if k == t.self {
 			return t.node.AbortRound(m)
 		}
 		var ack wire.PeerAck
-		return t.post(k, "abort", &w, &ack)
+		return t.post(ps, k, "abort", &w, &ack)
 	})
 }
 
@@ -279,17 +425,17 @@ func binaryRejected(err error) bool {
 // post performs one round trip to a peer endpoint: binary codec by
 // default, falling back to JSON — and remembering the peer as JSON-only
 // — when the peer rejects the binary content type.
-func (t *HTTP) post(site int, endpoint string, in, out any) error {
-	bin := !t.noBin && !t.jsonOnly[site].Load()
-	err := t.postOnce(site, endpoint, in, out, bin)
+func (t *HTTP) post(ps *peerSet, site int, endpoint string, in, out any) error {
+	bin := !t.noBin && !ps.jsonOnly[site].Load()
+	err := t.postOnce(ps, site, endpoint, in, out, bin)
 	if bin && binaryRejected(err) {
-		t.jsonOnly[site].Store(true)
-		return t.postOnce(site, endpoint, in, out, false)
+		ps.jsonOnly[site].Store(true)
+		return t.postOnce(ps, site, endpoint, in, out, false)
 	}
 	return err
 }
 
-func (t *HTTP) postOnce(site int, endpoint string, in, out any, bin bool) error {
+func (t *HTTP) postOnce(ps *peerSet, site int, endpoint string, in, out any, bin bool) error {
 	t.Messages.Add(1)
 	body := getBuf()
 	defer putBuf(body)
@@ -304,7 +450,7 @@ func (t *HTTP) postOnce(site int, endpoint string, in, out any, bin bool) error 
 	} else if err := json.NewEncoder(body).Encode(in); err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, t.peers[site]+"/v1/peer/"+endpoint, bytes.NewReader(body.Bytes()))
+	req, err := http.NewRequest(http.MethodPost, ps.addrs[site]+"/v1/peer/"+endpoint, bytes.NewReader(body.Bytes()))
 	if err != nil {
 		return err
 	}
@@ -332,8 +478,13 @@ func (t *HTTP) postOnce(site int, endpoint string, in, out any, bin bool) error 
 		return err
 	}
 	var envelope wire.ErrorResponse
-	if json.Unmarshal(reply.Bytes(), &envelope) == nil && envelope.Error.Code == "busy" {
-		return ErrBusy
+	if json.Unmarshal(reply.Bytes(), &envelope) == nil {
+		switch envelope.Error.Code {
+		case "busy":
+			return ErrBusy
+		case "site_gone":
+			return ErrSiteGone
+		}
 	}
 	return &peerStatusError{
 		endpoint: endpoint, status: resp.StatusCode,
@@ -363,6 +514,9 @@ func NewPeerHandler(node Node, exec func(func()), token string) http.Handler {
 	mux.HandleFunc("/v1/peer/install-treaties", h.installTreaties)
 	mux.HandleFunc("/v1/peer/abort", h.abort)
 	mux.HandleFunc("/v1/peer/rejoin", h.rejoin)
+	mux.HandleFunc("/v1/peer/join", h.join)
+	mux.HandleFunc("/v1/peer/drain", h.drain)
+	mux.HandleFunc("/v1/peer/migrate", h.migrate)
 	return mux
 }
 
@@ -417,8 +571,11 @@ func peerReply(rw http.ResponseWriter, bin bool, v any) {
 // clients of any version.
 func peerError(rw http.ResponseWriter, err error) {
 	status, code := http.StatusInternalServerError, "internal"
-	if errors.Is(err, ErrBusy) {
+	switch {
+	case errors.Is(err, ErrBusy):
 		status, code = http.StatusConflict, "busy"
+	case errors.Is(err, ErrSiteGone):
+		status, code = http.StatusGone, "site_gone"
 	}
 	peerJSON(rw, status, wire.ErrorResponse{Error: wire.Error{Code: code, Message: err.Error()}})
 }
@@ -552,6 +709,61 @@ func (h *peerHandler) rejoin(rw http.ResponseWriter, req *http.Request) {
 	peerReply(rw, bin, &w)
 }
 
+func (h *peerHandler) join(rw http.ResponseWriter, req *http.Request) {
+	var in wire.PeerJoin
+	bin, ok := h.decodePeer(rw, req, &in)
+	if !ok {
+		return
+	}
+	var (
+		rep JoinReply
+		err error
+	)
+	h.exec(func() { rep, err = h.node.JoinSite(JoinFromWire(in)) })
+	if err != nil {
+		peerError(rw, err)
+		return
+	}
+	w := JoinReplyToWire(rep)
+	peerReply(rw, bin, &w)
+}
+
+func (h *peerHandler) drain(rw http.ResponseWriter, req *http.Request) {
+	var in wire.PeerDrain
+	bin, ok := h.decodePeer(rw, req, &in)
+	if !ok {
+		return
+	}
+	var (
+		rep DrainReply
+		err error
+	)
+	h.exec(func() { rep, err = h.node.DrainSite(DrainFromWire(in)) })
+	if err != nil {
+		peerError(rw, err)
+		return
+	}
+	peerReply(rw, bin, &wire.PeerDrainReply{Clock: rep.Clock, Epoch: rep.Epoch})
+}
+
+func (h *peerHandler) migrate(rw http.ResponseWriter, req *http.Request) {
+	var in wire.PeerMigrate
+	bin, ok := h.decodePeer(rw, req, &in)
+	if !ok {
+		return
+	}
+	var (
+		rep MigrateReply
+		err error
+	)
+	h.exec(func() { rep, err = h.node.MigrateUnit(MigrateFromWire(in)) })
+	if err != nil {
+		peerError(rw, err)
+		return
+	}
+	peerReply(rw, bin, &wire.PeerMigrateReply{Clock: rep.Clock, Epoch: rep.Epoch})
+}
+
 // --- wire codecs ---------------------------------------------------------
 
 func dbToWire(d lang.Database) map[string]int64 {
@@ -671,6 +883,73 @@ func RejoinReplyFromWire(w wire.PeerRejoinReply) RejoinReply {
 		})
 	}
 	return out
+}
+
+// JoinToWire encodes a JoinSite handshake phase.
+func JoinToWire(m JoinSite) wire.PeerJoin {
+	return wire.PeerJoin{
+		Site: m.Site, Round: m.Round.Seq, Clock: m.Clock,
+		Addr: m.Addr, Phase: m.Phase,
+	}
+}
+
+// JoinFromWire decodes a JoinSite handshake phase. The round is keyed by
+// the joining site (it coordinates its own admission).
+func JoinFromWire(w wire.PeerJoin) JoinSite {
+	return JoinSite{
+		Round: RoundID{Site: w.Site, Seq: w.Round}, Clock: w.Clock,
+		Site: w.Site, Addr: w.Addr, Phase: w.Phase,
+	}
+}
+
+// JoinReplyToWire encodes a JoinSite reply.
+func JoinReplyToWire(m JoinReply) wire.PeerJoinReply {
+	out := wire.PeerJoinReply{Clock: m.Clock, Epoch: m.Epoch}
+	for _, u := range m.Units {
+		out.Units = append(out.Units, wire.PeerJoinUnit{
+			Unit: u.Unit, Version: u.Version, Base: dbToWire(u.Base),
+		})
+	}
+	return out
+}
+
+// JoinReplyFromWire decodes a JoinSite reply.
+func JoinReplyFromWire(w wire.PeerJoinReply) JoinReply {
+	out := JoinReply{Clock: w.Clock, Epoch: w.Epoch}
+	for _, u := range w.Units {
+		out.Units = append(out.Units, JoinUnit{
+			Unit: u.Unit, Version: u.Version, Base: dbFromWire(u.Base),
+		})
+	}
+	return out
+}
+
+// DrainToWire encodes a DrainSite announcement.
+func DrainToWire(m DrainSite) wire.PeerDrain {
+	return wire.PeerDrain{Site: m.Site, Clock: m.Clock}
+}
+
+// DrainFromWire decodes a DrainSite announcement.
+func DrainFromWire(w wire.PeerDrain) DrainSite {
+	return DrainSite{Site: w.Site, Clock: w.Clock}
+}
+
+// MigrateToWire encodes a MigrateUnit install.
+func MigrateToWire(m MigrateUnit) wire.PeerMigrate {
+	return wire.PeerMigrate{
+		From: m.Round.Site, Round: m.Round.Seq, Clock: m.Clock,
+		Unit: m.Unit, To: m.To,
+		Objs: objsToWire(m.Objs), Folded: dbToWire(m.Folded),
+	}
+}
+
+// MigrateFromWire decodes a MigrateUnit install.
+func MigrateFromWire(w wire.PeerMigrate) MigrateUnit {
+	return MigrateUnit{
+		Round: RoundID{Site: w.From, Seq: w.Round}, Clock: w.Clock,
+		Unit: w.Unit, To: w.To,
+		Objs: objsFromWire(w.Objs), Folded: dbFromWire(w.Folded),
+	}
 }
 
 func opToWire(op lia.RelOp) string {

@@ -41,34 +41,44 @@ func (sys *System) OpenWAL(dir string, opts wal.Options) (int, error) {
 	if len(sys.wals) != 0 {
 		return 0, fmt.Errorf("homeostasis: WAL already open")
 	}
+	sys.walDir, sys.walOpts = dir, opts
+	sys.recovering = true
+	defer func() { sys.recovering = false }()
 	n := sys.Opts.Topo.NSites()
 	sys.wals = make([]*wal.Log, n)
 	recovered := 0
-	type siteRecs struct {
-		site int
-		recs []wal.Record
+	var entries []Committed
+	openReplay := func(k int) error {
+		l, recs, err := wal.Open(walPath(dir, k), opts)
+		if err != nil {
+			return err
+		}
+		sys.wals[k] = l
+		// State replay per site, in file order (the order it was logged).
+		es, err := sys.applyWAL(k, recs)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, es...)
+		recovered += len(recs)
+		return nil
 	}
-	var all []siteRecs
 	for k := 0; k < n; k++ {
 		if sys.self >= 0 && k != sys.self {
 			continue
 		}
-		l, recs, err := wal.Open(walPath(dir, k), opts)
-		if err != nil {
+		if err := openReplay(k); err != nil {
 			return recovered, err
 		}
-		sys.wals[k] = l
-		all = append(all, siteRecs{site: k, recs: recs})
 	}
-	// State replay per site, in file order (the order it was logged).
-	var entries []Committed
-	for _, sr := range all {
-		es, err := sys.applyWAL(sr.site, sr.recs)
-		if err != nil {
+	// Membership replay may have grown the cluster past the boot width:
+	// sites that joined in a previous life have logs of their own, which
+	// an in-process deployment owns and must replay too (growth during
+	// these replays extends the loop further).
+	for k := n; sys.self < 0 && k < sys.Opts.Topo.NSites(); k++ {
+		if err := openReplay(k); err != nil {
 			return recovered, err
 		}
-		entries = append(entries, es...)
-		recovered += len(sr.recs)
 	}
 	// Commit-log rebuild: per-site file order is already clock-ordered;
 	// across sites, merge by (Clock, Site) — the same causal order
@@ -164,6 +174,41 @@ func (sys *System) applyWAL(site int, recs []wal.Record) ([]Committed, error) {
 			if c.Round != nil {
 				sys.bumpRoundSeq(fabric.RoundID{Site: c.Round.Site, Seq: c.Round.Seq})
 			}
+		case wal.KindMembership:
+			c, err := r.Membership()
+			if err != nil {
+				return nil, fmt.Errorf("homeostasis: site %d WAL record %d: %w", site, i, err)
+			}
+			// Records carry the whole table, so replay keeps the last:
+			// grow to the recorded width (transports included, using the
+			// recorded addrs), then roll statuses forward.
+			for sys.Opts.Topo.NSites() < c.Width {
+				addr := ""
+				if k := sys.Opts.Topo.NSites(); k < len(c.Addrs) {
+					addr = c.Addrs[k]
+				}
+				sys.growSystem(addr)
+			}
+			for k, a := range c.Addrs {
+				if k < len(sys.siteAddrs) && sys.siteAddrs[k] == "" {
+					sys.siteAddrs[k] = a
+				}
+			}
+			for k, s := range c.Status {
+				if k >= len(sys.status) {
+					break
+				}
+				if st := siteStatus(s); st > sys.status[k] {
+					sys.status[k] = st
+					if st == siteGone {
+						sys.fab.MarkGone(k)
+					}
+				}
+			}
+			if c.Epoch > sys.epoch {
+				sys.epoch = c.Epoch
+			}
+			sys.observeClock(c.Clock)
 		default:
 			return nil, fmt.Errorf("homeostasis: site %d WAL record %d has unknown kind %v", site, i, r.Kind)
 		}

@@ -89,6 +89,13 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (ExecRes
 			sys.Col.RecordLivelock()
 			return ExecResult{}, fmt.Errorf("%w: request %s", ErrLivelocked, req.Name)
 		}
+		// Membership fence, re-checked every attempt: an execution
+		// admitted before its site started draining must not commit a
+		// delta after the drain's absorb round folded the unit (waiting
+		// out a round below is a park point, so the drain can interleave).
+		if site < len(sys.status) && sys.status[site] != siteActive {
+			return ExecResult{}, fmt.Errorf("homeostasis: site %d is %v: %w", site, sys.status[site], fabric.ErrSiteGone)
+		}
 		// If any touched unit is renegotiating, wait for the new round:
 		// new transactions must see the new treaty.
 		for _, u := range units {

@@ -1,0 +1,52 @@
+package homeostasis
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/micro"
+	"repro/internal/rt"
+	"repro/internal/sim"
+)
+
+// BenchmarkJoinCut measures a member's side of the join handshake's
+// expensive half: one JoinPrepare that quiesces all 64 treaty units and
+// streams back the full partition cut (per-unit version + folded base),
+// then an abort releasing the grant. This is the per-peer work a joining
+// site fans out, so ns/op here bounds how fast a cluster of this width
+// can admit a site. Run serially; numbers in BENCH_elastic.json are from
+// a 1-core container.
+func BenchmarkJoinCut(b *testing.B) {
+	eng := sim.NewEngine(1)
+	w, err := micro.New(micro.Config{Items: 64, Refill: 1 << 30, NSites: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := New(eng, w, Options{
+		Topo: cluster.Uniform(3, 2*rt.Millisecond),
+		Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := sys.Node(0)
+	width := sys.Opts.Topo.NSites()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rid := fabric.RoundID{Site: width, Seq: uint64(i + 1)}
+		rep, err := node.JoinSite(fabric.JoinSite{
+			Round: rid, Clock: int64(i), Site: width, Addr: "http://joiner", Phase: fabric.JoinPrepare,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Units) != len(sys.Units) {
+			b.Fatalf("cut covers %d units, want %d", len(rep.Units), len(sys.Units))
+		}
+		if err := node.AbortRound(fabric.AbortRound{Round: rid, Clock: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -129,9 +129,17 @@ func (sys *System) scheduleGrantExpiry(rid fabric.RoundID) {
 //     negotiation, which regenerates real treaties from a fresh fold.
 func (sys *System) failoverGrant(rid fabric.RoundID, g *roundGrant) {
 	site := sys.self
-	if site >= 0 && g.installed[site] && g.winner != nil {
-		sys.adoptWinner(site, rid, g)
-		sys.Col.RecordRoundAdopted()
+	if site >= 0 && g.installed[site] {
+		if g.winner != nil {
+			sys.adoptWinner(site, rid, g)
+			sys.Col.RecordRoundAdopted()
+		} else {
+			// A winnerless install (a unit migration or drain absorb):
+			// the base moved but there is no commit to adopt; the pin
+			// below still applies — resuming the pre-round treaties over
+			// the moved base would be unsound.
+			sys.Col.RecordRoundAborted()
+		}
 		for _, id := range g.units {
 			if id >= 0 && id < len(sys.Units) {
 				sys.degradeToLocalPin(sys.Units[id], site)

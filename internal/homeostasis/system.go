@@ -327,9 +327,23 @@ type System struct {
 
 	// wals holds each in-process site's write-ahead log (nil entries for
 	// sites this process does not own); RecoveredRecords counts the
-	// records OpenWAL replayed at boot.
+	// records OpenWAL replayed at boot. walDir and walOpts are kept so an
+	// in-process join can open the admitted site's log; recovering marks
+	// a replay in progress (growth then defers log opening to OpenWAL).
 	wals             []*wal.Log
 	RecoveredRecords int64
+	walDir           string
+	walOpts          wal.Options
+	recovering       bool
+
+	// epoch, status, and siteAddrs are the membership table (see
+	// membership.go): the epoch versions this process's view of the site
+	// set, status tracks each slot's lifecycle (slots are never reused),
+	// and siteAddrs remembers peer base URLs for WAL-driven transport
+	// rebuilds.
+	epoch     int64
+	status    []siteStatus
+	siteAddrs []string
 
 	// frames recycles per-request execution scratch (unit slice, delta
 	// view, print-log buffer) across ExecRequest calls; deltaNames
@@ -377,6 +391,8 @@ func New(e rt.Runtime, w workload.Workload, opts Options) (*System, error) {
 		self:       -1,
 		rounds:     make(map[fabric.RoundID]*roundGrant),
 		deltaNames: make(map[lang.ObjID][]lang.ObjID),
+		status:     make([]siteStatus, n),
+		siteAddrs:  make([]string, n),
 	}
 	initial := w.InitialDB()
 	for i := 0; i < n; i++ {
@@ -602,12 +618,24 @@ func (sys *System) buildTreatiesWith(u *unitState, folded lang.Database, rng *ra
 		weights = quantizeDemand(u.demand)
 		key = fmt.Sprintf("%s!%v", key, weights)
 	}
+	// Degraded membership (a site draining or gone): every strategy
+	// switches to the adaptive allocator with the membership overlaid on
+	// the weights, so an inactive site gets zero slack — any write it can
+	// no longer spend would leak consistency past its drain. The fixed-
+	// topology path below is untouched.
+	degraded := sys.anyInactive()
+	if degraded {
+		weights = sys.membershipWeights(weights)
+		key = fmt.Sprintf("%s!m%v", key, weights)
+	}
 	var cfg treaty.Config
 	if cached, ok := sys.cfgCache[key]; useCache && ok {
 		cfg = cached
 		sys.CacheHits++
 	} else {
-		if sys.Opts.Alloc == AllocDefault {
+		if degraded {
+			cfg = tmpl.AdaptiveConfig(folded, weights)
+		} else if sys.Opts.Alloc == AllocDefault {
 			switch sys.Opts.Mode {
 			case ModeHomeo:
 				cfg, _ = treaty.Optimize(tmpl, folded, sys.W.Model(u.id), treaty.OptimizeOptions{
@@ -788,6 +816,11 @@ func (sys *System) clientLoop(p rt.Proc, site, id int) {
 		start := p.Now()
 		res, err := sys.ExecRequest(p, site, req)
 		if err != nil {
+			if errors.Is(err, fabric.ErrSiteGone) {
+				// The site drained out of the membership: this client is
+				// done (retrying would spin without advancing time).
+				return
+			}
 			// Unrecoverable execution error: drop the request.
 			sys.Col.RecordDropped()
 			continue
@@ -821,6 +854,11 @@ type ExecResult struct {
 func (sys *System) ExecRequest(p rt.Proc, site int, req workload.Request) (ExecResult, error) {
 	if site < 0 || site >= sys.Opts.Topo.NSites() {
 		return ExecResult{}, fmt.Errorf("%w: site %d out of range [0,%d)", ErrProtocol, site, sys.Opts.Topo.NSites())
+	}
+	if site < len(sys.status) && sys.status[site] != siteActive {
+		// Membership fence: a draining site absorbs its deltas and must
+		// not accumulate new ones; a gone site is out of the cluster.
+		return ExecResult{}, fmt.Errorf("homeostasis: site %d is %v: %w", site, sys.status[site], fabric.ErrSiteGone)
 	}
 	switch sys.Opts.Mode {
 	case ModeHomeo, ModeOpt, ModeHomeoDefault:

@@ -113,6 +113,30 @@ func appendTreatyPayload(dst []byte, c *TreatyRecord) []byte {
 	return codec.AppendBytes(dst, c.Constraints)
 }
 
+func appendMembershipPayload(dst []byte, c *MembershipRecord) []byte {
+	dst = codec.AppendHeader(dst, byte(KindMembership))
+	dst = codec.AppendVarint(dst, c.Epoch)
+	dst = codec.AppendInt(dst, c.Width)
+	dst = codec.AppendInts(dst, c.Status)
+	dst = codec.AppendStrings(dst, c.Addrs)
+	return codec.AppendVarint(dst, c.Clock)
+}
+
+func decodeMembershipPayload(payload []byte) (MembershipRecord, error) {
+	r := codec.NewReader(payload)
+	if _ = r.Header(); r.Err() != nil {
+		return MembershipRecord{}, r.Err()
+	}
+	c := MembershipRecord{
+		Epoch:  r.Varint(),
+		Width:  r.Int(),
+		Status: r.Ints(),
+		Addrs:  r.Strings(),
+		Clock:  r.Varint(),
+	}
+	return c, r.Close()
+}
+
 func decodeTreatyPayload(payload []byte) (TreatyRecord, error) {
 	r := codec.NewReader(payload)
 	if _ = r.Header(); r.Err() != nil {

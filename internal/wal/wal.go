@@ -26,6 +26,9 @@ const (
 	KindInstall Kind = 2
 	// KindTreaty is one installed local treaty generation for a unit.
 	KindTreaty Kind = 3
+	// KindMembership is a topology-epoch change: the full membership table
+	// after a site joined or drained. Replay restores the latest epoch.
+	KindMembership Kind = 4
 )
 
 // String names the record kind for diagnostics.
@@ -37,6 +40,8 @@ func (k Kind) String() string {
 		return "install"
 	case KindTreaty:
 		return "treaty"
+	case KindMembership:
+		return "membership"
 	}
 	return fmt.Sprintf("kind(%d)", byte(k))
 }
@@ -105,6 +110,23 @@ type TreatyRecord struct {
 	Constraints json.RawMessage `json:"constraints,omitempty"`
 }
 
+// MembershipRecord is a KindMembership payload: the full membership
+// table as of one topology epoch. Records are written whole (not as
+// diffs) so replay just keeps the last one, and a torn tail can never
+// leave a half-applied epoch.
+type MembershipRecord struct {
+	// Epoch is the topology epoch this table establishes.
+	Epoch int64 `json:"epoch"`
+	// Width is the cluster width (gone sites keep their slots).
+	Width int `json:"width"`
+	// Status[k] is site k's membership status: 0 active, 1 gone.
+	Status []int `json:"status,omitempty"`
+	// Addrs[k] is site k's peer base URL ("" in-process), so recovery can
+	// rebuild the grown transport.
+	Addrs []string `json:"addrs,omitempty"`
+	Clock int64    `json:"clock"`
+}
+
 // Commit decodes a KindCommit record (binary codec, or JSON from a log
 // written by an older version).
 func (r Record) Commit() (CommitRecord, error) {
@@ -140,6 +162,20 @@ func (r Record) Treaty() (TreatyRecord, error) {
 	}
 	if codec.IsBinary(r.Payload) {
 		return decodeTreatyPayload(r.Payload)
+	}
+	err := json.Unmarshal(r.Payload, &c)
+	return c, err
+}
+
+// Membership decodes a KindMembership record (binary codec or legacy
+// JSON).
+func (r Record) Membership() (MembershipRecord, error) {
+	var c MembershipRecord
+	if r.Kind != KindMembership {
+		return c, fmt.Errorf("wal: %v record is not a membership", r.Kind)
+	}
+	if codec.IsBinary(r.Payload) {
+		return decodeMembershipPayload(r.Payload)
 	}
 	err := json.Unmarshal(r.Payload, &c)
 	return c, err
@@ -299,6 +335,11 @@ func (l *Log) AppendInstall(c InstallRecord) error {
 // AppendTreaty appends a treaty-generation record.
 func (l *Log) AppendTreaty(c TreatyRecord) error {
 	return l.appendBinary(KindTreaty, func(dst []byte) []byte { return appendTreatyPayload(dst, &c) })
+}
+
+// AppendMembership appends a topology-epoch record.
+func (l *Log) AppendMembership(c MembershipRecord) error {
+	return l.appendBinary(KindMembership, func(dst []byte) []byte { return appendMembershipPayload(dst, &c) })
 }
 
 // Flush writes the batch to the file (and fsyncs it under Options.Sync).
