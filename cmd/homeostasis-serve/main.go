@@ -595,7 +595,7 @@ func serveCluster(c *homeo.Cluster, addr string) {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		httpSrv.Close()
+		_ = httpSrv.Close()
 	}
 	c.Close()
 	st := c.Stats()
@@ -730,7 +730,7 @@ func runDrive(opts homeo.Options, cfg driveConfig) {
 	}
 
 	handler.Drain()
-	httpSrv.Close()
+	_ = httpSrv.Close()
 	c.Close()
 
 	exit := 0
@@ -792,7 +792,7 @@ func reservePorts(n int) ([]string, error) {
 		addrs = append(addrs, ln.Addr().String())
 	}
 	for _, ln := range lns {
-		ln.Close()
+		_ = ln.Close()
 	}
 	if len(addrs) < n {
 		return nil, fmt.Errorf("could not reserve %d loopback ports", n)
@@ -916,8 +916,8 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) (exit int) {
 	defer func() {
 		for _, ch := range children {
 			if ch != nil && ch.Process != nil && ch.ProcessState == nil {
-				syscall.Kill(-ch.Process.Pid, syscall.SIGKILL)
-				ch.Wait()
+				_ = syscall.Kill(-ch.Process.Pid, syscall.SIGKILL)
+				_ = ch.Wait()
 			}
 		}
 	}()
@@ -1052,8 +1052,8 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) (exit int) {
 			k := cfg.killSite
 			pid := children[k].Process.Pid
 			fmt.Printf("chaos: SIGKILL site %d (pid %d) %v into the drive\n", k, pid, at)
-			syscall.Kill(-pid, syscall.SIGKILL)
-			children[k].Wait()
+			_ = syscall.Kill(-pid, syscall.SIGKILL)
+			_ = children[k].Wait()
 			ch, err := startChild(k)
 			if err != nil {
 				return fmt.Errorf("restarting site %d: %v", k, err)
@@ -1194,16 +1194,16 @@ func runDriveProcs(opts homeo.Options, cfg driveConfig) (exit int) {
 	// anything already waited on here.
 	for _, ch := range children {
 		if ch != nil {
-			ch.Process.Signal(syscall.SIGTERM)
+			_ = ch.Process.Signal(syscall.SIGTERM)
 		}
 	}
 	for _, ch := range children {
 		if ch != nil {
-			ch.Wait()
+			_ = ch.Wait()
 		}
 	}
 	handler.Drain()
-	httpSrv.Close()
+	_ = httpSrv.Close()
 	c.Close()
 	return exit
 }

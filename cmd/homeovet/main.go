@@ -1,0 +1,242 @@
+// Command homeovet is the repo's invariant-checker suite, run as a go
+// vet tool:
+//
+//	go build -o homeovet ./cmd/homeovet
+//	go vet -vettool=$(pwd)/homeovet ./...
+//
+// It speaks the cmd/go unit-checker protocol: go vet invokes it once
+// per package with a JSON config file describing the sources and the
+// export data of every dependency, and the tool type-checks the package
+// and runs the homeovet analyzers (determinism, walflush, schedlock,
+// hotpath, poolhygiene, unchecked) over it. Findings go to stderr as
+// file:line:col: message [analyzer] and the tool exits non-zero, which
+// go vet surfaces as a failure.
+//
+// The analyzers and the //homeo: directive language they honor are
+// catalogued in docs/DEVELOPMENT.md.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/poolhygiene"
+	"repro/internal/analysis/schedlock"
+	"repro/internal/analysis/unchecked"
+	"repro/internal/analysis/walflush"
+)
+
+// analyzers is the homeovet suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	walflush.Analyzer,
+	schedlock.Analyzer,
+	hotpath.Analyzer,
+	poolhygiene.Analyzer,
+	unchecked.Analyzer,
+}
+
+// vetConfig mirrors the JSON emitted by cmd/go for vet tools (see
+// cmd/go/internal/work.vetConfig). Fields the tool does not consult are
+// omitted; unknown fields are ignored by encoding/json.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	NonGoFiles  []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	ModulePath  string
+	GoVersion   string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "homeovet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	var cfgPath string
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			return printVersion()
+		case a == "-flags" || a == "--flags":
+			// go vet probes the tool's flag set before running it.
+			// homeovet takes no analyzer flags.
+			fmt.Println("[]")
+			return nil
+		case strings.HasPrefix(a, "-"):
+			// Analyzer flags are accepted and ignored; homeovet always
+			// runs the full suite.
+		default:
+			cfgPath = a
+		}
+	}
+	if cfgPath == "" {
+		return fmt.Errorf("usage: homeovet [flags] vet.cfg (normally invoked by go vet -vettool)")
+	}
+
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parse %s: %v", cfgPath, err)
+	}
+
+	// The tool exports no analysis facts, but go vet caches the (empty)
+	// facts file per package, so it must exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency visited only for facts — nothing to check.
+		return nil
+	}
+
+	diags, err := check(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		return err
+	}
+	if len(diags) == 0 {
+		return nil
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	os.Exit(2)
+	return nil
+}
+
+// printVersion answers go vet's -V=full tool handshake. The build ID is
+// a content hash of the executable, so edits to the checkers invalidate
+// go vet's result cache.
+func printVersion() error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("homeovet version devel buildID=%x\n", h.Sum(nil))
+	return nil
+}
+
+// check type-checks the package described by cfg and runs every
+// analyzer, returning rendered diagnostics sorted by position.
+func check(cfg *vetConfig) ([]string, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	// Dependencies resolve through the export data cmd/go already
+	// compiled: vendor/ImportMap indirection first, then the package's
+	// archive from PackageFile.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := types.Config{
+		Importer: importer.ForCompiler(fset, compiler(cfg.Compiler), lookup),
+		Sizes:    types.SizesFor(compiler(cfg.Compiler), runtime.GOARCH),
+	}
+	if strings.HasPrefix(cfg.GoVersion, "go1") {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	analysis.SortDiagnostics(fset, diags)
+	out := make([]string, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if cfg.Dir != "" && strings.HasPrefix(name, cfg.Dir+string(os.PathSeparator)) {
+			name = name[len(cfg.Dir)+1:]
+		}
+		out = append(out, fmt.Sprintf("%s:%d:%d: %s [%s]", name, pos.Line, pos.Column, d.Message, d.Analyzer))
+	}
+	return out, nil
+}
+
+// compiler defaults the export-data flavor to gc.
+func compiler(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}

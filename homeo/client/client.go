@@ -81,6 +81,10 @@ type Client struct {
 	rng *rand.Rand
 }
 
+// wallClock is the package's sole sanctioned wall-clock source (jitter
+// seeding only; nothing protocol-visible derives from it).
+var wallClock = time.Now //homeo:wallclock sole clock construction site
+
 // New returns a client for the server at baseURL (e.g.
 // "http://localhost:8080").
 func New(baseURL string, opts Options) *Client {
@@ -95,7 +99,7 @@ func New(baseURL string, opts Options) *Client {
 	}
 	seed := opts.Seed
 	if seed == 0 {
-		seed = time.Now().UnixNano()
+		seed = wallClock().UnixNano()
 	}
 	hc := opts.HTTPClient
 	if hc == nil {
@@ -203,7 +207,7 @@ func decodeResponse(resp *http.Response, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		if out == nil {
-			io.Copy(io.Discard, resp.Body)
+			_, _ = io.Copy(io.Discard, resp.Body)
 			return nil
 		}
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

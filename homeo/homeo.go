@@ -272,6 +272,10 @@ type Cluster struct {
 	topo atomic.Pointer[topoView]
 }
 
+// wallClock is the package's sole sanctioned wall-clock source (uptime
+// accounting only; protocol time comes from the rt runtime clock).
+var wallClock = time.Now //homeo:wallclock sole clock construction site
+
 // New builds and boots a cluster: per-site stores, CPU resources, and —
 // for the treaty-based modes — offline treaties for the base workload's
 // units. Registered classes get their treaties generated online.
@@ -319,7 +323,7 @@ func New(opts Options) (*Cluster, error) {
 		reg:     reg,
 		classes: make(map[string]*TxnClass),
 		rng:     rand.New(rand.NewSource(opts.Seed + 101)),
-		start:   time.Now(),
+		start:   wallClock(),
 	}
 	sysOpts := homeostasis.Options{
 		Mode:           opts.Mode,

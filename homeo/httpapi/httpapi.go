@@ -95,7 +95,9 @@ func writeJSON(rw http.ResponseWriter, status int, v any) {
 	rw.WriteHeader(status)
 	enc := json.NewEncoder(rw)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	// The status line is already written; a mid-body failure cannot be
+	// reported to the client anyway.
+	_ = enc.Encode(v)
 }
 
 // retryAfterSeconds is the backpressure hint attached to 429/503

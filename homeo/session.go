@@ -68,12 +68,14 @@ type Result struct {
 // Errors are classified by the package taxonomy: ErrDropped (cluster
 // draining or MaxInflight reached — never started), ErrLivelocked
 // (retry budget exhausted), ErrTimeout, ErrAborted.
+//
+//homeo:hotpath
 func (s *Session) Submit(ctx context.Context, class *TxnClass, args ...int64) (Result, error) {
 	if class == nil {
-		return Result{}, fmt.Errorf("%w: nil class", ErrAborted)
+		return Result{}, errNilClass
 	}
 	if class.c != s.c {
-		return Result{}, fmt.Errorf("%w: class %s belongs to a different cluster", ErrAborted, class.Name())
+		return Result{}, errForeignClass(class.Name())
 	}
 	var (
 		req workload.Request
@@ -83,10 +85,21 @@ func (s *Session) Submit(ctx context.Context, class *TxnClass, args ...int64) (R
 		req, err = s.c.reg.Request(class.wc, args)
 	})
 	if err != nil {
-		return Result{}, fmt.Errorf("%w: %v", ErrAborted, err)
+		return Result{}, wrapAborted(err)
 	}
 	return s.submit(ctx, req)
 }
+
+// Cold-path error constructors, kept out of the //homeo:hotpath body:
+// formatting allocates, and these run only on rejected submissions.
+
+var errNilClass = fmt.Errorf("%w: nil class", ErrAborted)
+
+func errForeignClass(name string) error {
+	return fmt.Errorf("%w: class %s belongs to a different cluster", ErrAborted, name)
+}
+
+func wrapAborted(err error) error { return fmt.Errorf("%w: %v", ErrAborted, err) }
 
 // SubmitMix draws the next request from the base workload's mix (or a
 // random registered class when the cluster has no base workload) and
@@ -257,6 +270,7 @@ func (s *Session) submitAt(ctx context.Context, site int, req workload.Request) 
 		// The process keeps running (and keeps its metrics accounting);
 		// only this caller stops waiting. It still holds sub: do not
 		// recycle.
+		//homeo:leak abandoned sub stays with its running body; GC reclaims it
 		return Result{}, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
 	}
 }

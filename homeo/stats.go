@@ -97,7 +97,7 @@ func (c *Cluster) Stats() Stats {
 		Alloc:    c.opts.Alloc.String(),
 		Runtime:  c.opts.Runtime.String(),
 		Classes:  c.Classes(),
-		Uptime:   time.Since(c.start),
+		Uptime:   wallClock().Sub(c.start),
 	}
 	c.locked(func() {
 		st.Sites = c.sys.NSites()

@@ -1,0 +1,215 @@
+// Package antest is the analysistest-style harness for the homeovet
+// analyzers. A test names packages under the analyzer's testdata/src
+// tree; antest parses and type-checks them hermetically (imports resolve
+// to sibling testdata packages, so testdata carries tiny stand-ins for
+// the stdlib packages the analyzers match by path — "time", "sync",
+// "fmt", "math/rand"), runs the analyzer, and compares its diagnostics
+// against // want "regexp" comments: every diagnostic must be matched by
+// a want on its line, and every want must be matched by a diagnostic.
+package antest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// loader resolves testdata import paths to type-checked packages.
+type loader struct {
+	t    *testing.T
+	root string // testdata/src
+	fset *token.FileSet
+	pkgs map[string]*pkg
+}
+
+type pkg struct {
+	path  string
+	files []*ast.File
+	tpkg  *types.Package
+	info  *types.Info
+}
+
+// Run loads each named package from testdata/src and checks the
+// analyzer's diagnostics against its want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &loader{t: t, root: root, fset: token.NewFileSet(), pkgs: make(map[string]*pkg)}
+	for _, path := range pkgPaths {
+		path := path
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			p := ld.load(t, path)
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      ld.fset,
+				Files:     p.files,
+				Pkg:       p.tpkg,
+				TypesInfo: p.info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("%s: analyzer error: %v", path, err)
+			}
+			analysis.SortDiagnostics(ld.fset, diags)
+			check(t, ld.fset, p, diags)
+		})
+	}
+}
+
+// load parses and type-checks testdata/src/<path>, memoized so shared
+// fake stdlib packages check once.
+func (ld *loader) load(t *testing.T, path string) *pkg {
+	t.Helper()
+	if p, ok := ld.pkgs[path]; ok {
+		return p
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", path, err)
+	}
+	p := &pkg{path: path}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", e.Name(), err)
+		}
+		p.files = append(p.files, f)
+	}
+	if len(p.files) == 0 {
+		t.Fatalf("load %s: no Go files in %s", path, dir)
+	}
+	p.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: (*tdImporter)(ld)}
+	p.tpkg, err = conf.Check(path, ld.fset, p.files, p.info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	ld.pkgs[path] = p
+	return p
+}
+
+// tdImporter resolves imports to sibling testdata packages, falling back
+// to source-importing the real stdlib only if no fake exists.
+type tdImporter loader
+
+// Import resolves one import path for the type checker.
+func (im *tdImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(im)
+	if _, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err == nil {
+		return ld.load(ld.t, path).tpkg, nil
+	}
+	return importer.ForCompiler(ld.fset, "source", nil).Import(path)
+}
+
+// want is one expectation: a diagnostic whose message matches re on the
+// given file line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("// want (.*)$")
+
+func check(t *testing.T, fset *token.FileSet, p *pkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(t, pos.String(), m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitQuoted parses the space-separated regexps of a want comment; each
+// is double- or backtick-quoted.
+func splitQuoted(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: malformed want clause %q (expect space-separated quoted regexps)", pos, s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != quote || (quote == '"' && s[end-1] == '\\')) {
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s: unterminated quote in want clause %q", pos, s)
+		}
+		raw, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad quoted regexp %q: %v", pos, s[:end+1], err)
+		}
+		out = append(out, raw)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+// Package determinism enforces the repo's replayability contract: the
+// protocol core and everything whose bytes land in golden reports,
+// treaty generation, or the peer/WAL codec must be a pure function of
+// its seeds. Two package sets are checked (suffix-matched so the
+// analyzer is testable under antest):
+//
+//   - Strict packages (StrictPkgs: internal/sim, internal/homeostasis,
+//     internal/treaty, internal/fabric/codec, internal/experiments) may
+//     not touch wall-clock APIs (time.Now/Since/Until and the timer
+//     constructors) or the global math/rand stream (package-level
+//     functions share an unseeded source; seeded rand.New(rand.NewSource)
+//     streams are fine), and may not range over maps — map iteration
+//     order would leak into report bytes and treaty layouts — unless the
+//     loop only collects keys/values that are sorted by the statement
+//     immediately following it, or carries a reviewed //homeo:nondet
+//     directive stating why order cannot escape.
+//
+//   - Clock packages (ClockPkgs: internal/rtlive, homeo, homeo/client —
+//     the wall-clock runtimes) may read the clock through exactly one
+//     //homeo:wallclock-annotated declaration per package; every other
+//     code path takes the injected clock, so tests and future analyses
+//     can substitute it. Timers and sleeps are their business.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// StrictPkgs are the package path suffixes under the full determinism
+// contract.
+var StrictPkgs = []string{
+	"internal/sim",
+	"internal/homeostasis",
+	"internal/treaty",
+	"internal/fabric/codec",
+	"internal/experiments",
+}
+
+// ClockPkgs are the wall-clock runtime packages limited to a single
+// annotated clock construction site.
+var ClockPkgs = []string{
+	"internal/rtlive",
+	"homeo",
+	"homeo/client",
+}
+
+// Analyzer is the determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, global math/rand, and unsorted map iteration in replay-critical packages",
+	Run:  run,
+}
+
+// wallFuncs read the wall clock; forbidden in strict packages and
+// allowed only at the //homeo:wallclock site in clock packages.
+var wallFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// timerFuncs are the further time APIs forbidden in strict packages.
+var timerFuncs = map[string]bool{
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// randConstructors are the seeded math/rand entry points strict packages
+// may use; every other package-level rand function draws from the global
+// stream.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func run(pass *analysis.Pass) error {
+	strict := analysis.PkgMatches(pass.Pkg.Path(), StrictPkgs...)
+	clock := analysis.PkgMatches(pass.Pkg.Path(), ClockPkgs...)
+	if !strict && !clock {
+		return nil
+	}
+	var wallclockSite token.Pos
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		checkWallclockCount(pass, file, &wallclockSite)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkUse(pass, n.Sel, strict)
+			case *ast.RangeStmt:
+				if strict {
+					checkMapRange(pass, file, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWallclockCount counts //homeo:wallclock sites per package so a
+// second runtime clock construction site is flagged wherever it lands.
+func checkWallclockCount(pass *analysis.Pass, file *ast.File, first *token.Pos) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		if d, ok := analysis.DeclDirective(gd, "wallclock"); ok {
+			if *first != token.NoPos {
+				pass.Reportf(d.Pos, "second //homeo:wallclock site in package %s (first at %s); each runtime gets exactly one sanctioned clock construction site", pass.Pkg.Path(), pass.Fset.Position(*first))
+			} else {
+				*first = d.Pos
+			}
+		}
+	}
+}
+
+// checkUse flags references (calls or values) to forbidden time and
+// math/rand functions.
+func checkUse(pass *analysis.Pass, sel *ast.Ident, strict bool) {
+	fn, ok := pass.TypesInfo.Uses[sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods (t.Sub, r.Intn on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		name := fn.Name()
+		if wallFuncs[name] {
+			if _, ok := pass.DirectiveAt(sel.Pos(), "wallclock"); ok {
+				return
+			}
+			if _, ok := pass.DirectiveAt(sel.Pos(), "nondet"); ok {
+				return
+			}
+			pass.Reportf(sel.Pos(), "wall-clock read time.%s in replay-critical package; route through the //homeo:wallclock injection point", name)
+			return
+		}
+		if strict && timerFuncs[name] {
+			pass.Reportf(sel.Pos(), "wall-clock timer time.%s in deterministic package; use the rt runtime clock", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if strict && !randConstructors[fn.Name()] {
+			pass.Reportf(sel.Pos(), "global math/rand stream rand.%s in deterministic package; draw from a seeded *rand.Rand", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags range statements over maps unless sorted-after or
+// suppressed.
+func checkMapRange(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if _, ok := pass.DirectiveAt(rs.Pos(), "nondet"); ok {
+		return
+	}
+	if sortedCollect(pass, file, rs) {
+		return
+	}
+	pass.Reportf(rs.Pos(), "nondeterministic iteration over map %s; sort the keys first (or annotate //homeo:nondet with why order cannot escape)", exprString(rs.X))
+}
+
+// sortedCollect recognizes the blessed pattern: the loop body only
+// appends loop variables (or simple expressions of them) to local
+// slices, and the statement immediately after the loop sorts one of
+// those slices.
+func sortedCollect(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt) bool {
+	targets := collectTargets(rs)
+	if len(targets) == 0 {
+		return false
+	}
+	next := nextStmt(file, rs)
+	if next == nil {
+		return false
+	}
+	es, ok := next.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && targets[id.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectTargets returns the slice variables the loop body appends to,
+// or nil if the body does anything else. Appends guarded by a filtering
+// if (no else) still count — filtering before sorting is order-safe.
+func collectTargets(rs *ast.RangeStmt) map[string]bool {
+	targets := make(map[string]bool)
+	if !collectAppends(rs.Body.List, targets) {
+		return nil
+	}
+	return targets
+}
+
+func collectAppends(stmts []ast.Stmt, targets map[string]bool) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			if s.Else != nil || s.Init != nil || !collectAppends(s.Body.List, targets) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			lhs, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+				return false
+			}
+			targets[lhs.Name] = true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// nextStmt finds the statement immediately following rs in its enclosing
+// block.
+func nextStmt(file *ast.File, rs *ast.RangeStmt) ast.Stmt {
+	var next ast.Stmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if next != nil {
+			return false
+		}
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			if s == ast.Stmt(rs) && i+1 < len(list) {
+				next = list[i+1]
+				return false
+			}
+		}
+		return true
+	})
+	return next
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "value"
+}

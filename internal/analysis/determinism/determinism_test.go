@@ -1,0 +1,17 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	antest.Run(t, determinism.Analyzer,
+		"internal/sim",
+		"internal/rtlive",
+		"homeo",
+		"other",
+	)
+}

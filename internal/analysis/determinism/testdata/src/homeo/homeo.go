@@ -1,0 +1,12 @@
+// Package homeo exercises the one-wallclock-site-per-package rule.
+package homeo
+
+import "time"
+
+// clockA is the sanctioned site.
+var clockA = time.Now //homeo:wallclock
+
+// clockB is one too many.
+var clockB = time.Now //homeo:wallclock // want `second //homeo:wallclock site in package homeo`
+
+func use() (time.Time, time.Time) { return clockA(), clockB() }

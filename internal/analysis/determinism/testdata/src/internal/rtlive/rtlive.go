@@ -1,0 +1,19 @@
+// Package rtlive exercises the clock-package rules: one sanctioned
+// //homeo:wallclock site, everything else injected.
+package rtlive
+
+import "time"
+
+// wallClock is the runtime's single sanctioned clock read.
+var wallClock = time.Now //homeo:wallclock
+
+func now() time.Time { return wallClock() }
+
+func strayRead() time.Time {
+	return time.Now() // want `wall-clock read time.Now in replay-critical package`
+}
+
+func timersAreFine() {
+	time.Sleep(1)
+	time.AfterFunc(1, func() {})
+}

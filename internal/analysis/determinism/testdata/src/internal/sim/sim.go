@@ -1,0 +1,67 @@
+// Package sim exercises the strict determinism rules.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClockReads() {
+	_ = time.Now()         // want `wall-clock read time.Now in replay-critical package`
+	_ = time.Since         // want `wall-clock read time.Since in replay-critical package`
+	time.Sleep(1)          // want `wall-clock timer time.Sleep in deterministic package`
+	_ = time.After(1)      // want `wall-clock timer time.After in deterministic package`
+	time.AfterFunc(1, nil) // want `wall-clock timer time.AfterFunc in deterministic package`
+}
+
+func globalRand() {
+	_ = rand.Intn(4)                   // want `global math/rand stream rand.Intn in deterministic package`
+	rand.Shuffle(2, func(i, j int) {}) // want `global math/rand stream rand.Shuffle in deterministic package`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(4)
+}
+
+func mapIteration(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `nondeterministic iteration over map m`
+		sum += v
+	}
+
+	// Sorted-collect is the blessed fix.
+	keys := []string{}
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sum += m[k]
+	}
+
+	// Filtered sorted-collect is still the blessed pattern.
+	picked := []string{}
+	for k, v := range m {
+		if v > 0 {
+			picked = append(picked, k)
+		}
+	}
+	sort.Strings(picked)
+
+	// An order-insensitive reduction carries a reviewed directive.
+	//homeo:nondet commutative sum, order cannot escape
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func sliceIterationIsFine(s []int) int {
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,14 @@
+// Package other is outside every determinism set; nothing is flagged.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func free(m map[int]int) {
+	_ = time.Now()
+	_ = rand.Intn(9)
+	for range m {
+	}
+}

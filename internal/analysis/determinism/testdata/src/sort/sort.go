@@ -1,0 +1,11 @@
+// Package sort is a hermetic stand-in for the stdlib package.
+package sort
+
+// Strings sorts in place.
+func Strings(s []string) {}
+
+// Ints sorts in place.
+func Ints(s []int) {}
+
+// Slice sorts in place.
+func Slice(x any, less func(i, j int) bool) {}

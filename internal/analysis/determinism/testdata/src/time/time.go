@@ -1,0 +1,45 @@
+// Package time is a hermetic stand-in for the stdlib package: the
+// analyzers match by import path and function name only.
+package time
+
+// Time is a fake instant.
+type Time struct{}
+
+// Duration is a fake duration.
+type Duration int64
+
+// Timer is a fake timer.
+type Timer struct{}
+
+// Now reads the wall clock.
+func Now() Time { return Time{} }
+
+// Since reads the wall clock.
+func Since(t Time) Duration { return 0 }
+
+// Until reads the wall clock.
+func Until(t Time) Duration { return 0 }
+
+// Sleep blocks.
+func Sleep(d Duration) {}
+
+// After returns a timer channel.
+func After(d Duration) chan Time { return nil }
+
+// Tick returns a ticker channel.
+func Tick(d Duration) chan Time { return nil }
+
+// NewTimer makes a timer.
+func NewTimer(d Duration) *Timer { return nil }
+
+// NewTicker makes a ticker.
+func NewTicker(d Duration) *Timer { return nil }
+
+// AfterFunc schedules fn.
+func AfterFunc(d Duration, fn func()) *Timer { return nil }
+
+// UnixNano is a method, always fine.
+func (t Time) UnixNano() int64 { return 0 }
+
+// Sub is a method, always fine.
+func (t Time) Sub(u Time) Duration { return 0 }

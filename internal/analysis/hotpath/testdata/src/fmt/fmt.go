@@ -1,0 +1,11 @@
+// Package fmt is a hermetic stand-in for the stdlib package.
+package fmt
+
+// Sprintf formats (and allocates).
+func Sprintf(format string, args ...any) string { return format }
+
+// Errorf formats an error (and allocates).
+func Errorf(format string, args ...any) error { return nil }
+
+// Println prints.
+func Println(args ...any) (int, error) { return 0, nil }

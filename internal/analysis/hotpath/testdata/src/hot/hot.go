@@ -1,0 +1,46 @@
+// Package hot exercises the hot-path allocation rules.
+package hot
+
+import "fmt"
+
+type table struct {
+	idx map[string]int
+}
+
+// Exec is the annotated hot path.
+//
+//homeo:hotpath
+func (t *table) Exec(names []string) string {
+	s := fmt.Sprintf("x%d", 1) // want `call to fmt.Sprintf allocates`
+	out := ""
+	for _, n := range names {
+		out += n         // want `string \+= in a loop allocates per iteration`
+		_ = n + "suffix" // want `string concatenation in a loop allocates per iteration`
+		_ = []int{1, 2}  // want `slice literal in a loop allocates per iteration`
+	}
+	m := map[string]int{} // want `map literal allocates`
+	_ = m
+	_ = []int{1} // slice literal outside a loop is fine
+	//homeo:allowalloc boot-time fill, runs once
+	cold := fmt.Sprintf("cold")
+	_ = cold
+	return s + out // concatenation outside a loop is fine
+}
+
+// closures inside a hot function run on the same path.
+//
+//homeo:hotpath
+func (t *table) ExecFn(names []string) func() error {
+	return func() error {
+		return fmt.Errorf("boom") // want `call to fmt.Errorf allocates`
+	}
+}
+
+// cold is unannotated; nothing is checked.
+func cold(names []string) string {
+	out := ""
+	for _, n := range names {
+		out += n
+	}
+	return fmt.Sprintf("%s", out)
+}

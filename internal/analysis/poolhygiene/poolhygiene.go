@@ -1,0 +1,315 @@
+// Package poolhygiene checks that pooled objects go back to their pools.
+// PR 7's free lists (store transactions, lock requests, exec frames,
+// pending submissions, codec buffers) only stay zero-allocation if every
+// checkout is matched by a release on the paths that finish with the
+// object — and the two deliberate leak-to-GC cases (timeout-armed lock
+// requests, abandoned pending submissions) stay deliberate, visible, and
+// reviewed.
+//
+// Checkout/release pairs are declared where the pool lives:
+//
+//	//homeo:checkout <pair>   on the Get/Begin-style function
+//	//homeo:release <pair>    on the Put/Recycle-style function
+//
+// (Both sides of a pair share the same <pair> token.) Two pairs are
+// built in, because their checkout side is declared outside the package
+// being analyzed where directives are invisible: (*sync.Pool).Get/Put
+// and internal/store's Store.Begin/Recycle.
+//
+// Within one function, a checked-out value must be released (passed to
+// or the receiver of the matching release, defers included), returned,
+// stored away, sent, or handed to another function — local ownership
+// must visibly end somewhere. A checkout whose result is discarded, or
+// used purely locally with no release, is flagged. A deliberate
+// leak-to-GC carries //homeo:leak <reason> on the checkout line.
+//
+// The check is intraprocedural by design: it catches the classic
+// "checked out, used, forgot to put back" without whole-program escape
+// analysis, and the annotations double as documentation of ownership
+// transfer points.
+package poolhygiene
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the pool checkout/release checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolhygiene",
+	Doc:  "every pool checkout (//homeo:checkout) is released (//homeo:release), returned, or transferred on all paths, with //homeo:leak marking deliberate leaks",
+	Run:  run,
+}
+
+// builtinPair returns the pair token for cross-package checkout/release
+// functions the analyzer knows natively, or "".
+func builtinPair(fn *types.Func, wantCheckout bool) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case path == "sync" && ((wantCheckout && name == "Get") || (!wantCheckout && name == "Put")):
+		if recvNamed(fn) == "Pool" {
+			return "sync.Pool"
+		}
+	case analysis.PkgMatches(path, "internal/store") && ((wantCheckout && name == "Begin") || (!wantCheckout && name == "Recycle")):
+		if recvNamed(fn) == "Store" {
+			return "store.txn"
+		}
+	}
+	return ""
+}
+
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:      pass,
+		checkouts: map[*types.Func]string{},
+		releases:  map[*types.Func]string{},
+	}
+	// Collect the pairs declared in this package.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if d, ok := analysis.FuncDirective(fd, "checkout"); ok {
+				c.checkouts[fn] = pairToken(d)
+			}
+			if d, ok := analysis.FuncDirective(fd, "release"); ok {
+				c.releases[fn] = pairToken(d)
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkFunc(fd)
+			}
+		}
+	}
+	return nil
+}
+
+func pairToken(d analysis.Directive) string {
+	tok, _, _ := strings.Cut(d.Args, " ")
+	if tok == "" {
+		tok = "pool"
+	}
+	return tok
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	checkouts map[*types.Func]string
+	releases  map[*types.Func]string
+}
+
+// pairOf classifies a call as a checkout or release and returns its pair
+// token.
+func (c *checker) pairOf(call *ast.CallExpr, wantCheckout bool) (string, bool) {
+	fn := c.pass.CalleeFunc(call)
+	if fn == nil {
+		return "", false
+	}
+	m := c.releases
+	if wantCheckout {
+		m = c.checkouts
+	}
+	if tok, ok := m[fn]; ok {
+		return tok, true
+	}
+	if tok := builtinPair(fn, wantCheckout); tok != "" {
+		return tok, true
+	}
+	// A release function annotated in this package may be called as a
+	// method whose declaration we collected; calls through interfaces
+	// are not resolved. That is fine: interface-typed pools do not
+	// exist in this codebase.
+	return "", false
+}
+
+// checkFunc inspects one function body for checkout calls and verifies
+// each has a visible end of ownership.
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	// Skip the release functions themselves: Recycle's append to the
+	// free list is the release.
+	if fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		if _, isRelease := c.releases[fn]; isRelease {
+			return
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := checkoutCall(rhs)
+				if !ok {
+					continue
+				}
+				tok, ok := c.pairOf(call, true)
+				if !ok {
+					continue
+				}
+				if _, ok := c.pass.DirectiveAt(call.Pos(), "leak"); ok {
+					continue
+				}
+				// Identify the variable receiving the checkout.
+				var name string
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						name = id.Name
+					}
+				}
+				if name == "" {
+					c.pass.Reportf(call.Pos(), "pool checkout (%s) result discarded; release it, or annotate //homeo:leak <why>", tok)
+					continue
+				}
+				if !c.ownershipEnds(fd, name, call, tok) {
+					c.pass.Reportf(call.Pos(), "pool checkout %s (%s) is never released, returned, or transferred in %s; call the matching release on every completion path or annotate //homeo:leak <why>", name, tok, fd.Name.Name)
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := checkoutCall(n.X); ok {
+				if tok, ok := c.pairOf(call, true); ok {
+					if _, leak := c.pass.DirectiveAt(call.Pos(), "leak"); !leak {
+						c.pass.Reportf(call.Pos(), "pool checkout (%s) result discarded; release it, or annotate //homeo:leak <why>", tok)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkoutCall unwraps parens and a trailing type assertion
+// (pool.Get().(*T)) down to the underlying call.
+func checkoutCall(e ast.Expr) (*ast.CallExpr, bool) {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	return call, ok
+}
+
+// ownershipEnds reports whether the named checked-out variable visibly
+// ends its local ownership: released through the matching pair,
+// returned, stored into a longer-lived structure, sent on a channel, or
+// passed to another call.
+func (c *checker) ownershipEnds(fd *ast.FuncDecl, name string, checkout *ast.CallExpr, tok string) bool {
+	ends := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ends {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if n == checkout {
+				return true
+			}
+			// Release via receiver: sub.release(); via argument:
+			// pool.Put(sub), putFrame(f).
+			if rtok, ok := c.pairOf(n, false); ok && rtok == tok {
+				if callUsesIdent(n, name) {
+					ends = true
+					return false
+				}
+			}
+			// Any other call taking the value is an ownership transfer.
+			for _, arg := range n.Args {
+				if usesIdent(arg, name) {
+					ends = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if usesIdent(r, name) {
+					ends = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if usesIdent(n.Value, name) {
+				ends = true
+				return false
+			}
+		case *ast.AssignStmt:
+			// Storing the value anywhere (field, slice append, map
+			// entry) transfers ownership to the stored-into structure.
+			for i, rhs := range n.Rhs {
+				if rhs == ast.Expr(checkout) {
+					continue
+				}
+				if usesIdent(rhs, name) {
+					// A plain copy (x := v, _ = v) does not end
+					// ownership; storing into a field, index, or
+					// composite does.
+					if i < len(n.Lhs) && len(n.Lhs) == len(n.Rhs) {
+						_, lhsIdent := n.Lhs[i].(*ast.Ident)
+						_, rhsPlain := ast.Unparen(rhs).(*ast.Ident)
+						if lhsIdent && rhsPlain {
+							continue
+						}
+					}
+					ends = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return ends
+}
+
+// callUsesIdent reports whether the call's receiver or arguments mention
+// the identifier.
+func callUsesIdent(call *ast.CallExpr, name string) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && usesIdent(sel.X, name) {
+		return true
+	}
+	for _, a := range call.Args {
+		if usesIdent(a, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func usesIdent(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

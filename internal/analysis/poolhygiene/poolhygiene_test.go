@@ -1,0 +1,12 @@
+package poolhygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/poolhygiene"
+)
+
+func TestPoolhygiene(t *testing.T) {
+	antest.Run(t, poolhygiene.Analyzer, "pools", "consumer")
+}

@@ -1,0 +1,15 @@
+// Package consumer exercises the built-in cross-package
+// store.Begin/Recycle pair, whose directives live out of sight.
+package consumer
+
+import "internal/store"
+
+func forgotten(s *store.Store) {
+	t := s.Begin() // want `pool checkout t \(store.txn\) is never released, returned, or transferred in forgotten`
+	_ = t
+}
+
+func roundTrip(s *store.Store) {
+	t := s.Begin()
+	s.Recycle(t)
+}

@@ -1,0 +1,17 @@
+// Package store is a hermetic stand-in for internal/store's pooled
+// transactions.
+package store
+
+// Txn is a pooled transaction.
+type Txn struct{}
+
+// Store owns the free list.
+type Store struct {
+	free []*Txn
+}
+
+// Begin checks a transaction out of the free list.
+func (s *Store) Begin() *Txn { return &Txn{} }
+
+// Recycle returns a finished transaction to the free list.
+func (s *Store) Recycle(t *Txn) { s.free = append(s.free, t) }

@@ -1,0 +1,86 @@
+// Package pools exercises directive-declared checkout/release pairs and
+// the built-in sync.Pool pair.
+package pools
+
+import "sync"
+
+type frame struct{ used bool }
+
+type sys struct {
+	frames []*frame
+	pool   sync.Pool
+	cur    *frame
+}
+
+// getFrame checks a frame out of the free list.
+//
+//homeo:checkout frame
+func (s *sys) getFrame() *frame {
+	if n := len(s.frames); n > 0 {
+		f := s.frames[n-1]
+		s.frames = s.frames[:n-1]
+		return f
+	}
+	return &frame{}
+}
+
+// putFrame returns a frame to the free list.
+//
+//homeo:release frame
+func (s *sys) putFrame(f *frame) {
+	f.used = false
+	s.frames = append(s.frames, f)
+}
+
+func (s *sys) releasedViaDefer() {
+	f := s.getFrame()
+	defer s.putFrame(f)
+	f.used = true
+}
+
+func (s *sys) forgotten() {
+	f := s.getFrame() // want `pool checkout f \(frame\) is never released, returned, or transferred in forgotten`
+	f.used = true
+}
+
+func (s *sys) discarded() {
+	s.getFrame() // want `pool checkout \(frame\) result discarded`
+}
+
+func (s *sys) deliberateLeak() {
+	f := s.getFrame() //homeo:leak abandoned on the timeout path, GC reclaims
+	f.used = true
+}
+
+func (s *sys) returned() *frame {
+	f := s.getFrame()
+	return f
+}
+
+func (s *sys) stored() {
+	f := s.getFrame()
+	s.cur = f
+}
+
+func (s *sys) poolForgotten() {
+	v := s.pool.Get() // want `pool checkout v \(sync.Pool\) is never released, returned, or transferred in poolForgotten`
+	_ = v
+}
+
+func (s *sys) poolRoundTrip() {
+	v := s.pool.Get()
+	s.pool.Put(v)
+}
+
+type item struct{ n int }
+
+func (s *sys) typedForgotten() {
+	v := s.pool.Get().(*item) // want `pool checkout v \(sync.Pool\) is never released, returned, or transferred in typedForgotten`
+	v.n++
+}
+
+func (s *sys) typedRoundTrip() {
+	v := s.pool.Get().(*item)
+	v.n++
+	s.pool.Put(v)
+}

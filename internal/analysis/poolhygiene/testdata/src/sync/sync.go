@@ -1,0 +1,14 @@
+// Package sync is a hermetic stand-in for the stdlib package.
+package sync
+
+// Pool is a fake sync.Pool.
+type Pool struct {
+	// New fills an empty pool.
+	New func() any
+}
+
+// Get checks an object out.
+func (p *Pool) Get() any { return p.New() }
+
+// Put returns an object.
+func (p *Pool) Put(x any) {}

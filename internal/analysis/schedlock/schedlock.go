@@ -1,0 +1,291 @@
+// Package schedlock enforces the rtlive scheduler-lock discipline: the
+// wall-clock runtime provides the simulator's execution atomicity with
+// one mutex, and any real blocking while it is held stalls every
+// process, timer callback, and stats reader in the runtime. The lock is
+// declared by marking the mutex field with a trailing //homeo:schedlock
+// comment; the analyzer then tracks Lock/Unlock calls on that exact
+// field object through each function (defers included) and flags, while
+// the lock is held:
+//
+//   - channel sends, receives, and range-over-channel
+//   - select statements
+//   - time.Sleep
+//   - sync.Cond.Wait and sync.WaitGroup.Wait
+//
+// Park points are not special-cased: Proc.Park releases the scheduler
+// lock before blocking on its condition variable, which the tracker sees
+// directly — the cond.Wait happens in the unlocked region. Function
+// literals are walked as independent bodies (timer callbacks take the
+// lock themselves). A deliberate exception carries //homeo:nonblocking
+// <reason> on the offending line.
+package schedlock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the scheduler-lock discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "schedlock",
+	Doc:  "no blocking operations while the rtlive scheduler lock (//homeo:schedlock) is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgMatches(pass.Pkg.Path(), "internal/rtlive") {
+		return nil
+	}
+	lock := findLockField(pass)
+	if lock == nil {
+		return nil
+	}
+	c := &checker{pass: pass, lock: lock}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				// //homeo:schedlocked marks helpers whose callers hold
+				// the lock; their bodies start in the held state.
+				_, lockedOnEntry := analysis.FuncDirective(fd, "schedlocked")
+				c.stmts(fd.Body.List, lockedOnEntry)
+			}
+		}
+	}
+	return nil
+}
+
+// findLockField locates the struct field marked //homeo:schedlock and
+// returns its types object.
+func findLockField(pass *analysis.Pass) types.Object {
+	var lock types.Object
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				for _, g := range []*ast.CommentGroup{f.Doc, f.Comment} {
+					if g == nil {
+						continue
+					}
+					for _, cm := range g.List {
+						if d, ok := analysis.ParseDirective(cm); ok && d.Name == "schedlock" && len(f.Names) > 0 {
+							lock = pass.TypesInfo.Defs[f.Names[0]]
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return lock
+}
+
+type checker struct {
+	pass *analysis.Pass
+	lock types.Object
+}
+
+// walkBody interprets a function (or function literal) body starting
+// unlocked.
+func (c *checker) walkBody(body *ast.BlockStmt) {
+	c.stmts(body.List, false)
+}
+
+// lockOp classifies a call as Lock/Unlock on the scheduler-lock field.
+func (c *checker) lockOp(call *ast.CallExpr) (op string, onLock bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock") {
+		return "", false
+	}
+	// The receiver must be a selector chain ending at the marked field:
+	// r.mu, p.r.mu, s.r.mu.
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if c.pass.TypesInfo.Selections[inner] == nil || c.fieldObj(inner) != c.lock {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func (c *checker) fieldObj(sel *ast.SelectorExpr) types.Object {
+	if s := c.pass.TypesInfo.Selections[sel]; s != nil {
+		return s.Obj()
+	}
+	return nil
+}
+
+// stmts threads the held state through a statement list, returning the
+// state at fallthrough.
+func (c *checker) stmts(list []ast.Stmt, held bool) bool {
+	for _, s := range list {
+		held = c.stmt(s, held)
+	}
+	return held
+}
+
+// stmt interprets one statement and returns the held state after it.
+func (c *checker) stmt(s ast.Stmt, held bool) bool {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, held)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if op, ok := c.lockOp(call); ok {
+				return op == "Lock"
+			}
+		}
+		c.checkExpr(s.X, held)
+		return held
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the remainder; the
+		// unlocked region never reappears in this body.
+		if op, ok := c.lockOp(s.Call); ok && op == "Lock" {
+			return true
+		}
+		return held
+	case *ast.SendStmt:
+		if held {
+			c.report(s.Pos(), "channel send")
+		}
+		c.checkExpr(s.Value, held)
+		return held
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.checkExpr(e, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkExpr(e, held)
+		}
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = c.stmt(s.Init, held)
+		}
+		c.checkExpr(s.Cond, held)
+		thenHeld := c.stmts(s.Body.List, held)
+		elseHeld := held
+		if s.Else != nil {
+			elseHeld = c.stmt(s.Else, held)
+		}
+		return thenHeld || elseHeld
+	case *ast.BlockStmt:
+		return c.stmts(s.List, held)
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, held)
+		}
+		c.stmts(s.Body.List, held)
+		return held
+	case *ast.RangeStmt:
+		if held {
+			if tv, ok := c.pass.TypesInfo.Types[s.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					c.report(s.Pos(), "range over channel")
+				}
+			}
+		}
+		c.stmts(s.Body.List, held)
+		return held
+	case *ast.SelectStmt:
+		if held {
+			c.report(s.Pos(), "select")
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				c.stmts(cc.Body, held)
+			}
+		}
+		return held
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, held)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, held)
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, held)
+			}
+		}
+		return held
+	case *ast.GoStmt:
+		c.walkFuncLits(s.Call)
+		return held
+	default:
+		return held
+	}
+}
+
+// checkExpr scans one expression (evaluated while held or not) for
+// blocking operations; nested function literals are walked as fresh
+// unlocked bodies.
+func (c *checker) checkExpr(e ast.Expr, held bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.walkBody(n.Body)
+			return false
+		case *ast.UnaryExpr:
+			if held && n.Op == token.ARROW {
+				c.report(n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			if held {
+				c.checkCall(n)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags blocking calls made while the lock is held.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	fn := c.pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch {
+	case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+		c.report(call.Pos(), "time.Sleep")
+	case fn.Pkg().Path() == "sync" && fn.Name() == "Wait":
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv != nil {
+			c.report(call.Pos(), "sync "+types.TypeString(recv.Type(), nil)+".Wait")
+		}
+	}
+}
+
+// walkFuncLits walks function literals in a go statement's call.
+func (c *checker) walkFuncLits(call *ast.CallExpr) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			c.walkBody(fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func (c *checker) report(pos token.Pos, what string) {
+	if _, ok := c.pass.DirectiveAt(pos, "nonblocking"); ok {
+		return
+	}
+	c.pass.Reportf(pos, "%s while holding the scheduler lock stalls every process in the runtime; release the lock or park through the rt contract (//homeo:nonblocking <why> if provably short)", what)
+}

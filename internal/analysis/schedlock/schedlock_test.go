@@ -1,0 +1,12 @@
+package schedlock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/schedlock"
+)
+
+func TestSchedlock(t *testing.T) {
+	antest.Run(t, schedlock.Analyzer, "internal/rtlive")
+}

@@ -1,0 +1,96 @@
+// Package rtlive exercises the scheduler-lock discipline.
+package rtlive
+
+import (
+	"sync"
+	"time"
+)
+
+// Runtime mirrors the real runtime's lock layout.
+type Runtime struct {
+	// mu is the scheduler lock.
+	mu sync.Mutex //homeo:schedlock
+	wg sync.WaitGroup
+}
+
+// Proc mirrors the real process: its own pmu/cond are not the scheduler
+// lock.
+type Proc struct {
+	r      *Runtime
+	pmu    sync.Mutex
+	cond   *sync.Cond
+	parked bool
+}
+
+func (r *Runtime) blockingWhileHeld(ch chan int) {
+	r.mu.Lock()
+	time.Sleep(1) // want `time.Sleep while holding the scheduler lock`
+	ch <- 1       // want `channel send while holding the scheduler lock`
+	<-ch          // want `channel receive while holding the scheduler lock`
+	r.wg.Wait()   // want `Wait while holding the scheduler lock`
+	r.mu.Unlock()
+	time.Sleep(1) // released: fine
+	ch <- 2
+}
+
+func (r *Runtime) deferredUnlockStaysHeld(ch chan int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	<-ch // want `channel receive while holding the scheduler lock`
+}
+
+func (r *Runtime) selectWhileHeld(ch chan int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select { // want `select while holding the scheduler lock`
+	case <-ch:
+	default:
+	}
+}
+
+func (r *Runtime) suppressed(ch chan int) {
+	r.mu.Lock()
+	//homeo:nonblocking buffered by construction, never blocks
+	ch <- 1
+	r.mu.Unlock()
+}
+
+// Park releases the scheduler lock before blocking, exactly like the
+// real park helper; the cond.Wait happens unlocked.
+//
+//homeo:schedlocked
+func (p *Proc) Park() {
+	p.r.mu.Unlock()
+	p.pmu.Lock()
+	for p.parked {
+		p.cond.Wait()
+	}
+	p.pmu.Unlock()
+	p.r.mu.Lock()
+}
+
+// badHelper documents itself as running under the lock and then blocks.
+//
+//homeo:schedlocked
+func (p *Proc) badHelper() {
+	p.cond.Wait() // want `Wait while holding the scheduler lock`
+}
+
+// goroutines start unlocked; taking the lock inside is tracked fresh.
+func (r *Runtime) spawn(ch chan int) {
+	go func() {
+		<-ch // fresh goroutine: fine
+		r.mu.Lock()
+		ch <- 1 // want `channel send while holding the scheduler lock`
+		r.mu.Unlock()
+	}()
+}
+
+// timer-style callbacks passed as literals are walked too.
+func (r *Runtime) callback(ch chan int, schedule func(fn func())) {
+	schedule(func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		<-ch // want `channel receive while holding the scheduler lock`
+	})
+}

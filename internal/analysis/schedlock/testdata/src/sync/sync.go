@@ -1,0 +1,35 @@
+// Package sync is a hermetic stand-in for the stdlib package.
+package sync
+
+// Mutex is a fake mutex.
+type Mutex struct{}
+
+// Lock locks.
+func (m *Mutex) Lock() {}
+
+// Unlock unlocks.
+func (m *Mutex) Unlock() {}
+
+// WaitGroup is a fake waitgroup.
+type WaitGroup struct{}
+
+// Add adds.
+func (wg *WaitGroup) Add(n int) {}
+
+// Done subtracts.
+func (wg *WaitGroup) Done() {}
+
+// Wait blocks.
+func (wg *WaitGroup) Wait() {}
+
+// Cond is a fake condition variable.
+type Cond struct{}
+
+// NewCond makes one.
+func NewCond(l *Mutex) *Cond { return &Cond{} }
+
+// Wait blocks.
+func (c *Cond) Wait() {}
+
+// Broadcast wakes everyone.
+func (c *Cond) Broadcast() {}

@@ -1,0 +1,8 @@
+// Package time is a hermetic stand-in for the stdlib package.
+package time
+
+// Duration is a fake duration.
+type Duration int64
+
+// Sleep blocks.
+func Sleep(d Duration) {}

@@ -1,0 +1,17 @@
+// Package bytes is a hermetic stand-in for the stdlib package.
+package bytes
+
+// Buffer is a fake bytes.Buffer.
+type Buffer struct{ b []byte }
+
+// WriteString appends a string; the error is always nil.
+func (b *Buffer) WriteString(s string) (int, error) {
+	b.b = append(b.b, s...)
+	return len(s), nil
+}
+
+// Write appends bytes; the error is always nil.
+func (b *Buffer) Write(p []byte) (int, error) {
+	b.b = append(b.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,8 @@
+// Package fmt is a hermetic stand-in for the stdlib package.
+package fmt
+
+// Println prints and returns a count and an error.
+func Println(args ...any) (int, error) { return 0, nil }
+
+// Fprintf formats to a writer.
+func Fprintf(w any, format string, args ...any) (int, error) { return 0, nil }

@@ -1,0 +1,37 @@
+// Package web exercises the unchecked-error rules.
+package web
+
+import (
+	"bytes"
+	"fmt"
+)
+
+type enc struct{}
+
+// Encode writes a value and can fail.
+func (e *enc) Encode(v any) error { return nil }
+
+// Close releases the encoder and can fail.
+func (e *enc) Close() error { return nil }
+
+// multi returns a value and an error.
+func multi() (int, error) { return 0, nil }
+
+// onlyInt returns no error at all.
+func onlyInt() int { return 0 }
+
+func handler(e *enc, buf *bytes.Buffer) {
+	e.Encode(1) // want `returns an error that is silently dropped`
+	multi()     // want `returns an error that is silently dropped`
+	if err := e.Encode(2); err != nil {
+		return
+	}
+	_ = e.Encode(3)
+	_, _ = multi()
+	onlyInt()
+	defer e.Close()
+	fmt.Println("served")        // fmt is allowlisted
+	fmt.Fprintf(nil, "x")        // fmt is allowlisted
+	buf.WriteString("body")      // bytes.Buffer never fails
+	buf.Write([]byte("trailer")) // bytes.Buffer never fails
+}

@@ -1,0 +1,117 @@
+// Package unchecked flags call statements that silently drop an error
+// result. It is homeovet's stand-in for the staticcheck/x/tools
+// hardening layer (nilness, unusedwrite need SSA from
+// golang.org/x/tools, which this repo cannot vendor offline): a focused
+// errcheck that keeps the module's error-taxonomy discipline — PR 4
+// introduced typed errors precisely so callers would route them — from
+// eroding at the edges (HTTP handlers, CLI shells).
+//
+// A bare expression statement whose call returns an error (alone or in a
+// tuple) is flagged. Acknowledged drops are written explicitly:
+//
+//	_ = l.Flush()        // single error
+//	_, _ = w.Write(b)    // tuple
+//
+// which is also the fix the analyzer suggests. Deferred calls are not
+// flagged (defer f.Close() is idiomatic teardown), and neither are the
+// stdlib sinks whose errors are contractually nil or unrecoverable:
+// package fmt printers and (*bytes.Buffer)/(*strings.Builder) writers.
+package unchecked
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the dropped-error checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "unchecked",
+	Doc:  "expression statements may not silently drop an error result; assign to _ to acknowledge",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			check(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || !returnsError(tv.Type) {
+		return
+	}
+	if allowed(pass, call) {
+		return
+	}
+	name := calleeName(pass, call)
+	pass.Reportf(call.Pos(), "%s returns an error that is silently dropped; handle it or acknowledge with an explicit _ assignment", name)
+}
+
+// returnsError reports whether the call's result type is or contains
+// error.
+func returnsError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isError(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isError(t)
+}
+
+func isError(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// allowed reports the contractually-safe sinks: fmt printers and
+// in-memory buffer writers.
+func allowed(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if full == "bytes.Buffer" || full == "strings.Builder" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := pass.CalleeFunc(call); fn != nil {
+		return fn.Name()
+	}
+	return "call"
+}

@@ -1,0 +1,12 @@
+package unchecked_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/unchecked"
+)
+
+func TestUnchecked(t *testing.T) {
+	antest.Run(t, unchecked.Analyzer, "web")
+}

@@ -1,0 +1,112 @@
+// Package homeostasis exercises the flush-before-externalize rule.
+package homeostasis
+
+import "internal/wal"
+
+type reply struct{}
+
+type siteNode struct {
+	log  *wal.Log
+	busy bool
+}
+
+// walFlush flushes the site's log.
+//
+//homeo:flushes
+func (n *siteNode) walFlush() {
+	_ = n.log.Flush()
+}
+
+// CollectState replies with a consistent cut.
+//
+//homeo:externalizes
+func (n *siteNode) CollectState() (reply, error) {
+	if n.busy {
+		return reply{}, nil // want `return externalizes protocol state without a dominating WAL flush`
+	}
+	n.walFlush()
+	return reply{}, nil
+}
+
+// InstallState installs folded state and acks.
+//
+//homeo:externalizes
+func (n *siteNode) InstallState(ok bool) error {
+	if !ok {
+		//homeo:noexternalize validation refusal ships no state
+		return nil
+	}
+	n.walFlush()
+	return nil
+}
+
+// InstallTreaties is a handler someone forgot to annotate.
+func (n *siteNode) InstallTreaties() error { // want `peer handler InstallTreaties on a fabric node type must be annotated`
+	return nil
+}
+
+// AbortRound releases a grant; nothing externalized depends on durable
+// state.
+//
+//homeo:noexternalize abort installs nothing a peer can act on
+func (n *siteNode) AbortRound() error { return nil }
+
+// branchy shows the path-sensitivity: a flush in one branch does not
+// dominate the join.
+//
+//homeo:externalizes
+func (n *siteNode) branchy(x int) error {
+	if x > 0 {
+		n.walFlush()
+	}
+	return nil // want `return externalizes protocol state without a dominating WAL flush`
+}
+
+// bothBranches flushes on every fallthrough path, so the join is
+// dominated.
+//
+//homeo:externalizes
+func (n *siteNode) bothBranches(x int) error {
+	if x > 0 {
+		n.walFlush()
+	} else {
+		_ = n.log.Flush()
+	}
+	return nil
+}
+
+// deferred flushes via defer, which runs before the reply leaves the
+// process.
+//
+//homeo:externalizes
+func (n *siteNode) deferred() error {
+	defer n.walFlush()
+	return nil
+}
+
+// terminatingBranch: the unflushed branch returns (and is exempt), so
+// the tail return only follows the flushed path.
+//
+//homeo:externalizes
+func (n *siteNode) terminatingBranch(x int) error {
+	if x < 0 {
+		//homeo:noexternalize invalid input ships no state
+		return nil
+	}
+	n.walFlush()
+	return nil
+}
+
+// loops are conservative: a flush inside the body does not dominate the
+// statement after the loop.
+//
+//homeo:externalizes
+func (n *siteNode) loopFlush(xs []int) error {
+	for range xs {
+		n.walFlush()
+	}
+	return nil // want `return externalizes protocol state without a dominating WAL flush`
+}
+
+// unannotated functions are not checked.
+func (n *siteNode) helper() error { return nil }

@@ -1,0 +1,284 @@
+// Package walflush enforces PR 6's flush-before-externalize rule in
+// internal/homeostasis: any path that externalizes protocol state — peer
+// replies (CollectState), install and treaty acks, the coordinator's
+// round-2 Distribute — must flush the site's write-ahead log first, so a
+// crash after the bytes leave the process can never lose a transition a
+// peer has already acted on.
+//
+// The contract is annotation-driven and mechanically closed:
+//
+//   - A function whose return value (or ack) leaves the process carries
+//     //homeo:externalizes in its doc comment. The analyzer then checks
+//     every return statement is dominated by a WAL flush: a call to a
+//     //homeo:flushes-annotated helper (walFlush) or to (*wal.Log).Flush,
+//     on every fallthrough path, defers included. Early returns that
+//     ship no state (busy refusals, validation errors) are marked
+//     //homeo:noexternalize <reason> on the return line.
+//
+//   - Coverage cannot rot: any type that looks like a fabric.Node
+//     (implements three or more of the peer handler methods) must carry
+//     //homeo:externalizes or a function-level //homeo:noexternalize on
+//     each handler, so new handlers opt in or explain themselves.
+//
+// The domination analysis is a conservative abstract interpretation over
+// the AST (branches must all flush before a fallthrough counts; loop
+// bodies do not leak state past the loop; function literals are opaque),
+// so a clean report is trustworthy and the rare false positive is
+// silenced with a reviewed //homeo:noexternalize.
+package walflush
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the flush-before-externalize checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "walflush",
+	Doc:  "externalizing protocol state (peer replies, acks, round-2 distribute) requires a dominating WAL flush",
+	Run:  run,
+}
+
+// nodeMethods are the peer-protocol handler names whose presence marks a
+// type as a fabric node; each present handler must be annotated.
+var nodeMethods = map[string]bool{
+	"CollectState":    true,
+	"InstallState":    true,
+	"InstallTreaties": true,
+	"AbortRound":      true,
+	"Rejoin":          true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgMatches(pass.Pkg.Path(), "internal/homeostasis") {
+		return nil
+	}
+	c := &checker{pass: pass, flushers: map[*types.Func]bool{}}
+	// First pass: collect //homeo:flushes helpers declared in this
+	// package.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, ok := analysis.FuncDirective(fd, "flushes"); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					c.flushers[fn] = true
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			_, externalizes := analysis.FuncDirective(fd, "externalizes")
+			_, exempt := analysis.FuncDirective(fd, "noexternalize")
+			if fd.Recv != nil && nodeMethods[fd.Name.Name] && !externalizes && !exempt && c.isNodeType(fd) {
+				pass.Reportf(fd.Name.Pos(), "peer handler %s on a fabric node type must be annotated //homeo:externalizes (flush-before-externalize) or //homeo:noexternalize <why>", fd.Name.Name)
+				continue
+			}
+			if externalizes {
+				c.checkFunc(fd)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	flushers map[*types.Func]bool
+}
+
+// isNodeType reports whether the method's receiver type declares three
+// or more of the peer handler methods.
+func (c *checker) isNodeType(fd *ast.FuncDecl) bool {
+	fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	n := 0
+	for i := 0; i < named.NumMethods(); i++ {
+		if nodeMethods[named.Method(i).Name()] {
+			n++
+		}
+	}
+	return n >= 3
+}
+
+// isFlush reports whether the call flushes the WAL: a local
+// //homeo:flushes helper or (*internal/wal.Log).Flush.
+func (c *checker) isFlush(call *ast.CallExpr) bool {
+	fn := c.pass.CalleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	if c.flushers[fn] {
+		return true
+	}
+	if fn.Name() != "Flush" || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/wal") || fn.Pkg().Path() == "internal/wal"
+}
+
+// checkFunc verifies every return in an annotated function is dominated
+// by a flush.
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	c.stmts(fd.Body.List, false)
+}
+
+// stmts interprets a statement list, threading the flushed state;
+// returns (flushed at fallthrough, list always terminates).
+func (c *checker) stmts(list []ast.Stmt, flushed bool) (bool, bool) {
+	for _, s := range list {
+		var term bool
+		flushed, term = c.stmt(s, flushed)
+		if term {
+			return flushed, true
+		}
+	}
+	return flushed, false
+}
+
+// stmt interprets one statement; returns (flushed after, terminates).
+func (c *checker) stmt(s ast.Stmt, flushed bool) (bool, bool) {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, flushed)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if c.isFlush(call) {
+				return true, false
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return flushed, true
+			}
+		}
+		return flushed, false
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok && c.isFlush(call) {
+				return true, false
+			}
+		}
+		return flushed, false
+	case *ast.DeferStmt:
+		// A deferred flush runs before the returned value leaves the
+		// process, so it dominates every return after this point.
+		if c.isFlush(s.Call) {
+			return true, false
+		}
+		return flushed, false
+	case *ast.ReturnStmt:
+		if !flushed {
+			if _, ok := c.pass.DirectiveAt(s.Pos(), "noexternalize"); !ok {
+				c.pass.Reportf(s.Pos(), "return externalizes protocol state without a dominating WAL flush; call walFlush first or annotate //homeo:noexternalize <why this path ships no state>")
+			}
+		}
+		return flushed, true
+	case *ast.BlockStmt:
+		return c.stmts(s.List, flushed)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			flushed, _ = c.stmt(s.Init, flushed)
+		}
+		thenF, thenT := c.stmts(s.Body.List, flushed)
+		elseF, elseT := flushed, false
+		if s.Else != nil {
+			elseF, elseT = c.stmt(s.Else, flushed)
+		}
+		switch {
+		case thenT && elseT:
+			return flushed, true
+		case thenT:
+			return elseF, false
+		case elseT:
+			return thenF, false
+		default:
+			return thenF && elseF, false
+		}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.clauses(s, flushed)
+	case *ast.ForStmt:
+		// The body may run zero times: check returns inside with the
+		// entry state, propagate nothing out.
+		c.stmts(s.Body.List, flushed)
+		return flushed, false
+	case *ast.RangeStmt:
+		c.stmts(s.Body.List, flushed)
+		return flushed, false
+	case *ast.GoStmt:
+		return flushed, false
+	default:
+		return flushed, false
+	}
+}
+
+// clauses handles switch/type-switch/select bodies: the fallthrough
+// state flushes only if every clause flushes and a default exists.
+func (c *checker) clauses(s ast.Stmt, flushed bool) (bool, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			flushed, _ = c.stmt(s.Init, flushed)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	allFlush, allTerm := true, true
+	for _, cl := range body.List {
+		var list []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			list = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			list = cl.Body
+		}
+		f, t := c.stmts(list, flushed)
+		if !t {
+			allTerm = false
+			allFlush = allFlush && f
+		}
+	}
+	if len(body.List) == 0 {
+		return flushed, false
+	}
+	if hasDefault && allTerm {
+		return flushed, true
+	}
+	return flushed || (hasDefault && allFlush), false
+}

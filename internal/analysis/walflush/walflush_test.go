@@ -1,0 +1,12 @@
+package walflush_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/walflush"
+)
+
+func TestWalflush(t *testing.T) {
+	antest.Run(t, walflush.Analyzer, "internal/homeostasis")
+}

@@ -113,6 +113,8 @@ var keyScratch = sync.Pool{New: func() any { s := make([]string, 0, 64); return 
 // AppendStringMap appends a map[string]int64 as a count prefix followed
 // by key-sorted (string, varint) pairs. The sort makes the encoding
 // deterministic.
+//
+//homeo:hotpath
 func AppendStringMap(dst []byte, m map[string]int64) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(m)))
 	if len(m) == 0 {

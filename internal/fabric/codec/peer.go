@@ -63,6 +63,8 @@ func (r *Reader) op() string {
 
 // AppendMessage appends the binary encoding of a peer message. The
 // concrete type selects the kind; unknown types are an error.
+//
+//homeo:hotpath
 func AppendMessage(dst []byte, m any) ([]byte, error) {
 	switch m := m.(type) {
 	case *wire.PeerCollect:
@@ -182,8 +184,12 @@ func AppendMessage(dst []byte, m any) ([]byte, error) {
 		dst = AppendVarint(dst, m.Clock)
 		return AppendVarint(dst, m.Epoch), nil
 	}
-	return nil, fmt.Errorf("codec: cannot encode %T", m)
+	return nil, errUnencodable(m)
 }
+
+// errUnencodable formats the cold-path error for a message type the
+// codec does not know, kept out of the //homeo:hotpath body.
+func errUnencodable(m any) error { return fmt.Errorf("codec: cannot encode %T", m) }
 
 // DecodeMessage decodes a binary peer message into m, whose concrete
 // type must match the encoded kind. Returns ErrNotBinary when the

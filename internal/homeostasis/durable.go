@@ -112,8 +112,8 @@ func (sys *System) applyWAL(site int, recs []wal.Record) ([]Committed, error) {
 			if err != nil {
 				return nil, fmt.Errorf("homeostasis: site %d WAL record %d: %w", site, i, err)
 			}
-			for obj, v := range c.Writes {
-				st.Apply(lang.ObjID(obj), v)
+			for _, obj := range sortedNames(c.Writes) {
+				st.Apply(lang.ObjID(obj), c.Writes[obj])
 			}
 			entry := Committed{
 				Name: c.Class, Args: c.Args, Site: c.Site,
@@ -144,8 +144,8 @@ func (sys *System) applyWAL(site int, recs []wal.Record) ([]Committed, error) {
 					st.Apply(lang.DeltaObj(lang.ObjID(obj), k), 0)
 				}
 			}
-			for obj, v := range c.Drift {
-				st.Apply(lang.ObjID(obj), v)
+			for _, obj := range sortedNames(c.Drift) {
+				st.Apply(lang.ObjID(obj), c.Drift[obj])
 			}
 			sys.observeClock(c.Clock)
 			sys.bumpRoundSeq(fabric.RoundID{Site: c.Round.Site, Seq: c.Round.Seq})
@@ -238,6 +238,8 @@ func (sys *System) walFor(site int) *wal.Log {
 // walFlush flushes the site's log if it has one (a no-op on an empty
 // batch). Called at every externalization point: no state may escape to
 // a peer while a record it depends on is still in the in-memory batch.
+//
+//homeo:flushes
 func (sys *System) walFlush(site int) {
 	if l := sys.walFor(site); l != nil {
 		_ = l.Flush()
@@ -353,4 +355,15 @@ func (sys *System) RejoinFabric(p rt.Proc) error {
 	}
 	sys.walFlush(sys.self)
 	return nil
+}
+
+// sortedNames returns the map's keys in sorted order, so WAL replay
+// applies recovered writes in a deterministic sequence.
+func sortedNames(m map[string]int64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }

@@ -23,6 +23,9 @@ type execFrame struct {
 	view   deltaView
 }
 
+// getFrame checks an execution frame out of the free list.
+//
+//homeo:checkout exec.frame
 func (sys *System) getFrame() *execFrame {
 	if n := len(sys.frames); n > 0 {
 		f := sys.frames[n-1]
@@ -33,6 +36,9 @@ func (sys *System) getFrame() *execFrame {
 	return &execFrame{}
 }
 
+// putFrame scrubs a frame and returns it to the free list.
+//
+//homeo:release exec.frame
 func (sys *System) putFrame(f *execFrame) {
 	f.units = f.units[:0]
 	f.view.tx = nil
@@ -56,16 +62,37 @@ func (sys *System) deltaName(obj lang.ObjID, site int) lang.ObjID {
 	return names[site]
 }
 
+// Cold-path error constructors, kept out of the //homeo:hotpath bodies:
+// formatting allocates, and these run only on protocol failures.
+
+func errUnknownUnit(name string, id int) error {
+	return fmt.Errorf("%w: request %s names unknown unit %d", ErrProtocol, name, id)
+}
+
+func errLivelocked(name string) error {
+	return fmt.Errorf("%w: request %s", ErrLivelocked, name)
+}
+
+func errSiteGone(site int, st siteStatus) error {
+	return fmt.Errorf("homeostasis: site %d is %v: %w", site, st, fabric.ErrSiteGone)
+}
+
+func errProtocol(name string, err error) error {
+	return fmt.Errorf("%w: request %s: %v", ErrProtocol, name, err)
+}
+
 // execHomeo runs one request under the homeostasis protocol (also used by
 // OPT and the default-config ablation, which differ only in treaty
 // generation): disconnected local execution, pre-commit local treaty
 // check, and on violation the cleanup phase of Section 3.3.
+//
+//homeo:hotpath
 func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (ExecResult, error) {
 	f := sys.getFrame()
 	defer sys.putFrame(f)
 	for _, id := range req.Units {
 		if id < 0 || id >= len(sys.Units) {
-			return ExecResult{}, fmt.Errorf("%w: request %s names unknown unit %d", ErrProtocol, req.Name, id)
+			return ExecResult{}, errUnknownUnit(req.Name, id)
 		}
 		f.units = append(f.units, sys.Units[id])
 	}
@@ -87,14 +114,14 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (ExecRes
 	for attempt := 0; ; attempt++ {
 		if attempt > 100 {
 			sys.Col.RecordLivelock()
-			return ExecResult{}, fmt.Errorf("%w: request %s", ErrLivelocked, req.Name)
+			return ExecResult{}, errLivelocked(req.Name)
 		}
 		// Membership fence, re-checked every attempt: an execution
 		// admitted before its site started draining must not commit a
 		// delta after the drain's absorb round folded the unit (waiting
 		// out a round below is a park point, so the drain can interleave).
 		if site < len(sys.status) && sys.status[site] != siteActive {
-			return ExecResult{}, fmt.Errorf("homeostasis: site %d is %v: %w", site, sys.status[site], fabric.ErrSiteGone)
+			return ExecResult{}, errSiteGone(site, sys.status[site])
 		}
 		// If any touched unit is renegotiating, wait for the new round:
 		// new transactions must see the new treaty.
@@ -158,7 +185,7 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (ExecRes
 		}
 		cpu.Release()
 		if checkErr != nil {
-			return ExecResult{}, fmt.Errorf("%w: request %s: %v", ErrProtocol, req.Name, checkErr)
+			return ExecResult{}, errProtocol(req.Name, checkErr)
 		}
 		if committed {
 			return ExecResult{Committed: true, Log: commitLog}, nil
@@ -223,7 +250,7 @@ func (sys *System) execHomeo(p rt.Proc, site int, req workload.Request) (ExecRes
 				p.Sleep(rt.Duration(base*int64(site+1) + sys.E.Rand().Int63n(base*4+1)))
 				continue
 			}
-			return ExecResult{}, fmt.Errorf("%w: request %s: %v", ErrProtocol, req.Name, negErr)
+			return ExecResult{}, errProtocol(req.Name, negErr)
 		}
 		// T' was executed at every site during cleanup; done.
 		return ExecResult{Committed: true, Synced: true, Log: winLog}, nil
@@ -370,6 +397,8 @@ func (sys *System) wakeUnitWaiters(u *unitState) {
 // through their joiner entries. A fabric.ErrBusy error means a remote
 // coordinator holds some of the units and nothing was committed — the
 // caller backs off and retries.
+//
+//homeo:externalizes
 func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req workload.Request) ([]int64, error) {
 	var neg *negotiation
 	if sys.batching() && sys.self < 0 {
@@ -432,6 +461,7 @@ func (sys *System) negotiate(p rt.Proc, site int, units []*unitState, req worklo
 		// The round never synchronized (a peer was busy or unreachable):
 		// release everything and report to the caller. Nothing committed.
 		sys.abortRound(p, site, rid, units)
+		//homeo:noexternalize round abort; nothing committed, a crash re-aborts via grant expiry
 		return nil, err
 	}
 

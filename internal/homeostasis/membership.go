@@ -229,6 +229,7 @@ func (sys *System) growSystem(addr string) int {
 		sys.wals = append(sys.wals, l)
 	}
 	// The per-(object, site) delta-name cache was sized at the old width.
+	//homeo:nondet per-key cache fill; no cross-key effects and nothing escapes
 	for obj, names := range sys.deltaNames {
 		for k := len(names); k < n; k++ {
 			names = append(names, lang.DeltaObj(obj, k))

@@ -236,6 +236,8 @@ type siteNode struct {
 // or refuses with ErrBusy. Either way the reply carries the site's own
 // delta values for the round's footprint, which are also remembered so
 // InstallState can preserve concurrent drift.
+//
+//homeo:externalizes
 func (n *siteNode) CollectState(m fabric.CollectState) (fabric.StateReply, error) {
 	sys := n.sys
 	sys.observeClock(m.Clock)
@@ -243,9 +245,11 @@ func (n *siteNode) CollectState(m fabric.CollectState) (fabric.StateReply, error
 	if g == nil {
 		for _, id := range m.Units {
 			if id < 0 || id >= len(sys.Units) {
+				//homeo:noexternalize validation refusal; no state ships
 				return fabric.StateReply{}, fmt.Errorf("homeostasis: collect names unknown unit %d", id)
 			}
 			if sys.Units[id].negotiating {
+				//homeo:noexternalize busy refusal; no state ships
 				return fabric.StateReply{}, fabric.ErrBusy
 			}
 		}
@@ -269,6 +273,7 @@ func (n *siteNode) CollectState(m fabric.CollectState) (fabric.StateReply, error
 	// parked by the negotiating flag above).
 	for _, id := range m.Units {
 		if id >= 0 && id < len(sys.Units) && sys.Units[id].inflight > 0 {
+			//homeo:noexternalize busy refusal; no state ships
 			return fabric.StateReply{}, fabric.ErrBusy
 		}
 	}
@@ -291,6 +296,8 @@ func (n *siteNode) CollectState(m fabric.CollectState) (fabric.StateReply, error
 // snapshot resets to zero, and any drift the site's own delta accumulated
 // since its round-1 report (multi-process network gap only) is carried
 // over so concurrent local commits survive the install.
+//
+//homeo:externalizes
 func (n *siteNode) InstallState(m fabric.InstallState) error {
 	sys := n.sys
 	sys.observeClock(m.Clock)
@@ -303,6 +310,7 @@ func (n *siteNode) InstallState(m fabric.InstallState) error {
 			// Re-delivery (the coordinator retried a partially failed
 			// scatter): already applied, and applying the drift twice
 			// would corrupt the partition.
+			//homeo:noexternalize re-delivery; the first delivery's flush covers this ack
 			return nil
 		}
 		g.installed[n.site] = true
@@ -340,10 +348,10 @@ func (n *siteNode) InstallState(m fabric.InstallState) error {
 			rec.Base[string(obj)] = m.Folded.Get(obj)
 		}
 		_ = l.AppendInstall(rec)
-		// The ack externalizes the install: the coordinator proceeds to
-		// round 2 (or the client is told T' committed) on its strength.
-		_ = l.Flush()
 	}
+	// The ack externalizes the install: the coordinator proceeds to
+	// round 2 (or the client is told T' committed) on its strength.
+	sys.walFlush(n.site)
 	return nil
 }
 
@@ -351,6 +359,8 @@ func (n *siteNode) InstallState(m fabric.InstallState) error {
 // round's units; for a remote round it then releases the units (the
 // round is over from this site's point of view — the coordinator's ack
 // wait does not gate local progress).
+//
+//homeo:externalizes
 func (n *siteNode) InstallTreaties(m fabric.InstallTreaties) error {
 	sys := n.sys
 	sys.observeClock(m.Clock)
@@ -382,6 +392,8 @@ func (n *siteNode) InstallTreaties(m fabric.InstallTreaties) error {
 // AbortRound releases a remote grant without installing anything.
 // Locally coordinated rounds are unwound by their coordinator; unknown
 // rounds (already expired or never granted) are a no-op.
+//
+//homeo:noexternalize aborts ship no durable state; a crash re-aborts via grant expiry
 func (n *siteNode) AbortRound(m fabric.AbortRound) error {
 	sys := n.sys
 	sys.observeClock(m.Clock)
@@ -399,6 +411,8 @@ func (n *siteNode) AbortRound(m fabric.AbortRound) error {
 // the units of its own just-failed-over rounds whose state install
 // completed here (the base moved without a version bump, so version
 // comparison alone would miss them).
+//
+//homeo:externalizes
 func (n *siteNode) Rejoin(m fabric.Rejoin) (fabric.RejoinReply, error) {
 	sys := n.sys
 	sys.observeClock(m.Clock)

@@ -440,9 +440,9 @@ func New(e rt.Runtime, w workload.Workload, opts Options) (*System, error) {
 // respect to in-flight transactions.
 func (sys *System) AddUnits(install lang.Database) error {
 	n := sys.Opts.Topo.NSites()
-	for obj, v := range install {
+	for _, obj := range install.Objects() {
 		for s := 0; s < n; s++ {
-			sys.Stores[s].Apply(obj, v)
+			sys.Stores[s].Apply(obj, install[obj])
 			for k := 0; k < n; k++ {
 				sys.Stores[s].Apply(lang.DeltaObj(obj, k), 0)
 			}
@@ -542,6 +542,7 @@ func isoKey(g treaty.Global, folded lang.Database) string {
 		sb.WriteByte('|')
 	}
 	vals := make([]int64, len(idx))
+	//homeo:nondet permutation fill: each key writes only its own slot
 	for name, i := range idx {
 		vals[i] = folded.Get(lang.ObjID(name))
 	}
@@ -947,6 +948,7 @@ func (sys *System) PartitionDB(site int) lang.Database {
 func (sys *System) FoldedDB() lang.Database {
 	out := lang.Database{}
 	for _, u := range sys.Units {
+		//homeo:nondet map-to-map merge; the result is a map, order invisible
 		for obj, v := range sys.foldUnit(u) {
 			out[obj] = v
 		}
@@ -979,8 +981,10 @@ func (sys *System) CheckReplayEquivalence() error {
 		}
 		c.Apply(replay)
 	}
-	for obj, v := range sys.FoldedDB() {
-		if got := replay.Get(obj); got != v {
+	// Sorted walk so a mismatch always names the same (first) object.
+	folded := sys.FoldedDB()
+	for _, obj := range folded.Objects() {
+		if got, v := replay.Get(obj), folded[obj]; got != v {
 			return fmt.Errorf("homeostasis: replay mismatch on %s: protocol %d, serial replay %d (%d commits)",
 				obj, v, got, len(sys.CommitLog))
 		}

@@ -47,7 +47,8 @@ var (
 type Runtime struct {
 	// mu is the scheduler lock (see the package comment). A process runs
 	// holding it; park points release it.
-	mu    sync.Mutex
+	mu    sync.Mutex //homeo:schedlock
+	clock func() time.Time
 	start time.Time
 	rng   *rand.Rand
 
@@ -63,12 +64,22 @@ type Runtime struct {
 	deadline atomic.Int64 // rt.Time; 0 = none
 }
 
+// wallClock is the package's sole sanctioned wall-clock source; every
+// other read goes through a Runtime's injected clock so tests can pin
+// time.
+var wallClock = time.Now //homeo:wallclock sole clock construction site
+
 // New returns a runtime whose clock starts now and whose random stream is
 // seeded deterministically (stream order still depends on real
 // scheduling, unlike the simulator's).
-func New(seed int64) *Runtime {
+func New(seed int64) *Runtime { return NewClocked(seed, wallClock) }
+
+// NewClocked is New with an injected clock source. Timers and sleeps
+// still use real time; only Now readings route through clock.
+func NewClocked(seed int64, clock func() time.Time) *Runtime {
 	return &Runtime{
-		start: time.Now(),
+		clock: clock,
+		start: clock(),
 		rng:   rand.New(&lockedSource{src: rand.NewSource(seed).(rand.Source64)}),
 	}
 }
@@ -99,7 +110,7 @@ func (s *lockedSource) Seed(seed int64) {
 }
 
 // Now returns nanoseconds of wall-clock time since the runtime started.
-func (r *Runtime) Now() rt.Time { return rt.Time(time.Since(r.start)) }
+func (r *Runtime) Now() rt.Time { return rt.Time(r.clock().Sub(r.start)) }
 
 // Rand returns the runtime's seeded random stream.
 func (r *Runtime) Rand() *rand.Rand { return r.rng }
@@ -284,6 +295,8 @@ func (p *Proc) Now() rt.Time { return p.r.Now() }
 func (p *Proc) Token() int64 { return p.token }
 
 // PrepPark marks the process as about to park and returns the wake token.
+//
+//homeo:schedlocked
 func (p *Proc) PrepPark() int64 {
 	p.pmu.Lock()
 	p.parked = true
@@ -295,6 +308,8 @@ func (p *Proc) PrepPark() int64 {
 // current token (or cancellation), and reacquires the lock. Deferred
 // cleanup after a cancellation therefore still runs under the execution
 // contract.
+//
+//homeo:schedlocked
 func (p *Proc) Park() {
 	p.r.mu.Unlock()
 	p.pmu.Lock()
@@ -313,6 +328,8 @@ func (p *Proc) Park() {
 // WakeIf resumes the process if it is still parked with the given token.
 // Callers hold the scheduler lock (timer callbacks and running
 // processes), which serializes token accesses.
+//
+//homeo:schedlocked
 func (p *Proc) WakeIf(token int64) bool {
 	if p.token != token {
 		return false
@@ -330,6 +347,8 @@ func (p *Proc) WakeIf(token int64) bool {
 }
 
 // Sleep suspends the process for d of real time.
+//
+//homeo:schedlocked
 func (p *Proc) Sleep(d rt.Duration) {
 	token := p.PrepPark()
 	p.sleepToken = token
@@ -375,6 +394,8 @@ func (r *Runtime) NewResource(capacity int) rt.Resource {
 
 // Acquire blocks the calling process until a slot is free (FIFO among
 // waiters) and takes it.
+//
+//homeo:schedlocked
 func (s *resource) Acquire(p rt.Proc) {
 	for s.inUse >= s.cap {
 		s.waiters = append(s.waiters, p)
@@ -385,6 +406,8 @@ func (s *resource) Acquire(p rt.Proc) {
 }
 
 // Release frees a slot and wakes the oldest waiter.
+//
+//homeo:schedlocked
 func (s *resource) Release() {
 	s.inUse--
 	if len(s.waiters) > 0 {

@@ -139,6 +139,9 @@ type Txn struct {
 }
 
 // Begin opens a transaction, reusing a recycled one when available.
+//
+//homeo:hotpath
+//homeo:checkout store.txn
 func (s *Store) Begin(p rt.Proc) *Txn {
 	s.nextTxnID++
 	var t *Txn
@@ -161,6 +164,8 @@ func (s *Store) Begin(p rt.Proc) *Txn {
 // Recycle returns a finished (committed or aborted) transaction to the
 // store's free list for reuse by a later Begin. The caller must hold no
 // further references; recycling an open transaction is a no-op.
+//
+//homeo:release store.txn
 func (s *Store) Recycle(t *Txn) {
 	if t == nil || !t.closed {
 		return
@@ -270,6 +275,9 @@ func newLockTable(e rt.Runtime) *lockTable {
 	}
 }
 
+// newReq checks a queue entry out of the free list.
+//
+//homeo:checkout store.lockreq
 func (lt *lockTable) newReq() *lockReq {
 	if n := len(lt.freeReqs); n > 0 {
 		r := lt.freeReqs[n-1]
@@ -280,10 +288,15 @@ func (lt *lockTable) newReq() *lockReq {
 	return &lockReq{}
 }
 
+// freeReq returns a queue entry to the free list, unless a timeout
+// closure may still hold it (see lockReq.waited).
+//
+//homeo:release store.lockreq
 func (lt *lockTable) freeReq(r *lockReq) {
 	if r.waited {
 		// A pending timeout closure may still hold this request; let the
 		// GC reclaim it instead of risking a reused entry being mutated.
+		//homeo:leak timeout closure may still hold r; GC reclaims it
 		return
 	}
 	*r = lockReq{}

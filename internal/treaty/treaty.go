@@ -153,6 +153,7 @@ func (t *Template) ConfigVars() []logic.Var {
 // localSum evaluates the site-local part of a clause on a database.
 func localSum(term lia.Term, db lang.Database) int64 {
 	sum := term.Const
+	//homeo:nondet commutative int64 sum; order cannot escape
 	for v, c := range term.Coeffs {
 		sum += c * db.Get(lang.ObjID(v.Name))
 	}
@@ -422,6 +423,7 @@ func (g Global) Rename(f func(lang.ObjID) lang.ObjID) Global {
 	for i, c := range g.Constraints {
 		nc := lia.Constraint{Term: lia.NewTerm(), Op: c.Op}
 		nc.Term.Const = c.Term.Const
+		//homeo:nondet map-to-map rebuild; the renamed term is a map, order invisible
 		for v, coeff := range c.Term.Coeffs {
 			if v.Kind == logic.ObjVar {
 				nc.Term.AddVar(logic.Obj(f(lang.ObjID(v.Name))), coeff)

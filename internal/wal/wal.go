@@ -247,12 +247,12 @@ func Open(path string, opts Options) (*Log, []Record, error) {
 	}
 	if valid < len(data) {
 		if err := f.Truncate(int64(valid)); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
 		}
 	}
 	if _, err := f.Seek(int64(valid), 0); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
 	return &Log{f: f, opts: opts}, recs, nil
@@ -288,6 +288,8 @@ func Scan(data []byte) ([]Record, int) {
 }
 
 // appendFrame encodes one record frame onto buf.
+//
+//homeo:hotpath
 func appendFrame(buf []byte, kind Kind, payload []byte) []byte {
 	var hdr [headerSize]byte
 	binary.BigEndian.PutUint32(hdr[0:], uint32(1+len(payload)))
@@ -301,6 +303,8 @@ func appendFrame(buf []byte, kind Kind, payload []byte) []byte {
 
 // Append adds one record to the batch. The record is durable after the
 // next flush (group-commit timer, size threshold, or explicit Flush).
+//
+//homeo:hotpath
 func (l *Log) Append(kind Kind, payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -317,7 +321,9 @@ func (l *Log) Append(kind Kind, payload []byte) error {
 	}
 	if !l.armed {
 		l.armed = true
-		time.AfterFunc(l.opts.GroupWindow, func() { l.Flush() })
+		// A failed group flush resurfaces on the next synchronous
+		// Flush/Append, which every externalizing path performs.
+		time.AfterFunc(l.opts.GroupWindow, func() { _ = l.Flush() })
 	}
 	return nil
 }
