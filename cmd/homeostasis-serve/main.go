@@ -727,6 +727,10 @@ func runDrive(opts homeo.Options, cfg driveConfig) {
 			fmt.Printf("store (site %d):   commits=%d aborts=%d deadlocks=%d timeouts=%d\n",
 				site, s.Commits, s.Aborts, s.Deadlocks, s.Timeouts)
 		}
+		fmt.Printf("analysis cache:   hits=%d misses=%d\n",
+			st.AnalysisCacheHits, st.AnalysisCacheMisses)
+		fmt.Printf("solver:           warm-starts=%d fallbacks=%d\n",
+			st.SolverWarmStarts, st.SolverFallbacks)
 	}
 
 	handler.Drain()

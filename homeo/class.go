@@ -55,41 +55,71 @@ type TxnClass struct {
 // write synchronizes — always correct, just not coordination-free. Check
 // TxnClass.Pinned.
 func (c *Cluster) Register(spec ClassSpec) (*TxnClass, error) {
+	ts, err := c.RegisterBatch([]ClassSpec{spec})
+	if err != nil {
+		return nil, err
+	}
+	return ts[0], nil
+}
+
+// RegisterBatch registers several classes as one atomic installation:
+// every class compiles (sharing analysis artifacts with already-cached
+// isomorphic families and with each other), then all of them install
+// under a single execution-right critical section — one registry pass,
+// one unit-installation sweep — instead of paying the per-registration
+// setup once per class. Either every class registers or none does.
+func (c *Cluster) RegisterBatch(specs []ClassSpec) ([]*TxnClass, error) {
 	if c.Draining() {
 		return nil, fmt.Errorf("%w: cluster is draining", ErrDropped)
 	}
-	if (spec.L == "") == (spec.SQL == "") {
-		return nil, fmt.Errorf("homeo: ClassSpec needs exactly one of L or SQL source")
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("homeo: RegisterBatch needs at least one class")
 	}
-	var bounds treaty.ParamBounds
-	if len(spec.Bounds) > 0 {
-		bounds = make(treaty.ParamBounds, len(spec.Bounds))
-		for p, b := range spec.Bounds {
-			bounds[p] = b
+	// Compile and validate everything outside the lock; cache hits and
+	// misses are recorded under it, next to the installation.
+	wcs := make([]*workload.Class, len(specs))
+	hits := make([]bool, len(specs))
+	initials := make([]lang.Database, len(specs))
+	merged := lang.Database{}
+	for i, spec := range specs {
+		if (spec.L == "") == (spec.SQL == "") {
+			return nil, fmt.Errorf("homeo: ClassSpec needs exactly one of L or SQL source")
 		}
-	}
-	var (
-		wc  *workload.Class
-		err error
-	)
-	if spec.L != "" {
-		wc, err = workload.CompileLClass(spec.L, c.opts.Sites, bounds)
-		if err == nil && spec.Name != "" && spec.Name != wc.Name {
-			err = fmt.Errorf("homeo: spec name %q does not match transaction name %q", spec.Name, wc.Name)
+		var bounds treaty.ParamBounds
+		if len(spec.Bounds) > 0 {
+			bounds = make(treaty.ParamBounds, len(spec.Bounds))
+			for p, b := range spec.Bounds {
+				bounds[p] = b
+			}
 		}
-	} else {
-		wc, err = workload.CompileSQLClass(spec.Name, spec.SQL, c.opts.Sites, bounds)
-	}
-	if err != nil {
-		return nil, err
-	}
-	initial, err := buildInitial(wc, spec)
-	if err != nil {
-		return nil, err
+		var (
+			wc  *workload.Class
+			hit bool
+			err error
+		)
+		if spec.L != "" {
+			wc, hit, err = c.artifacts.CompileL(spec.L, c.opts.Sites, bounds)
+			if err == nil && spec.Name != "" && spec.Name != wc.Name {
+				err = fmt.Errorf("homeo: spec name %q does not match transaction name %q", spec.Name, wc.Name)
+			}
+		} else {
+			wc, hit, err = c.artifacts.CompileSQL(spec.Name, spec.SQL, c.opts.Sites, bounds)
+		}
+		if err != nil {
+			return nil, err
+		}
+		initial, err := buildInitial(wc, spec)
+		if err != nil {
+			return nil, err
+		}
+		wcs[i], hits[i], initials[i] = wc, hit, initial
+		for obj, v := range initial {
+			merged[obj] = v
+		}
 	}
 
 	// Installation mutates shared protocol state: registry bookkeeping,
-	// per-site stores, and the new unit's treaties. Run it under the
+	// per-site stores, and the new units' treaties. Run it under the
 	// execution right so it is atomic for in-flight transactions. c.mu
 	// additionally serializes concurrent registrations on RuntimeLive
 	// (locked() uses c.mu itself on RuntimeSim).
@@ -99,30 +129,54 @@ func (c *Cluster) Register(spec ClassSpec) (*TxnClass, error) {
 	}
 	var regErr error
 	c.locked(func() {
-		if regErr = c.reg.Register(wc, initial); regErr != nil {
+		registered := 0
+		for i, wc := range wcs {
+			if regErr = c.reg.Register(wc, initials[i]); regErr != nil {
+				break
+			}
+			registered++
+		}
+		if regErr == nil {
+			// One sweep installs every new unit's initial values and
+			// treaties (AddUnits covers all units the registry gained).
+			regErr = c.sys.AddUnits(merged)
+		}
+		if regErr != nil {
+			// Roll the classes back out (reverse order: Unregister pops the
+			// most recent) so the registry and the system's unit table stay
+			// aligned.
+			for i := registered - 1; i >= 0; i-- {
+				if uerr := c.reg.Unregister(wcs[i]); uerr != nil {
+					regErr = fmt.Errorf("%w (rollback failed: %v)", regErr, uerr)
+					break
+				}
+			}
 			return
 		}
-		if regErr = c.sys.AddUnits(initial); regErr != nil {
-			// Roll the class back out so the registry and the system's
-			// unit table stay aligned.
-			if uerr := c.reg.Unregister(wc); uerr != nil {
-				regErr = fmt.Errorf("%w (rollback failed: %v)", regErr, uerr)
-			}
+		for _, hit := range hits {
+			c.sys.Col.RecordAnalysisCache(hit)
 		}
 	})
 	if regErr != nil {
 		return nil, regErr
 	}
-	t := &TxnClass{c: c, wc: wc}
+	ts := make([]*TxnClass, len(wcs))
+	for i, wc := range wcs {
+		ts[i] = &TxnClass{c: c, wc: wc}
+	}
 	if c.live != nil {
 		// classes map writes race with Class() readers only on live.
-		c.classes[wc.Name] = t
+		for _, t := range ts {
+			c.classes[t.wc.Name] = t
+		}
 	} else {
 		c.mu.Lock()
-		c.classes[wc.Name] = t
+		for _, t := range ts {
+			c.classes[t.wc.Name] = t
+		}
 		c.mu.Unlock()
 	}
-	return t, nil
+	return ts, nil
 }
 
 // buildInitial assembles the install database from Initial values and SQL

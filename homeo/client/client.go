@@ -260,6 +260,16 @@ func (c *Client) RegisterClass(ctx context.Context, spec wire.ClassRequest) (wir
 	return info, err
 }
 
+// RegisterClassBatch registers several classes in one atomic request:
+// every class installs or none does. One installation sweep covers the
+// whole batch, so registering N classes costs far less than N single
+// registrations.
+func (c *Client) RegisterClassBatch(ctx context.Context, specs []wire.ClassRequest) ([]wire.ClassInfo, error) {
+	var resp wire.ClassBatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/classes", wire.ClassEnvelope{Batch: specs}, &resp)
+	return resp.Classes, err
+}
+
 // ListClasses lists registered classes (GET /v1/classes).
 func (c *Client) ListClasses(ctx context.Context) ([]wire.ClassInfo, error) {
 	var resp wire.ClassListResponse

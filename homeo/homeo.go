@@ -251,6 +251,9 @@ type Cluster struct {
 	sim  *sim.Engine     // nil on RuntimeLive
 	sys  *homeostasis.System
 	reg  *workload.Registry
+	// artifacts shares registration-time analysis (symbolic tables, guard
+	// preprocessing) across isomorphic classes; see workload.ArtifactCache.
+	artifacts *workload.ArtifactCache
 
 	// mu serializes registration, sim-runtime submissions, and state
 	// snapshots on the sim runtime (which has no scheduler lock of its
@@ -319,11 +322,12 @@ func New(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		opts:    opts,
-		reg:     reg,
-		classes: make(map[string]*TxnClass),
-		rng:     rand.New(rand.NewSource(opts.Seed + 101)),
-		start:   wallClock(),
+		opts:      opts,
+		reg:       reg,
+		artifacts: workload.NewArtifactCache(),
+		classes:   make(map[string]*TxnClass),
+		rng:       rand.New(rand.NewSource(opts.Seed + 101)),
+		start:     wallClock(),
 	}
 	sysOpts := homeostasis.Options{
 		Mode:           opts.Mode,

@@ -148,6 +148,10 @@ func wireStats(s homeo.Stats) wire.Stats {
 		RoundsAdopted:       s.RoundsAdopted,
 		RoundsAborted:       s.RoundsAborted,
 		RecoveredWALRecords: s.RecoveredWALRecords,
+		AnalysisCacheHits:   s.AnalysisCacheHits,
+		AnalysisCacheMisses: s.AnalysisCacheMisses,
+		SolverWarmStarts:    s.SolverWarmStarts,
+		SolverFallbacks:     s.SolverFallbacks,
 		StoreCluster: wire.StoreStats{Commits: s.Store.Commits, Aborts: s.Store.Aborts,
 			Deadlocks: s.Store.Deadlocks, Timeouts: s.Store.Timeouts},
 		TopologyEpoch: s.TopologyEpoch,
@@ -339,23 +343,32 @@ func (h *Handler) handleClasses(rw http.ResponseWriter, req *http.Request) {
 			writeError(rw, http.StatusServiceUnavailable, "draining", "server is draining")
 			return
 		}
-		var body wire.ClassRequest
+		var body wire.ClassEnvelope
 		if err := decodeBody(req, &body); err != nil {
 			writeError(rw, http.StatusBadRequest, "bad_request", "request body: %v", err)
 			return
 		}
-		if body.Name != "" && h.c.Class(body.Name) != nil {
-			writeError(rw, http.StatusConflict, "conflict", "class %q already registered", body.Name)
-			return
+		reqs := body.Batch
+		batch := len(reqs) > 0
+		if !batch {
+			reqs = []wire.ClassRequest{body.ClassRequest}
 		}
-		t, err := h.c.Register(homeo.ClassSpec{
-			Name:    body.Name,
-			L:       body.L,
-			SQL:     body.SQL,
-			Bounds:  body.Bounds,
-			Initial: body.Initial,
-			Rows:    body.Rows,
-		})
+		specs := make([]homeo.ClassSpec, len(reqs))
+		for i, r := range reqs {
+			if r.Name != "" && h.c.Class(r.Name) != nil {
+				writeError(rw, http.StatusConflict, "conflict", "class %q already registered", r.Name)
+				return
+			}
+			specs[i] = homeo.ClassSpec{
+				Name:    r.Name,
+				L:       r.L,
+				SQL:     r.SQL,
+				Bounds:  r.Bounds,
+				Initial: r.Initial,
+				Rows:    r.Rows,
+			}
+		}
+		ts, err := h.c.RegisterBatch(specs)
 		if err != nil {
 			status, code := http.StatusBadRequest, "bad_request"
 			switch {
@@ -368,7 +381,15 @@ func (h *Handler) handleClasses(rw http.ResponseWriter, req *http.Request) {
 			writeError(rw, status, code, "%v", err)
 			return
 		}
-		writeJSON(rw, http.StatusCreated, classInfo(t))
+		if batch {
+			resp := wire.ClassBatchResponse{Classes: make([]wire.ClassInfo, len(ts))}
+			for i, t := range ts {
+				resp.Classes[i] = classInfo(t)
+			}
+			writeJSON(rw, http.StatusCreated, resp)
+			return
+		}
+		writeJSON(rw, http.StatusCreated, classInfo(ts[0]))
 	default:
 		writeError(rw, http.StatusMethodNotAllowed, "method_not_allowed", "%s: GET or POST only", req.URL.Path)
 	}

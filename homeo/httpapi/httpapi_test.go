@@ -558,3 +558,66 @@ func TestClientHonorsRetryAfter(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchClassRegistration: the POST /v1/classes batch form registers
+// several classes atomically and reports the cache counters in stats.
+func TestBatchClassRegistration(t *testing.T) {
+	_, _, _, cl := newServer(t, homeo.Options{})
+	ctx := context.Background()
+
+	specs := make([]wire.ClassRequest, 4)
+	for i := range specs {
+		specs[i] = wire.ClassRequest{
+			L: strings.ReplaceAll(`transaction WdIDX(n) {
+				v := read(itemIDX);
+				if (v - n > 0) then write(itemIDX = v - n) else skip
+			}`, "IDX", string(rune('0'+i))),
+			Bounds:  map[string][2]int64{"n": {1, 5}},
+			Initial: map[string]int64{"item" + string(rune('0'+i)): 500},
+		}
+	}
+	infos, err := cl.RegisterClassBatch(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 4 {
+		t.Fatalf("registered %d classes, want 4", len(infos))
+	}
+	for i, info := range infos {
+		if want := "Wd" + string(rune('0'+i)); info.Name != want {
+			t.Fatalf("class %d named %q, want %q", i, info.Name, want)
+		}
+	}
+	res, err := cl.Submit(ctx, wire.TxnRequest{Class: "Wd2", Args: []int64{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("submit through batch-registered class: %+v", res)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four isomorphic classes: one scratch analysis, three cache hits.
+	if st.AnalysisCacheMisses != 1 || st.AnalysisCacheHits != 3 {
+		t.Fatalf("analysis cache hits=%d misses=%d, want 3/1",
+			st.AnalysisCacheHits, st.AnalysisCacheMisses)
+	}
+
+	// A batch with one broken class registers nothing.
+	bad := []wire.ClassRequest{
+		{L: depositSrc, Initial: map[string]int64{"acct": 10}},
+		{L: "transaction Broken(n) { v := read("},
+	}
+	if _, err := cl.RegisterClassBatch(ctx, bad); err == nil {
+		t.Fatal("broken batch registered")
+	}
+	classes, err := cl.ListClasses(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 4 {
+		t.Fatalf("classes after failed batch = %d, want the original 4", len(classes))
+	}
+}

@@ -1,0 +1,62 @@
+package homeo_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/homeo"
+)
+
+// regSpec builds the i-th registration spec. Every class has the same
+// transaction shape — a guarded withdraw — but a distinct transaction
+// name and a distinct object, so each registration adds one fresh unit
+// while the structural analysis (symtab build, guard preprocessing) is
+// identical across all of them.
+func regSpec(i int) homeo.ClassSpec {
+	return homeo.ClassSpec{
+		L: fmt.Sprintf(
+			"transaction W%d(n) { v := read(item%d); if (v - n > 0) then write(item%d = v - n) else skip }",
+			i, i, i),
+		Bounds:  map[string][2]int64{"n": {1, 5}},
+		Initial: map[string]int64{fmt.Sprintf("item%d", i): 1 << 30},
+	}
+}
+
+// BenchmarkRegisterClass measures online class registration as a
+// function of how many classes the cluster already holds: the cost of
+// registering the (pre+1)-th isomorphic class at pre = 100, 1k, and
+// 10k. Registration cost has two parts — per-class analysis (parse,
+// per-site replica rewrites, symbolic table, guard preprocessing),
+// which the artifact cache amortizes across isomorphic classes, and
+// registry bookkeeping (footprint-overlap checks, unit installation),
+// which must stay flat in the class count. Serial, sim runtime;
+// numbers recorded in BENCH_registration.json.
+func BenchmarkRegisterClass(b *testing.B) {
+	for _, pre := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("pre=%d", pre), func(b *testing.B) {
+			c, err := homeo.New(homeo.Options{Runtime: homeo.RuntimeSim, Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(c.Close)
+			for i := 0; i < pre; i++ {
+				if _, err := c.Register(regSpec(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Specs are prebuilt so the loop times Register alone, not
+			// the fmt work of generating distinct sources.
+			specs := make([]homeo.ClassSpec, b.N)
+			for i := range specs {
+				specs[i] = regSpec(pre + i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Register(specs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -72,6 +72,17 @@ type Stats struct {
 	RoundsAborted       int64
 	RecoveredWALRecords int64
 
+	// AnalysisCacheHits and AnalysisCacheMisses count class registrations
+	// that reused a cached analysis (symbolic table and guard
+	// preprocessing from an isomorphic class) versus built one from
+	// scratch. SolverWarmStarts and SolverFallbacks count treaty
+	// negotiations that succeeded from the previous configuration versus
+	// fell back to a full solve.
+	AnalysisCacheHits   int64
+	AnalysisCacheMisses int64
+	SolverWarmStarts    int64
+	SolverFallbacks     int64
+
 	// Store aggregates the per-site counters; PerSite lists them.
 	Store   StoreStats
 	PerSite []StoreStats
@@ -135,6 +146,10 @@ func (c *Cluster) Stats() Stats {
 		st.RoundsAdopted = snap.RoundsAdopted
 		st.RoundsAborted = snap.RoundsAborted
 		st.RecoveredWALRecords = c.sys.RecoveredRecords
+		st.AnalysisCacheHits = snap.AnalysisCacheHits
+		st.AnalysisCacheMisses = snap.AnalysisCacheMisses
+		st.SolverWarmStarts = snap.SolverWarmStarts
+		st.SolverFallbacks = snap.SolverFallbacks
 		st.Store = fromStoreStats(c.sys.StoreStats())
 		for _, s := range c.sys.SiteStats() {
 			st.PerSite = append(st.PerSite, fromStoreStats(s))

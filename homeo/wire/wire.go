@@ -53,6 +53,21 @@ type ClassRequest struct {
 	Rows map[string][][]int64 `json:"rows,omitempty"`
 }
 
+// ClassEnvelope is the POST /v1/classes body: either a single
+// ClassRequest or a Batch, registered atomically — every class installs
+// or none does (when Batch is non-empty the embedded single fields are
+// ignored). Batching amortizes the per-registration installation sweep.
+type ClassEnvelope struct {
+	ClassRequest
+	Batch []ClassRequest `json:"batch,omitempty"`
+}
+
+// ClassBatchResponse is the POST /v1/classes response for batch
+// registrations, in request order.
+type ClassBatchResponse struct {
+	Classes []ClassInfo `json:"classes"`
+}
+
 // ClassInfo describes a registered class (POST/GET /v1/classes).
 type ClassInfo struct {
 	Name    string   `json:"name"`
@@ -163,6 +178,15 @@ type Stats struct {
 	RoundsAdopted       int64 `json:"rounds_adopted,omitempty"`
 	RoundsAborted       int64 `json:"rounds_aborted,omitempty"`
 	RecoveredWALRecords int64 `json:"recovered_wal_records,omitempty"`
+
+	// Incremental derivation: registrations served from the analysis
+	// cache versus built from scratch, and treaty negotiations solved
+	// from the previous configuration versus falling back to a full
+	// solve.
+	AnalysisCacheHits   int64 `json:"analysis_cache_hits,omitempty"`
+	AnalysisCacheMisses int64 `json:"analysis_cache_misses,omitempty"`
+	SolverWarmStarts    int64 `json:"solver_warm_starts,omitempty"`
+	SolverFallbacks     int64 `json:"solver_fallbacks,omitempty"`
 
 	StoreCluster StoreStats   `json:"store_cluster"`
 	StorePerSite []StoreStats `json:"store_per_site,omitempty"`

@@ -213,6 +213,8 @@ func (sys *System) applyWAL(site int, recs []wal.Record) ([]Committed, error) {
 			return nil, fmt.Errorf("homeostasis: site %d WAL record %d has unknown kind %v", site, i, r.Kind)
 		}
 	}
+	// Replay rewrote stores wholesale; no cached fold survives it.
+	sys.invalidateFolds()
 	return entries, nil
 }
 
@@ -351,6 +353,7 @@ func (sys *System) RejoinFabric(p rt.Proc) error {
 		if ru.Version > u.version {
 			u.version = ru.Version
 		}
+		u.fold = nil
 		sys.degradeToLocalPin(u, sys.self)
 	}
 	sys.walFlush(sys.self)

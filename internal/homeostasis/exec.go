@@ -52,10 +52,15 @@ func (sys *System) putFrame(f *execFrame) {
 // called under the execution right.
 func (sys *System) deltaName(obj lang.ObjID, site int) lang.ObjID {
 	names := sys.deltaNames[obj]
-	if names == nil {
-		names = make([]lang.ObjID, sys.Opts.Topo.NSites())
-		for k := range names {
-			names[k] = lang.DeltaObj(obj, k)
+	if site >= len(names) {
+		// Fill through the current site count (elastic joins can push
+		// site past a previously cached slice).
+		top := sys.Opts.Topo.NSites()
+		if top <= site {
+			top = site + 1
+		}
+		for k := len(names); k < top; k++ {
+			names = append(names, lang.DeltaObj(obj, k))
 		}
 		sys.deltaNames[obj] = names
 	}
@@ -306,6 +311,11 @@ func (sys *System) execAttempt(p rt.Proc, site int, req workload.Request, f *exe
 		}
 	}
 	tx.Commit()
+	// The commit moved this site's delta objects, so the units' cached
+	// folded views are stale (see unitState.fold).
+	for _, u := range f.units {
+		u.fold = nil
+	}
 	if len(f.view.log) > 0 {
 		commitLog = append([]int64(nil), f.view.log...)
 	}

@@ -448,6 +448,7 @@ func (sys *System) JoinCluster(p rt.Proc, addr string) (int, error) {
 			if ju.Version > u.version {
 				u.version = ju.Version
 			}
+			u.fold = nil
 			if sys.self >= 0 {
 				// Pin the fresh slot at its zero-delta state so the first
 				// local write resynchronizes under a treaty negotiated by
@@ -726,7 +727,11 @@ func (sys *System) buildTreatiesFor(u *unitState, folded lang.Database, weights 
 	if err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("%s!w%v", isoKey(g, folded), weights)
+	key := sys.isoKey(g, folded)
+	key.mix(0x77)
+	for _, w := range weights {
+		key.mix(uint64(w))
+	}
 	cfg, ok := sys.cfgCache[key]
 	if ok {
 		sys.CacheHits++

@@ -15,8 +15,8 @@ package homeostasis
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
-	"strings"
 	"sync/atomic"
 
 	"repro/internal/cluster"
@@ -263,6 +263,17 @@ type unitState struct {
 	// demand is the per-site demand observed since the last negotiation
 	// round (allocated only when Options.Alloc != AllocDefault).
 	demand []siteDemand
+	// lastCfg is the configuration the unit's last treaty build produced;
+	// the next model-optimized solve passes it as a warm-start hint
+	// (treaty.OptimizeOptions.Warm — bit-identical output, the hint only
+	// skips the foregone first MaxSAT round).
+	lastCfg treaty.Config
+	// fold caches the unit's consolidated logical values between
+	// synchronization points (nil = stale). Maintained only under the
+	// treaty modes, where every store write flows through execAttempt
+	// commits or negotiation installs — both mark the unit dirty; the
+	// baseline modes bypass those paths, so they never populate it.
+	fold lang.Database
 }
 
 // resetDemand clears the unit's per-site demand stats (called when a
@@ -299,7 +310,21 @@ type System struct {
 	// depends only on that class, so one optimization serves them all.
 	// This is the paper's parameterized compression (Section 5.1) applied
 	// to treaty configurations.
-	cfgCache map[string]treaty.Config
+	cfgCache map[isoHash]treaty.Config
+
+	// localsCache extends the configuration cache one derivation step
+	// further: the instantiated per-site locals of the first unit per
+	// isomorphism key, with the canonical variable order they were built
+	// under. An isomorphic unit's locals are the same constraints under
+	// the positional variable rename isoKey's first-occurrence order
+	// defines, so serving them skips the template build and
+	// instantiation entirely.
+	localsCache map[isoHash]localsEntry
+
+	// isoIdx/isoNames are isoKey's reusable scratch (first-occurrence
+	// variable indexing); accessed only under the execution right.
+	isoIdx   map[string]int
+	isoNames []string
 
 	// SolverInvocations counts treaty computations performed online;
 	// CacheHits counts configurations served from the isomorphism cache.
@@ -382,17 +407,18 @@ func New(e rt.Runtime, w workload.Workload, opts Options) (*System, error) {
 	}
 	n := opts.Topo.NSites()
 	sys := &System{
-		E:          e,
-		Opts:       opts,
-		W:          w,
-		Col:        &metrics.Collector{},
-		optRng:     rand.New(rand.NewSource(opts.Seed + 7919)),
-		cfgCache:   make(map[string]treaty.Config),
-		self:       -1,
-		rounds:     make(map[fabric.RoundID]*roundGrant),
-		deltaNames: make(map[lang.ObjID][]lang.ObjID),
-		status:     make([]siteStatus, n),
-		siteAddrs:  make([]string, n),
+		E:           e,
+		Opts:        opts,
+		W:           w,
+		Col:         &metrics.Collector{},
+		optRng:      rand.New(rand.NewSource(opts.Seed + 7919)),
+		cfgCache:    make(map[isoHash]treaty.Config),
+		localsCache: make(map[isoHash]localsEntry),
+		self:        -1,
+		rounds:      make(map[fabric.RoundID]*roundGrant),
+		deltaNames:  make(map[lang.ObjID][]lang.ObjID),
+		status:      make([]siteStatus, n),
+		siteAddrs:   make([]string, n),
 	}
 	initial := w.InitialDB()
 	for i := 0; i < n; i++ {
@@ -440,11 +466,26 @@ func New(e rt.Runtime, w workload.Workload, opts Options) (*System, error) {
 // respect to in-flight transactions.
 func (sys *System) AddUnits(install lang.Database) error {
 	n := sys.Opts.Topo.NSites()
+	// The usual install touches only the new units' objects (their folds
+	// are computed fresh below). Initial values naming objects outside
+	// them stale existing folds, so that rare shape drops every cache.
+	fresh := make(map[lang.ObjID]bool)
+	for id := len(sys.Units); id < sys.W.NumUnits(); id++ {
+		for _, obj := range sys.W.UnitObjects(id) {
+			fresh[obj] = true
+		}
+	}
+	for _, obj := range install.Objects() {
+		if !fresh[obj] {
+			sys.invalidateFolds()
+			break
+		}
+	}
 	for _, obj := range install.Objects() {
 		for s := 0; s < n; s++ {
 			sys.Stores[s].Apply(obj, install[obj])
 			for k := 0; k < n; k++ {
-				sys.Stores[s].Apply(lang.DeltaObj(obj, k), 0)
+				sys.Stores[s].Apply(sys.deltaName(obj, k), 0)
 			}
 		}
 	}
@@ -495,17 +536,54 @@ func (sys *System) UnitLocals(unit int) []treaty.Local {
 
 // foldUnit consolidates the unit's logical values across all sites:
 // base value (identical everywhere between rounds) plus every site's own
-// delta.
+// delta. Under the treaty modes the result is cached per unit with
+// commit- and install-time dirty marks (per-unit watermarks), so
+// repeated folds — FoldedDB sweeps for stats, snapshots, and replay
+// checks — recompute only units that changed since the last fold.
 func (sys *System) foldUnit(u *unitState) lang.Database {
+	if u.fold != nil {
+		return u.fold
+	}
 	folded := lang.Database{}
 	for _, obj := range u.objects {
 		v := sys.Stores[0].Get(obj)
 		for k, s := range sys.Stores {
-			v += s.Get(lang.DeltaObj(obj, k))
+			v += s.Get(sys.deltaName(obj, k))
 		}
 		folded[obj] = v
 	}
+	if sys.foldCaching() {
+		u.fold = folded
+	}
 	return folded
+}
+
+// foldCaching reports whether per-unit fold caching is sound: only the
+// treaty modes route every store mutation through paths that mark units
+// dirty (execAttempt commits, negotiation installs, membership and
+// recovery sweeps). The baseline executors commit straight through
+// store transactions, so their folds always recompute.
+func (sys *System) foldCaching() bool {
+	return sys.Opts.Mode != ModeTwoPC && sys.Opts.Mode != ModeLocal
+}
+
+// dirtyFolds invalidates the cached folds of the given units (a commit
+// or state install changed their deltas or base values).
+func (sys *System) dirtyFolds(units []int) {
+	for _, id := range units {
+		if id >= 0 && id < len(sys.Units) {
+			sys.Units[id].fold = nil
+		}
+	}
+}
+
+// invalidateFolds drops every cached fold — the sledgehammer for rare
+// whole-store events (registration installs, membership changes, WAL
+// recovery) whose touched-unit set is not worth computing precisely.
+func (sys *System) invalidateFolds() {
+	for _, u := range sys.Units {
+		u.fold = nil
+	}
 }
 
 // placement locates objects for template splitting: delta objects belong
@@ -518,6 +596,27 @@ func placement(obj lang.ObjID) int {
 	return 0
 }
 
+// isoHash is a 128-bit FNV-1a-style digest of a configuration-cache
+// key. 128 bits keep the accidental-collision probability negligible
+// (two distinct isomorphism classes hashing together would serve one
+// class the other's configuration).
+type isoHash [2]uint64
+
+// fnv128OffsetHi/Lo is the FNV-128 offset basis.
+const (
+	fnv128OffsetHi = 0x6c62272e07bb0142
+	fnv128OffsetLo = 0x62b821756295c58d
+)
+
+// mix absorbs one 64-bit word: XOR into the low half, then multiply the
+// 128-bit state by the FNV-128 prime 2^88 + 0x13b (mod 2^128).
+func (h *isoHash) mix(w uint64) {
+	h[1] ^= w
+	carry, lo := bits.Mul64(h[1], 0x13b)
+	h[0] = h[0]*0x13b + carry + h[1]<<24
+	h[1] = lo
+}
+
 // isoKey canonicalizes a (global treaty, folded database) pair up to
 // object renaming: object names are replaced by first-occurrence indices,
 // keeping coefficients, relations, placements, and folded values. Units
@@ -525,29 +624,43 @@ func placement(obj lang.ObjID) int {
 // configurations (configuration variable names are positional). Caching
 // on this key assumes isomorphic units also have statistically identical
 // workload models, which holds for both built-in workloads (per-item
-// demand models are shared).
-func isoKey(g treaty.Global, folded lang.Database) string {
-	idx := make(map[string]int)
-	var sb strings.Builder
+// demand models are shared). The key is hashed — this runs on every
+// renegotiation, and the previous string encoding dominated the
+// cache-hit path's allocations; the index map and name list are
+// per-System scratch reused across calls.
+//
+//homeo:hotpath
+func (sys *System) isoKey(g treaty.Global, folded lang.Database) isoHash {
+	h := isoHash{fnv128OffsetHi, fnv128OffsetLo}
+	idx := sys.isoIdx
+	if idx == nil {
+		idx = make(map[string]int)
+		sys.isoIdx = idx
+	}
+	clear(idx)
+	names := sys.isoNames[:0]
 	for _, c := range g.Constraints {
-		fmt.Fprintf(&sb, "%v,%d:", c.Op, c.Term.Const)
+		h.mix(0xc1)
+		h.mix(uint64(c.Op))
+		h.mix(uint64(c.Term.Const))
 		for _, v := range c.Term.Vars() {
 			i, ok := idx[v.Name]
 			if !ok {
 				i = len(idx)
 				idx[v.Name] = i
+				names = append(names, v.Name)
 			}
-			fmt.Fprintf(&sb, "%d*o%d@%d,", c.Term.Coeffs[v], i, placement(lang.ObjID(v.Name)))
+			h.mix(uint64(c.Term.Coeffs[v]))
+			h.mix(uint64(i))
+			h.mix(uint64(placement(lang.ObjID(v.Name))))
 		}
-		sb.WriteByte('|')
 	}
-	vals := make([]int64, len(idx))
-	//homeo:nondet permutation fill: each key writes only its own slot
-	for name, i := range idx {
-		vals[i] = folded.Get(lang.ObjID(name))
+	h.mix(0xf0)
+	for _, name := range names {
+		h.mix(uint64(folded.Get(lang.ObjID(name))))
 	}
-	fmt.Fprintf(&sb, "#%v", vals)
-	return sb.String()
+	sys.isoNames = names
+	return h
 }
 
 // generateTreaties derives and installs the unit's per-site local
@@ -597,10 +710,6 @@ func (sys *System) buildTreatiesWith(u *unitState, folded lang.Database, rng *ra
 	if err != nil {
 		return nil, err
 	}
-	tmpl, err := treaty.BuildTemplate(g, sys.Opts.Topo.NSites(), placement)
-	if err != nil {
-		return nil, err
-	}
 	// The store-shaped database: base objects at folded values, all delta
 	// objects zero (absent entries read as zero).
 	//
@@ -614,10 +723,13 @@ func (sys *System) buildTreatiesWith(u *unitState, folded lang.Database, rng *ra
 	// one allocation.
 	alloc := sys.effectiveAlloc()
 	var weights []int64
-	key := isoKey(g, folded)
+	key := sys.isoKey(g, folded)
 	if alloc == AllocAdaptive {
 		weights = quantizeDemand(u.demand)
-		key = fmt.Sprintf("%s!%v", key, weights)
+		key.mix(0xa1)
+		for _, w := range weights {
+			key.mix(uint64(w))
+		}
 	}
 	// Degraded membership (a site draining or gone): every strategy
 	// switches to the adaptive allocator with the membership overlaid on
@@ -627,23 +739,51 @@ func (sys *System) buildTreatiesWith(u *unitState, folded lang.Database, rng *ra
 	degraded := sys.anyInactive()
 	if degraded {
 		weights = sys.membershipWeights(weights)
-		key = fmt.Sprintf("%s!m%v", key, weights)
+		key.mix(0x3e)
+		for _, w := range weights {
+			key.mix(uint64(w))
+		}
 	}
 	var cfg treaty.Config
+	cfgHit := false
 	if cached, ok := sys.cfgCache[key]; useCache && ok {
 		cfg = cached
 		sys.CacheHits++
-	} else {
+		cfgHit = true
+		// An isomorphic unit already instantiated this configuration:
+		// its locals differ from this unit's only by the positional
+		// variable rename the isomorphism defines, so the template build
+		// and instantiation are skipped entirely.
+		if locals, ok := sys.renamedLocals(key); ok {
+			u.lastCfg = cfg
+			return locals, nil
+		}
+	}
+	tmpl, err := treaty.BuildTemplate(g, sys.Opts.Topo.NSites(), placement)
+	if err != nil {
+		return nil, err
+	}
+	// optimize runs the model-based solve, warm-started from the unit's
+	// previous configuration when one exists. The warm hint never changes
+	// the result (see treaty.OptimizeOptions.Warm) — it skips the foregone
+	// first MaxSAT round, and the outcome counters feed the stats surface.
+	optimize := func() treaty.Config {
+		cfg, ostats := treaty.Optimize(tmpl, folded, sys.W.Model(u.id), treaty.OptimizeOptions{
+			Lookahead:  sys.Opts.Lookahead,
+			CostFactor: sys.Opts.CostFactor,
+			Rng:        rng,
+			Warm:       u.lastCfg,
+		})
+		sys.Col.RecordSolverWarm(ostats.WarmStart, ostats.WarmFallback)
+		return cfg
+	}
+	if !cfgHit {
 		if degraded {
 			cfg = tmpl.AdaptiveConfig(folded, weights)
 		} else if sys.Opts.Alloc == AllocDefault {
 			switch sys.Opts.Mode {
 			case ModeHomeo:
-				cfg, _ = treaty.Optimize(tmpl, folded, sys.W.Model(u.id), treaty.OptimizeOptions{
-					Lookahead:  sys.Opts.Lookahead,
-					CostFactor: sys.Opts.CostFactor,
-					Rng:        rng,
-				})
+				cfg = optimize()
 			case ModeOpt:
 				cfg = tmpl.EqualSplitConfig(folded)
 			case ModeHomeoDefault:
@@ -659,11 +799,7 @@ func (sys *System) buildTreatiesWith(u *unitState, folded lang.Database, rng *ra
 			}
 			switch alloc {
 			case AllocModel:
-				cfg, _ = treaty.Optimize(tmpl, folded, sys.W.Model(u.id), treaty.OptimizeOptions{
-					Lookahead:  sys.Opts.Lookahead,
-					CostFactor: sys.Opts.CostFactor,
-					Rng:        rng,
-				})
+				cfg = optimize()
 			case AllocEqualSplit:
 				cfg = tmpl.EqualSplitConfig(folded)
 			case AllocAdaptive:
@@ -675,7 +811,81 @@ func (sys *System) buildTreatiesWith(u *unitState, folded lang.Database, rng *ra
 			sys.cfgCache[key] = cfg
 		}
 	}
-	return tmpl.LocalTreaties(cfg)
+	u.lastCfg = cfg
+	locals, err := tmpl.LocalTreaties(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if useCache {
+		sys.cacheLocals(key, locals)
+	}
+	return locals, nil
+}
+
+// localsEntry is one locals-cache slot: the representative unit's
+// instantiated locals plus the canonical (first-occurrence) variable
+// order they were built under, the domain of the positional rename.
+type localsEntry struct {
+	names  []string
+	locals []treaty.Local
+}
+
+// renamedLocals serves a unit's local treaties from the locals cache by
+// renaming the cached representative's constraints into this unit's
+// namespace. sys.isoNames must hold the unit's canonical variable order
+// (valid since the last isoKey call). A cache entry mentioning a
+// variable outside that order (never the case for entries written by
+// cacheLocals) falls back to a scratch build, as does an entry built
+// under a different site count — elastic joins and drains change the
+// topology without touching the iso key.
+//
+//homeo:hotpath
+func (sys *System) renamedLocals(key isoHash) ([]treaty.Local, bool) {
+	e, ok := sys.localsCache[key]
+	if !ok || len(e.names) != len(sys.isoNames) || len(e.locals) != sys.Opts.Topo.NSites() {
+		return nil, false
+	}
+	ren := make(map[logic.Var]logic.Var, len(e.names))
+	for i, n := range e.names {
+		ren[logic.Var{Kind: logic.ObjVar, Name: n}] = logic.Var{Kind: logic.ObjVar, Name: sys.isoNames[i]}
+	}
+	out := make([]treaty.Local, len(e.locals))
+	for i, l := range e.locals {
+		nl := treaty.Local{Site: l.Site, Constraints: make([]lia.Constraint, len(l.Constraints))}
+		for j, c := range l.Constraints {
+			t := lia.Term{Coeffs: make(map[logic.Var]int64, len(c.Term.Coeffs)), Const: c.Term.Const}
+			//homeo:nondet map-to-map rebuild; the renamed term is a map, order invisible
+			for v, co := range c.Term.Coeffs {
+				nv, ok := ren[v]
+				if !ok {
+					return nil, false
+				}
+				t.Coeffs[nv] = co
+			}
+			nl.Constraints[j] = lia.Constraint{Term: t, Op: c.Op}
+		}
+		out[i] = nl
+	}
+	return out, true
+}
+
+// cacheLocals stores a deep copy of freshly instantiated locals under
+// the canonical variable order of the unit that built them (sys.isoNames,
+// valid since the last isoKey call). The copy keeps the cache immune to
+// any mutation of the installed locals.
+func (sys *System) cacheLocals(key isoHash, locals []treaty.Local) {
+	cp := make([]treaty.Local, len(locals))
+	for i, l := range locals {
+		nl := treaty.Local{Site: l.Site, Constraints: make([]lia.Constraint, len(l.Constraints))}
+		for j, c := range l.Constraints {
+			nl.Constraints[j] = lia.Constraint{Term: c.Term.Clone(), Op: c.Op}
+		}
+		cp[i] = nl
+	}
+	sys.localsCache[key] = localsEntry{
+		names:  append([]string(nil), sys.isoNames...),
+		locals: cp,
+	}
 }
 
 // effectiveAlloc resolves the allocation strategy actually in force: the

@@ -4,10 +4,11 @@ import (
 	"fmt"
 	"strconv"
 	"unicode"
+	"unicode/utf8"
 )
 
 // tokenKind classifies lexical tokens of the L / L++ surface syntax.
-type tokenKind int
+type tokenKind int32
 
 const (
 	tokEOF tokenKind = iota
@@ -63,24 +64,32 @@ var keywords = map[string]tokenKind{
 }
 
 type token struct {
-	kind tokenKind
 	text string
 	ival int64
-	pos  int // byte offset, for error reporting
-	line int
+	kind tokenKind
+	pos  int32 // byte offset, for error reporting
+	line int32
 }
 
 // lexer turns L / L++ source text into tokens. It supports // line
-// comments and arbitrary whitespace.
+// comments and arbitrary whitespace. It walks the source string
+// directly (byte-wise with UTF-8 decoding only off the ASCII fast
+// path), and token text is a substring of the source — registration
+// parses every submitted class, so lexing allocates nothing beyond the
+// token slice itself.
+//
+//homeo:hotpath
 type lexer struct {
-	src  []rune
+	src  string
 	pos  int
 	line int
 	toks []token
 }
 
 func lex(src string) ([]token, error) {
-	lx := &lexer{src: []rune(src), line: 1}
+	// ~3 source bytes per token in idiomatic L; undershooting the
+	// estimate doubles the one allocation the lexer makes.
+	lx := &lexer{src: src, line: 1, toks: make([]token, 0, len(src)/3+8)}
 	for {
 		tok, err := lx.next()
 		if err != nil {
@@ -101,18 +110,26 @@ func (lx *lexer) peekRune() rune {
 	if lx.pos >= len(lx.src) {
 		return 0
 	}
-	return lx.src[lx.pos]
+	return rune(lx.src[lx.pos])
+}
+
+// runeAt decodes the rune starting at byte offset i (ASCII fast path).
+func (lx *lexer) runeAt(i int) (rune, int) {
+	if b := lx.src[i]; b < utf8.RuneSelf {
+		return rune(b), 1
+	}
+	return utf8.DecodeRuneInString(lx.src[i:])
 }
 
 func (lx *lexer) skipSpaceAndComments() {
 	for lx.pos < len(lx.src) {
-		r := lx.src[lx.pos]
+		r, w := lx.runeAt(lx.pos)
 		switch {
 		case r == '\n':
 			lx.line++
 			lx.pos++
 		case unicode.IsSpace(r):
-			lx.pos++
+			lx.pos += w
 		case r == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
 			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
 				lx.pos++
@@ -127,18 +144,22 @@ func (lx *lexer) next() (token, error) {
 	lx.skipSpaceAndComments()
 	start := lx.pos
 	mk := func(k tokenKind, text string) token {
-		return token{kind: k, text: text, pos: start, line: lx.line}
+		return token{kind: k, text: text, pos: int32(start), line: int32(lx.line)}
 	}
 	if lx.pos >= len(lx.src) {
 		return mk(tokEOF, ""), nil
 	}
-	r := lx.src[lx.pos]
+	r, w := lx.runeAt(lx.pos)
 	switch {
 	case unicode.IsDigit(r):
-		for lx.pos < len(lx.src) && unicode.IsDigit(lx.src[lx.pos]) {
-			lx.pos++
+		for lx.pos < len(lx.src) {
+			d, dw := lx.runeAt(lx.pos)
+			if !unicode.IsDigit(d) {
+				break
+			}
+			lx.pos += dw
 		}
-		text := string(lx.src[start:lx.pos])
+		text := lx.src[start:lx.pos]
 		v, err := strconv.ParseInt(text, 10, 64)
 		if err != nil {
 			return token{}, lx.errf("bad integer literal %q", text)
@@ -147,18 +168,20 @@ func (lx *lexer) next() (token, error) {
 		t.ival = v
 		return t, nil
 	case unicode.IsLetter(r) || r == '_':
-		for lx.pos < len(lx.src) &&
-			(unicode.IsLetter(lx.src[lx.pos]) || unicode.IsDigit(lx.src[lx.pos]) ||
-				lx.src[lx.pos] == '_' || lx.src[lx.pos] == '\'') {
-			lx.pos++
+		for lx.pos < len(lx.src) {
+			c, cw := lx.runeAt(lx.pos)
+			if !(unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '\'') {
+				break
+			}
+			lx.pos += cw
 		}
-		text := string(lx.src[start:lx.pos])
+		text := lx.src[start:lx.pos]
 		if k, ok := keywords[text]; ok {
 			return mk(k, text), nil
 		}
 		return mk(tokIdent, text), nil
 	}
-	lx.pos++
+	lx.pos += w
 	switch r {
 	case '(':
 		return mk(tokLParen, "("), nil

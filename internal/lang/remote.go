@@ -1,8 +1,8 @@
 package lang
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 )
 
 // This file implements the Appendix B transformation that eliminates
@@ -21,9 +21,17 @@ import (
 // lets the transformed transaction avoid remote reads entirely when the
 // write expression was a delta of the original value (Figure 23c).
 
-// DeltaObj returns the name of the delta object for x at site i.
+// DeltaObj returns the name of the delta object for x at site i. Folds
+// and unit installation build these names for every object × site pair,
+// so the name is assembled directly rather than through fmt.
+//
+//homeo:hotpath
 func DeltaObj(x ObjID, site int) ObjID {
-	return ObjID(fmt.Sprintf("%s@d%d", x, site))
+	b := make([]byte, 0, len(x)+2+20)
+	b = append(b, x...)
+	b = append(b, '@', 'd')
+	b = strconv.AppendInt(b, int64(site), 10)
+	return ObjID(b)
 }
 
 // IsDeltaObj reports whether obj is a delta object, and if so for which

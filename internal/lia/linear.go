@@ -61,11 +61,13 @@ func (t Term) IsConst() bool { return len(t.Coeffs) == 0 }
 
 // Vars returns the term's variables in deterministic order.
 func (t Term) Vars() []logic.Var {
-	set := make(map[logic.Var]bool, len(t.Coeffs))
+	out := make([]logic.Var, 0, len(t.Coeffs))
+	//homeo:nondet collected then sorted by SortVars below
 	for v := range t.Coeffs {
-		set[v] = true
+		out = append(out, v)
 	}
-	return logic.SortedVars(set)
+	logic.SortVars(out)
+	return out
 }
 
 // Eval evaluates the term under a binding.

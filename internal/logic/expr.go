@@ -13,7 +13,7 @@ package logic
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro/internal/lang"
@@ -281,16 +281,24 @@ func ExprVars(e Expr, out map[Var]bool) {
 // SortedVars returns the variables of a set in deterministic order.
 func SortedVars(set map[Var]bool) []Var {
 	out := make([]Var, 0, len(set))
+	//homeo:nondet collected then sorted by SortVars below
 	for v := range set {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Kind != out[j].Kind {
-			return out[i].Kind < out[j].Kind
-		}
-		return out[i].Name < out[j].Name
-	})
+	SortVars(out)
 	return out
+}
+
+// SortVars sorts variables in place into the canonical (kind, name)
+// order. It avoids sort.Slice's reflection so treaty compilation on the
+// registration path stays cheap.
+func SortVars(vars []Var) {
+	slices.SortFunc(vars, func(a, b Var) int {
+		if a.Kind != b.Kind {
+			return int(a.Kind) - int(b.Kind)
+		}
+		return strings.Compare(a.Name, b.Name)
+	})
 }
 
 // joinStrings is a small helper for readable formula printing.

@@ -221,6 +221,17 @@ type Collector struct {
 	// was dropped with state and treaties untouched.
 	RoundsAdopted int64
 	RoundsAborted int64
+	// AnalysisCacheHits/Misses count class registrations served by the
+	// artifact cache (an isomorphic family shared its symbolic table and
+	// guard preprocessing) vs. analyzed from scratch.
+	AnalysisCacheHits   int64
+	AnalysisCacheMisses int64
+	// SolverWarmStarts counts negotiation solves where the warm-start
+	// fast path produced the configuration without entering the MaxSAT
+	// loop; SolverFallbacks counts warm attempts that hit a theory
+	// conflict and fell back to the full solve.
+	SolverWarmStarts int64
+	SolverFallbacks  int64
 	// ViolationBreakdown is the Figure 24 split for transactions that
 	// required synchronization.
 	ViolationBreakdown Breakdown
@@ -307,6 +318,30 @@ func (c *Collector) RecordRoundAborted() {
 	c.RoundsAborted++
 }
 
+// RecordAnalysisCache records one class registration's artifact-cache
+// outcome. Not gated on Measuring: cache behavior is an operational
+// signal, not a workload measurement.
+func (c *Collector) RecordAnalysisCache(hit bool) {
+	if hit {
+		c.AnalysisCacheHits++
+	} else {
+		c.AnalysisCacheMisses++
+	}
+}
+
+// RecordSolverWarm records one warm-started negotiation solve: started
+// reports whether the fast path held, fellBack whether it conflicted
+// into the full solve. Not gated on Measuring: solver behavior is an
+// operational signal.
+func (c *Collector) RecordSolverWarm(started, fellBack bool) {
+	if started {
+		c.SolverWarmStarts++
+	}
+	if fellBack {
+		c.SolverFallbacks++
+	}
+}
+
 // RecordCoWinner records a transaction committed by joining another
 // violator's cleanup round instead of running its own.
 func (c *Collector) RecordCoWinner() {
@@ -379,6 +414,14 @@ type Snapshot struct {
 	// adopting the round's winner vs. releasing the grant untouched.
 	RoundsAdopted int64
 	RoundsAborted int64
+
+	// AnalysisCacheHits/Misses count registrations served by the artifact
+	// cache vs. analyzed from scratch; SolverWarmStarts/SolverFallbacks
+	// split warm-started negotiation solves by whether the fast path held.
+	AnalysisCacheHits   int64
+	AnalysisCacheMisses int64
+	SolverWarmStarts    int64
+	SolverFallbacks     int64
 }
 
 // SnapshotAt captures the collector's state with the throughput window
@@ -408,5 +451,10 @@ func (c *Collector) SnapshotAt(now rt.Time) Snapshot {
 		FabricErrors:      c.FabricErrors,
 		RoundsAdopted:     c.RoundsAdopted,
 		RoundsAborted:     c.RoundsAborted,
+
+		AnalysisCacheHits:   c.AnalysisCacheHits,
+		AnalysisCacheMisses: c.AnalysisCacheMisses,
+		SolverWarmStarts:    c.SolverWarmStarts,
+		SolverFallbacks:     c.SolverFallbacks,
 	}
 }

@@ -1,0 +1,202 @@
+package symtab
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// Canon is the name-insensitive structural fingerprint of a (lowered)
+// transaction. Two transactions canonicalize to the same Key exactly
+// when they differ only in their transaction name, parameter names,
+// temporary names, and database object names: parameters are encoded by
+// declaration position, temporaries and objects by first occurrence in
+// a fixed depth-first walk of the body. Objs records the object names
+// in that first-occurrence order, so two transactions with equal Keys
+// are isomorphic under the positional object mapping
+// Objs_a[i] ↔ Objs_b[i] (and likewise for parameters by position).
+//
+// The Key is the exact canonical encoding, not a digest: equal keys
+// imply isomorphic structure with no collision risk, and map lookups
+// hash it internally. The artifact cache (internal/workload) keys
+// shared symbolic tables and guard preprocessing on it.
+type Canon struct {
+	Key  string
+	Objs []lang.ObjID
+}
+
+// Canonicalize fingerprints t. The transaction should already be
+// lowered (no L++ arrays); array forms are still encoded structurally
+// so the function is total, with array names canonicalized by
+// declaration position.
+func Canonicalize(t *lang.Transaction) Canon {
+	e := &canonEnc{
+		params: make(map[string]int, len(t.Params)),
+		temps:  make(map[string]int),
+		objs:   make(map[lang.ObjID]int),
+		arrays: make(map[string]int, len(t.Arrays)),
+	}
+	for i, p := range t.Params {
+		e.params[p] = i
+	}
+	e.b.WriteString("P")
+	e.b.WriteString(strconv.Itoa(len(t.Params)))
+	for _, a := range t.Arrays {
+		e.arrays[a.Name] = len(e.arrays)
+		fmt.Fprintf(&e.b, "|A%dx%d", a.Len, a.Cols)
+	}
+	e.b.WriteString("|")
+	e.cmd(t.Body)
+	return Canon{Key: e.b.String(), Objs: e.order}
+}
+
+type canonEnc struct {
+	b      strings.Builder
+	params map[string]int
+	temps  map[string]int
+	objs   map[lang.ObjID]int
+	arrays map[string]int
+	order  []lang.ObjID
+}
+
+func (e *canonEnc) obj(o lang.ObjID) {
+	idx, ok := e.objs[o]
+	if !ok {
+		idx = len(e.objs)
+		e.objs[o] = idx
+		e.order = append(e.order, o)
+	}
+	e.b.WriteString(strconv.Itoa(idx))
+}
+
+func (e *canonEnc) temp(name string) {
+	idx, ok := e.temps[name]
+	if !ok {
+		idx = len(e.temps)
+		e.temps[name] = idx
+	}
+	e.b.WriteString(strconv.Itoa(idx))
+}
+
+func (e *canonEnc) expr(x lang.Expr) {
+	switch v := x.(type) {
+	case lang.IntLit:
+		e.b.WriteString("i")
+		e.b.WriteString(strconv.FormatInt(v.Value, 10))
+	case lang.Param:
+		e.b.WriteString("p")
+		e.b.WriteString(strconv.Itoa(e.params[v.Name]))
+	case lang.TempVar:
+		e.b.WriteString("t")
+		e.temp(v.Name)
+	case lang.Read:
+		e.b.WriteString("r")
+		e.obj(v.Obj)
+	case lang.ArrayRead:
+		e.b.WriteString("R")
+		e.b.WriteString(strconv.Itoa(e.arrays[v.Array]))
+		e.b.WriteString("(")
+		e.expr(v.Index)
+		e.b.WriteString(")")
+	case lang.Neg:
+		e.b.WriteString("n(")
+		e.expr(v.E)
+		e.b.WriteString(")")
+	case lang.Bin:
+		e.b.WriteString("b")
+		e.b.WriteString(strconv.Itoa(int(v.Op)))
+		e.b.WriteString("(")
+		e.expr(v.L)
+		e.b.WriteString(",")
+		e.expr(v.R)
+		e.b.WriteString(")")
+	default:
+		// Future node kinds must not silently alias distinct structures:
+		// fall back to the node's own rendering (name-sensitive, so it can
+		// only split families, never merge them incorrectly).
+		e.b.WriteString(x.String())
+	}
+}
+
+func (e *canonEnc) boolExpr(x lang.BoolExpr) {
+	switch v := x.(type) {
+	case lang.BoolLit:
+		if v.Value {
+			e.b.WriteString("T")
+		} else {
+			e.b.WriteString("F")
+		}
+	case lang.Cmp:
+		e.b.WriteString("c")
+		e.b.WriteString(strconv.Itoa(int(v.Op)))
+		e.b.WriteString("(")
+		e.expr(v.L)
+		e.b.WriteString(",")
+		e.expr(v.R)
+		e.b.WriteString(")")
+	case lang.And:
+		e.b.WriteString("&(")
+		e.boolExpr(v.L)
+		e.b.WriteString(",")
+		e.boolExpr(v.R)
+		e.b.WriteString(")")
+	case lang.Or:
+		e.b.WriteString("|(")
+		e.boolExpr(v.L)
+		e.b.WriteString(",")
+		e.boolExpr(v.R)
+		e.b.WriteString(")")
+	case lang.Not:
+		e.b.WriteString("!(")
+		e.boolExpr(v.B)
+		e.b.WriteString(")")
+	default:
+		e.b.WriteString(x.String())
+	}
+}
+
+func (e *canonEnc) cmd(c lang.Cmd) {
+	switch v := c.(type) {
+	case lang.Skip:
+		e.b.WriteString("s;")
+	case lang.Assign:
+		e.b.WriteString("a")
+		e.temp(v.Var)
+		e.b.WriteString("=")
+		e.expr(v.E)
+		e.b.WriteString(";")
+	case lang.Seq:
+		e.cmd(v.First)
+		e.cmd(v.Rest)
+	case lang.If:
+		e.b.WriteString("I(")
+		e.boolExpr(v.Cond)
+		e.b.WriteString("){")
+		e.cmd(v.Then)
+		e.b.WriteString("}{")
+		e.cmd(v.Else)
+		e.b.WriteString("}")
+	case lang.WriteCmd:
+		e.b.WriteString("w")
+		e.obj(v.Obj)
+		e.b.WriteString("=")
+		e.expr(v.E)
+		e.b.WriteString(";")
+	case lang.ArrayWrite:
+		e.b.WriteString("W")
+		e.b.WriteString(strconv.Itoa(e.arrays[v.Array]))
+		e.b.WriteString("(")
+		e.expr(v.Index)
+		e.b.WriteString(")=")
+		e.expr(v.E)
+		e.b.WriteString(";")
+	case lang.PrintCmd:
+		e.b.WriteString("P(")
+		e.expr(v.E)
+		e.b.WriteString(");")
+	default:
+		e.b.WriteString(c.String())
+	}
+}

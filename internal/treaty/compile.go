@@ -86,7 +86,12 @@ func Compile(l Local) (CompiledLocal, error) {
 	var cons []compiledConstraint
 	for _, c := range l.Constraints {
 		cc := compiledConstraint{konst: c.Term.Const, op: c.Op}
-		for _, v := range c.Term.Vars() {
+		vars := c.Term.Vars()
+		if len(vars) > 0 {
+			cc.objs = make([]lang.ObjID, 0, len(vars))
+			cc.coeffs = make([]int64, 0, len(vars))
+		}
+		for _, v := range vars {
 			if v.Kind != logic.ObjVar {
 				return CompiledLocal{}, fmt.Errorf(
 					"treaty: compile: site %d local treaty mentions non-object variable %s in %s",

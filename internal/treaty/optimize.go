@@ -30,6 +30,14 @@ type OptimizeOptions struct {
 	// optimizer finishes with a greedy feasible subset. Zero means the
 	// default (8).
 	MaxTheoryRounds int
+	// Warm, when non-nil, marks this solve as a re-negotiation of a unit
+	// that already holds a configuration. It is a hint, not a value
+	// substitution: the optimizer skips the first MaxSAT round (which,
+	// with no blocking clauses yet, always selects every soft constraint)
+	// and attempts the all-softs theory check directly, falling back to
+	// the full lazy loop on conflict. The returned configuration is
+	// bit-identical to a cold solve with the same inputs and rng.
+	Warm Config
 }
 
 // OptimizeStats reports the optimizer's work, used by the Figure 24
@@ -46,6 +54,12 @@ type OptimizeStats struct {
 	TheoryRounds int
 	// GreedyFallback is true when the theory-round cap was hit.
 	GreedyFallback bool
+	// WarmStart is true when a warm hint was supplied and the all-softs
+	// fast path succeeded without entering the MaxSAT loop.
+	WarmStart bool
+	// WarmFallback is true when a warm hint was supplied but the fast
+	// path hit a theory conflict, forcing the full lazy loop.
+	WarmFallback bool
 	// UsedDefault is true when optimization fell back to the Theorem 4.3
 	// default configuration.
 	UsedDefault bool
@@ -126,6 +140,29 @@ func Optimize(t *Template, db lang.Database, model WorkloadModel, opt OptimizeOp
 	// Lazy SMT loop: MaxSAT over selectors; check the selected set against
 	// the linear theory; on conflict, block the minimal infeasible subset.
 	var blocked [][]int
+
+	// Warm start: with no blocking clauses, the first MaxSAT round is a
+	// foregone conclusion — every selector is an independent unit soft
+	// clause, so Fu-Malik selects all of them in one SAT call. When the
+	// caller certifies a previous negotiation succeeded (Warm != nil),
+	// skip that round and try the all-softs theory check directly. On
+	// success this is bit-identical to the cold round-1 result; on
+	// conflict, seed the blocking set with the same minimized core the
+	// cold path would derive and rejoin the loop at round 2.
+	if opt.Warm != nil {
+		allIdx := make([]int, len(softs))
+		for i := range softs {
+			allIdx[i] = i
+		}
+		stats.TheoryRounds = 1
+		if cfg, ok := finish(allIdx); ok {
+			stats.WarmStart = true
+			return cfg, stats
+		}
+		stats.WarmFallback = true
+		blocked = append(blocked, minimizeConflict(hard, softs, allIdx))
+	}
+
 	for stats.TheoryRounds < maxRounds {
 		stats.TheoryRounds++
 		p := maxsat.NewProblem()

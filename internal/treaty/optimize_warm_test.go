@@ -1,0 +1,112 @@
+package treaty_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/treaty"
+)
+
+// TestWarmStartMatchesScratch is the warm-start soundness property: for
+// randomized folded states and rng seeds, Optimize with a Warm hint must
+// return a configuration bit-identical to the scratch solve, and must
+// consume exactly the same rng draws (so downstream decisions seeded
+// from the shared stream cannot diverge between a warm and a cold
+// process). The hint is drawn from a *different* folded state than the
+// one being solved, the renegotiation shape: state moved since the
+// previous solve.
+func TestWarmStartMatchesScratch(t *testing.T) {
+	warms, falls := 0, 0
+	for _, nSites := range []int{2, 4} {
+		tmpl, folded, model := solveInputs(t, 1000, nSites)
+		base := baseObj(t, folded)
+		src := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 25; trial++ {
+			seed := src.Int63()
+			prevState := lang.Database{}
+			curState := lang.Database{}
+			for obj, v := range folded {
+				prevState[obj] = v
+				curState[obj] = v
+			}
+			prevState[base] = 50 + src.Int63n(2000)
+			curState[base] = 50 + src.Int63n(2000)
+			opts := func() treaty.OptimizeOptions {
+				return treaty.OptimizeOptions{
+					Lookahead:  20,
+					CostFactor: 3,
+					Rng:        rand.New(rand.NewSource(seed)),
+				}
+			}
+			hint, _ := treaty.Optimize(tmpl, prevState, model, opts())
+			if hint == nil {
+				t.Fatalf("nSites=%d trial %d: nil hint config", nSites, trial)
+			}
+
+			coldOpts := opts()
+			cold, coldStats := treaty.Optimize(tmpl, curState, model, coldOpts)
+			warmOpts := opts()
+			warmOpts.Warm = hint
+			warm, warmStats := treaty.Optimize(tmpl, curState, model, warmOpts)
+
+			if !reflect.DeepEqual(cold, warm) {
+				t.Fatalf("nSites=%d trial %d (seed %d): warm config diverges from scratch\ncold: %v\nwarm: %v\nwarm stats: %+v",
+					nSites, trial, seed, cold, warm, warmStats)
+			}
+			// Identical rng consumption: the next draw from each stream
+			// must match, or a warm process would fall out of sync with a
+			// cold one sharing the optimizer stream.
+			if c, w := coldOpts.Rng.Int63(), warmOpts.Rng.Int63(); c != w {
+				t.Fatalf("nSites=%d trial %d: rng streams diverged after solve (cold next=%d warm next=%d, cold stats %+v, warm stats %+v)",
+					nSites, trial, c, w, coldStats, warmStats)
+			}
+			if !warmStats.WarmStart && !warmStats.WarmFallback {
+				t.Fatalf("nSites=%d trial %d: warm solve reported neither warm start nor fallback", nSites, trial)
+			}
+			if warmStats.WarmFallback {
+				falls++
+			} else {
+				warms++
+			}
+		}
+	}
+	t.Logf("warm starts: %d, fallbacks: %d (fallback rate %.0f%%)",
+		warms, falls, 100*float64(falls)/float64(warms+falls))
+}
+
+// TestWarmStartSelfHint: warm-starting from the solve's own output (no
+// state movement at all) must also reproduce it and never fall back.
+func TestWarmStartSelfHint(t *testing.T) {
+	tmpl, folded, model := solveInputs(t, 500, 3)
+	opts := func() treaty.OptimizeOptions {
+		return treaty.OptimizeOptions{
+			Lookahead:  20,
+			CostFactor: 3,
+			Rng:        rand.New(rand.NewSource(11)),
+		}
+	}
+	cold, _ := treaty.Optimize(tmpl, folded, model, opts())
+	warmOpts := opts()
+	warmOpts.Warm = cold
+	warm, stats := treaty.Optimize(tmpl, folded, model, warmOpts)
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("self-hinted warm solve diverges:\ncold: %v\nwarm: %v", cold, warm)
+	}
+	if !stats.WarmStart || stats.WarmFallback {
+		t.Fatalf("self-hinted warm solve fell back: %+v", stats)
+	}
+}
+
+// baseObj returns the unit's replicated base object (the non-delta one).
+func baseObj(t *testing.T, folded lang.Database) lang.ObjID {
+	t.Helper()
+	for obj := range folded {
+		if _, _, ok := lang.IsDeltaObj(obj); !ok {
+			return obj
+		}
+	}
+	t.Fatal("no base object in folded state")
+	return ""
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/treaty"
+)
+
+// TestArtifactCacheMatchesScratch is the registration-cache soundness
+// property: a class compiled through the artifact cache (sharing an
+// isomorphic family's symbolic table and guard preprocessing) must be
+// indistinguishable from the same source compiled from scratch —
+// footprint, write set, pin decision, and, for randomized folded
+// states, the derived global treaty, constraint for constraint.
+func TestArtifactCacheMatchesScratch(t *testing.T) {
+	const nSites = 4
+	rng := rand.New(rand.NewSource(5))
+	ac := NewArtifactCache()
+	for trial := 0; trial < 30; trial++ {
+		// Isomorphic structure under fresh names every trial: only the
+		// object and transaction names vary (bounds are part of the
+		// family key, so they stay fixed).
+		obj := fmt.Sprintf("acct_%c%d", 'a'+byte(trial%26), rng.Intn(1000))
+		src := fmt.Sprintf(
+			"transaction T%d(amt) { v := read(%s); if (v - amt > 0) then write(%s = v - amt) else skip }",
+			trial, obj, obj)
+		bounds := treaty.ParamBounds{"amt": {1, 5}}
+
+		cached, hit, err := ac.CompileL(src, nSites, bounds)
+		if err != nil {
+			t.Fatalf("trial %d: cached compile: %v", trial, err)
+		}
+		if (trial > 0) != hit {
+			t.Fatalf("trial %d: cache hit = %v, want %v", trial, hit, trial > 0)
+		}
+		scratch, err := CompileLClass(src, nSites, bounds)
+		if err != nil {
+			t.Fatalf("trial %d: scratch compile: %v", trial, err)
+		}
+
+		if got, want := fmt.Sprint(cached.Footprint()), fmt.Sprint(scratch.Footprint()); got != want {
+			t.Fatalf("trial %d: footprint %s, scratch %s", trial, got, want)
+		}
+		if got, want := fmt.Sprint(cached.Writes()), fmt.Sprint(scratch.Writes()); got != want {
+			t.Fatalf("trial %d: writes %s, scratch %s", trial, got, want)
+		}
+		cp, cr := cached.Pinned()
+		sp, sr := scratch.Pinned()
+		if cp != sp || cr != sr {
+			t.Fatalf("trial %d: pinned (%v,%q), scratch (%v,%q)", trial, cp, cr, sp, sr)
+		}
+
+		// Globals must agree at randomized folded states, including ones
+		// that cross the guard boundary into the pin fallback.
+		for probe := 0; probe < 8; probe++ {
+			folded := lang.Database{lang.ObjID(obj): rng.Int63n(40) - 5}
+			for k := 0; k < nSites; k++ {
+				folded[lang.DeltaObj(lang.ObjID(obj), k)] = 0
+			}
+			cg, cerr := cached.buildGlobal(folded)
+			sg, serr := scratch.buildGlobal(folded)
+			if (cerr != nil) != (serr != nil) {
+				t.Fatalf("trial %d probe %d: cached err %v, scratch err %v", trial, probe, cerr, serr)
+			}
+			if cg.String() != sg.String() {
+				t.Fatalf("trial %d probe %d (folded %v):\ncached:  %s\nscratch: %s",
+					trial, probe, folded, cg.String(), sg.String())
+			}
+		}
+
+		// The lazily built replica rewrites must execute identically.
+		for k := 0; k < nSites; k++ {
+			if got, want := cached.rw(k).String(), scratch.rw(k).String(); got != want {
+				t.Fatalf("trial %d site %d rewrite:\ncached:  %s\nscratch: %s", trial, k, got, want)
+			}
+		}
+	}
+	if ac.Families() != 1 {
+		t.Fatalf("families = %d, want 1 (every trial is isomorphic)", ac.Families())
+	}
+}
+
+// TestArtifactCacheSplitsNonIsomorphic: structural or bounds differences
+// must land in distinct families — sharing there would be unsound.
+func TestArtifactCacheSplitsNonIsomorphic(t *testing.T) {
+	ac := NewArtifactCache()
+	srcs := []string{
+		// The family everything else must NOT join.
+		"transaction A(n) { v := read(x); if (v - n > 0) then write(x = v - n) else skip }",
+		// Different guard shape (>= via > over v-n+1... actually distinct constant).
+		"transaction B(n) { v := read(y); if (v - n > 1) then write(y = v - n) else skip }",
+		// Two-object footprint.
+		"transaction C(n) { v := read(p); if (v - n > 0) then write(q = v - n) else skip }",
+		// No branch at all.
+		"transaction D(n) { v := read(z); write(z = v - n) }",
+	}
+	for i, src := range srcs {
+		if _, hit, err := ac.CompileL(src, 2, treaty.ParamBounds{"n": {1, 5}}); err != nil {
+			t.Fatalf("class %d: %v", i, err)
+		} else if hit {
+			t.Fatalf("class %d: unexpectedly joined an existing family", i)
+		}
+	}
+	// Same structure as A but different bounds: its own family too.
+	if _, hit, err := ac.CompileL(
+		"transaction E(n) { v := read(w); if (v - n > 0) then write(w = v - n) else skip }",
+		2, treaty.ParamBounds{"n": {1, 9}}); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Fatal("bounds change unexpectedly joined the family")
+	}
+	if ac.Families() != 5 {
+		t.Fatalf("families = %d, want 5", ac.Families())
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
+	"sync"
 
 	"repro/internal/lang"
 	"repro/internal/lia"
@@ -58,6 +60,19 @@ type Class struct {
 	pinReason string
 
 	unit int // assigned by the Registry
+
+	// fam links the class to its isomorphism family when it was compiled
+	// through an ArtifactCache (nil for scratch-compiled classes).
+	// canonObjs is the class's own object footprint in canonical
+	// first-occurrence order; fromRep maps the representative's objects
+	// onto this class's (nil for the representative itself). rwMu guards
+	// the lazy construction of rwBySite for family members, which defer
+	// the per-site replica rewrites until the workload model first
+	// samples.
+	fam       *classFamily
+	canonObjs []lang.ObjID
+	fromRep   map[lang.ObjID]lang.ObjID
+	rwMu      sync.Mutex
 
 	// cachedUnits/cachedGen memoize the registry's unitsFor result for the
 	// registry generation cachedGen (see Registry.gen).
@@ -223,25 +238,99 @@ func (c *Class) TableString() string {
 // buildGlobal derives the unit's global treaty from the folded database
 // restricted to the class's footprint. Analysis failures at any stage
 // fall back to the always-valid pin treaty, exactly like the TPC-C
-// boundary regions.
+// boundary regions. Family-cached classes route through the family's
+// preprocessing memo: the guard is analyzed once per distinct
+// folded-value vector in the representative's namespace, and each
+// member's global is a rename of that shared result.
 func (c *Class) buildGlobal(folded lang.Database) (treaty.Global, error) {
-	if !c.pinned {
-		params := make(map[string]int64, len(c.Params))
-		for i, p := range c.Params {
-			params[p] = c.repArgs[i]
+	if c.pinned {
+		return c.pinGlobal(folded), nil
+	}
+	if c.fam != nil {
+		return c.familyGlobal(folded)
+	}
+	params := make(map[string]int64, len(c.Params))
+	for i, p := range c.Params {
+		params[p] = c.repArgs[i]
+	}
+	row, err := c.table.MatchRow(folded, params)
+	if err == nil {
+		g, perr := treaty.Preprocess(c.table.Rows[row].Guard, folded, params, c.Bounds)
+		if perr == nil {
+			return g, nil
 		}
-		row, err := c.table.MatchRow(folded, params)
-		if err == nil {
-			g, perr := treaty.Preprocess(c.table.Rows[row].Guard, folded, params, c.Bounds)
-			if perr == nil {
-				return g, nil
+	}
+	// Representative arguments sit in a boundary region (or the guard
+	// cannot be strengthened over the declared ranges): pin until the
+	// state moves on.
+	return c.pinGlobal(folded), nil
+}
+
+// familyGlobal is buildGlobal through the family memo. On a miss the
+// folded values are translated into the representative's namespace
+// (positionally, via the canonical object order), matched and
+// preprocessed there exactly as the scratch path would, and the result
+// — success or pin decision — is memoized for every member at those
+// values. Hits and misses both end in a Rename, which copies, so the
+// memoized Global is never aliased by callers.
+func (c *Class) familyGlobal(folded lang.Database) (treaty.Global, error) {
+	rep := c.fam.rep
+	kb := make([]byte, 0, 16*len(c.canonObjs))
+	for _, obj := range c.canonObjs {
+		kb = strconv.AppendInt(kb, folded.Get(obj), 10)
+		kb = append(kb, ',')
+	}
+	key := string(kb)
+	c.fam.mu.Lock()
+	e, ok := c.fam.globals[key]
+	c.fam.mu.Unlock()
+	if !ok {
+		repFolded := folded
+		if c.fromRep != nil {
+			repFolded = make(lang.Database, len(c.canonObjs))
+			for i, obj := range c.canonObjs {
+				repFolded[rep.canonObjs[i]] = folded.Get(obj)
 			}
 		}
-		// Representative arguments sit in a boundary region (or the guard
-		// cannot be strengthened over the declared ranges): pin until the
-		// state moves on.
+		params := make(map[string]int64, len(rep.Params))
+		for i, p := range rep.Params {
+			params[p] = rep.repArgs[i]
+		}
+		if row, err := rep.table.MatchRow(repFolded, params); err == nil {
+			if g, perr := treaty.Preprocess(rep.table.Rows[row].Guard, repFolded, params, rep.Bounds); perr == nil {
+				e = famGlobal{g: g, ok: true}
+			}
+		}
+		c.fam.mu.Lock()
+		if len(c.fam.globals) >= famGlobalBound {
+			clear(c.fam.globals)
+		}
+		c.fam.globals[key] = e
+		c.fam.mu.Unlock()
 	}
-	return c.pinGlobal(folded), nil
+	if !e.ok {
+		return c.pinGlobal(folded), nil
+	}
+	return e.g.Rename(c.mapFromRep), nil
+}
+
+// mapFromRep renames one representative-namespace object (base or
+// delta-encoded) into this class's namespace; the identity for the
+// representative itself.
+func (c *Class) mapFromRep(obj lang.ObjID) lang.ObjID {
+	if c.fromRep == nil {
+		return obj
+	}
+	if base, site, ok := lang.IsDeltaObj(obj); ok {
+		if m, ok2 := c.fromRep[base]; ok2 {
+			return lang.DeltaObj(m, site)
+		}
+		return obj
+	}
+	if m, ok := c.fromRep[obj]; ok {
+		return m
+	}
+	return obj
 }
 
 // pinGlobal pins every footprint object's logical value at its folded
@@ -273,12 +362,34 @@ func (m classModel) SampleFuture(rng *rand.Rand, db lang.Database, l int) []lang
 	out := make([]lang.Database, 0, l)
 	for i := 0; i < l; i++ {
 		site := rng.Intn(m.c.nSites)
-		if res, err := lang.Eval(m.c.rwBySite[site], cur, m.c.randArgs(rng)...); err == nil {
+		if res, err := lang.Eval(m.c.rw(site), cur, m.c.randArgs(rng)...); err == nil {
 			cur = res.DB
 		}
 		out = append(out, cur.Clone())
 	}
 	return out
+}
+
+// rw returns the site-k replica rewrite. Scratch-compiled classes build
+// all rewrites at compile time (the symbolic table needs site 0's
+// form); family members defer them to first use here — typically the
+// first workload-model sample of a negotiation, long after
+// registration, and never at all while the configuration cache keeps
+// serving isomorphic units.
+func (c *Class) rw(site int) *lang.Transaction {
+	c.rwMu.Lock()
+	defer c.rwMu.Unlock()
+	if c.rwBySite == nil {
+		replicated := make(map[lang.ObjID]bool, len(c.footprint))
+		for _, obj := range c.footprint {
+			replicated[obj] = true
+		}
+		c.rwBySite = make([]*lang.Transaction, c.nSites)
+		for k := 0; k < c.nSites; k++ {
+			c.rwBySite[k] = lang.Simplify(lang.ReplicaRewrite(c.Lowered, k, c.nSites, replicated))
+		}
+	}
+	return c.rwBySite[site]
 }
 
 // randArgs draws an argument vector uniformly from the declared bounds
@@ -413,6 +524,10 @@ func sortedObjs(set map[lang.ObjID]bool) []lang.ObjID {
 	for obj := range set {
 		out = append(out, obj)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortObjIDs(out)
 	return out
+}
+
+func sortObjIDs(objs []lang.ObjID) {
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
 }

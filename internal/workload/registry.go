@@ -94,12 +94,17 @@ func (r *Registry) Register(c *Class, initial lang.Database) error {
 				c.Name, obj, r.base.Name())
 		}
 	}
-	inFoot := make(map[lang.ObjID]bool, len(c.footprint))
-	for _, obj := range c.footprint {
-		inFoot[obj] = true
-	}
 	for obj := range initial {
-		if !inFoot[obj] {
+		// Footprints are tiny (a handful of objects); a scan beats
+		// building a set on every registration.
+		inFoot := false
+		for _, fo := range c.footprint {
+			if fo == obj {
+				inFoot = true
+				break
+			}
+		}
+		if !inFoot {
 			return fmt.Errorf("workload: class %s: initial value for %q, which the class never touches", c.Name, obj)
 		}
 	}
